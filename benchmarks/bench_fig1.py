@@ -1,0 +1,25 @@
+"""Bench: regenerate Fig. 1 — PDSLin stage breakdown vs core count,
+RHB-soed vs PT-Scotch-style NGD, k = 8 subdomains, two-level projection."""
+
+from benchmarks.conftest import publish
+from repro.experiments import run_fig1, format_fig1
+
+
+def test_fig1(benchmark, scale, results_dir):
+    points = benchmark.pedantic(
+        lambda: run_fig1("tdr455k", scale, k=8,
+                         cores=(8, 32, 128, 512, 1024), seed=0),
+        rounds=1, iterations=1)
+    publish(results_dir, "fig1", format_fig1(points))
+
+    # shape checks mirroring the paper's figure:
+    by = {(p.partitioner, p.cores): p for p in points}
+    for label in ("RHB,soed", "PT-Scotch"):
+        # total time decreases with more cores
+        assert by[(label, 8)].total >= by[(label, 1024)].total
+        # LU(D) keeps shrinking; Solve flattens (separator-bound)
+        assert by[(label, 8)].stage_times["LU(D)"] > \
+            by[(label, 1024)].stage_times["LU(D)"]
+    # RHB reduces Comp(S) relative to NGD without blowing up LU(D)
+    assert by[("RHB,soed", 8)].stage_times["Comp(S)"] <= \
+        1.6 * by[("PT-Scotch", 8)].stage_times["Comp(S)"]

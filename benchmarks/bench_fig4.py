@@ -1,0 +1,39 @@
+"""Bench: regenerate Fig. 4 — fraction of padded zeros vs block size B
+for natural / postorder / hypergraph RHS orderings (four panels, one per
+matrix family)."""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import publish
+from repro.experiments import prepare_triangular_study, run_fig4, format_fig4
+from repro.matrices import generate
+
+PANELS = ["tdr190k", "dds.quad", "dds.linear", "matrix211"]
+BLOCK_SIZES = (8, 16, 32, 64, 128)
+
+
+@pytest.fixture(scope="module")
+def studies(scale):
+    return {m: prepare_triangular_study(generate(m, scale), k=8, seed=0)
+            for m in PANELS}
+
+
+@pytest.mark.parametrize("matrix", PANELS)
+def test_fig4_panel(benchmark, scale, results_dir, studies, matrix):
+    subs = studies[matrix]
+    points = benchmark.pedantic(
+        lambda: run_fig4(subs=subs, block_sizes=BLOCK_SIZES, tau=0.4, seed=0),
+        rounds=1, iterations=1)
+    publish(results_dir, f"fig4_{matrix.replace('.', '_')}",
+            format_fig4(points, title=f"Fig. 4 — {matrix}"))
+
+    avg = {(p.ordering, p.block_size): p.frac_avg for p in points}
+    # fraction grows with B for every ordering (paper's main shape)
+    for o in ("natural", "postorder", "hypergraph"):
+        assert avg[(o, BLOCK_SIZES[0])] <= avg[(o, BLOCK_SIZES[-1])] + 0.02
+    # the reorderings beat the natural ordering somewhere in the sweep
+    gains = [avg[("natural", B)] - min(avg[("postorder", B)],
+                                       avg[("hypergraph", B)])
+             for B in BLOCK_SIZES]
+    assert max(gains) >= -0.01

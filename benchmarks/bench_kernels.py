@@ -1,0 +1,84 @@
+"""Microbenchmarks of the library's computational kernels.
+
+Unlike the table/figure benches (single-shot experiment regeneration),
+these use pytest-benchmark's statistical timing on the individual
+substrate kernels, so performance regressions in the partitioner, the
+orderings, or the triangular solver show up directly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import rhb_partition
+from repro.graphs import nested_dissection_partition
+from repro.hypergraph import Hypergraph, bisect_hypergraph
+from repro.lu import (
+    factorize, solution_pattern, SupernodalLower,
+    blocked_triangular_solve, partition_columns,
+)
+from repro.matrices import generate
+from repro.ordering import minimum_degree, reverse_cuthill_mckee, \
+    elimination_tree
+
+
+@pytest.fixture(scope="module")
+def cavity(scale):
+    return generate("tdr190k", "tiny" if scale == "tiny" else "small")
+
+
+def test_kernel_etree(benchmark, cavity):
+    from repro.sparse import symmetrized
+    A = symmetrized(cavity.A)
+    benchmark(elimination_tree, A)
+
+
+def test_kernel_minimum_degree(benchmark, cavity):
+    benchmark.pedantic(minimum_degree, args=(cavity.A,), rounds=3,
+                       iterations=1)
+
+
+def test_kernel_rcm(benchmark, cavity):
+    benchmark.pedantic(reverse_cuthill_mckee, args=(cavity.A,), rounds=3,
+                       iterations=1)
+
+
+def test_kernel_hypergraph_bisection(benchmark, cavity):
+    H = Hypergraph.column_net_model(cavity.M)
+    benchmark.pedantic(
+        lambda: bisect_hypergraph(H, epsilon=0.05, seed=0, n_trials=2),
+        rounds=3, iterations=1)
+
+
+def test_kernel_rhb_k8(benchmark, cavity):
+    benchmark.pedantic(
+        lambda: rhb_partition(cavity.A, 8, M=cavity.M, seed=0, n_trials=2),
+        rounds=1, iterations=1)
+
+
+def test_kernel_ngd_k8(benchmark, cavity):
+    benchmark.pedantic(
+        lambda: nested_dissection_partition(cavity.A, 8, seed=0, n_trials=2),
+        rounds=1, iterations=1)
+
+
+def test_kernel_lu_factorize(benchmark, cavity):
+    A = cavity.A.tocsc()
+    perm = minimum_degree(cavity.A)
+    benchmark.pedantic(
+        lambda: factorize(A, col_perm=perm, diag_pivot_thresh=0.0),
+        rounds=3, iterations=1)
+
+
+def test_kernel_blocked_trsolve(benchmark, cavity):
+    import scipy.sparse as sp
+    A = cavity.A.tocsc()
+    f = factorize(A, diag_pivot_thresh=0.0)
+    n = A.shape[0]
+    E = sp.random(n, 64, 0.02, random_state=0, format="csr")
+    Ep = f.permute_rows(E)
+    G = solution_pattern(f.L, Ep)
+    snl = SupernodalLower.from_csc(f.L, unit_diagonal=True)
+    parts = partition_columns(np.arange(64), 16)
+    benchmark.pedantic(
+        lambda: blocked_triangular_solve(snl, Ep, G, parts),
+        rounds=3, iterations=1)

@@ -1,0 +1,29 @@
+"""Bench: regenerate the Section V-B(c) study — quasi-dense row removal
+speeds up the hypergraph RHS partitioning with flat quality until tau
+drops too low."""
+
+from benchmarks.conftest import publish
+from repro.experiments import (
+    prepare_triangular_study, run_quasidense, format_quasidense,
+)
+from repro.matrices import generate
+
+TAUS = (None, 0.8, 0.6, 0.4, 0.2, 0.1, 0.05)
+
+
+def test_quasidense(benchmark, scale, results_dir):
+    subs = prepare_triangular_study(generate("tdr190k", scale), k=8, seed=0)
+    points = benchmark.pedantic(
+        lambda: run_quasidense(subs=subs, block_size=64, taus=TAUS, seed=0),
+        rounds=1, iterations=1)
+    publish(results_dir, "quasidense", format_quasidense(points))
+
+    base = points[0]
+    by_tau = {p.tau: p for p in points}
+    # removal speeds up partitioning (paper: factors up to 4)
+    assert by_tau[0.4].partition_seconds < base.partition_seconds
+    # quality stays flat for moderate tau (paper: until tau < 0.1)
+    assert by_tau[0.4].padded_fraction_avg <= \
+        base.padded_fraction_avg + 0.05
+    # aggressive tau removes many more rows
+    assert by_tau[0.05].rows_removed_frac >= by_tau[0.8].rows_removed_frac

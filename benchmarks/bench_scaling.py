@@ -1,0 +1,23 @@
+"""Bench: two-level vs one-level parallelism (the paper's Section I
+hierarchical-design argument)."""
+
+from benchmarks.conftest import publish
+from repro.experiments import run_twolevel_vs_onelevel, format_scaling
+
+
+def test_twolevel_vs_onelevel(benchmark, scale, results_dir):
+    cores = (8, 16, 32)
+    points = benchmark.pedantic(
+        lambda: run_twolevel_vs_onelevel("tdr190k", scale, cores=cores,
+                                         k_two_level=8, seed=0),
+        rounds=1, iterations=1)
+    publish(results_dir, "scaling", format_scaling(points))
+
+    two = {p.cores: p for p in points if p.mode.startswith("two")}
+    one = {p.cores: p for p in points if p.mode.startswith("one")}
+    # the Schur complement grows with the subdomain count (the paper's
+    # reason for keeping k small)
+    assert one[32].schur_size > one[8].schur_size
+    assert two[32].schur_size == two[8].schur_size
+    # two-level time keeps improving with cores
+    assert two[32].total_time < two[8].total_time

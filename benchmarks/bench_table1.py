@@ -1,0 +1,13 @@
+"""Bench: regenerate Table I (test-matrix properties)."""
+
+from benchmarks.conftest import publish
+from repro.experiments import run_table1, format_table1
+
+
+def test_table1(benchmark, scale, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_table1(scale, check_definiteness=True),
+        rounds=1, iterations=1)
+    publish(results_dir, "table1", format_table1(rows))
+    names = {r["name"] for r in rows}
+    assert {"tdr190k", "matrix211", "ASIC_680ks", "G3_circuit"} <= names

@@ -1,0 +1,23 @@
+"""Bench: regenerate Table III — statistics of the interface solution
+patterns G_l (nnz, nonzero rows/cols, effective density, fill ratio)."""
+
+from benchmarks.conftest import publish
+from repro.experiments import run_table3, format_table3
+from repro.experiments.table3 import DEFAULT_MATRICES
+
+
+def test_table3(benchmark, scale, results_dir):
+    rows = benchmark.pedantic(
+        lambda: run_table3(DEFAULT_MATRICES, scale, k=8, seed=0),
+        rounds=1, iterations=1)
+    publish(results_dir, "table3", format_table3(rows))
+
+    by = {r.matrix: r for r in rows}
+    for r in rows:
+        assert r.fill_ratio_min >= 1.0          # solves only add fill
+        assert 0.0 < r.eff_density_max <= 1.0
+    # the paper's Table III: matrix211's interfaces are the sparsest
+    # (smallest fill ratio) of the set — this drives the Fig. 4
+    # postorder-vs-hypergraph crossover
+    assert by["matrix211"].fill_ratio_max <= \
+        min(by[m].fill_ratio_max for m in by if m != "matrix211") * 2.0

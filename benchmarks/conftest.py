@@ -1,0 +1,41 @@
+"""Benchmark configuration.
+
+Every bench regenerates one table or figure of the paper, prints the
+formatted rows/series, and archives them under ``benchmarks/results/``.
+``REPRO_BENCH_SCALE`` selects the matrix scale (default "small";
+"tiny" for a fast sanity sweep, "medium" for the full-size run) and
+``REPRO_BENCH_RESULTS_DIR`` overrides where the text outputs land so
+runs at different scales can be archived side by side.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(os.environ.get(
+    "REPRO_BENCH_RESULTS_DIR", Path(__file__).parent / "results"))
+
+
+def bench_scale(default: str = "small") -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", default)
+
+
+@pytest.fixture(scope="session")
+def scale() -> str:
+    return bench_scale()
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def publish(results_dir: Path, name: str, text: str) -> None:
+    """Print a result table and archive it."""
+    print()
+    print(text)
+    (results_dir / f"{name}.txt").write_text(text + "\n")

@@ -1,0 +1,37 @@
+"""Partitioning study on an accelerator-cavity matrix (paper Section III).
+
+Compares the RHB algorithm (all three cut metrics, single- and
+multi-constraint dynamic weights) against the nested-graph-dissection
+baseline, reporting the paper's Fig. 3 quantities: per-subdomain balance
+ratios, separator size, and end-to-end solver time.
+
+Run:  python examples/cavity_partitioning.py [tiny|small|medium]
+"""
+
+import sys
+
+from repro.experiments import run_fig3, format_fig3
+from repro.experiments.ablation import run_weight_ablation, format_ablation
+
+
+def main(scale: str = "tiny") -> None:
+    print(f"== RHB vs NGD on the cavity matrix (scale={scale}) ==\n")
+    for constraint in ("single", "multi"):
+        rows = run_fig3("tdr190k", scale, k=8, constraint=constraint,
+                        include_solve=True, seed=0)
+        print(format_fig3(rows, title=f"Fig. 3 panel — k=8, {constraint}-constraint"))
+        best = min((r for r in rows if r.label != "PT-SCOTCH"),
+                   key=lambda r: r.time_normalized)
+        print(f"-> best RHB metric: {best.label} at "
+              f"{best.time_normalized:.2f}x the NGD time\n")
+
+    print("== why dynamic weights matter (weight-scheme ablation) ==\n")
+    rows = run_weight_ablation("tdr190k", scale, k=8, seed=0)
+    print(format_ablation(rows, title="soed metric, varying weight scheme"))
+    print("\n'unit' is a standard static partitioner; 'w1' re-derives the")
+    print("weights from the current submatrix at every bisection — the")
+    print("paper's key idea.")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else "tiny")

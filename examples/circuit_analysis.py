@@ -1,0 +1,48 @@
+"""Circuit-simulation workload (paper Table II's biggest win).
+
+ASIC-style circuit matrices are extremely sparse but contain quasi-dense
+hub rows (power/clock rails). The paper reports RHB shrinking the
+separator of ASIC_680ks by ~8x vs nested dissection, turning a 34.3 s
+solve into a 4.0 s one. This example reproduces the effect on the
+synthetic analogue and then solves both an ASIC-like and an SPD
+G3_circuit-like system end to end.
+
+Run:  python examples/circuit_analysis.py
+"""
+
+import numpy as np
+
+from repro import PDSLin, PDSLinConfig
+from repro.experiments import run_partitioner
+from repro.matrices import asic_like_matrix, g3_like_matrix
+from repro.sparse import density_of_rows
+
+
+def main() -> None:
+    gm = asic_like_matrix(3000, n_hubs=4, hub_fraction=0.08, seed=0)
+    dens = density_of_rows(gm.A)
+    print(f"ASIC-like circuit: n={gm.n}, nnz/row={gm.nnz_per_row:.1f}")
+    print(f"quasi-dense rows (density > 5%): {(dens > 0.05).sum()}")
+
+    print("\n-- separator size: NGD vs RHB --")
+    for method in ("ngd", "rhb"):
+        pr = run_partitioner(gm, 8, method=method, seed=0)
+        q = pr.quality
+        print(f"{pr.label:<14} n_S={q.separator_size:<5} "
+              f"nnz(D) balance={q.nnz_D_ratio:.2f} "
+              f"col(E) balance={q.ncol_E_ratio:.2f}")
+
+    print("\n-- end-to-end solves --")
+    rng = np.random.default_rng(1)
+    for name, system in (("ASIC-like", gm),
+                         ("G3-like (SPD)", g3_like_matrix(55, 55, seed=0))):
+        b = rng.standard_normal(system.n)
+        cfg = PDSLinConfig(k=8, partitioner="rhb", seed=0,
+                           drop_interface=1e-3, drop_schur=1e-5)
+        res = PDSLin(system.A, cfg, M=system.M).solve(b)
+        print(f"{name:<14} n={system.n:<6} iters={res.iterations:<3} "
+              f"residual={res.residual_norm:.1e} n_S={res.schur_size}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+"""Using the library with your own matrix.
+
+Shows the lower-level public API on a user-supplied scipy sparse matrix:
+build a DBBD partition directly, inspect blocks, persist the matrix in
+Matrix Market format, and run the solver with a custom configuration.
+
+Run:  python examples/custom_matrix.py
+"""
+
+import io
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro import PDSLin, PDSLinConfig, rhb_partition
+from repro.sparse import (
+    read_matrix_market, write_matrix_market, symmetry_info,
+    edge_incidence_factor, verify_structural_factor,
+)
+
+
+def my_matrix(n_side: int = 20) -> sp.csr_matrix:
+    """Any square scipy sparse matrix works; here, a 2-D anisotropic
+    diffusion operator."""
+    def lap1(n, w):
+        return sp.diags([-w * np.ones(n - 1), 2 * w * np.ones(n),
+                         -w * np.ones(n - 1)], [-1, 0, 1])
+    Ix = sp.eye(n_side)
+    A = sp.kron(Ix, lap1(n_side, 1.0)) + sp.kron(lap1(n_side, 25.0), Ix)
+    return (A + 0.1 * sp.eye(n_side * n_side)).tocsr()
+
+
+def main() -> None:
+    A = my_matrix()
+    print("matrix diagnostics:", symmetry_info(A).table_row())
+
+    # structural factor: computed automatically when you don't have one
+    M = edge_incidence_factor(A)
+    print("edge-incidence factor valid:", verify_structural_factor(A, M),
+          f"({M.shape[0]} rows)")
+
+    # direct access to the partitioner, without the solver
+    r = rhb_partition(A, 4, metric="soed", scheme="w1", seed=0)
+    dbbd = r.to_dbbd(A)
+    print(f"\nRHB with k=4: separator={dbbd.separator_size}, "
+          f"subdomain sizes={dbbd.subdomain_sizes().tolist()}")
+    print("block D_0 shape:", dbbd.D(0).shape, " E_0 nnz:", dbbd.E(0).nnz)
+
+    # persist / reload in Matrix Market format
+    buf = io.StringIO()
+    write_matrix_market(buf, A, comment="anisotropic diffusion demo")
+    buf.seek(0)
+    A2 = read_matrix_market(buf)
+    print("\nMatrixMarket roundtrip max error:", abs(A - A2).max())
+
+    # full solve with custom knobs
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(A.shape[0])
+    cfg = PDSLinConfig(k=4, partitioner="rhb", rhs_ordering="hypergraph",
+                       block_size=24, drop_interface=1e-4, drop_schur=1e-6,
+                       seed=0)
+    res = PDSLin(A, cfg).solve(b)
+    print(f"solve: converged={res.converged} iters={res.iterations} "
+          f"residual={res.residual_norm:.1e}")
+
+
+if __name__ == "__main__":
+    main()

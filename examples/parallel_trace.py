@@ -1,0 +1,50 @@
+"""Inspecting a simulated parallel run: reports and Chrome traces.
+
+Runs the hybrid solver, exports (a) a JSON run report with partition
+quality, stage times, balance ratios and padding statistics, and (b) a
+Chrome-trace timeline (open chrome://tracing or https://ui.perfetto.dev
+and load the file) showing per-subdomain stage bars — the simulated
+equivalent of profiling the real PDSLin with an MPI tracer.
+
+Run:  python examples/parallel_trace.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro import PDSLin, PDSLinConfig, generate
+from repro.parallel import export_chrome_trace, TwoLevelModel
+from repro.solver import run_report, format_report, save_report
+
+
+def main(out_dir: str = ".") -> None:
+    out = Path(out_dir)
+    gm = generate("tdr455k", "tiny")
+    rng = np.random.default_rng(0)
+    solver = PDSLin(gm.A, PDSLinConfig(k=8, partitioner="rhb", seed=0),
+                    M=gm.M)
+    result = solver.solve(rng.standard_normal(gm.n))
+
+    report = run_report(solver, result)
+    print(format_report(report))
+    save_report(report, out / "pdslin_report.json")
+    export_chrome_trace(solver.machine, out / "pdslin_trace.json")
+    print(f"\nwrote {out / 'pdslin_report.json'} and "
+          f"{out / 'pdslin_trace.json'}")
+
+    # project the measured one-level run onto larger machines
+    model = TwoLevelModel(k=8)
+    print("\ntwo-level projection (total simulated seconds):")
+    for cores in (8, 32, 128, 512):
+        proj = model.project(solver.machine, cores)
+        interesting = {s: proj[s] for s in ("LU(D)", "Comp(S)", "LU(S)",
+                                            "Solve") if s in proj}
+        total = sum(interesting.values())
+        bar = "#" * max(1, int(total * 400))
+        print(f"  P={cores:<5} {total:.4f}s  {bar}")
+
+
+if __name__ == "__main__":
+    main(sys.argv[1] if len(sys.argv) > 1 else ".")

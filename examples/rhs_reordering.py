@@ -1,0 +1,50 @@
+"""Sparse right-hand-side reordering for triangular solves (Section IV).
+
+For one subdomain of a partitioned cavity matrix, compares the three
+column orderings of the interface block E^ — natural, e-tree postorder,
+and row-net hypergraph — showing (a) the padded-zero fraction and the
+actual blocked-solve cost as the block size B grows, and (b) the
+speedup of hypergraph partitioning setup from removing quasi-dense rows.
+
+Run:  python examples/rhs_reordering.py
+"""
+
+from repro.experiments import (
+    prepare_triangular_study, run_fig4, run_fig5,
+    run_quasidense, format_quasidense,
+)
+from repro.lu import padded_zeros
+from repro.matrices import generate
+
+
+def main() -> None:
+    gm = generate("tdr190k", "tiny")
+    print(f"matrix {gm.name}: n={gm.n}; extracting 8 subdomains (NGD+MD)...")
+    subs = prepare_triangular_study(gm, k=8, seed=0)
+    m = subs[0].E_factored.shape[1]
+    print(f"subdomain 0: dim={subs[0].interfaces.dim}, "
+          f"interface columns={m}\n")
+
+    print("-- padded-zero fraction vs block size (avg over subdomains) --")
+    pts = run_fig4(subs=subs, block_sizes=(8, 16, 32, 64), seed=0)
+    by = {(p.ordering, p.block_size): p.frac_avg for p in pts}
+    print(f"{'B':>4} {'natural':>9} {'postorder':>10} {'hypergraph':>11}")
+    for B in (8, 16, 32, 64):
+        print(f"{B:>4} {by[('natural', B)]:>9.3f} "
+              f"{by[('postorder', B)]:>10.3f} {by[('hypergraph', B)]:>11.3f}")
+
+    print("\n-- blocked triangular solve time (avg seconds) --")
+    pts5 = run_fig5(subs=subs, block_sizes=(8, 32, 64), seed=0)
+    by5 = {(p.ordering, p.block_size): p.time_avg for p in pts5}
+    print(f"{'B':>4} {'natural':>9} {'postorder':>10} {'hypergraph':>11}")
+    for B in (8, 32, 64):
+        print(f"{B:>4} {by5[('natural', B)]:>9.4f} "
+              f"{by5[('postorder', B)]:>10.4f} {by5[('hypergraph', B)]:>11.4f}")
+
+    print("\n-- quasi-dense row removal (Section V-B(c)) --")
+    print(format_quasidense(run_quasidense(subs=subs, block_size=32,
+                                           taus=(None, 0.4, 0.1), seed=0)))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,53 @@
+"""Unstructured FEM workflow: mesh -> assemble -> partition -> solve.
+
+Generates a P1 finite-element operator on a Delaunay-triangulated
+annulus (non-convex geometry with a hole — the kind of domain where
+partitioners genuinely differ), compares three partitioning strategies
+(RHB, NGD with multilevel FM, NGD with spectral bisection) and solves
+the system with the hybrid solver using the element incidence as RHB's
+structural factor.
+
+Run:  python examples/unstructured_fem.py
+"""
+
+import numpy as np
+
+from repro import PDSLin, PDSLinConfig
+from repro.core import build_dbbd, rhb_partition
+from repro.graphs import nested_dissection_partition
+from repro.matrices import unstructured_matrix
+
+
+def main() -> None:
+    gm = unstructured_matrix(2500, domain="annulus", seed=0)
+    print(f"{gm.description}")
+    print(f"n={gm.n}, nnz/row={gm.nnz_per_row:.1f}\n")
+
+    print("-- partitioner comparison (k=8) --")
+    rows = []
+    r = rhb_partition(gm.A, 8, M=gm.M, metric="soed", scheme="w1", seed=0)
+    rows.append(("RHB-soed/w1", build_dbbd(gm.A, r.col_part, 8)))
+    for bisector, label in (("fm", "NGD (multilevel FM)"),
+                            ("spectral", "NGD (spectral)")):
+        ng = nested_dissection_partition(gm.A, 8, seed=0, bisector=bisector)
+        rows.append((label, build_dbbd(gm.A, ng.part, 8)))
+    print(f"{'method':<22} {'n_S':>5} {'dim(D)':>7} {'nnz(D)':>7} "
+          f"{'col(E)':>7}")
+    for label, dbbd in rows:
+        q = dbbd.quality()
+        print(f"{label:<22} {q.separator_size:>5} {q.dim_ratio:>7.2f} "
+              f"{q.nnz_D_ratio:>7.2f} {q.ncol_E_ratio:>7.2f}")
+
+    print("\n-- hybrid solve with the RHB partition --")
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal(gm.n)
+    cfg = PDSLinConfig(k=8, partitioner="rhb", seed=0,
+                       drop_interface=1e-4, drop_schur=1e-6,
+                       rhs_ordering="hypergraph", block_size=48)
+    res = PDSLin(gm.A, cfg, M=gm.M).solve(b)
+    print(f"converged={res.converged} iters={res.iterations} "
+          f"residual={res.residual_norm:.1e} n_S={res.schur_size}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,29 @@
+"""repro — reproduction of "On Partitioning and Reordering Problems in a
+Hierarchically Parallel Hybrid Linear Solver" (Yamazaki, Li, Rouet,
+Uçar; IPDPSW 2013).
+
+Public surface (see README for the architecture overview):
+
+- :mod:`repro.core` — RHB partitioning, DBBD forms, RHS reordering;
+- :mod:`repro.solver` — the PDSLin-style hybrid Schur solver;
+- :mod:`repro.hypergraph` / :mod:`repro.graphs` — partitioning substrates;
+- :mod:`repro.lu` / :mod:`repro.ordering` — sparse direct-method substrate;
+- :mod:`repro.matrices` — synthetic Table-I matrix suite;
+- :mod:`repro.parallel` — simulated distributed machine;
+- :mod:`repro.experiments` — per-table/figure harnesses.
+"""
+
+from repro.core import rhb_partition, build_dbbd, DBBDPartition, RHBResult
+from repro.solver import PDSLin, PDSLinConfig, PDSLinResult
+from repro.graphs import nested_dissection_partition
+from repro.matrices import generate, suite_names
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "rhb_partition", "build_dbbd", "DBBDPartition", "RHBResult",
+    "PDSLin", "PDSLinConfig", "PDSLinResult",
+    "nested_dissection_partition",
+    "generate", "suite_names",
+    "__version__",
+]

@@ -1,0 +1,29 @@
+"""The paper's contributions: RHB partitioning (Section III), DBBD
+forms, and sparse-RHS reordering for triangular solution (Section IV)."""
+
+from repro.core.dbbd import (
+    DBBDPartition,
+    SubdomainStats,
+    PartitionQuality,
+    build_dbbd,
+    SEPARATOR,
+)
+from repro.core.weights import WeightScheme, compute_vertex_weights, VALID_SCHEMES
+from repro.core.rhb import RHBResult, rhb_partition
+from repro.core.refine import trim_separator
+from repro.core.rhs_reorder import (
+    natural_column_order,
+    postorder_column_order,
+    hypergraph_column_order,
+    HypergraphOrderResult,
+)
+
+__all__ = [
+    "DBBDPartition", "SubdomainStats", "PartitionQuality", "build_dbbd",
+    "SEPARATOR",
+    "WeightScheme", "compute_vertex_weights", "VALID_SCHEMES",
+    "RHBResult", "rhb_partition",
+    "trim_separator",
+    "natural_column_order", "postorder_column_order",
+    "hypergraph_column_order", "HypergraphOrderResult",
+]

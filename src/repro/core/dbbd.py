@@ -1,0 +1,202 @@
+"""Doubly-bordered block-diagonal (DBBD) forms and partition statistics.
+
+Given a vertex partition of a square matrix ``A`` into ``k`` subdomains
+plus a separator (part id -1), this module assembles the block structure
+of Eq. (1) of the paper:
+
+    [ D_1          E_1 ]
+    [      ...     ... ]
+    [          D_k E_k ]
+    [ F_1  ... F_k  C  ]
+
+and computes the per-subdomain quantities the paper balances and
+reports: dim(D_l), nnz(D_l), number of nonzero columns of E_l
+("col(E)"), and nnz(E_l) — plus max/min balance ratios and the
+separator size (Fig. 3 and Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils import check_csr, check_square, as_int_array
+from repro.sparse.patterns import col_nnz
+
+__all__ = ["DBBDPartition", "SubdomainStats", "PartitionQuality", "build_dbbd"]
+
+SEPARATOR = -1
+
+
+@dataclass(frozen=True)
+class SubdomainStats:
+    """Per-subdomain structural statistics (paper Table II columns)."""
+
+    dim: int          # n_{D_l}
+    nnz_D: int        # nnz(D_l)
+    ncol_E: int       # number of nonzero columns of E_l
+    nnz_E: int        # nnz(E_l)
+    nrow_F: int       # number of nonzero rows of F_l
+    nnz_F: int        # nnz(F_l)
+
+
+def _ratio(values: np.ndarray) -> float:
+    """max/min with care for zero minima (returns inf then)."""
+    mx, mn = float(np.max(values)), float(np.min(values))
+    if mn == 0.0:
+        return float("inf") if mx > 0 else 1.0
+    return mx / mn
+
+
+@dataclass(frozen=True)
+class PartitionQuality:
+    """Balance ratios (Wmax/Wmin, as plotted in Fig. 3) and separator size."""
+
+    separator_size: int
+    dim_ratio: float
+    nnz_D_ratio: float
+    ncol_E_ratio: float
+    nnz_E_ratio: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "separator_size": float(self.separator_size),
+            "dim(D)": self.dim_ratio,
+            "nnz(D)": self.nnz_D_ratio,
+            "col(E)": self.ncol_E_ratio,
+            "nnz(E)": self.nnz_E_ratio,
+        }
+
+
+@dataclass
+class DBBDPartition:
+    """A k-way DBBD partition of a square matrix.
+
+    ``part[v]`` in [0, k) or -1 for separator vertices. The permutation
+    orders subdomain vertices part by part, separator last, preserving
+    original relative order inside each group.
+    """
+
+    A: sp.csr_matrix
+    part: np.ndarray
+    k: int
+    perm: np.ndarray = field(init=False)
+    block_extents: np.ndarray = field(init=False)  # k+2 offsets
+
+    def __post_init__(self) -> None:
+        self.A = check_csr(self.A)
+        check_square(self.A)
+        n = self.A.shape[0]
+        self.part = as_int_array(self.part, "part")
+        if self.part.shape != (n,):
+            raise ValueError("part must have one entry per row of A")
+        if self.part.size and (self.part.min() < SEPARATOR
+                               or self.part.max() >= self.k):
+            raise ValueError("part entries must be in {-1} U [0, k)")
+        groups = [np.flatnonzero(self.part == ell) for ell in range(self.k)]
+        sep = np.flatnonzero(self.part == SEPARATOR)
+        self.perm = np.concatenate(groups + [sep]) if n else np.empty(0, np.int64)
+        sizes = np.asarray([g.size for g in groups] + [sep.size], dtype=np.int64)
+        self.block_extents = np.concatenate([[0], np.cumsum(sizes)])
+
+    # -- views ----------------------------------------------------------------
+
+    @property
+    def n(self) -> int:
+        return self.A.shape[0]
+
+    @property
+    def separator_vertices(self) -> np.ndarray:
+        return np.flatnonzero(self.part == SEPARATOR)
+
+    @property
+    def separator_size(self) -> int:
+        return int(self.separator_vertices.size)
+
+    def subdomain_vertices(self, ell: int) -> np.ndarray:
+        self._check_ell(ell)
+        return np.flatnonzero(self.part == ell)
+
+    def subdomain_sizes(self) -> np.ndarray:
+        sizes = np.zeros(self.k, dtype=np.int64)
+        interior = self.part >= 0
+        np.add.at(sizes, self.part[interior], 1)
+        return sizes
+
+    def _check_ell(self, ell: int) -> None:
+        if not (0 <= ell < self.k):
+            raise IndexError(f"subdomain index {ell} out of range [0, {self.k})")
+
+    def permuted(self) -> sp.csr_matrix:
+        """The full matrix in DBBD order."""
+        return self.A[self.perm][:, self.perm].tocsr()
+
+    def D(self, ell: int) -> sp.csr_matrix:
+        v = self.subdomain_vertices(ell)
+        return self.A[v][:, v].tocsr()
+
+    def E(self, ell: int) -> sp.csr_matrix:
+        v = self.subdomain_vertices(ell)
+        return self.A[v][:, self.separator_vertices].tocsr()
+
+    def F(self, ell: int) -> sp.csr_matrix:
+        v = self.subdomain_vertices(ell)
+        return self.A[self.separator_vertices][:, v].tocsr()
+
+    def C(self) -> sp.csr_matrix:
+        s = self.separator_vertices
+        return self.A[s][:, s].tocsr()
+
+    # -- statistics -------------------------------------------------------------
+
+    def subdomain_stats(self, ell: int) -> SubdomainStats:
+        D, E, F = self.D(ell), self.E(ell), self.F(ell)
+        return SubdomainStats(
+            dim=D.shape[0],
+            nnz_D=int(D.nnz),
+            ncol_E=int(np.count_nonzero(col_nnz(E))),
+            nnz_E=int(E.nnz),
+            nrow_F=int(np.count_nonzero(np.diff(F.indptr))),
+            nnz_F=int(F.nnz),
+        )
+
+    def all_stats(self) -> list[SubdomainStats]:
+        return [self.subdomain_stats(ell) for ell in range(self.k)]
+
+    def quality(self) -> PartitionQuality:
+        stats = self.all_stats()
+        dims = np.asarray([s.dim for s in stats], dtype=np.float64)
+        nnzD = np.asarray([s.nnz_D for s in stats], dtype=np.float64)
+        ncolE = np.asarray([s.ncol_E for s in stats], dtype=np.float64)
+        nnzE = np.asarray([s.nnz_E for s in stats], dtype=np.float64)
+        return PartitionQuality(
+            separator_size=self.separator_size,
+            dim_ratio=_ratio(dims),
+            nnz_D_ratio=_ratio(nnzD),
+            ncol_E_ratio=_ratio(ncolE),
+            nnz_E_ratio=_ratio(nnzE),
+        )
+
+    def validate(self) -> None:
+        """Check the defining DBBD invariant: no nonzero directly couples
+        two different subdomains. Explicitly stored zeros are ignored —
+        partitioners operate on the numerical pattern."""
+        A = self.A.tocoo()
+        pi, pj = self.part[A.row], self.part[A.col]
+        bad = (pi >= 0) & (pj >= 0) & (pi != pj) & (A.data != 0)
+        if np.any(bad):
+            idx = int(np.flatnonzero(bad)[0])
+            raise AssertionError(
+                f"entry ({A.row[idx]}, {A.col[idx]}) couples subdomains "
+                f"{pi[idx]} and {pj[idx]}; separator is incomplete")
+
+
+def build_dbbd(A: sp.spmatrix, part: np.ndarray, k: int, *,
+               validate: bool = True) -> DBBDPartition:
+    """Construct (and by default validate) a DBBD partition."""
+    p = DBBDPartition(A=check_csr(A), part=as_int_array(part, "part"), k=k)
+    if validate:
+        p.validate()
+    return p

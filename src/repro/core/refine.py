@@ -1,0 +1,98 @@
+"""Post-hoc DBBD partition refinement (extension).
+
+The paper's conclusion notes the RHB prototype leaves further quality on
+the table. This module adds the classical *separator trimming* pass used
+by nested-dissection codes: a separator vertex whose non-separator
+neighbours all lie in a single subdomain (or none) is not actually
+needed to separate anything and can be absorbed, shrinking the separator
+— and therefore the Schur complement — for free. Moves are chosen
+smallest-subdomain-first so trimming also nudges the balance.
+
+Applies to partitions from either NGD or RHB; ablated in
+``benchmarks/bench_ablation.py``.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.dbbd import SEPARATOR
+from repro.sparse.symmetrize import symmetrized, is_structurally_symmetric
+from repro.utils import check_csr, check_square, as_int_array
+
+__all__ = ["trim_separator"]
+
+
+def trim_separator(A: sp.spmatrix, part: np.ndarray, k: int, *,
+                   balance_weight: bool = True,
+                   max_rounds: int = 10) -> np.ndarray:
+    """Absorb unnecessary separator vertices into subdomains.
+
+    Parameters
+    ----------
+    A:
+        Square sparse matrix (symmetrized internally).
+    part:
+        Vertex partition: [0, k) or -1 (separator). Not modified.
+    balance_weight:
+        Process candidates smallest-target-subdomain first so absorption
+        also improves |V_l| balance.
+    max_rounds:
+        Trimming exposes new candidates (two adjacent separator vertices
+        may both become absorbable only one at a time); rounds repeat
+        until a fixpoint or this cap.
+
+    Returns
+    -------
+    A new part array with the same invariant (no edge couples two
+    subdomains) and a separator no larger than the input's.
+    """
+    A = check_csr(A)
+    check_square(A)
+    if not is_structurally_symmetric(A):
+        A = symmetrized(A)
+    n = A.shape[0]
+    part = as_int_array(part, "part").copy()
+    if part.shape != (n,):
+        raise ValueError("part must have one entry per vertex")
+    indptr, indices = A.indptr, A.indices
+    sizes = np.zeros(k, dtype=np.int64)
+    np.add.at(sizes, part[part >= 0], 1)
+
+    def touched_parts(v: int) -> set[int]:
+        out: set[int] = set()
+        for p in range(indptr[v], indptr[v + 1]):
+            u = indices[p]
+            if u != v and part[u] >= 0:
+                out.add(int(part[u]))
+        return out
+
+    for _ in range(max_rounds):
+        moved = 0
+        # candidates ordered by target subdomain size (heap keeps order
+        # as sizes change during the pass)
+        heap: list[tuple[int, int, int]] = []
+        for v in np.flatnonzero(part == SEPARATOR):
+            tp = touched_parts(int(v))
+            if len(tp) <= 1:
+                target = min(tp) if tp else int(np.argmin(sizes))
+                key = int(sizes[target]) if balance_weight else 0
+                heapq.heappush(heap, (key, int(v), target))
+        while heap:
+            _, v, target = heapq.heappop(heap)
+            if part[v] != SEPARATOR:
+                continue
+            tp = touched_parts(v)
+            if len(tp) > 1:
+                continue  # situation changed since the scan
+            if tp:
+                target = min(tp)
+            part[v] = target
+            sizes[target] += 1
+            moved += 1
+        if moved == 0:
+            break
+    return part

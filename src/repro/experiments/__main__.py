@@ -1,0 +1,108 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures without pytest::
+
+    python -m repro.experiments table1 --scale small
+    python -m repro.experiments fig3 --scale small --k 8 --constraint single
+    python -m repro.experiments fig4 --matrix matrix211
+    python -m repro.experiments all --scale tiny
+
+Output is printed and (with --out) archived to a directory.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.experiments import (
+    run_table1, format_table1,
+    run_fig1, format_fig1,
+    run_fig3, format_fig3,
+    run_table2, format_table2,
+    run_table3, format_table3,
+    run_fig4, format_fig4,
+    run_fig5, format_fig5,
+    run_quasidense, format_quasidense,
+    run_weight_ablation, run_fm_ablation, format_ablation,
+)
+
+EXPERIMENTS = ("table1", "fig1", "fig3", "table2", "table3", "fig4",
+               "fig5", "quasidense", "ablation", "scaling")
+
+
+def _run(name: str, args: argparse.Namespace) -> str:
+    if name == "table1":
+        return format_table1(run_table1(args.scale, check_definiteness=True))
+    if name == "fig1":
+        return format_fig1(run_fig1("tdr455k", args.scale, k=args.k,
+                                    seed=args.seed))
+    if name == "fig3":
+        return format_fig3(
+            run_fig3(args.matrix, args.scale, k=args.k,
+                     constraint=args.constraint, seed=args.seed),
+            title=f"Fig. 3 — {args.matrix}, k={args.k}, {args.constraint}")
+    if name == "table2":
+        return format_table2(run_table2(scale=args.scale, k=args.k,
+                                        seed=args.seed))
+    if name == "table3":
+        return format_table3(run_table3(scale=args.scale, k=args.k,
+                                        seed=args.seed))
+    if name == "fig4":
+        return format_fig4(run_fig4(args.matrix, args.scale, k=args.k,
+                                    seed=args.seed),
+                           title=f"Fig. 4 — {args.matrix}")
+    if name == "fig5":
+        return format_fig5(run_fig5(args.matrix, args.scale, k=args.k,
+                                    seed=args.seed),
+                           title=f"Fig. 5 — {args.matrix}")
+    if name == "quasidense":
+        return format_quasidense(run_quasidense(args.matrix, args.scale,
+                                                k=args.k, seed=args.seed))
+    if name == "scaling":
+        from repro.experiments import run_twolevel_vs_onelevel, format_scaling
+        return format_scaling(run_twolevel_vs_onelevel(
+            args.matrix, args.scale, k_two_level=args.k, seed=args.seed))
+    if name == "ablation":
+        parts = [
+            format_ablation(run_weight_ablation(args.matrix, args.scale,
+                                                k=args.k, seed=args.seed),
+                            title="weight schemes"),
+            format_ablation(run_fm_ablation(args.matrix, args.scale,
+                                            k=args.k, seed=args.seed),
+                            title="FM passes"),
+        ]
+        return "\n\n".join(parts)
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's tables and figures.")
+    ap.add_argument("experiment", choices=EXPERIMENTS + ("all",))
+    ap.add_argument("--scale", default="small",
+                    choices=("tiny", "small", "medium"))
+    ap.add_argument("--matrix", default="tdr190k")
+    ap.add_argument("--k", type=int, default=8)
+    ap.add_argument("--constraint", default="single",
+                    choices=("single", "multi"))
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", type=Path, default=None,
+                    help="directory to archive the text outputs")
+    args = ap.parse_args(argv)
+
+    names = EXPERIMENTS if args.experiment == "all" else (args.experiment,)
+    for name in names:
+        text = _run(name, args)
+        print(text)
+        print()
+        if args.out is not None:
+            args.out.mkdir(parents=True, exist_ok=True)
+            (args.out / f"{name}.txt").write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

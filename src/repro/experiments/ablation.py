@@ -1,0 +1,108 @@
+"""Ablations on RHB design choices (DESIGN.md Section 5).
+
+- weight scheme: unit (static, = standard partitioner) vs w1 (dynamic,
+  single constraint) vs w1w2 (multi) vs w2 (static row weights) — the
+  paper's central claim is that *dynamic* weights are what beats NGD;
+- cut metric under the same scheme;
+- bisection refinement strength (FM passes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+import time
+
+import numpy as np
+
+from repro.core import build_dbbd, rhb_partition
+from repro.experiments.common import render_table
+from repro.graphs import nested_dissection_partition
+from repro.matrices import GeneratedMatrix, generate
+from repro.utils import SeedLike
+
+__all__ = ["AblationRow", "run_weight_ablation", "run_fm_ablation",
+           "format_ablation"]
+
+
+@dataclass
+class AblationRow:
+    label: str
+    separator_size: int
+    dim_ratio: float
+    nnz_D_ratio: float
+    ncol_E_ratio: float
+    nnz_E_ratio: float
+    seconds: float
+
+
+def _mean_rows(label: str, rows: list[AblationRow]) -> AblationRow:
+    return AblationRow(
+        label=label,
+        separator_size=int(np.mean([r.separator_size for r in rows])),
+        dim_ratio=float(np.mean([r.dim_ratio for r in rows])),
+        nnz_D_ratio=float(np.mean([r.nnz_D_ratio for r in rows])),
+        ncol_E_ratio=float(np.mean([r.ncol_E_ratio for r in rows])),
+        nnz_E_ratio=float(np.mean([r.nnz_E_ratio for r in rows])),
+        seconds=float(np.mean([r.seconds for r in rows])))
+
+
+def _score(gm: GeneratedMatrix, *, k: int, metric: str, scheme: str,
+           seed: SeedLike, fm_passes: int = 8,
+           label: str | None = None) -> AblationRow:
+    t0 = time.perf_counter()
+    r = rhb_partition(gm.A, k, M=gm.M, metric=metric, scheme=scheme,
+                      seed=seed, fm_passes=fm_passes)
+    secs = time.perf_counter() - t0
+    q = r.to_dbbd(gm.A).quality()
+    return AblationRow(label=label or f"{metric}/{scheme}",
+                       separator_size=q.separator_size,
+                       dim_ratio=q.dim_ratio, nnz_D_ratio=q.nnz_D_ratio,
+                       ncol_E_ratio=q.ncol_E_ratio,
+                       nnz_E_ratio=q.nnz_E_ratio, seconds=secs)
+
+
+def _score_ngd(gm: GeneratedMatrix, *, k: int, seed: SeedLike) -> AblationRow:
+    t0 = time.perf_counter()
+    r = nested_dissection_partition(gm.A, k, seed=seed)
+    secs = time.perf_counter() - t0
+    q = build_dbbd(gm.A, r.part, k).quality()
+    return AblationRow(label="ngd", separator_size=q.separator_size,
+                       dim_ratio=q.dim_ratio, nnz_D_ratio=q.nnz_D_ratio,
+                       ncol_E_ratio=q.ncol_E_ratio,
+                       nnz_E_ratio=q.nnz_E_ratio, seconds=secs)
+
+
+def run_weight_ablation(matrix: str = "tdr190k", scale: str = "small", *,
+                        k: int = 8, metric: str = "soed",
+                        seed: SeedLike = 0,
+                        n_seeds: int = 3) -> list[AblationRow]:
+    """Sweep the weight scheme (plus the NGD baseline), averaging the
+    quality metrics over ``n_seeds`` partitioner seeds — single-seed
+    balance ratios are noisy at reproduction scale."""
+    gm = generate(matrix, scale)
+    base = int(seed) if not isinstance(seed, np.random.Generator) else 0
+    seeds = [base + 1000 * t for t in range(max(1, n_seeds))]
+    out = [_mean_rows("ngd", [_score_ngd(gm, k=k, seed=s) for s in seeds])]
+    for scheme in ("unit", "w2", "w1", "w1w2"):
+        rows = [_score(gm, k=k, metric=metric, scheme=scheme, seed=s)
+                for s in seeds]
+        out.append(_mean_rows(f"{metric}/{scheme}", rows))
+    return out
+
+
+def run_fm_ablation(matrix: str = "tdr190k", scale: str = "small", *,
+                    k: int = 8, seed: SeedLike = 0) -> list[AblationRow]:
+    """soed/w1 with increasing FM refinement effort."""
+    gm = generate(matrix, scale)
+    return [_score(gm, k=k, metric="soed", scheme="w1", seed=seed,
+                   fm_passes=p, label=f"fm_passes={p}")
+            for p in (1, 2, 4, 8, 16)]
+
+
+def format_ablation(rows: list[AblationRow], *, title: str) -> str:
+    """Render ablation rows as fixed-width text."""
+    return render_table(
+        ["config", "sep", "dim(D)", "nnz(D)", "col(E)", "nnz(E)", "time(s)"],
+        [[r.label, r.separator_size, r.dim_ratio, r.nnz_D_ratio,
+          r.ncol_E_ratio, r.nnz_E_ratio, r.seconds] for r in rows],
+        title=title)

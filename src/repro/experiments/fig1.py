@@ -1,0 +1,78 @@
+"""Fig. 1 reproduction: PDSLin stage breakdown (LU(D), Comp(S), LU(S),
+Solve) as a function of the total core count, RHB-soed vs NGD
+(PT-Scotch), k = 8 subdomains.
+
+Per-subdomain stages are measured on the simulated machine in the
+one-process-per-subdomain configuration and projected to P cores with
+the two-level Amdahl model of :mod:`repro.parallel.costmodel` — the
+well-scaling subdomain stages shrink with P/k while the separator
+stages (LU(S), Solve) flatten, reproducing the paper's shape where RHB
+mainly reduces Comp(S) without growing LU(D).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import render_table
+from repro.matrices import generate
+from repro.parallel import TwoLevelModel
+from repro.solver import PDSLin, PDSLinConfig
+from repro.utils import SeedLike
+
+__all__ = ["Fig1Point", "run_fig1", "format_fig1"]
+
+DEFAULT_CORES = (8, 32, 128, 512, 1024)
+STAGES = ("LU(D)", "Comp(S)", "LU(S)", "Solve")
+
+
+@dataclass
+class Fig1Point:
+    """One bar of Fig. 1: a partitioner at a core count."""
+
+    partitioner: str
+    cores: int
+    stage_times: dict[str, float]
+
+    @property
+    def total(self) -> float:
+        return sum(self.stage_times.values())
+
+
+def run_fig1(matrix: str = "tdr455k", scale: str = "small", *,
+             k: int = 8, cores=DEFAULT_CORES,
+             seed: SeedLike = 0) -> list[Fig1Point]:
+    """Measure one-level runs of both partitioners and project the
+    stage breakdown onto each core count (Fig. 1 series)."""
+    gm = generate(matrix, scale)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(gm.A.shape[0])
+    points: list[Fig1Point] = []
+    for partitioner in ("rhb", "ngd"):
+        cfg = PDSLinConfig(k=k, partitioner=partitioner, metric="soed",
+                           scheme="w1", seed=seed, gmres_tol=1e-8,
+                           rhs_ordering="postorder")
+        solver = PDSLin(gm.A, cfg, M=gm.M)
+        solver.solve(b)
+        model = TwoLevelModel(k=k)
+        label = "RHB,soed" if partitioner == "rhb" else "PT-Scotch"
+        for P in cores:
+            proj = model.project(solver.machine, P)
+            stage_times = {s: proj.get(s, 0.0) for s in STAGES}
+            points.append(Fig1Point(partitioner=label, cores=P,
+                                    stage_times=stage_times))
+    return points
+
+
+def format_fig1(points: list[Fig1Point]) -> str:
+    """Render the Fig. 1 series as fixed-width text."""
+    rows = []
+    for p in points:
+        rows.append([p.cores, p.partitioner] +
+                    [p.stage_times[s] for s in STAGES] + [p.total])
+    return render_table(
+        ["cores", "partitioner", *STAGES, "total"], rows,
+        title="Fig. 1 — PDSLin stage breakdown vs core count (two-level "
+              "projection, k=8)")

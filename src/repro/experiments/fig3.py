@@ -1,0 +1,98 @@
+"""Fig. 3 reproduction: load balance and solution time, RHB (con1 /
+cnet / soed, single- or multi-constraint) vs NGD, k in {8, 32}.
+
+Each group of bars in the paper is one partitioner configuration:
+max/min ratios of dim(D), nnz(D), col(E), nnz(E), the PDSLin solve time
+normalized to NGD, and the separator size printed above the bars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import PartitionRun, run_partitioner, render_table
+from repro.matrices import GeneratedMatrix, generate
+from repro.solver import PDSLin, PDSLinConfig
+from repro.utils import SeedLike
+
+__all__ = ["Fig3Row", "run_fig3", "format_fig3"]
+
+METRICS = ("con1", "cnet", "soed")
+
+
+@dataclass
+class Fig3Row:
+    """One bar group of Fig. 3."""
+
+    label: str
+    separator_size: int
+    dim_ratio: float
+    nnz_D_ratio: float
+    ncol_E_ratio: float
+    nnz_E_ratio: float
+    time_seconds: float        # total simulated PDSLin time (one-level)
+    time_normalized: float     # divided by the NGD time
+
+
+def _pdslin_time(gm: GeneratedMatrix, k: int, *, partitioner: str,
+                 metric: str, scheme: str, seed: SeedLike) -> float:
+    cfg = PDSLinConfig(k=k, partitioner=partitioner, metric=metric,
+                       scheme=scheme, seed=seed, gmres_tol=1e-8,
+                       rhs_ordering="postorder")
+    solver = PDSLin(gm.A, cfg, M=gm.M)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(gm.A.shape[0])
+    solver.solve(b)
+    br = solver.machine.breakdown()
+    # the paper's solution time excludes the partitioning itself
+    return sum(v for s, v in br.items() if s != "Partition")
+
+
+def run_fig3(matrix: str = "tdr190k", scale: str = "small", *,
+             k: int = 8, constraint: str = "single", seed: SeedLike = 0,
+             include_solve: bool = True) -> list[Fig3Row]:
+    """One panel of Fig. 3 (pick ``k`` and single/multi ``constraint``)."""
+    if constraint not in ("single", "multi"):
+        raise ValueError("constraint must be 'single' or 'multi'")
+    scheme = "w1" if constraint == "single" else "w1w2"
+    gm = generate(matrix, scale)
+    runs: list[tuple[str, PartitionRun, str, str]] = []
+    for metric in METRICS:
+        pr = run_partitioner(gm, k, method="rhb", metric=metric,
+                             scheme=scheme, seed=seed)
+        runs.append((metric.upper(), pr, metric, scheme))
+    pr_ngd = run_partitioner(gm, k, method="ngd", seed=seed)
+    runs.append(("PT-SCOTCH", pr_ngd, "soed", scheme))
+
+    times: dict[str, float] = {}
+    if include_solve:
+        for label, pr, metric, sch in runs:
+            partitioner = "ngd" if label == "PT-SCOTCH" else "rhb"
+            times[label] = _pdslin_time(gm, k, partitioner=partitioner,
+                                        metric=metric, scheme=sch, seed=seed)
+    base = times.get("PT-SCOTCH", 1.0) or 1.0
+
+    rows = []
+    for label, pr, _, _ in runs:
+        q = pr.quality
+        t = times.get(label, float("nan"))
+        rows.append(Fig3Row(
+            label=label, separator_size=int(q.separator_size),
+            dim_ratio=q.dim_ratio, nnz_D_ratio=q.nnz_D_ratio,
+            ncol_E_ratio=q.ncol_E_ratio, nnz_E_ratio=q.nnz_E_ratio,
+            time_seconds=t,
+            time_normalized=(t / base) if include_solve else float("nan")))
+    return rows
+
+
+def format_fig3(rows: list[Fig3Row], *, title: str = "Fig. 3") -> str:
+    """Render one Fig. 3 panel as fixed-width text."""
+    return render_table(
+        ["config", "sep", "dim(D)", "nnz(D)", "col(E)", "nnz(E)",
+         "time(s)", "time/NGD"],
+        [[r.label, r.separator_size, r.dim_ratio, r.nnz_D_ratio,
+          r.ncol_E_ratio, r.nnz_E_ratio, r.time_seconds, r.time_normalized]
+         for r in rows],
+        title=title + " — balance is max/min over subdomains (lower is better)")

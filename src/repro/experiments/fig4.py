@@ -1,0 +1,96 @@
+"""Fig. 4 reproduction: fraction of padded zeros vs block size B for
+the three RHS orderings (natural / postorder / hypergraph), reported as
+min / average / max over the k subdomains.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.rhs_reorder import (
+    natural_column_order,
+    postorder_column_order,
+    hypergraph_column_order,
+)
+from repro.experiments.common import (
+    SubdomainTriangular,
+    prepare_triangular_study,
+    render_table,
+)
+from repro.lu import partition_columns, padded_zeros
+from repro.matrices import generate
+from repro.utils import SeedLike
+
+__all__ = ["Fig4Point", "run_fig4", "format_fig4", "ordering_parts"]
+
+ORDERINGS = ("natural", "postorder", "hypergraph")
+DEFAULT_BLOCK_SIZES = (8, 16, 32, 64, 128, 256)
+
+
+@dataclass
+class Fig4Point:
+    """One (ordering, B) point: padded-zero fraction across subdomains."""
+
+    ordering: str
+    block_size: int
+    frac_min: float
+    frac_avg: float
+    frac_max: float
+
+
+def ordering_parts(sub: SubdomainTriangular, ordering: str, B: int, *,
+                   tau: float | None = None,
+                   seed: SeedLike = 0) -> list[np.ndarray]:
+    """Column parts of one subdomain's E^ under the given ordering."""
+    m = sub.E_factored.shape[1]
+    if ordering == "natural":
+        order = natural_column_order(m) if m else np.empty(0, dtype=np.int64)
+    elif ordering == "postorder":
+        order = postorder_column_order(sub.E_factored)
+    elif ordering == "hypergraph":
+        order = hypergraph_column_order(sub.G_pattern, B, tau=tau,
+                                        seed=seed).order
+    else:
+        raise ValueError(f"unknown ordering {ordering!r}")
+    return partition_columns(order, B)
+
+
+def run_fig4(matrix: str = "tdr190k", scale: str = "small", *,
+             k: int = 8, block_sizes=DEFAULT_BLOCK_SIZES,
+             orderings=ORDERINGS, tau: float | None = 0.4,
+             seed: SeedLike = 0,
+             subs: list[SubdomainTriangular] | None = None) -> list[Fig4Point]:
+    """One panel of Fig. 4. Pass precomputed ``subs`` to share the
+    factorizations with a Fig. 5 run."""
+    if subs is None:
+        gm = generate(matrix, scale)
+        subs = prepare_triangular_study(gm, k=k, seed=seed)
+    points: list[Fig4Point] = []
+    for ordering in orderings:
+        for B in block_sizes:
+            fracs = []
+            for s in subs:
+                if s.E_factored.shape[1] == 0:
+                    continue
+                parts = ordering_parts(s, ordering, B, tau=tau, seed=seed)
+                stats = padded_zeros(s.G_pattern, parts)
+                fracs.append(stats.fraction)
+            if not fracs:
+                continue
+            arr = np.asarray(fracs)
+            points.append(Fig4Point(ordering=ordering, block_size=B,
+                                    frac_min=float(arr.min()),
+                                    frac_avg=float(arr.mean()),
+                                    frac_max=float(arr.max())))
+    return points
+
+
+def format_fig4(points: list[Fig4Point], *, title: str = "Fig. 4") -> str:
+    """Render one Fig. 4 panel as fixed-width text."""
+    rows = [[p.ordering, p.block_size, p.frac_min, p.frac_avg, p.frac_max]
+            for p in points]
+    return render_table(
+        ["ordering", "B", "frac min", "frac avg", "frac max"], rows,
+        title=title + " — fraction of padded zeros (lower is better)")

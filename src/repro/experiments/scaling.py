@@ -1,0 +1,97 @@
+"""Two-level vs one-level parallelism (the paper's Section I argument).
+
+PDSLin's defining design decision is *hierarchical* parallelism: keep
+the number of subdomains k small (tens) and give each subdomain many
+cores, instead of one subdomain per core. One-level scaling blows up the
+Schur complement — more subdomains mean a larger separator, a denser
+S~, and more GMRES iterations on the highly indefinite systems PDSLin
+targets.
+
+For each total core count P this experiment runs:
+
+- **two-level**: k = 8 subdomains, measured one-process-per-subdomain,
+  projected to P cores with the Amdahl model;
+- **one-level**: k = P subdomains, one core each (no projection — the
+  measured makespan is the simulated time).
+
+and reports total time, separator size, and iteration count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.common import render_table
+from repro.matrices import generate
+from repro.parallel import TwoLevelModel
+from repro.solver import PDSLin, PDSLinConfig
+from repro.utils import SeedLike
+
+__all__ = ["ScalingPoint", "run_twolevel_vs_onelevel", "format_scaling"]
+
+
+@dataclass
+class ScalingPoint:
+    cores: int
+    mode: str          # "two-level (k=8)" or "one-level (k=P)"
+    k: int
+    total_time: float
+    schur_size: int
+    iterations: int
+    converged: bool
+
+
+def _run(gm, k: int, seed: SeedLike, b: np.ndarray):
+    cfg = PDSLinConfig(k=k, partitioner="rhb", metric="soed", scheme="w1",
+                       seed=seed, gmres_tol=1e-8,
+                       drop_interface=2e-4, drop_schur=1e-6,
+                       rhs_ordering="postorder")
+    solver = PDSLin(gm.A, cfg, M=gm.M)
+    res = solver.solve(b)
+    return solver, res
+
+
+def run_twolevel_vs_onelevel(matrix: str = "tdr190k", scale: str = "small",
+                             *, cores=(8, 16, 32), k_two_level: int = 8,
+                             seed: SeedLike = 0) -> list[ScalingPoint]:
+    """Compare two-level (fixed small k) vs one-level (k = P) runs."""
+    gm = generate(matrix, scale)
+    rng = np.random.default_rng(0)
+    b = rng.standard_normal(gm.n)
+    points: list[ScalingPoint] = []
+
+    # two-level: one measured run, projected per core count
+    solver2, res2 = _run(gm, k_two_level, seed, b)
+    model = TwoLevelModel(k=k_two_level)
+    for P in cores:
+        proj = model.project(solver2.machine, P)
+        total = sum(v for s, v in proj.items() if s != "Partition")
+        points.append(ScalingPoint(cores=P, mode=f"two-level (k={k_two_level})",
+                                   k=k_two_level, total_time=total,
+                                   schur_size=res2.schur_size,
+                                   iterations=res2.iterations,
+                                   converged=res2.converged))
+
+    # one-level: k = P, no intra-subdomain speedup available
+    for P in cores:
+        solver1, res1 = _run(gm, P, seed, b)
+        br = solver1.machine.breakdown()
+        total = sum(v for s, v in br.items() if s != "Partition")
+        points.append(ScalingPoint(cores=P, mode="one-level (k=P)", k=P,
+                                   total_time=total,
+                                   schur_size=res1.schur_size,
+                                   iterations=res1.iterations,
+                                   converged=res1.converged))
+    return points
+
+
+def format_scaling(points: list[ScalingPoint]) -> str:
+    """Render the scaling comparison as fixed-width text."""
+    rows = [[p.cores, p.mode, p.total_time, p.schur_size, p.iterations,
+             "yes" if p.converged else "NO"] for p in points]
+    return render_table(
+        ["cores", "mode", "time (s)", "n_S", "#iter", "conv"],
+        rows, title="Two-level vs one-level parallelism "
+                    "(hierarchical design, Section I)")

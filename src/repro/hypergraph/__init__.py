@@ -1,0 +1,43 @@
+"""Hypergraph substrate: data structure, matrix models, cut metrics,
+multilevel bisection with multi-constraint FM, and the net
+splitting/discarding machinery for recursive bisection."""
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.metrics import (
+    CutMetric,
+    net_connectivities,
+    cutsize,
+    imbalance,
+    part_weights,
+)
+from repro.hypergraph.coarsen import (
+    HCoarseLevel,
+    heavy_connectivity_matching,
+    contract_hypergraph,
+    coarsen_hypergraph,
+)
+from repro.hypergraph.refine import (
+    fm_refine_hypergraph,
+    bisection_cut,
+    hypergraph_gains,
+)
+from repro.hypergraph.bisect import (
+    HBisectionResult,
+    bisect_hypergraph,
+    enforce_exact_quota,
+)
+from repro.hypergraph.netops import BisectionSplit, split_by_side, initial_net_costs
+from repro.hypergraph.partitioner import KWayPartition, partition_hypergraph
+from repro.hypergraph.kway import kway_refine, kway_move_gain
+
+__all__ = [
+    "Hypergraph",
+    "CutMetric", "net_connectivities", "cutsize", "imbalance", "part_weights",
+    "HCoarseLevel", "heavy_connectivity_matching", "contract_hypergraph",
+    "coarsen_hypergraph",
+    "fm_refine_hypergraph", "bisection_cut", "hypergraph_gains",
+    "HBisectionResult", "bisect_hypergraph", "enforce_exact_quota",
+    "BisectionSplit", "split_by_side", "initial_net_costs",
+    "KWayPartition", "partition_hypergraph",
+    "kway_refine", "kway_move_gain",
+]

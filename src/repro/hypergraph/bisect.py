@@ -1,0 +1,179 @@
+"""Multilevel hypergraph bisection.
+
+Coarsen by heavy-connectivity matching, build an initial bisection on
+the coarsest hypergraph (BFS net-expansion growth and random balanced
+assignments), refine with FM during uncoarsening. Supports:
+
+- multi-constraint vertex weights with per-side caps;
+- asymmetric target fractions (for non-power-of-two recursion);
+- optional *exact* vertex-count quotas (`quota0`), used by the sparse
+  right-hand-side reordering of Section IV-B where every part must hold
+  exactly ``B`` columns (paper sets the imbalance to zero).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.coarsen import coarsen_hypergraph
+from repro.hypergraph.refine import fm_refine_hypergraph, bisection_cut, \
+    hypergraph_gains, _side_counts
+from repro.utils import SeedLike, rng_from, spawn, fraction
+
+__all__ = ["HBisectionResult", "bisect_hypergraph", "enforce_exact_quota"]
+
+
+@dataclass(frozen=True)
+class HBisectionResult:
+    """0/1 side assignment with cut cost and per-side weights (2, C)."""
+
+    side: np.ndarray
+    cut: int
+    part_weights: np.ndarray
+
+
+def _grow_bfs(H: Hypergraph, target0: float, seed: SeedLike) -> np.ndarray:
+    """Grow side 0 from a random seed vertex by net expansion."""
+    rng = rng_from(seed)
+    n = H.n_vertices
+    side = np.ones(n, dtype=np.int64)
+    if n == 0:
+        return side
+    # balance on the first constraint (the primary one)
+    w = H.vertex_weights[:, 0]
+    goal = target0 * max(1, int(w.sum()))
+    start = int(rng.integers(n))
+    seen = np.zeros(n, dtype=bool)
+    seen[start] = True
+    queue = [start]
+    head = 0
+    acc = 0
+    while acc < goal:
+        if head >= len(queue):
+            rest = np.flatnonzero(~seen)
+            if rest.size == 0:
+                break
+            nxt = int(rest[rng.integers(rest.size)])
+            seen[nxt] = True
+            queue.append(nxt)
+        v = queue[head]
+        head += 1
+        side[v] = 0
+        acc += int(w[v])
+        for j in H.vertex_net_list(v):
+            if H.net_size(j) > 500:
+                continue
+            for u in H.net_pins(j):
+                if not seen[u]:
+                    seen[u] = True
+                    queue.append(int(u))
+    return side
+
+
+def _random_balanced(H: Hypergraph, target0: float, seed: SeedLike) -> np.ndarray:
+    rng = rng_from(seed)
+    n = H.n_vertices
+    order = rng.permutation(n)
+    side = np.ones(n, dtype=np.int64)
+    w = H.vertex_weights[:, 0]
+    goal = target0 * max(1, int(w.sum()))
+    acc = 0
+    for v in order:
+        if acc >= goal:
+            break
+        side[v] = 0
+        acc += int(w[v])
+    return side
+
+
+def enforce_exact_quota(H: Hypergraph, side: np.ndarray, quota0: int) -> np.ndarray:
+    """Move minimum-damage vertices across the cut until side 0 holds
+    exactly ``quota0`` vertices.
+
+    Vertices are chosen by FM gain (highest gain first), so the repair
+    degrades the cut as little as possible. Used with unit weights.
+    """
+    side = side.copy()
+    count0 = int(np.count_nonzero(side == 0))
+    if count0 == quota0:
+        return side
+    src = 0 if count0 > quota0 else 1
+    deficit = abs(count0 - quota0)
+    sigma = _side_counts(H, side)
+    gains = hypergraph_gains(H, side, sigma)
+    candidates = np.flatnonzero(side == src)
+    order = candidates[np.argsort(-gains[candidates], kind="stable")]
+    for v in order[:deficit]:
+        s, t = src, 1 - src
+        for j in H.vertex_net_list(v):
+            sigma[s, j] -= 1
+            sigma[t, j] += 1
+        side[v] = t
+    return side
+
+
+def bisect_hypergraph(H: Hypergraph, *, epsilon: float = 0.05,
+                      target0: float = 0.5, seed: SeedLike = None,
+                      n_trials: int = 4, coarsen_min: int = 96,
+                      fm_passes: int = 8,
+                      quota0: int | None = None) -> HBisectionResult:
+    """Multilevel bisection of ``H``.
+
+    Parameters
+    ----------
+    epsilon:
+        Per-constraint allowed imbalance, Eq. (6).
+    target0:
+        Weight fraction destined for side 0 (first constraint; remaining
+        constraints use the same fraction).
+    quota0:
+        If given, side 0 must contain exactly this many vertices
+        (unit-weight use case); enforced after refinement.
+    """
+    epsilon = fraction(epsilon, "epsilon")
+    target0 = fraction(target0, "target0", lo=0.02, hi=0.98)
+    rng = rng_from(seed)
+    totals = H.total_weight().astype(np.float64)
+    caps = np.vstack([(1.0 + epsilon) * target0 * totals,
+                      (1.0 + epsilon) * (1.0 - target0) * totals])
+    max_cw = np.maximum(1, np.ceil(caps.max(axis=0) / 8.0)).astype(np.int64)
+    levels = coarsen_hypergraph(H, min_vertices=coarsen_min, seed=rng,
+                                max_weight=max_cw)
+    coarsest = levels[-1].hypergraph if levels else H
+
+    best: HBisectionResult | None = None
+    for child in spawn(rng, max(1, n_trials)):
+        if child.random() < 0.5 or coarsest.n_vertices < 4:
+            side = _grow_bfs(coarsest, target0, child)
+        else:
+            side = _random_balanced(coarsest, target0, child)
+        side, _ = fm_refine_hypergraph(coarsest, side, caps=caps,
+                                       max_passes=fm_passes)
+        for i in range(len(levels) - 1, -1, -1):
+            side = levels[i].project(side)
+            fine_H = H if i == 0 else levels[i - 1].hypergraph
+            side, _ = fm_refine_hypergraph(fine_H, side, caps=caps,
+                                           max_passes=fm_passes)
+        if quota0 is not None:
+            side = enforce_exact_quota(H, side, quota0)
+        cut = bisection_cut(H, side)
+        W = np.zeros((2, H.n_constraints), dtype=np.int64)
+        np.add.at(W, side, H.vertex_weights)
+        cand = HBisectionResult(side=side, cut=cut, part_weights=W)
+        if best is None or _better(cand, best, caps):
+            best = cand
+    assert best is not None
+    return best
+
+
+def _better(a: HBisectionResult, b: HBisectionResult, caps: np.ndarray) -> bool:
+    fa = bool(np.all(a.part_weights <= caps))
+    fb = bool(np.all(b.part_weights <= caps))
+    if fa != fb:
+        return fa
+    if a.cut != b.cut:
+        return a.cut < b.cut
+    return a.part_weights.max() < b.part_weights.max()

@@ -1,0 +1,183 @@
+"""Hypergraph coarsening by heavy-connectivity matching (HCM).
+
+Vertices sharing many (cheap-to-cut) nets are matched and contracted,
+PaToH-style. Coarse nets are deduplicated: pins map through the
+contraction, single-pin nets are dropped (they can never be cut, and a
+projected fine partition keeps their pins together), and identical nets
+merge with summed costs — all exact transformations for every cut
+metric used here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils import SeedLike, rng_from
+
+__all__ = ["HCoarseLevel", "heavy_connectivity_matching", "contract_hypergraph",
+           "coarsen_hypergraph"]
+
+
+@dataclass
+class HCoarseLevel:
+    """One coarsening step: coarse hypergraph plus fine->coarse map."""
+
+    hypergraph: Hypergraph
+    fine_to_coarse: np.ndarray
+
+    def project(self, coarse_side: np.ndarray) -> np.ndarray:
+        return coarse_side[self.fine_to_coarse]
+
+
+def heavy_connectivity_matching(H: Hypergraph, seed: SeedLike = None, *,
+                                max_net_size: int = 200,
+                                max_weight: np.ndarray | None = None) -> np.ndarray:
+    """Match vertices by shared-net connectivity.
+
+    Score(u, v) = sum over shared nets of cost/(|net| - 1); nets larger
+    than ``max_net_size`` are skipped when scoring (they carry little
+    locality signal and dominate cost). ``max_weight`` (shape (C,))
+    caps each matched pair's combined weight per constraint.
+    """
+    rng = rng_from(seed)
+    n = H.n_vertices
+    # hot loops over pins: plain Python containers beat per-element
+    # numpy indexing by a wide margin here
+    match = [-1] * n
+    score = [0.0] * n
+    vtx_ptr = H.vtx_ptr.tolist()
+    vtx_nets = H.vtx_nets.tolist()
+    net_ptr = H.net_ptr.tolist()
+    pins = H.pins.tolist()
+    sizes = H.net_sizes().tolist()
+    costs = H.net_costs.tolist()
+    vw = H.vertex_weights.tolist()
+    mw = None if max_weight is None else np.asarray(max_weight).ravel().tolist()
+    n_c = H.n_constraints
+    order = rng.permutation(n).tolist()
+    for v in order:
+        if match[v] >= 0:
+            continue
+        touched: list[int] = []
+        for q in range(vtx_ptr[v], vtx_ptr[v + 1]):
+            j = vtx_nets[q]
+            sz = sizes[j]
+            if sz < 2 or sz > max_net_size:
+                continue
+            w = costs[j] / (sz - 1.0)
+            for p in range(net_ptr[j], net_ptr[j + 1]):
+                u = pins[p]
+                if u == v or match[u] >= 0:
+                    continue
+                if score[u] == 0.0:
+                    touched.append(u)
+                score[u] += w
+        best, best_s = -1, 0.0
+        wv = vw[v]
+        for u in touched:
+            ok = True
+            if mw is not None:
+                wu = vw[u]
+                for c_i in range(n_c):
+                    if wv[c_i] + wu[c_i] > mw[c_i]:
+                        ok = False
+                        break
+            if ok and (score[u] > best_s or (score[u] == best_s and u < best)):
+                best, best_s = u, score[u]
+            score[u] = 0.0
+        if best >= 0:
+            match[v] = best
+            match[best] = v
+        else:
+            match[v] = v
+    return np.asarray(match, dtype=np.int64)
+
+
+def contract_hypergraph(H: Hypergraph, match: np.ndarray) -> HCoarseLevel:
+    """Contract matched pairs; dedupe pins, drop trivial nets, merge
+    identical nets."""
+    n = H.n_vertices
+    fine_to_coarse = np.full(n, -1, dtype=np.int64)
+    nc = 0
+    for v in range(n):
+        if fine_to_coarse[v] >= 0:
+            continue
+        fine_to_coarse[v] = nc
+        u = match[v]
+        if u != v and u >= 0:
+            fine_to_coarse[u] = nc
+        nc += 1
+    cvw = np.zeros((nc, H.n_constraints), dtype=np.int64)
+    np.add.at(cvw, np.asarray(fine_to_coarse), H.vertex_weights)
+
+    # vectorized pin mapping + per-net dedup via a single lexsort
+    f2c = np.asarray(fine_to_coarse)
+    nop = H.net_of_pin
+    mapped = f2c[H.pins]
+    order = np.lexsort((mapped, nop))
+    nn, mm = nop[order], mapped[order]
+    keep_pin = np.ones(mm.size, dtype=bool)
+    if mm.size:
+        keep_pin[1:] = (nn[1:] != nn[:-1]) | (mm[1:] != mm[:-1])
+    nn_u, mm_u = nn[keep_pin], mm[keep_pin]
+    per_net = np.bincount(nn_u, minlength=H.n_nets)
+    ptr_all = np.zeros(H.n_nets + 1, dtype=np.int64)
+    np.cumsum(per_net, out=ptr_all[1:])
+
+    seen: dict[bytes, int] = {}
+    new_ptr = [0]
+    new_pins: list[np.ndarray] = []
+    new_costs: list[int] = []
+    new_ids: list[int] = []
+    total = 0
+    costs = H.net_costs
+    ids = H.net_ids
+    for j in range(H.n_nets):
+        lo, hi = ptr_all[j], ptr_all[j + 1]
+        if hi - lo <= 1:
+            continue
+        block = mm_u[lo:hi]
+        key = block.tobytes()
+        idx = seen.get(key)
+        if idx is not None:
+            new_costs[idx] += int(costs[j])
+            continue
+        seen[key] = len(new_costs)
+        new_pins.append(block)
+        total += block.size
+        new_ptr.append(total)
+        new_costs.append(int(costs[j]))
+        new_ids.append(int(ids[j]))
+    pins_arr = (np.concatenate(new_pins) if new_pins
+                else np.empty(0, dtype=np.int64))
+    coarse = Hypergraph(
+        net_ptr=np.asarray(new_ptr, dtype=np.int64),
+        pins=pins_arr.astype(np.int64, copy=False),
+        vertex_weights=cvw,
+        net_costs=np.asarray(new_costs, dtype=np.int64),
+        net_ids=np.asarray(new_ids, dtype=np.int64),
+    )
+    return HCoarseLevel(hypergraph=coarse, fine_to_coarse=fine_to_coarse)
+
+
+def coarsen_hypergraph(H: Hypergraph, *, min_vertices: int = 96,
+                       max_levels: int = 40, reduction_floor: float = 0.95,
+                       seed: SeedLike = None,
+                       max_weight: np.ndarray | None = None) -> list[HCoarseLevel]:
+    """Match-and-contract until small or stalled; finest level first."""
+    rng = rng_from(seed)
+    levels: list[HCoarseLevel] = []
+    cur = H
+    for _ in range(max_levels):
+        if cur.n_vertices <= min_vertices:
+            break
+        match = heavy_connectivity_matching(cur, rng, max_weight=max_weight)
+        level = contract_hypergraph(cur, match)
+        if level.hypergraph.n_vertices >= reduction_floor * cur.n_vertices:
+            break
+        levels.append(level)
+        cur = level.hypergraph
+    return levels

@@ -1,0 +1,119 @@
+"""Net splitting and net discarding for recursive bisection.
+
+Recursive bisection realizes the three cut metrics through how cut nets
+descend into the two sub-hypergraphs (Section III-C of the paper):
+
+- **con1** — *net splitting* (Catalyurek-Aykanat): a cut net continues
+  into both sides with its pins restricted and its cost unchanged; each
+  further cut of a fragment adds the cost again, so the accumulated
+  total per original net is cost * (lambda - 1).
+- **cnet** — *net discarding*: a cut net is charged once and removed.
+- **soed** — the paper's construction: nets start with cost 2; when a
+  net is cut, both fragments continue with cost ceil(cost/2) = 1, so
+  the accumulated total is 2 + (lambda - 2) = lambda per cut net.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.metrics import CutMetric
+from repro.utils import as_int_array
+
+__all__ = ["BisectionSplit", "split_by_side", "initial_net_costs"]
+
+
+def initial_net_costs(n_nets: int, metric: CutMetric) -> np.ndarray:
+    """Top-level net costs for a metric (2 for soed, else 1)."""
+    if metric == "soed":
+        return np.full(n_nets, 2, dtype=np.int64)
+    return np.ones(n_nets, dtype=np.int64)
+
+
+@dataclass
+class BisectionSplit:
+    """Result of splitting a hypergraph along a bisection.
+
+    ``vertex_ids[s]`` maps side-s sub-vertex index -> parent vertex
+    index; ``children[s]`` is the side-s sub-hypergraph whose
+    ``net_ids`` still refer to the *original* top-level nets.
+    ``cut_net_ids`` lists original ids of nets cut by this bisection
+    (charged once here; under con1/soed they also continue as
+    fragments).
+    """
+
+    children: tuple[Hypergraph, Hypergraph]
+    vertex_ids: tuple[np.ndarray, np.ndarray]
+    cut_net_ids: np.ndarray
+    cut_cost: int
+
+
+def split_by_side(H: Hypergraph, side: np.ndarray,
+                  metric: CutMetric) -> BisectionSplit:
+    """Split ``H`` into two sub-hypergraphs according to ``side``.
+
+    Vertices descend to their side. Uncut nets descend with cost and id
+    unchanged (including single-pin nets, which keep column-to-part
+    tracking exact). Cut nets follow the metric rule described in the
+    module docstring.
+    """
+    side = as_int_array(side, "side")
+    n = H.n_vertices
+    if side.shape != (n,):
+        raise ValueError("side must have one entry per vertex")
+    ids0 = np.flatnonzero(side == 0)
+    ids1 = np.flatnonzero(side == 1)
+    local = np.empty(n, dtype=np.int64)
+    local[ids0] = np.arange(ids0.size)
+    local[ids1] = np.arange(ids1.size)
+
+    ptr: list[list[int]] = [[0], [0]]
+    pins: list[list[int]] = [[], []]
+    costs: list[list[int]] = [[], []]
+    nids: list[list[int]] = [[], []]
+    cut_ids: list[int] = []
+    cut_cost = 0
+
+    def emit(s: int, net_pins: np.ndarray, cost: int, nid: int) -> None:
+        pins[s].extend(local[net_pins].tolist())
+        ptr[s].append(len(pins[s]))
+        costs[s].append(cost)
+        nids[s].append(nid)
+
+    for j in range(H.n_nets):
+        p = H.net_pins(j)
+        if p.size == 0:
+            continue
+        sides_here = side[p]
+        c = int(H.net_costs[j])
+        nid = int(H.net_ids[j])
+        if sides_here.min() == sides_here.max():
+            emit(int(sides_here[0]), p, c, nid)
+            continue
+        # net is cut at this bisection
+        cut_ids.append(nid)
+        cut_cost += c
+        if metric == "cnet":
+            continue
+        child_cost = (c + 1) // 2 if metric == "soed" else c
+        emit(0, p[sides_here == 0], child_cost, nid)
+        emit(1, p[sides_here == 1], child_cost, nid)
+
+    children = []
+    for s, ids in ((0, ids0), (1, ids1)):
+        children.append(Hypergraph(
+            net_ptr=np.asarray(ptr[s], dtype=np.int64),
+            pins=np.asarray(pins[s], dtype=np.int64),
+            vertex_weights=H.vertex_weights[ids].copy(),
+            net_costs=np.asarray(costs[s], dtype=np.int64),
+            net_ids=np.asarray(nids[s], dtype=np.int64),
+        ))
+    return BisectionSplit(
+        children=(children[0], children[1]),
+        vertex_ids=(ids0, ids1),
+        cut_net_ids=np.asarray(cut_ids, dtype=np.int64),
+        cut_cost=cut_cost,
+    )

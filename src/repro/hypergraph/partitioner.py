@@ -1,0 +1,82 @@
+"""Standalone k-way hypergraph partitioning (PaToH-style public API).
+
+RHB (:mod:`repro.core.rhb`) drives the bisector with *dynamic* weights
+and metric-specific net descent. This module exposes the conventional
+static partitioner built from the same machinery: recursive bisection of
+a weighted hypergraph into ``k`` parts under a global imbalance bound,
+followed by optional direct k-way FM refinement
+(:mod:`repro.hypergraph.kway`). This is what "a standard partitioning
+method with static vertex weights" means in the paper's comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.bisect import bisect_hypergraph
+from repro.hypergraph.netops import split_by_side, initial_net_costs
+from repro.hypergraph.metrics import CutMetric, cutsize, imbalance
+from repro.utils import SeedLike, rng_from, positive_int, fraction
+
+__all__ = ["KWayPartition", "partition_hypergraph"]
+
+
+@dataclass(frozen=True)
+class KWayPartition:
+    """A k-way vertex partition with its scores."""
+
+    part: np.ndarray
+    k: int
+    metric: CutMetric
+    cut: int
+    imbalance: np.ndarray  # per constraint
+
+
+def partition_hypergraph(H: Hypergraph, k: int, *,
+                         metric: CutMetric = "con1",
+                         epsilon: float = 0.05,
+                         seed: SeedLike = None,
+                         n_trials: int = 4,
+                         fm_passes: int = 8,
+                         refine_kway: bool = True) -> KWayPartition:
+    """Partition the vertices of ``H`` into ``k`` parts.
+
+    Recursive bisection with net splitting (con1/soed) or discarding
+    (cnet); the reported cut is evaluated with the *flat* metric
+    definition (Eqs. 7-9) on the final partition, so it is directly
+    comparable across methods.
+
+    ``refine_kway`` runs a direct k-way FM pass on the flat partition
+    afterwards (see :func:`repro.hypergraph.kway.kway_refine`).
+    """
+    k = positive_int(k, "k")
+    epsilon = fraction(epsilon, "epsilon")
+    rng = rng_from(seed)
+    part = np.zeros(H.n_vertices, dtype=np.int64)
+    H0 = replace(H, net_costs=initial_net_costs(H.n_nets, metric))
+
+    def recurse(sub: Hypergraph, ids: np.ndarray, k_here: int,
+                low: int) -> None:
+        if k_here == 1 or sub.n_vertices == 0:
+            part[ids] = low
+            return
+        k_left = k_here // 2
+        res = bisect_hypergraph(sub, epsilon=epsilon,
+                                target0=k_left / k_here, seed=rng,
+                                n_trials=n_trials, fm_passes=fm_passes)
+        spl = split_by_side(sub, res.side, metric)
+        recurse(spl.children[0], ids[spl.vertex_ids[0]], k_left, low)
+        recurse(spl.children[1], ids[spl.vertex_ids[1]],
+                k_here - k_left, low + k_left)
+
+    recurse(H0, np.arange(H.n_vertices, dtype=np.int64), k, 0)
+    out = part
+    if refine_kway and k > 2:
+        from repro.hypergraph.kway import kway_refine
+        out = kway_refine(H, out, k, metric=metric, epsilon=epsilon)
+    return KWayPartition(part=out, k=k, metric=metric,
+                         cut=cutsize(H, out, k, metric),
+                         imbalance=imbalance(H, out, k))

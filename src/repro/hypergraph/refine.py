@@ -1,0 +1,209 @@
+"""Fiduccia-Mattheyses refinement for hypergraph bisections.
+
+Implements the canonical FM cell-move algorithm with the original
+critical-net gain-update rules, generalized to:
+
+- weighted nets (net costs, as required by the soed construction);
+- multi-constraint vertex weights with per-side caps (the RHB
+  multi-constraint bisection of Section III-C);
+- lazy max-gain heap with rollback to the best prefix of each pass.
+"""
+
+from __future__ import annotations
+
+import heapq
+
+import numpy as np
+
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.utils import as_int_array
+
+__all__ = ["fm_refine_hypergraph", "bisection_cut", "hypergraph_gains"]
+
+
+def bisection_cut(H: Hypergraph, side: np.ndarray) -> int:
+    """Total cost of nets with pins on both sides."""
+    side = as_int_array(side, "side")
+    cut = 0
+    for j in range(H.n_nets):
+        p = H.net_pins(j)
+        if p.size == 0:
+            continue
+        s = side[p]
+        if s.min() != s.max():
+            cut += int(H.net_costs[j])
+    return cut
+
+
+def hypergraph_gains(H: Hypergraph, side: np.ndarray,
+                     sigma: np.ndarray) -> np.ndarray:
+    """Initial FM gains given per-net side counts ``sigma`` (2, n_nets).
+
+    Vectorized over pins: a pin (v in net j) contributes +cost(j) when v
+    is the only pin of j on its side and j is cut (moving v uncuts it),
+    and -cost(j) when j lies entirely on v's side with other pins
+    (moving v cuts it).
+    """
+    n = H.n_vertices
+    if H.n_pins == 0:
+        return np.zeros(n, dtype=np.int64)
+    nop = H.net_of_pin
+    s_pin = side[H.pins]
+    sig_own = sigma[s_pin, nop]
+    sig_other = sigma[1 - s_pin, nop]
+    c = H.net_costs[nop]
+    contrib = np.where((sig_own == 1) & (sig_other > 0), c, 0) \
+        - np.where((sig_other == 0) & (sig_own > 1), c, 0)
+    return np.bincount(H.pins, weights=contrib,
+                       minlength=n).astype(np.int64)
+
+
+def _side_counts(H: Hypergraph, side: np.ndarray) -> np.ndarray:
+    sigma = np.zeros((2, H.n_nets), dtype=np.int64)
+    np.add.at(sigma, (side[H.pins], H.net_of_pin), 1)
+    return sigma
+
+
+def fm_refine_hypergraph(H: Hypergraph, side: np.ndarray, *,
+                         caps: np.ndarray,
+                         max_passes: int = 8,
+                         stall_limit: int = 300) -> tuple[np.ndarray, int]:
+    """Refine a 0/1 side assignment; returns ``(side, cut)``.
+
+    Parameters
+    ----------
+    caps:
+        ``(2, C)`` array of per-side per-constraint weight ceilings.
+    """
+    side = as_int_array(side, "side").copy()
+    n = H.n_vertices
+    caps = np.atleast_2d(np.asarray(caps, dtype=np.float64))
+    if caps.shape != (2, H.n_constraints):
+        raise ValueError(f"caps must have shape (2, {H.n_constraints})")
+    W_arr = np.zeros((2, H.n_constraints), dtype=np.int64)
+    np.add.at(W_arr, side, H.vertex_weights)
+    sigma = _side_counts(H, side)
+    cut = int(H.net_costs[(sigma[0] > 0) & (sigma[1] > 0)].sum())
+    vtx_ptr, vtx_nets = H.vtx_ptr, H.vtx_nets
+    net_ptr, pins = H.net_ptr, H.pins
+    costs = H.net_costs
+    # hot-loop state in plain Python containers: C is 1 or 2, so numpy
+    # reductions per candidate move cost far more than they save
+    n_c = H.n_constraints
+    W: list[list[int]] = W_arr.tolist()
+    caps_l: list[list[float]] = caps.tolist()
+    vw_l: list[list[int]] = H.vertex_weights.tolist()
+
+    # everything the move loop touches lives in plain Python containers;
+    # per-element numpy indexing would dominate the runtime otherwise
+    side_l: list[int] = side.tolist()
+    sig = [sigma[0].tolist(), sigma[1].tolist()]
+    vtx_ptr_l = vtx_ptr.tolist()
+    vtx_nets_l = vtx_nets.tolist()
+    net_ptr_l = net_ptr.tolist()
+    pins_l = pins.tolist()
+    costs_l = costs.tolist()
+    heappush, heappop = heapq.heappush, heapq.heappop
+
+    for _ in range(max_passes):
+        sigma[0] = np.asarray(sig[0], dtype=np.int64)
+        sigma[1] = np.asarray(sig[1], dtype=np.int64)
+        gains: list[int] = hypergraph_gains(
+            H, np.asarray(side_l, dtype=np.int64), sigma).tolist()
+        locked = bytearray(n)
+        heap = [(-gains[v], v) for v in range(n)]
+        heapq.heapify(heap)
+        best_cut = cur_cut = cut
+        trail: list[int] = []
+        best_len = 0
+        stall = 0
+        sig0, sig1 = sig
+        while heap and stall < stall_limit:
+            ng_, v = heappop(heap)
+            if locked[v] or -ng_ != gains[v]:
+                continue
+            s = side_l[v]
+            t = 1 - s
+            wv = vw_l[v]
+            Wt, Ws, ct, cs = W[t], W[s], caps_l[t], caps_l[s]
+            feasible = True
+            for c_i in range(n_c):
+                if Wt[c_i] + wv[c_i] > ct[c_i]:
+                    feasible = False
+                    break
+            if not feasible:
+                for c_i in range(n_c):
+                    if Ws[c_i] > cs[c_i]:
+                        feasible = True
+                        break
+            if not feasible:
+                continue
+            locked[v] = 1
+            sig_s = sig0 if s == 0 else sig1
+            sig_t = sig1 if s == 0 else sig0
+            # canonical FM critical-net updates around the move of v
+            for q in range(vtx_ptr_l[v], vtx_ptr_l[v + 1]):
+                j = vtx_nets_l[q]
+                c = costs_l[j]
+                # before the move
+                if sig_t[j] == 0:
+                    cur_cut += c  # net becomes cut
+                    for p in range(net_ptr_l[j], net_ptr_l[j + 1]):
+                        u = pins_l[p]
+                        if u != v and not locked[u]:
+                            gains[u] += c
+                            heappush(heap, (-gains[u], u))
+                elif sig_t[j] == 1:
+                    for p in range(net_ptr_l[j], net_ptr_l[j + 1]):
+                        u = pins_l[p]
+                        if side_l[u] == t and not locked[u]:
+                            gains[u] -= c
+                            heappush(heap, (-gains[u], u))
+                            break
+                sig_s[j] -= 1
+                sig_t[j] += 1
+                # after the move
+                if sig_s[j] == 0:
+                    cur_cut -= c  # net now entirely on t (uncut)
+                    for p in range(net_ptr_l[j], net_ptr_l[j + 1]):
+                        u = pins_l[p]
+                        if u != v and not locked[u]:
+                            gains[u] -= c
+                            heappush(heap, (-gains[u], u))
+                elif sig_s[j] == 1:
+                    for p in range(net_ptr_l[j], net_ptr_l[j + 1]):
+                        u = pins_l[p]
+                        if side_l[u] == s and not locked[u]:
+                            gains[u] += c
+                            heappush(heap, (-gains[u], u))
+                            break
+            side_l[v] = t
+            for c_i in range(n_c):
+                Ws[c_i] -= wv[c_i]
+                Wt[c_i] += wv[c_i]
+            trail.append(v)
+            if cur_cut < best_cut:
+                best_cut = cur_cut
+                best_len = len(trail)
+                stall = 0
+            else:
+                stall += 1
+        # rollback moves after the best prefix (also restores sigma)
+        for v in trail[best_len:]:
+            t = side_l[v]
+            s = 1 - t
+            side_l[v] = s
+            wv = vw_l[v]
+            for c_i in range(n_c):
+                W[t][c_i] -= wv[c_i]
+                W[s][c_i] += wv[c_i]
+            sig_t = sig0 if t == 0 else sig1
+            sig_s = sig1 if t == 0 else sig0
+            for q in range(vtx_ptr_l[v], vtx_ptr_l[v + 1]):
+                j = vtx_nets_l[q]
+                sig_t[j] -= 1
+                sig_s[j] += 1
+        if best_cut >= cut:
+            break
+        cut = best_cut
+    return np.asarray(side_l, dtype=np.int64), cut

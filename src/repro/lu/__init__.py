@@ -1,0 +1,22 @@
+"""Sparse LU substrate: symbolic reach, numeric factorization
+(reference Gilbert-Peierls + SuperLU bridge), supernode detection, and
+the blocked multi-RHS sparse triangular solver with padding."""
+
+from repro.lu.symbolic import reach, toposorted_reach, solution_pattern, factor_etree
+from repro.lu.numeric import LUFactors, GilbertPeierlsLU, factorize, lu_flop_count
+from repro.lu.supernodes import detect_supernodes, relaxed_supernodes, SupernodalLower
+from repro.lu.triangular import (
+    PaddingStats,
+    BlockedSolveResult,
+    partition_columns,
+    blocked_triangular_solve,
+    padded_zeros,
+)
+
+__all__ = [
+    "reach", "toposorted_reach", "solution_pattern", "factor_etree",
+    "LUFactors", "GilbertPeierlsLU", "factorize", "lu_flop_count",
+    "detect_supernodes", "relaxed_supernodes", "SupernodalLower",
+    "PaddingStats", "BlockedSolveResult", "partition_columns",
+    "blocked_triangular_solve", "padded_zeros",
+]

@@ -1,0 +1,21 @@
+"""Synthetic test-matrix generators mirroring the paper's Table I
+(accelerator cavity, fusion, circuit families)."""
+
+from repro.matrices.grids import HexMesh, hex_element_matrices, assemble_fem, fd_laplacian_3d
+from repro.matrices.cavity import GeneratedMatrix, cavity_matrix, dds_like_matrix
+from repro.matrices.fusion import fusion_matrix
+from repro.matrices.circuit import asic_like_matrix, g3_like_matrix
+from repro.matrices.unstructured import (
+    random_delaunay_mesh,
+    p1_assemble,
+    unstructured_matrix,
+)
+from repro.matrices.suite import SUITE, generate, suite_names, table1_metadata
+
+__all__ = [
+    "HexMesh", "hex_element_matrices", "assemble_fem", "fd_laplacian_3d",
+    "GeneratedMatrix", "cavity_matrix", "dds_like_matrix",
+    "fusion_matrix", "asic_like_matrix", "g3_like_matrix",
+    "random_delaunay_mesh", "p1_assemble", "unstructured_matrix",
+    "SUITE", "generate", "suite_names", "table1_metadata",
+]

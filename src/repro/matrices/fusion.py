@@ -1,0 +1,69 @@
+"""Fusion-simulation-like test matrix (matrix211 analogue).
+
+matrix211 (Tokamak / extended-MHD, CEMM) is pattern-unsymmetric,
+value-unsymmetric, with ~70 nonzeros per row — multiple coupled fields
+per mesh node plus convection-like one-directional couplings. We build
+a 3-D Q1 hex FEM operator with ``d`` dofs per node, an unsymmetric
+inter-field coupling block, plus a directional advection term that is
+assembled one-sidedly to break pattern symmetry.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.matrices.grids import HexMesh, hex_element_matrices, assemble_fem
+from repro.matrices.cavity import GeneratedMatrix
+from repro.utils import SeedLike, rng_from
+
+__all__ = ["fusion_matrix"]
+
+
+def fusion_matrix(nx: int, ny: int, nz: int, *, dofs: int = 2,
+                  advection: float = 0.4, seed: SeedLike = 0,
+                  name: str = "fusion") -> GeneratedMatrix:
+    """Multi-field unsymmetric operator on an (nx, ny, nz) hex mesh.
+
+    ``dofs`` fields per node (2 gives ~54 nnz/row interior on a 3-D
+    mesh, in matrix211's range); ``advection`` scales the unsymmetric
+    directional term.
+    """
+    mesh = HexMesh(nx, ny, nz)
+    K, Mm = hex_element_matrices()
+    rng = rng_from(seed)
+    # unsymmetric field-coupling block, diagonally dominant
+    C = np.eye(dofs) + 0.3 * rng.standard_normal((dofs, dofs)) / max(dofs, 1)
+    np.fill_diagonal(C, 1.0 + np.abs(np.diag(C)))
+    A = assemble_fem(mesh, K + 0.15 * Mm, dofs_per_node=dofs, dof_coupling=C)
+    # one-sided advection: upwind coupling reaching the +2x neighbour,
+    # which lies OUTSIDE the element stencil -> pattern-unsymmetric
+    # matrix, like matrix211
+    n_nodes = mesh.n_nodes
+    i = np.arange(n_nodes)
+    has_right = (i % mesh.nx) < mesh.nx - 2
+    src = i[has_right]
+    dst = src + 2
+    rows = (src[:, None] * dofs + np.arange(dofs)[None, :]).ravel()
+    cols = (dst[:, None] * dofs + np.arange(dofs)[None, :]).ravel()
+    vals = advection * (1.0 + 0.1 * rng.standard_normal(rows.size))
+    Adv = sp.csr_matrix((vals, (rows, cols)), shape=A.shape)
+    A = (A + Adv).tocsr()
+    A.sum_duplicates()
+    A.sort_indices()
+    # structural factor: element incidence + one 2-pin row per advection
+    # coupling so str(M^T M) covers the symmetrized pattern
+    Minc = mesh.incidence_matrix(dofs_per_node=dofs)
+    ne = Minc.shape[0]
+    adv_rows = np.repeat(np.arange(rows.size), 2) + ne
+    adv_cols = np.stack([rows, cols], axis=1).ravel()
+    Madv = sp.csr_matrix((np.ones(adv_cols.size, dtype=np.int8),
+                          (adv_rows - ne, adv_cols)),
+                         shape=(rows.size, A.shape[0]))
+    M_struct = sp.vstack([Minc, Madv]).tocsr()
+    return GeneratedMatrix(
+        name=name, A=A, M=M_struct,
+        source="fusion",
+        description=(f"{dofs}-field Q1 hex FEM {nx}x{ny}x{nz} with "
+                     f"one-sided advection {advection}"),
+    )

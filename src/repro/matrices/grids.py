@@ -1,0 +1,217 @@
+"""Structured-mesh assembly primitives.
+
+Hexahedral Q1 finite-element meshes on structured 3-D grids (and their
+2-D quad degenerations) with:
+
+- element-node incidence matrices — the natural structural factor
+  ``str(A) = str(M^T M)`` that RHB consumes for FEM problems;
+- reference element stiffness/mass matrices for Laplace + mass
+  operators, assembled into global sparse matrices;
+- plain finite-difference stencils (7-point) for the sparser families.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils import positive_int
+
+__all__ = ["HexMesh", "hex_element_matrices", "assemble_fem",
+           "assemble_from_connectivity", "incidence_from_connectivity",
+           "carve_nodes", "fd_laplacian_3d"]
+
+
+@dataclass(frozen=True)
+class HexMesh:
+    """Structured grid of (nx, ny, nz) *nodes* (nz=1 degenerates to 2-D)."""
+
+    nx: int
+    ny: int
+    nz: int
+
+    def __post_init__(self) -> None:
+        positive_int(self.nx, "nx")
+        positive_int(self.ny, "ny")
+        positive_int(self.nz, "nz")
+
+    @property
+    def n_nodes(self) -> int:
+        return self.nx * self.ny * self.nz
+
+    @property
+    def n_elements(self) -> int:
+        if self.nx < 2 or self.ny < 2:
+            return 0
+        return (self.nx - 1) * (self.ny - 1) * max(self.nz - 1, 1)
+
+    def node_id(self, i: int, j: int, k: int) -> int:
+        return (k * self.ny + j) * self.nx + i
+
+    def element_nodes(self) -> np.ndarray:
+        """(n_elements, nodes_per_element) connectivity.
+
+        3-D meshes give 8-node hexes; nz == 1 gives 4-node quads.
+        """
+        nx, ny, nz = self.nx, self.ny, self.nz
+        if nx < 2 or ny < 2:
+            raise ValueError("mesh needs at least 2 nodes per in-plane axis")
+        ii, jj = np.meshgrid(np.arange(nx - 1), np.arange(ny - 1),
+                             indexing="ij")
+        ii, jj = ii.ravel(), jj.ravel()
+        if nz == 1:
+            base = jj * nx + ii
+            quad = np.stack([base, base + 1, base + nx, base + nx + 1], axis=1)
+            return quad.astype(np.int64)
+        cells = []
+        for k in range(nz - 1):
+            base = (k * ny + jj) * nx + ii
+            up = base + nx * ny
+            cells.append(np.stack([base, base + 1, base + nx, base + nx + 1,
+                                   up, up + 1, up + nx, up + nx + 1], axis=1))
+        return np.concatenate(cells, axis=0).astype(np.int64)
+
+    def incidence_matrix(self, dofs_per_node: int = 1) -> sp.csr_matrix:
+        """Element-(node x dof) incidence: one row per element, a pin for
+        every dof of every node of the element. ``str(M^T M)`` is
+        exactly the FEM sparsity pattern."""
+        return incidence_from_connectivity(self.element_nodes(),
+                                           self.n_nodes, dofs_per_node)
+
+    def node_coords(self) -> np.ndarray:
+        """(n_nodes, 3) coordinates in [0, 1]^3 (z = 0 when nz == 1)."""
+        ax = lambda n: (np.arange(n) / max(n - 1, 1))
+        zz, yy, xx = np.meshgrid(ax(self.nz), ax(self.ny), ax(self.nx),
+                                 indexing="ij")
+        return np.stack([xx.ravel(), yy.ravel(), zz.ravel()], axis=1)
+
+
+def hex_element_matrices() -> tuple[np.ndarray, np.ndarray]:
+    """Reference 8-node hexahedron stiffness and (consistent) mass
+    matrices for the unit cube, from 2x2x2 Gauss quadrature of the
+    trilinear basis."""
+    gp = np.array([-1.0, 1.0]) / np.sqrt(3.0)
+    corners = np.array([[i, j, k] for k in (-1, 1) for j in (-1, 1)
+                        for i in (-1, 1)], dtype=np.float64)
+    # reorder to match element_nodes order: (i fastest, then j, then k)
+    corners = np.array([[-1, -1, -1], [1, -1, -1], [-1, 1, -1], [1, 1, -1],
+                        [-1, -1, 1], [1, -1, 1], [-1, 1, 1], [1, 1, 1]],
+                       dtype=np.float64)
+    K = np.zeros((8, 8))
+    Mm = np.zeros((8, 8))
+    for gx in gp:
+        for gy in gp:
+            for gz in gp:
+                xi = np.array([gx, gy, gz])
+                N = np.prod(1.0 + corners * xi, axis=1) / 8.0
+                dN = np.empty((8, 3))
+                for a in range(3):
+                    terms = 1.0 + corners * xi
+                    prod = np.ones(8)
+                    for b in range(3):
+                        prod *= corners[:, a] / 8.0 if a == b else terms[:, b]
+                    dN[:, a] = prod
+                # unit cube: jacobian = I/2 per axis (xi in [-1,1] -> x in [0,1])
+                J = 0.5
+                grad = dN / J
+                detJ = J ** 3
+                K += detJ * (grad @ grad.T)
+                Mm += detJ * np.outer(N, N)
+    return K, Mm
+
+
+def assemble_from_connectivity(conn: np.ndarray, n_nodes: int,
+                               Ke: np.ndarray, *,
+                               dofs_per_node: int = 1,
+                               dof_coupling: np.ndarray | None = None
+                               ) -> sp.csr_matrix:
+    """Assemble ``sum_e C (x) Ke`` over an explicit element list.
+
+    ``conn`` is (n_elements, nodes_per_element); used directly by the
+    carved-domain generators where only a subset of a box mesh's
+    elements exists.
+    """
+    d = positive_int(dofs_per_node, "dofs_per_node")
+    C = np.eye(d) if dof_coupling is None else np.asarray(dof_coupling,
+                                                          dtype=np.float64)
+    if C.shape != (d, d):
+        raise ValueError(f"dof_coupling must be ({d}, {d})")
+    npe = conn.shape[1]
+    if Ke.shape != (npe, npe):
+        raise ValueError(f"Ke must be ({npe}, {npe}) for this mesh")
+    block = np.kron(Ke, C)  # (npe*d, npe*d)
+    # global dof indices per element
+    edofs = (conn[:, :, None] * d + np.arange(d)[None, None, :]) \
+        .reshape(conn.shape[0], npe * d)
+    ne, w = edofs.shape
+    rows = np.repeat(edofs, w, axis=1).ravel()
+    cols = np.tile(edofs, (1, w)).ravel()
+    vals = np.tile(block.ravel(), ne)
+    A = sp.csr_matrix((vals, (rows, cols)),
+                      shape=(n_nodes * d, n_nodes * d))
+    A.sum_duplicates()
+    A.sort_indices()
+    return A
+
+
+def assemble_fem(mesh: HexMesh, Ke: np.ndarray, *,
+                 dofs_per_node: int = 1,
+                 dof_coupling: np.ndarray | None = None) -> sp.csr_matrix:
+    """Assemble ``sum_e C (x) Ke`` over the full mesh.
+
+    ``dof_coupling`` (d, d) couples the dofs of a node (kron structure);
+    identity by default.
+    """
+    return assemble_from_connectivity(mesh.element_nodes(), mesh.n_nodes,
+                                      Ke, dofs_per_node=dofs_per_node,
+                                      dof_coupling=dof_coupling)
+
+
+def incidence_from_connectivity(conn: np.ndarray, n_nodes: int,
+                                dofs_per_node: int = 1) -> sp.csr_matrix:
+    """Element-(node x dof) incidence for an explicit element list."""
+    ne, npe = conn.shape
+    d = positive_int(dofs_per_node, "dofs_per_node")
+    rows = np.repeat(np.arange(ne), npe * d)
+    cols = (conn[:, :, None] * d + np.arange(d)[None, None, :]).reshape(-1)
+    M = sp.csr_matrix((np.ones(rows.size, dtype=np.int8), (rows, cols)),
+                      shape=(ne, n_nodes * d))
+    M.sum_duplicates()
+    M.sort_indices()
+    return M
+
+
+def carve_nodes(mesh: HexMesh, node_mask: np.ndarray
+                ) -> tuple[np.ndarray, np.ndarray]:
+    """Restrict a box mesh to the elements whose nodes all satisfy
+    ``node_mask``; returns (renumbered connectivity, kept node ids).
+
+    Raises if the carve removes every element.
+    """
+    if node_mask.shape != (mesh.n_nodes,):
+        raise ValueError("node_mask must have one entry per node")
+    conn = mesh.element_nodes()
+    keep_elem = node_mask[conn].all(axis=1)
+    conn = conn[keep_elem]
+    if conn.size == 0:
+        raise ValueError("carve removed every element")
+    kept_nodes = np.unique(conn)
+    renum = np.full(mesh.n_nodes, -1, dtype=np.int64)
+    renum[kept_nodes] = np.arange(kept_nodes.size)
+    return renum[conn], kept_nodes
+
+
+def fd_laplacian_3d(nx: int, ny: int, nz: int = 1) -> sp.csr_matrix:
+    """7-point (5-point in 2-D) finite-difference Laplacian."""
+    def lap1(n: int) -> sp.csr_matrix:
+        return sp.diags([-np.ones(n - 1), 2 * np.ones(n), -np.ones(n - 1)],
+                        [-1, 0, 1], format="csr")
+    Ix, Iy, Iz = (sp.eye(positive_int(v, nm), format="csr")
+                  for v, nm in ((nx, "nx"), (ny, "ny"), (nz, "nz")))
+    A = sp.kron(Iz, sp.kron(Iy, lap1(nx)))
+    A = A + sp.kron(Iz, sp.kron(lap1(ny), Ix))
+    if nz > 1:
+        A = A + sp.kron(lap1(nz), sp.kron(Iy, Ix))
+    return A.tocsr()

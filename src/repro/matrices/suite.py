@@ -1,0 +1,105 @@
+"""The test-matrix suite mirroring the paper's Table I.
+
+Each entry names a generator configuration that reproduces the
+*structural class* of one of the paper's matrices at a laptop-friendly
+scale (see DESIGN.md substitutions). ``scale`` picks "tiny" (tests),
+"small" (quick benches) or "medium" (full benches).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.matrices.cavity import GeneratedMatrix, cavity_matrix, dds_like_matrix
+from repro.matrices.fusion import fusion_matrix
+from repro.matrices.circuit import asic_like_matrix, g3_like_matrix
+
+__all__ = ["SUITE", "generate", "suite_names", "table1_metadata"]
+
+_SCALES = ("tiny", "small", "medium")
+
+# name -> scale -> constructor
+SUITE: Dict[str, Dict[str, Callable[[], GeneratedMatrix]]] = {
+    # tdr190k analogue: symmetric indefinite cavity FEM
+    "tdr190k": {
+        "tiny": lambda: cavity_matrix(12, 12, 12, name="tdr190k"),
+        "small": lambda: cavity_matrix(18, 18, 18, name="tdr190k"),
+        "medium": lambda: cavity_matrix(28, 28, 28, name="tdr190k"),
+    },
+    # tdr455k analogue: same family, larger
+    "tdr455k": {
+        "tiny": lambda: cavity_matrix(14, 13, 13, name="tdr455k"),
+        "small": lambda: cavity_matrix(22, 20, 20, name="tdr455k"),
+        "medium": lambda: cavity_matrix(34, 30, 30, name="tdr455k"),
+    },
+    "dds.quad": {
+        "tiny": lambda: dds_like_matrix(12, 11, 11, variant="quad",
+                                        name="dds.quad"),
+        "small": lambda: dds_like_matrix(17, 16, 16, variant="quad",
+                                         name="dds.quad"),
+        "medium": lambda: dds_like_matrix(26, 24, 24, variant="quad",
+                                          name="dds.quad"),
+    },
+    "dds.linear": {
+        "tiny": lambda: dds_like_matrix(13, 12, 12, variant="linear",
+                                        name="dds.linear"),
+        "small": lambda: dds_like_matrix(18, 17, 17, variant="linear",
+                                         name="dds.linear"),
+        "medium": lambda: dds_like_matrix(28, 26, 25, variant="linear",
+                                          name="dds.linear"),
+    },
+    # matrix211 analogue: unsymmetric multi-field fusion operator
+    "matrix211": {
+        "tiny": lambda: fusion_matrix(6, 6, 5, dofs=2, name="matrix211"),
+        "small": lambda: fusion_matrix(10, 9, 9, dofs=2, name="matrix211"),
+        "medium": lambda: fusion_matrix(16, 15, 14, dofs=2, name="matrix211"),
+    },
+    # ASIC_680ks analogue: very sparse circuit with hub rails
+    "ASIC_680ks": {
+        "tiny": lambda: asic_like_matrix(600, name="ASIC_680ks"),
+        "small": lambda: asic_like_matrix(4000, name="ASIC_680ks"),
+        "medium": lambda: asic_like_matrix(20000, name="ASIC_680ks"),
+    },
+    # G3_circuit analogue: SPD grid conductance network
+    "G3_circuit": {
+        "tiny": lambda: g3_like_matrix(25, 25, name="G3_circuit"),
+        "small": lambda: g3_like_matrix(70, 70, name="G3_circuit"),
+        "medium": lambda: g3_like_matrix(160, 150, name="G3_circuit"),
+    },
+}
+
+
+def suite_names() -> list[str]:
+    """Names of the Table-I suite matrices."""
+    return list(SUITE)
+
+
+def generate(name: str, scale: str = "small") -> GeneratedMatrix:
+    """Instantiate a suite matrix at the requested scale."""
+    if name not in SUITE:
+        raise KeyError(f"unknown matrix {name!r}; choose from {suite_names()}")
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {_SCALES}, got {scale!r}")
+    return SUITE[name][scale]()
+
+
+def table1_metadata(scale: str = "small", *,
+                    check_definiteness: bool = False) -> list[dict]:
+    """Rows of the Table-I reproduction: name, source, n, nnz/n,
+    pattern/value symmetry (and optionally positive definiteness)."""
+    from repro.sparse import symmetry_info
+
+    rows = []
+    for name in suite_names():
+        gm = generate(name, scale)
+        info = symmetry_info(gm.A, check_definiteness=check_definiteness)
+        rows.append({
+            "name": gm.name,
+            "source": gm.source,
+            "n": gm.n,
+            "nnz/n": round(gm.nnz_per_row, 1),
+            "pattern_symmetric": info.pattern_symmetric,
+            "value_symmetric": info.value_symmetric,
+            "positive_definite": info.positive_definite,
+        })
+    return rows

@@ -1,0 +1,137 @@
+"""Unstructured 2-D FEM matrices (Delaunay P1 triangles).
+
+The structured hex generators produce regular stencils; real PDSLin
+inputs come from unstructured meshes. This generator triangulates random
+points in a disk / square / annulus (scipy.spatial.Delaunay), assembles
+the P1 stiffness + mass operators with the standard linear-triangle
+element matrices, and exposes the triangle-node incidence as the
+structural factor for RHB. The annulus domain gives the non-convex,
+hole-ridden geometry where partitioners genuinely differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+from scipy.spatial import Delaunay
+
+from repro.matrices.cavity import GeneratedMatrix
+from repro.matrices.grids import incidence_from_connectivity
+from repro.utils import SeedLike, rng_from, positive_int
+
+__all__ = ["random_delaunay_mesh", "p1_assemble", "unstructured_matrix"]
+
+_DOMAINS = ("square", "disk", "annulus")
+
+
+def random_delaunay_mesh(n_points: int, *, domain: str = "disk",
+                         seed: SeedLike = 0
+                         ) -> tuple[np.ndarray, np.ndarray]:
+    """Sample points in the domain and triangulate.
+
+    Returns ``(points (n, 2), triangles (m, 3))``. Sliver triangles along
+    curved boundaries and triangles spanning the annulus hole are
+    removed by a centroid test.
+    """
+    n_points = positive_int(n_points, "n_points")
+    if domain not in _DOMAINS:
+        raise ValueError(f"domain must be one of {_DOMAINS}, got {domain!r}")
+    rng = rng_from(seed)
+    if domain == "square":
+        pts = rng.random((n_points, 2))
+    else:
+        # rejection-free radial sampling (uniform over the region)
+        theta = rng.random(n_points) * 2 * np.pi
+        if domain == "disk":
+            r = np.sqrt(rng.random(n_points))
+        else:  # annulus with inner radius 0.45
+            r_in2 = 0.45 ** 2
+            r = np.sqrt(r_in2 + (1.0 - r_in2) * rng.random(n_points))
+        pts = 0.5 + 0.5 * np.stack([r * np.cos(theta),
+                                    r * np.sin(theta)], axis=1)
+    tri = Delaunay(pts)
+    cells = tri.simplices.astype(np.int64)
+    if domain != "square":
+        centroids = pts[cells].mean(axis=1)
+        d = np.linalg.norm(centroids - 0.5, axis=1)
+        keep = d <= 0.5
+        if domain == "annulus":
+            # triangles spanning the hole have centroids inside it
+            keep &= d >= 0.45 * 0.5
+        cells = cells[keep]
+    # drop unreferenced points and renumber
+    used = np.unique(cells)
+    renum = np.full(n_points, -1, dtype=np.int64)
+    renum[used] = np.arange(used.size)
+    return pts[used], renum[cells]
+
+
+def p1_assemble(points: np.ndarray, tris: np.ndarray, *,
+                mass_coeff: float = 0.0,
+                conductivity: np.ndarray | None = None) -> sp.csr_matrix:
+    """Assemble ``K + mass_coeff * M`` for linear triangles.
+
+    Standard formulas: for a triangle with vertices p0, p1, p2 and area
+    A, the stiffness block is ``(grad_i . grad_j) * A`` with constant
+    basis gradients, and the consistent mass block is
+    ``A / 12 * (1 + delta_ij)``. ``conductivity`` scales each element's
+    stiffness (material field).
+    """
+    pts = np.asarray(points, dtype=np.float64)
+    tris = np.asarray(tris, dtype=np.int64)
+    ne = tris.shape[0]
+    cond = (np.ones(ne) if conductivity is None
+            else np.asarray(conductivity, dtype=np.float64))
+    if cond.shape != (ne,):
+        raise ValueError("conductivity must have one entry per triangle")
+    p0, p1, p2 = pts[tris[:, 0]], pts[tris[:, 1]], pts[tris[:, 2]]
+    # edge vectors and areas (vectorized over elements)
+    d1, d2 = p1 - p0, p2 - p0
+    det = d1[:, 0] * d2[:, 1] - d1[:, 1] * d2[:, 0]
+    area = 0.5 * np.abs(det)
+    if np.any(area < 1e-14):
+        keep = area >= 1e-14
+        tris, p0, p1, p2 = tris[keep], p0[keep], p1[keep], p2[keep]
+        d1, d2, det, area, cond = (d1[keep], d2[keep], det[keep],
+                                   area[keep], cond[keep])
+        ne = tris.shape[0]
+    # gradients of barycentric basis functions
+    inv_det = 1.0 / det
+    b = np.stack([p1[:, 1] - p2[:, 1], p2[:, 1] - p0[:, 1],
+                  p0[:, 1] - p1[:, 1]], axis=1) * inv_det[:, None]
+    c = np.stack([p2[:, 0] - p1[:, 0], p0[:, 0] - p2[:, 0],
+                  p1[:, 0] - p0[:, 0]], axis=1) * inv_det[:, None]
+    Ke = (b[:, :, None] * b[:, None, :] + c[:, :, None] * c[:, None, :]) \
+        * (area * cond)[:, None, None]
+    if mass_coeff != 0.0:
+        Mref = (np.ones((3, 3)) + np.eye(3)) / 12.0
+        Ke = Ke + mass_coeff * area[:, None, None] * Mref[None]
+    rows = np.repeat(tris, 3, axis=1).ravel()
+    cols = np.tile(tris, (1, 3)).ravel()
+    A = sp.csr_matrix((Ke.ravel(), (rows, cols)),
+                      shape=(pts.shape[0], pts.shape[0]))
+    A.sum_duplicates()
+    A.sort_indices()
+    return A
+
+
+def unstructured_matrix(n_points: int, *, domain: str = "annulus",
+                        shift: float = 1.1, seed: SeedLike = 0,
+                        name: str = "unstructured") -> GeneratedMatrix:
+    """Shifted indefinite Helmholtz-like operator on an unstructured
+    triangulation, with the triangle incidence as structural factor."""
+    rng = rng_from(seed)
+    pts, tris = random_delaunay_mesh(n_points, domain=domain, seed=rng)
+    cond = 0.5 + rng.random(tris.shape[0])
+    K = p1_assemble(pts, tris, conductivity=cond)
+    M = p1_assemble(pts, tris, mass_coeff=1.0, conductivity=np.zeros(
+        tris.shape[0]))
+    ratio = K.diagonal().mean() / max(M.diagonal().mean(), 1e-300)
+    A = (K - shift * ratio * M).tocsr()
+    A.sum_duplicates()
+    A.sort_indices()
+    Minc = incidence_from_connectivity(tris, pts.shape[0])
+    return GeneratedMatrix(
+        name=name, A=A, M=Minc, source="unstructured",
+        description=(f"P1 Delaunay {domain}, {pts.shape[0]} nodes, "
+                     f"{tris.shape[0]} triangles, sigma={shift}"))

@@ -1,0 +1,29 @@
+"""Fill-reducing orderings and elimination-tree machinery."""
+
+from repro.ordering.etree import (
+    elimination_tree,
+    postorder,
+    is_postordered,
+    children_lists,
+    tree_level,
+    first_descendants,
+    etree_path_closure,
+    symbolic_cholesky_row_counts,
+)
+from repro.ordering.mindeg import minimum_degree, permute_symmetric
+from repro.ordering.nd_order import nested_dissection_ordering
+from repro.ordering.rcm import (
+    reverse_cuthill_mckee,
+    pseudo_peripheral_vertex,
+    bandwidth,
+    envelope_size,
+)
+
+__all__ = [
+    "elimination_tree", "postorder", "is_postordered", "children_lists",
+    "tree_level", "first_descendants", "etree_path_closure",
+    "symbolic_cholesky_row_counts",
+    "minimum_degree", "permute_symmetric", "nested_dissection_ordering",
+    "reverse_cuthill_mckee", "pseudo_peripheral_vertex", "bandwidth",
+    "envelope_size",
+]

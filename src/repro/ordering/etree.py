@@ -1,0 +1,220 @@
+"""Elimination trees and related symbolic machinery (Liu 1990).
+
+The elimination tree (e-tree) of a symmetric-pattern matrix drives both
+the fill prediction used by the symbolic triangular solve (paper Section
+IV-A: fill of ``D^{-1} b`` follows fill paths to the root) and the
+postorder RHS reordering heuristic.
+
+All functions operate on the pattern only; unsymmetric inputs must be
+symmetrized by the caller (:func:`repro.sparse.symmetrized`).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils import check_csr, check_square, as_int_array
+
+__all__ = [
+    "elimination_tree",
+    "postorder",
+    "is_postordered",
+    "children_lists",
+    "tree_level",
+    "first_descendants",
+    "etree_path_closure",
+    "symbolic_cholesky_row_counts",
+]
+
+
+def elimination_tree(A: sp.spmatrix) -> np.ndarray:
+    """Parent array of the elimination tree of symmetric-pattern ``A``.
+
+    ``parent[j] == -1`` marks a root. Uses Liu's algorithm with path
+    compression, O(nnz * alpha).
+    """
+    A = check_csr(A)
+    check_square(A)
+    n = A.shape[0]
+    parent = np.full(n, -1, dtype=np.int64)
+    ancestor = np.full(n, -1, dtype=np.int64)
+    indptr, indices = A.indptr, A.indices
+    for j in range(n):
+        for p in range(indptr[j], indptr[j + 1]):
+            i = indices[p]
+            if i >= j:
+                continue
+            # walk from i to the root of its current subtree, compressing
+            r = i
+            while True:
+                a = ancestor[r]
+                if a == -1 or a == j:
+                    break
+                ancestor[r] = j
+                r = a
+            if ancestor[r] == -1:
+                ancestor[r] = j
+                parent[r] = j
+    return parent
+
+
+def children_lists(parent: np.ndarray) -> list[list[int]]:
+    """Children adjacency lists of an e-tree parent array, in index order."""
+    parent = as_int_array(parent, "parent")
+    n = parent.size
+    kids: list[list[int]] = [[] for _ in range(n)]
+    for v in range(n):
+        p = parent[v]
+        if p >= 0:
+            if p == v:
+                raise ValueError(f"self-parent at node {v}")
+            kids[p].append(v)
+    return kids
+
+
+def postorder(parent: np.ndarray) -> np.ndarray:
+    """A postorder permutation of the e-tree.
+
+    Returns ``order`` such that ``order[t]`` is the original index of the
+    t-th node in postorder: every subtree occupies a contiguous range
+    ending at its root. Children are visited in ascending original index
+    for determinism.
+    """
+    parent = as_int_array(parent, "parent")
+    n = parent.size
+    kids = children_lists(parent)
+    roots = [v for v in range(n) if parent[v] < 0]
+    order = np.empty(n, dtype=np.int64)
+    t = 0
+    # iterative DFS; push children reversed so lowest-index child pops first
+    for root in roots:
+        stack = [(root, False)]
+        while stack:
+            node, expanded = stack.pop()
+            if expanded:
+                order[t] = node
+                t += 1
+            else:
+                stack.append((node, True))
+                for c in reversed(kids[node]):
+                    stack.append((c, False))
+    if t != n:
+        raise ValueError("parent array contains a cycle")
+    return order
+
+
+def is_postordered(parent: np.ndarray) -> bool:
+    """True iff node indices are already in a valid postorder
+    (every node numbered after all of its descendants, subtrees contiguous)."""
+    parent = as_int_array(parent, "parent")
+    n = parent.size
+    # In a postorder, parent[v] > v for all non-roots, and the descendant
+    # range of v is [first_desc[v], v] contiguous.
+    if np.any((parent >= 0) & (parent <= np.arange(n))):
+        return False
+    fd = first_descendants(parent)
+    for v in range(n):
+        p = parent[v]
+        if p >= 0 and fd[p] > fd[v]:
+            return False
+    return True
+
+
+def tree_level(parent: np.ndarray) -> np.ndarray:
+    """Depth of each node (roots at level 0)."""
+    parent = as_int_array(parent, "parent")
+    n = parent.size
+    level = np.full(n, -1, dtype=np.int64)
+    for v in range(n):
+        # walk up collecting the path until a known level
+        path = []
+        u = v
+        while u >= 0 and level[u] < 0:
+            path.append(u)
+            u = parent[u]
+        base = level[u] if u >= 0 else -1
+        for node in reversed(path):
+            base += 1
+            level[node] = base
+    return level
+
+
+def first_descendants(parent: np.ndarray) -> np.ndarray:
+    """Smallest-index descendant of each node (itself if a leaf).
+
+    Only meaningful as stated when nodes are postordered; for general
+    numbering it still returns the minimum index in each subtree.
+    """
+    parent = as_int_array(parent, "parent")
+    n = parent.size
+    fd = np.arange(n, dtype=np.int64)
+    # process in topological order: children before parents. A node's
+    # subtree-min propagates upward; iterate in increasing index and then
+    # fix up with a second pass for non-postordered trees.
+    changed = True
+    while changed:
+        changed = False
+        for v in range(n):
+            p = parent[v]
+            if p >= 0 and fd[v] < fd[p]:
+                fd[p] = fd[v]
+                changed = True
+    return fd
+
+
+def etree_path_closure(parent: np.ndarray, support: np.ndarray,
+                       *, stop: np.ndarray | None = None) -> np.ndarray:
+    """Union of e-tree paths from each node in ``support`` to its root.
+
+    This is the predicted nonzero row set of ``L^{-1} b`` when
+    ``supp(b) = support`` (Gilbert's fill-path theorem specialized to the
+    e-tree). ``stop`` optionally marks nodes already known reached; the
+    walk stops on hitting one (used for incremental closures).
+    Returns the sorted closed set.
+    """
+    parent = as_int_array(parent, "parent")
+    n = parent.size
+    mark = np.zeros(n, dtype=bool) if stop is None else stop.copy()
+    out = []
+    for s in as_int_array(support, "support"):
+        v = int(s)
+        if v < 0 or v >= n:
+            raise IndexError(f"support index {v} out of range [0, {n})")
+        while v >= 0 and not mark[v]:
+            mark[v] = True
+            out.append(v)
+            v = parent[v]
+    out_arr = np.asarray(sorted(out), dtype=np.int64)
+    return out_arr
+
+
+def symbolic_cholesky_row_counts(A: sp.spmatrix,
+                                 parent: np.ndarray | None = None) -> np.ndarray:
+    """Per-row nonzero counts of the Cholesky factor of ``str(A)``.
+
+    Row i of L has a nonzero in column j iff j is on the e-tree path
+    from some k (with A[i,k] != 0, k < i) up to i. O(|L|) walk with
+    per-row marks.
+    """
+    A = check_csr(A)
+    check_square(A)
+    n = A.shape[0]
+    if parent is None:
+        parent = elimination_tree(A)
+    parent = as_int_array(parent, "parent")
+    counts = np.ones(n, dtype=np.int64)  # diagonal
+    mark = np.full(n, -1, dtype=np.int64)
+    indptr, indices = A.indptr, A.indices
+    for i in range(n):
+        mark[i] = i
+        for p in range(indptr[i], indptr[i + 1]):
+            k = indices[p]
+            if k >= i:
+                continue
+            j = k
+            while j != -1 and j < i and mark[j] != i:
+                mark[j] = i
+                counts[i] += 1
+                j = parent[j]
+    return counts

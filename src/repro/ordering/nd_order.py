@@ -1,0 +1,73 @@
+"""Nested-dissection fill-reducing ordering.
+
+George's ordering built from the library's own multilevel bisection +
+König separators (:mod:`repro.graphs`): recursively bisect, order the
+two halves first and the separator last, and switch to minimum degree on
+small leaves. Asymptotically optimal fill on planar/grid-like problems
+(O(n log n) factor nonzeros on 2-D grids vs O(n^1.2+) for MD), so it is
+the natural alternative to :func:`repro.ordering.minimum_degree` for
+subdomain factorizations — ablated in the kernel benchmarks.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.graphs.graph import Graph
+from repro.graphs.bisect import bisect_graph
+from repro.graphs.separator import vertex_separator_from_cut
+from repro.ordering.mindeg import minimum_degree
+from repro.sparse.symmetrize import symmetrized, is_structurally_symmetric
+from repro.utils import SeedLike, rng_from, positive_int, check_csr, check_square
+
+__all__ = ["nested_dissection_ordering"]
+
+
+def nested_dissection_ordering(A: sp.spmatrix, *, leaf_size: int = 64,
+                               seed: SeedLike = 0,
+                               n_trials: int = 2) -> np.ndarray:
+    """Fill-reducing permutation by recursive vertex-separator
+    dissection; ``order[t]`` is the variable eliminated at step t.
+
+    Leaves of at most ``leaf_size`` vertices are ordered with minimum
+    degree (the standard hybrid used by real ND codes).
+    """
+    A = check_csr(A)
+    check_square(A)
+    leaf_size = positive_int(leaf_size, "leaf_size")
+    if not is_structurally_symmetric(A):
+        A = symmetrized(A)
+    rng = rng_from(seed)
+    n = A.shape[0]
+    order = np.empty(n, dtype=np.int64)
+    cursor = [0]
+
+    def emit(ids: np.ndarray) -> None:
+        order[cursor[0]:cursor[0] + ids.size] = ids
+        cursor[0] += ids.size
+
+    def recurse(g: Graph, ids: np.ndarray) -> None:
+        if g.n_vertices <= leaf_size:
+            sub = g.to_matrix().tocsr()
+            local = minimum_degree(sub + sp.eye(g.n_vertices, format="csr"))
+            emit(ids[local])
+            return
+        res = bisect_graph(g, epsilon=0.15, seed=rng, n_trials=n_trials)
+        vs = vertex_separator_from_cut(g, res.side)
+        if vs.side0.size == 0 or vs.side1.size == 0:
+            # bisection degenerated; fall back to MD on the whole block
+            sub = g.to_matrix().tocsr()
+            local = minimum_degree(sub + sp.eye(g.n_vertices, format="csr"))
+            emit(ids[local])
+            return
+        g0, l0 = g.subgraph(vs.side0)
+        g1, l1 = g.subgraph(vs.side1)
+        recurse(g0, ids[l0])
+        recurse(g1, ids[l1])
+        emit(ids[vs.separator])  # separator eliminated last
+
+    recurse(Graph.from_matrix(A), np.arange(n, dtype=np.int64))
+    if cursor[0] != n:
+        raise AssertionError("dissection ordering did not cover all vertices")
+    return order

@@ -1,0 +1,12 @@
+"""Simulated distributed execution: per-process ledgers, stage
+makespans, balance ratios, and the two-level core-count projection."""
+
+from repro.parallel.machine import ProcessLedger, SimulatedMachine
+from repro.parallel.costmodel import StageScaling, TwoLevelModel, DEFAULT_STAGE_SCALING
+from repro.parallel.trace import export_chrome_trace, STAGE_ORDER
+
+__all__ = [
+    "ProcessLedger", "SimulatedMachine",
+    "StageScaling", "TwoLevelModel", "DEFAULT_STAGE_SCALING",
+    "export_chrome_trace", "STAGE_ORDER",
+]

@@ -1,0 +1,97 @@
+"""Two-level parallel scaling model (Fig. 1 reproduction).
+
+PDSLin assigns ``p = P/k`` cores to each of the ``k`` subdomains; the
+intra-subdomain solver (SuperLU_DIST in the paper) scales the dominant
+per-subdomain stages. Since we execute subdomains serially, the
+two-level projection applies an Amdahl-type scaling law
+
+    t(p) = t(1) * (f + (1 - f) / p**alpha)
+
+to each stage's measured single-core cost, with stage-specific serial
+fraction ``f`` and efficiency exponent ``alpha`` calibrated to the
+published SuperLU_DIST/PDSLin scaling behaviour: subdomain LU and the
+sparse triangular solves scale well to tens of cores; the Schur LU and
+the preconditioned iterations involve the (smaller, denser) separator
+system and global communication, so they scale worse — which is why the
+paper's Fig. 1 flattens at high core counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.parallel.machine import SimulatedMachine
+from repro.utils import positive_int, fraction
+
+__all__ = ["StageScaling", "TwoLevelModel", "DEFAULT_STAGE_SCALING"]
+
+
+@dataclass(frozen=True)
+class StageScaling:
+    """Amdahl parameters for one stage."""
+
+    serial_fraction: float
+    alpha: float
+    uses_subdomain_cores: bool  # True: scale by P/k; False: scale by P
+
+    def time(self, t1: float, cores: int) -> float:
+        if cores < 1:
+            raise ValueError("cores must be >= 1")
+        f = self.serial_fraction
+        return t1 * (f + (1.0 - f) / cores ** self.alpha)
+
+
+DEFAULT_STAGE_SCALING: Dict[str, StageScaling] = {
+    # subdomain factorization: scales with cores per subdomain
+    "LU(D)": StageScaling(serial_fraction=0.02, alpha=0.85,
+                          uses_subdomain_cores=True),
+    # interface triangular solves + local update products
+    "Comp(S)": StageScaling(serial_fraction=0.05, alpha=0.75,
+                            uses_subdomain_cores=True),
+    # Schur factorization: smaller, denser, latency bound
+    "LU(S)": StageScaling(serial_fraction=0.30, alpha=0.50,
+                          uses_subdomain_cores=False),
+    # preconditioned iterations: global reductions every iteration
+    "Solve": StageScaling(serial_fraction=0.40, alpha=0.45,
+                          uses_subdomain_cores=False),
+}
+
+
+@dataclass
+class TwoLevelModel:
+    """Project a one-process-per-subdomain run onto P total cores."""
+
+    k: int
+    scaling: Dict[str, StageScaling] = field(
+        default_factory=lambda: dict(DEFAULT_STAGE_SCALING))
+
+    def __post_init__(self) -> None:
+        self.k = positive_int(self.k, "k")
+        for name, s in self.scaling.items():
+            fraction(s.serial_fraction, f"serial_fraction[{name}]")
+
+    def cores_per_subdomain(self, total_cores: int) -> int:
+        total_cores = positive_int(total_cores, "total_cores")
+        return max(1, total_cores // self.k)
+
+    def project(self, machine: SimulatedMachine,
+                total_cores: int) -> Dict[str, float]:
+        """Per-stage projected times on ``total_cores`` cores.
+
+        Stages without a scaling entry are taken at measured cost
+        (assumed serial).
+        """
+        p_sub = self.cores_per_subdomain(total_cores)
+        out: Dict[str, float] = {}
+        for stage, t1 in machine.breakdown().items():
+            s = self.scaling.get(stage)
+            if s is None:
+                out[stage] = t1
+            else:
+                cores = p_sub if s.uses_subdomain_cores else total_cores
+                out[stage] = s.time(t1, cores)
+        return out
+
+    def total_time(self, machine: SimulatedMachine, total_cores: int) -> float:
+        return float(sum(self.project(machine, total_cores).values()))

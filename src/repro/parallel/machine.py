@@ -1,0 +1,106 @@
+"""Simulated distributed machine for PDSLin's inter-process accounting.
+
+mpi4py is unavailable in this environment (see DESIGN.md substitutions),
+and the paper's partitioning claims concern *inter-process load
+balance*: every per-subdomain stage cost is a deterministic function of
+the partition, so the parallel run time of a stage is simply the
+maximum of the per-subdomain costs. :class:`SimulatedMachine` executes
+subdomain work serially, records per-process wall time and flops, and
+reports stage makespans and balance ratios — the quantities plotted in
+Fig. 1/3 and reported in Table II.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+import numpy as np
+
+from repro.utils import StageTimer, OpCounter, positive_int
+
+__all__ = ["ProcessLedger", "SimulatedMachine"]
+
+
+@dataclass
+class ProcessLedger:
+    """Per simulated process: stage wall times and flop counts."""
+
+    timer: StageTimer = field(default_factory=StageTimer)
+    ops: OpCounter = field(default_factory=OpCounter)
+
+
+class SimulatedMachine:
+    """``k`` subdomain processes plus one logical root process.
+
+    Per-stage parallel time = max over processes that participated;
+    serial (root) stages add directly.
+    """
+
+    def __init__(self, k: int):
+        self.k = positive_int(k, "k")
+        self.processes: List[ProcessLedger] = [ProcessLedger() for _ in range(self.k)]
+        self.root = ProcessLedger()
+
+    @contextmanager
+    def on_process(self, ell: int, stage: str) -> Iterator[ProcessLedger]:
+        """Attribute the enclosed work to process ``ell`` under ``stage``."""
+        if not (0 <= ell < self.k):
+            raise IndexError(f"process {ell} out of range [0, {self.k})")
+        ledger = self.processes[ell]
+        with ledger.timer.stage(stage):
+            yield ledger
+
+    @contextmanager
+    def on_root(self, stage: str) -> Iterator[ProcessLedger]:
+        with self.root.timer.stage(stage):
+            yield self.root
+
+    # -- queries ---------------------------------------------------------
+
+    def process_stage_times(self, stage: str) -> np.ndarray:
+        return np.asarray([p.timer.get(stage) for p in self.processes])
+
+    def process_stage_flops(self, stage: str) -> np.ndarray:
+        return np.asarray([p.ops.get(stage) for p in self.processes],
+                          dtype=np.int64)
+
+    def parallel_stage_time(self, stage: str) -> float:
+        """Simulated wall time of a parallel stage: max over processes."""
+        t = self.process_stage_times(stage)
+        return float(t.max()) if t.size else 0.0
+
+    def serial_stage_time(self, stage: str) -> float:
+        return self.root.timer.get(stage)
+
+    def stage_names(self) -> list[str]:
+        names: set[str] = set(self.root.timer.totals)
+        for p in self.processes:
+            names.update(p.timer.totals)
+        return sorted(names)
+
+    def breakdown(self) -> Dict[str, float]:
+        """Simulated time per stage (parallel stages as makespans)."""
+        out: Dict[str, float] = {}
+        for s in self.stage_names():
+            out[s] = self.parallel_stage_time(s) + self.serial_stage_time(s)
+        return out
+
+    def makespan(self) -> float:
+        """Total simulated time: stages execute in sequence."""
+        return float(sum(self.breakdown().values()))
+
+    def balance_ratio(self, stage: str, *, use_flops: bool = False) -> float:
+        """Wmax/Wmin over processes for a stage (paper's balance metric)."""
+        w = (self.process_stage_flops(stage).astype(np.float64)
+             if use_flops else self.process_stage_times(stage))
+        if w.size == 0 or w.max() == 0:
+            return 1.0
+        mn = w.min()
+        return float(w.max() / mn) if mn > 0 else float("inf")
+
+    def report(self) -> str:
+        rows = [f"{s:<16} {t:.4f}s" for s, t in sorted(self.breakdown().items())]
+        rows.append(f"{'TOTAL':<16} {self.makespan():.4f}s")
+        return "\n".join(rows)

@@ -1,0 +1,26 @@
+"""Hybrid solver layer: GMRES, Schur assembly, and the PDSLin pipeline."""
+
+from repro.solver.gmres import GMRESResult, gmres
+from repro.solver.bicgstab import BiCGSTABResult, bicgstab
+from repro.solver.interfaces import SubdomainInterfaces, extract_interfaces
+from repro.solver.schur import (
+    assemble_approximate_schur,
+    drop_small_entries,
+    implicit_schur_matvec,
+)
+from repro.solver.pdslin import (
+    PDSLinConfig,
+    PDSLin,
+    PDSLinResult,
+    SubdomainComputation,
+)
+from repro.solver.report import run_report, format_report, save_report
+
+__all__ = [
+    "GMRESResult", "gmres",
+    "BiCGSTABResult", "bicgstab",
+    "SubdomainInterfaces", "extract_interfaces",
+    "assemble_approximate_schur", "drop_small_entries", "implicit_schur_matvec",
+    "PDSLinConfig", "PDSLin", "PDSLinResult", "SubdomainComputation",
+    "run_report", "format_report", "save_report",
+]

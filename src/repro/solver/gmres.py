@@ -1,0 +1,129 @@
+"""Restarted GMRES with right preconditioning.
+
+Own implementation (Saad-Schultz with modified Gram-Schmidt Arnoldi and
+Givens rotations) so the Schur solve does not depend on scipy's solver
+behaviour and iteration counts are fully deterministic and inspectable —
+the paper reports #iterations per configuration (Table II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = ["GMRESResult", "gmres"]
+
+Operator = Callable[[np.ndarray], np.ndarray]
+
+
+@dataclass
+class GMRESResult:
+    """Solution plus convergence history."""
+
+    x: np.ndarray
+    converged: bool
+    iterations: int
+    residual_norms: list[float] = field(default_factory=list)
+
+    @property
+    def final_residual(self) -> float:
+        return self.residual_norms[-1] if self.residual_norms else float("nan")
+
+
+def gmres(matvec: Operator, b: np.ndarray, *,
+          preconditioner: Optional[Operator] = None,
+          x0: Optional[np.ndarray] = None,
+          tol: float = 1e-10,
+          restart: int = 50,
+          maxiter: int = 500,
+          flexible: bool = False) -> GMRESResult:
+    """Solve ``A x = b`` given ``matvec(v) = A v``.
+
+    Right preconditioning: iterates on ``A M^{-1} u = b`` with
+    ``x = M^{-1} u``, so the printed residuals are true residuals of the
+    original system. Convergence: ``||b - A x|| <= tol * ||b||``.
+
+    ``flexible=True`` gives FGMRES (Saad 1993): the preconditioned
+    vectors ``z_j = M_j(v_j)`` are stored explicitly so the
+    preconditioner may change between iterations — PDSLin uses this mode
+    when the Schur preconditioner itself involves inner iterations.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    n = b.size
+    if restart <= 0 or maxiter <= 0:
+        raise ValueError("restart and maxiter must be positive")
+    M = preconditioner if preconditioner is not None else (lambda v: v)
+    x = np.zeros(n) if x0 is None else np.asarray(x0, dtype=np.float64).copy()
+    bnorm = np.linalg.norm(b)
+    if bnorm == 0.0:
+        return GMRESResult(x=np.zeros(n), converged=True, iterations=0,
+                           residual_norms=[0.0])
+    history: list[float] = []
+    total_iters = 0
+
+    while total_iters < maxiter:
+        r = b - matvec(x)
+        beta = np.linalg.norm(r)
+        history.append(float(beta))
+        if beta <= tol * bnorm:
+            return GMRESResult(x=x, converged=True, iterations=total_iters,
+                               residual_norms=history)
+        m = min(restart, maxiter - total_iters)
+        V = np.zeros((n, m + 1))
+        Z = np.zeros((n, m)) if flexible else None
+        H = np.zeros((m + 1, m))
+        cs = np.zeros(m)
+        sn = np.zeros(m)
+        g = np.zeros(m + 1)
+        V[:, 0] = r / beta
+        g[0] = beta
+        j_done = 0
+        for j in range(m):
+            # copy: a matvec/preconditioner may return its input array,
+            # and the MGS loop below mutates w in place
+            z = np.asarray(M(V[:, j]), dtype=np.float64)
+            if Z is not None:
+                Z[:, j] = z
+            w = np.array(matvec(z), dtype=np.float64, copy=True)
+            # modified Gram-Schmidt
+            for i in range(j + 1):
+                H[i, j] = V[:, i] @ w
+                w -= H[i, j] * V[:, i]
+            H[j + 1, j] = np.linalg.norm(w)
+            if H[j + 1, j] > 1e-300:
+                V[:, j + 1] = w / H[j + 1, j]
+            # apply existing Givens rotations to the new column
+            for i in range(j):
+                t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
+                H[i + 1, j] = -sn[i] * H[i, j] + cs[i] * H[i + 1, j]
+                H[i, j] = t
+            # new rotation to annihilate H[j+1, j]
+            denom = np.hypot(H[j, j], H[j + 1, j])
+            if denom == 0.0:
+                cs[j], sn[j] = 1.0, 0.0
+            else:
+                cs[j], sn[j] = H[j, j] / denom, H[j + 1, j] / denom
+            H[j, j] = denom
+            H[j + 1, j] = 0.0
+            g[j + 1] = -sn[j] * g[j]
+            g[j] = cs[j] * g[j]
+            j_done = j + 1
+            total_iters += 1
+            history.append(float(abs(g[j + 1])))
+            if abs(g[j + 1]) <= tol * bnorm:
+                break
+        # solve the small triangular system and update x
+        if j_done > 0:
+            y = np.linalg.solve(np.triu(H[:j_done, :j_done]), g[:j_done])
+            if Z is not None:
+                x = x + Z[:, :j_done] @ y
+            else:
+                x = x + M(V[:, :j_done] @ y)
+        r = b - matvec(x)
+        if np.linalg.norm(r) <= tol * bnorm:
+            return GMRESResult(x=x, converged=True, iterations=total_iters,
+                               residual_norms=history + [float(np.linalg.norm(r))])
+    return GMRESResult(x=x, converged=False, iterations=total_iters,
+                       residual_norms=history)

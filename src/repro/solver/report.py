@@ -1,0 +1,105 @@
+"""Structured run reports.
+
+Collects everything a reproduction log needs about one PDSLin run —
+configuration, partition quality, per-stage times and balance, padding
+statistics, Krylov convergence — into one JSON-able dict, plus a
+human-readable rendering. The experiment harness and EXPERIMENTS.md
+generation build on this.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from typing import Any
+
+import numpy as np
+
+from repro.solver.pdslin import PDSLin, PDSLinResult
+
+__all__ = ["run_report", "format_report"]
+
+
+def _jsonable(v: Any) -> Any:
+    if isinstance(v, (np.integer,)):
+        return int(v)
+    if isinstance(v, (np.floating,)):
+        return float(v)
+    if isinstance(v, np.ndarray):
+        return v.tolist()
+    return v
+
+
+def run_report(solver: PDSLin, result: PDSLinResult) -> dict:
+    """Summarize a completed solve as a plain dict (JSON-serializable)."""
+    if solver.partition is None:
+        raise ValueError("solver has not been set up")
+    cfg = {k: _jsonable(v)
+           for k, v in dataclasses.asdict(solver.config).items()}
+    q = solver.partition.quality()
+    stages = {s: round(t, 6) for s, t in solver.machine.breakdown().items()}
+    balance = {
+        s: round(solver.machine.balance_ratio(s), 4)
+        for s in ("LU(D)", "Comp(S)")
+        if np.any(solver.machine.process_stage_times(s) > 0)
+    }
+    padding = [
+        {
+            "subdomain": s.interfaces.ell,
+            "dim": s.interfaces.dim,
+            "interface_cols": s.interfaces.n_interface_cols,
+            "lu_flops": int(s.lu_flops),
+            "padded_fraction_G": round(s.padding_G.fraction, 4),
+            "padded_fraction_W": round(s.padding_W.fraction, 4),
+        }
+        for s in solver.subdomains
+    ]
+    return {
+        "config": cfg,
+        "n": int(solver.A.shape[0]),
+        "nnz": int(solver.A.nnz),
+        "partition": {
+            "separator_size": int(q.separator_size),
+            "dim_ratio": round(q.dim_ratio, 4),
+            "nnz_D_ratio": round(q.nnz_D_ratio, 4),
+            "ncol_E_ratio": round(q.ncol_E_ratio, 4),
+            "nnz_E_ratio": round(q.nnz_E_ratio, 4),
+        },
+        "stages": stages,
+        "balance": balance,
+        "subdomains": padding,
+        "solve": {
+            "converged": bool(result.converged),
+            "iterations": int(result.iterations),
+            "residual_norm": float(result.residual_norm),
+            "schur_size": int(result.schur_size),
+        },
+    }
+
+
+def format_report(report: dict) -> str:
+    """Readable multi-line rendering of :func:`run_report`'s output."""
+    lines = [
+        f"system: n={report['n']}, nnz={report['nnz']}",
+        f"partitioner: {report['config']['partitioner']} "
+        f"(metric={report['config']['metric']}, "
+        f"scheme={report['config']['scheme']}, k={report['config']['k']})",
+        f"separator: {report['partition']['separator_size']}  "
+        f"balance dim/nnzD/colE/nnzE: "
+        f"{report['partition']['dim_ratio']}/"
+        f"{report['partition']['nnz_D_ratio']}/"
+        f"{report['partition']['ncol_E_ratio']}/"
+        f"{report['partition']['nnz_E_ratio']}",
+        "stages: " + "  ".join(f"{s}={t:.4f}s"
+                               for s, t in sorted(report["stages"].items())),
+        f"solve: iters={report['solve']['iterations']} "
+        f"residual={report['solve']['residual_norm']:.2e} "
+        f"converged={report['solve']['converged']}",
+    ]
+    return "\n".join(lines)
+
+
+def save_report(report: dict, path) -> None:
+    """Write the report as JSON."""
+    with open(path, "w") as f:
+        json.dump(report, f, indent=2)

@@ -1,0 +1,39 @@
+"""Sparse-matrix substrate: pattern algebra, symmetrization, structural
+factorization, quasi-dense filtering, Matrix Market I/O."""
+
+from repro.sparse.patterns import (
+    pattern_of,
+    pattern_equal,
+    row_nnz,
+    col_nnz,
+    nonzero_rows,
+    nonzero_cols,
+    boolean_product_pattern,
+    pattern_union,
+    extract_submatrix,
+    drop_explicit_zeros,
+    density_of_rows,
+)
+from repro.sparse.symmetrize import (
+    symmetrized,
+    is_structurally_symmetric,
+    SymmetryInfo,
+    symmetry_info,
+)
+from repro.sparse.structural import (
+    edge_incidence_factor,
+    clique_factor,
+    verify_structural_factor,
+)
+from repro.sparse.quasidense import QuasiDenseFilter, filter_quasi_dense_rows
+from repro.sparse.io import read_matrix_market, write_matrix_market
+
+__all__ = [
+    "pattern_of", "pattern_equal", "row_nnz", "col_nnz", "nonzero_rows",
+    "nonzero_cols", "boolean_product_pattern", "pattern_union",
+    "extract_submatrix", "drop_explicit_zeros", "density_of_rows",
+    "symmetrized", "is_structurally_symmetric", "SymmetryInfo", "symmetry_info",
+    "edge_incidence_factor", "clique_factor", "verify_structural_factor",
+    "QuasiDenseFilter", "filter_quasi_dense_rows",
+    "read_matrix_market", "write_matrix_market",
+]

@@ -1,0 +1,95 @@
+"""Minimal Matrix Market I/O.
+
+A self-contained coordinate-format reader/writer so generated test
+problems can be persisted and exchanged without relying on
+``scipy.io``. Supports ``matrix coordinate real|integer|pattern
+general|symmetric`` which covers every matrix class used by the paper's
+experiments.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+from typing import TextIO, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils import check_csr
+
+__all__ = ["read_matrix_market", "write_matrix_market"]
+
+_HEADER = "%%MatrixMarket"
+
+
+def _open(path_or_file: Union[str, Path, TextIO], mode: str):
+    if isinstance(path_or_file, (str, Path)):
+        return open(path_or_file, mode), True
+    return path_or_file, False
+
+
+def read_matrix_market(path_or_file: Union[str, Path, TextIO]) -> sp.csr_matrix:
+    """Read a Matrix Market coordinate file into CSR."""
+    f, should_close = _open(path_or_file, "r")
+    try:
+        header = f.readline().strip()
+        if not header.startswith(_HEADER):
+            raise ValueError(f"not a MatrixMarket file (header {header!r})")
+        parts = header.split()
+        if len(parts) < 5 or parts[1] != "matrix" or parts[2] != "coordinate":
+            raise ValueError(f"unsupported MatrixMarket header: {header!r}")
+        field, symmetry = parts[3], parts[4]
+        if field not in ("real", "integer", "pattern"):
+            raise ValueError(f"unsupported field type {field!r}")
+        if symmetry not in ("general", "symmetric"):
+            raise ValueError(f"unsupported symmetry {symmetry!r}")
+        line = f.readline()
+        while line.startswith("%"):
+            line = f.readline()
+        dims = line.split()
+        if len(dims) != 3:
+            raise ValueError(f"bad size line: {line!r}")
+        nrows, ncols, nnz = (int(x) for x in dims)
+        rows = np.empty(nnz, dtype=np.int64)
+        cols = np.empty(nnz, dtype=np.int64)
+        vals = np.ones(nnz, dtype=np.float64)
+        for idx in range(nnz):
+            toks = f.readline().split()
+            if len(toks) < 2:
+                raise ValueError(f"truncated file at entry {idx}")
+            rows[idx] = int(toks[0]) - 1
+            cols[idx] = int(toks[1]) - 1
+            if field != "pattern":
+                vals[idx] = float(toks[2])
+        if symmetry == "symmetric":
+            off = rows != cols
+            rows = np.concatenate([rows, cols[off]])
+            cols = np.concatenate([cols, rows[: nnz][off]])
+            vals = np.concatenate([vals, vals[off]])
+        A = sp.csr_matrix((vals, (rows, cols)), shape=(nrows, ncols))
+        A.sum_duplicates()
+        A.sort_indices()
+        return A
+    finally:
+        if should_close:
+            f.close()
+
+
+def write_matrix_market(path_or_file: Union[str, Path, TextIO],
+                        A: sp.spmatrix, *, comment: str = "") -> None:
+    """Write ``A`` as a general real coordinate Matrix Market file."""
+    A = check_csr(A).tocoo()
+    f, should_close = _open(path_or_file, "w")
+    try:
+        f.write(f"{_HEADER} matrix coordinate real general\n")
+        for line in comment.splitlines():
+            f.write(f"% {line}\n")
+        f.write(f"{A.shape[0]} {A.shape[1]} {A.nnz}\n")
+        buf = io.StringIO()
+        for i, j, v in zip(A.row, A.col, A.data):
+            buf.write(f"{i + 1} {j + 1} {float(v)!r}\n")
+        f.write(buf.getvalue())
+    finally:
+        if should_close:
+            f.close()

@@ -1,0 +1,121 @@
+"""Structure-only sparse matrix operations.
+
+The partitioning and symbolic-factorization layers operate on nonzero
+*patterns*, not values. This module provides canonical pattern
+representations and the handful of pattern algebra operations the rest
+of the library needs (boolean products, row/column counts, submatrix
+pattern extraction), all built on CSR index arrays so they vectorize.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils import check_csr, as_int_array
+
+__all__ = [
+    "pattern_of",
+    "pattern_equal",
+    "row_nnz",
+    "col_nnz",
+    "nonzero_rows",
+    "nonzero_cols",
+    "boolean_product_pattern",
+    "extract_submatrix",
+    "pattern_union",
+    "drop_explicit_zeros",
+    "density_of_rows",
+]
+
+
+def pattern_of(A: sp.spmatrix) -> sp.csr_matrix:
+    """Return the boolean nonzero pattern of ``A`` as CSR with data == 1.
+
+    Explicitly stored zeros are dropped first so the pattern reflects
+    actual nonzeros.
+    """
+    A = check_csr(A)
+    A = drop_explicit_zeros(A)
+    P = A.copy()
+    P.data = np.ones_like(P.data, dtype=np.int8)
+    return P
+
+
+def drop_explicit_zeros(A: sp.csr_matrix) -> sp.csr_matrix:
+    """Remove explicitly stored zero entries."""
+    A = check_csr(A)
+    if A.nnz and np.any(A.data == 0):
+        A = A.copy()
+        A.eliminate_zeros()
+    return A
+
+
+def pattern_equal(A: sp.spmatrix, B: sp.spmatrix) -> bool:
+    """True iff A and B have identical nonzero patterns."""
+    A, B = pattern_of(A), pattern_of(B)
+    if A.shape != B.shape or A.nnz != B.nnz:
+        return False
+    return (np.array_equal(A.indptr, B.indptr)
+            and np.array_equal(A.indices, B.indices))
+
+
+def row_nnz(A: sp.spmatrix) -> np.ndarray:
+    """Number of stored nonzeros in each row."""
+    A = drop_explicit_zeros(check_csr(A))
+    return np.diff(A.indptr)
+
+
+def col_nnz(A: sp.spmatrix) -> np.ndarray:
+    """Number of stored nonzeros in each column."""
+    A = drop_explicit_zeros(check_csr(A))
+    return np.bincount(A.indices, minlength=A.shape[1]).astype(np.int64)
+
+
+def nonzero_rows(A: sp.spmatrix) -> np.ndarray:
+    """Indices of rows with at least one nonzero."""
+    return np.flatnonzero(row_nnz(A) > 0)
+
+
+def nonzero_cols(A: sp.spmatrix) -> np.ndarray:
+    """Indices of columns with at least one nonzero."""
+    return np.flatnonzero(col_nnz(A) > 0)
+
+
+def boolean_product_pattern(A: sp.spmatrix, B: sp.spmatrix) -> sp.csr_matrix:
+    """Pattern of the boolean matrix product ``A @ B``.
+
+    Uses integer arithmetic on the 0/1 patterns; overflow-safe because
+    counts are bounded by the inner dimension.
+    """
+    PA = pattern_of(A).astype(np.int64)
+    PB = pattern_of(B).astype(np.int64)
+    C = PA @ PB
+    return pattern_of(C)
+
+
+def pattern_union(A: sp.spmatrix, B: sp.spmatrix) -> sp.csr_matrix:
+    """Pattern of the elementwise union of two equal-shape matrices."""
+    if A.shape != B.shape:
+        raise ValueError(f"shape mismatch: {A.shape} vs {B.shape}")
+    return pattern_of(pattern_of(A) + pattern_of(B))
+
+
+def extract_submatrix(A: sp.spmatrix, rows: np.ndarray,
+                      cols: np.ndarray) -> sp.csr_matrix:
+    """Extract ``A[rows, :][:, cols]`` efficiently as CSR."""
+    A = check_csr(A)
+    rows = as_int_array(rows, "rows")
+    cols = as_int_array(cols, "cols")
+    return A[rows][:, cols].tocsr()
+
+
+def density_of_rows(A: sp.spmatrix) -> np.ndarray:
+    """Per-row density nnz(row)/ncols (used by quasi-dense filtering)."""
+    A = check_csr(A)
+    n_cols = A.shape[1]
+    if n_cols == 0:
+        return np.zeros(A.shape[0])
+    return row_nnz(A) / float(n_cols)

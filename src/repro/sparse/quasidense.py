@@ -1,0 +1,92 @@
+"""Quasi-dense row detection and removal (paper Section V-B(c)).
+
+A row of the solution-vector pattern ``G`` is *quasi-dense* when its
+density (fraction of nonzero columns) is at least a threshold ``tau``.
+The paper observes that removing empty and quasi-dense rows before
+building the row-net hypergraph cuts the partitioning time by factors up
+to 4 with essentially no loss of partition quality until ``tau`` becomes
+too small (< 0.1).
+
+Rationale: a quasi-dense row corresponds to a net connecting nearly all
+vertices — it is cut under any partition and contributes an (almost)
+constant amount of padding, so it carries no signal for the partitioner
+while dominating its run time. Empty rows never cause padding at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils import check_csr, fraction
+from repro.sparse.patterns import row_nnz
+
+__all__ = ["QuasiDenseFilter", "filter_quasi_dense_rows"]
+
+
+@dataclass(frozen=True)
+class QuasiDenseFilter:
+    """Result of filtering a matrix's rows by density.
+
+    Attributes
+    ----------
+    kept:
+        CSR matrix containing only the retained rows (original column
+        count preserved).
+    kept_rows:
+        Original indices of retained rows.
+    dense_rows:
+        Original indices of removed quasi-dense rows.
+    empty_rows:
+        Original indices of removed empty rows.
+    tau:
+        Density threshold used.
+    """
+
+    kept: sp.csr_matrix
+    kept_rows: np.ndarray
+    dense_rows: np.ndarray
+    empty_rows: np.ndarray
+    tau: float
+
+    @property
+    def n_removed(self) -> int:
+        return int(self.dense_rows.size + self.empty_rows.size)
+
+    @property
+    def removed_fraction(self) -> float:
+        total = self.kept_rows.size + self.n_removed
+        return self.n_removed / total if total else 0.0
+
+
+def filter_quasi_dense_rows(G: sp.spmatrix, tau: float = 0.4) -> QuasiDenseFilter:
+    """Split rows of ``G`` into kept / quasi-dense / empty sets.
+
+    Parameters
+    ----------
+    G:
+        Pattern matrix whose rows are hypergraph nets (e.g. the symbolic
+        solution pattern of Section IV-B).
+    tau:
+        Density threshold in (0, 1]; a row with
+        ``nnz(row) / ncols >= tau`` is quasi-dense.
+    """
+    G = check_csr(G)
+    tau = fraction(tau, "tau")
+    if tau == 0.0:
+        raise ValueError("tau must be positive (tau=0 would drop every row)")
+    n_cols = G.shape[1]
+    counts = row_nnz(G)
+    empty = counts == 0
+    dense = ~empty & (counts >= tau * n_cols) if n_cols else np.zeros_like(empty)
+    keep = ~empty & ~dense
+    kept_rows = np.flatnonzero(keep)
+    return QuasiDenseFilter(
+        kept=G[kept_rows].tocsr(),
+        kept_rows=kept_rows,
+        dense_rows=np.flatnonzero(dense),
+        empty_rows=np.flatnonzero(empty),
+        tau=tau,
+    )

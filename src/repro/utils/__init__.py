@@ -1,0 +1,27 @@
+"""Shared utilities: validation, timing, deterministic RNG, flop counting."""
+
+from repro.utils.validation import (
+    require,
+    as_int_array,
+    as_float_array,
+    check_square,
+    check_csr,
+    check_csc,
+    check_partition_vector,
+    check_permutation,
+    positive_int,
+    nonneg_int,
+    fraction,
+)
+from repro.utils.timing import Timer, StageTimer, format_seconds
+from repro.utils.prng import SeedLike, rng_from, spawn
+from repro.utils.opcount import OpCounter, gemm_flops, trsv_flops, lu_flops_from_counts
+
+__all__ = [
+    "require", "as_int_array", "as_float_array", "check_square", "check_csr",
+    "check_csc", "check_partition_vector", "check_permutation", "positive_int",
+    "nonneg_int", "fraction",
+    "Timer", "StageTimer", "format_seconds",
+    "SeedLike", "rng_from", "spawn",
+    "OpCounter", "gemm_flops", "trsv_flops", "lu_flops_from_counts",
+]

@@ -1,0 +1,71 @@
+"""Floating-point operation accounting.
+
+Wall-clock time in pure Python is dominated by interpreter overhead, so
+the simulated-parallel cost model (:mod:`repro.parallel`) prefers flop
+counts, which are machine-independent and deterministic. Kernels in
+:mod:`repro.lu` and :mod:`repro.solver` report their flops through an
+:class:`OpCounter`.
+
+Conventions (matching standard sparse direct-method accounting):
+
+- LU factorization of a column with ``l`` entries below the diagonal and
+  ``u`` entries to the right of the diagonal: ``l`` divisions plus
+  ``2*l*u`` multiply-adds.
+- Triangular solve touching ``nnz`` factor entries for ``m`` right-hand
+  sides: ``2 * nnz * m`` flops.
+- Dense GEMM (m,k)x(k,n): ``2*m*k*n``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["OpCounter", "lu_flops_from_counts", "gemm_flops", "trsv_flops"]
+
+
+def gemm_flops(m: int, k: int, n: int) -> int:
+    """Flops for a dense (m,k) @ (k,n) multiply-accumulate."""
+    return 2 * m * k * n
+
+
+def trsv_flops(nnz_factor: int, nrhs: int = 1) -> int:
+    """Flops for a sparse triangular solve touching ``nnz_factor`` entries."""
+    return 2 * nnz_factor * nrhs
+
+
+def lu_flops_from_counts(l_counts, u_counts) -> int:
+    """Flops for a sparse LU given per-column below-diagonal and
+    right-of-diagonal counts (see module docstring)."""
+    total = 0
+    for l, u in zip(l_counts, u_counts):
+        total += l + 2 * l * u
+    return int(total)
+
+
+@dataclass
+class OpCounter:
+    """Accumulates flop counts per named kernel."""
+
+    flops: Dict[str, int] = field(default_factory=dict)
+
+    def add(self, kernel: str, count: int) -> None:
+        if count < 0:
+            raise ValueError("flop count must be non-negative")
+        self.flops[kernel] = self.flops.get(kernel, 0) + int(count)
+
+    def get(self, kernel: str) -> int:
+        return self.flops.get(kernel, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self.flops.values())
+
+    def merge(self, other: "OpCounter") -> None:
+        for k, v in other.flops.items():
+            self.flops[k] = self.flops.get(k, 0) + v
+
+    def report(self) -> str:
+        rows = sorted(self.flops.items(), key=lambda kv: -kv[1])
+        width = max((len(k) for k, _ in rows), default=0)
+        return "\n".join(f"{k:<{width}}  {v:,} flops" for k, v in rows)

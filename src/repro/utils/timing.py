@@ -1,0 +1,112 @@
+"""Timers and a hierarchical stage ledger.
+
+The paper reports per-stage times (LU(D), Comp(S), LU(S), Solve) and
+per-process balance. ``StageTimer`` records named wall-clock intervals,
+supports nesting, and exposes per-stage totals; the parallel simulator
+(:mod:`repro.parallel`) aggregates these per simulated process.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Tuple
+
+__all__ = ["Timer", "StageTimer", "format_seconds"]
+
+
+def format_seconds(s: float) -> str:
+    """Human-readable seconds with adaptive precision."""
+    if s < 1e-3:
+        return f"{s * 1e6:.1f}us"
+    if s < 1.0:
+        return f"{s * 1e3:.2f}ms"
+    return f"{s:.3f}s"
+
+
+@dataclass
+class Timer:
+    """A simple accumulating wall-clock timer."""
+
+    elapsed: float = 0.0
+    _start: float | None = None
+
+    def start(self) -> "Timer":
+        if self._start is not None:
+            raise RuntimeError("timer already running")
+        self._start = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        if self._start is None:
+            raise RuntimeError("timer not running")
+        dt = time.perf_counter() - self._start
+        self.elapsed += dt
+        self._start = None
+        return dt
+
+    @property
+    def running(self) -> bool:
+        return self._start is not None
+
+    def __enter__(self) -> "Timer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+@dataclass
+class StageTimer:
+    """Accumulates wall time per named stage, supporting nesting.
+
+    Nested stages record under ``outer/inner`` keys as well as their own
+    flat name, so both views are available.
+    """
+
+    totals: Dict[str, float] = field(default_factory=dict)
+    counts: Dict[str, int] = field(default_factory=dict)
+    _stack: List[str] = field(default_factory=list)
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Context manager timing one stage occurrence."""
+        self._stack.append(name)
+        key = "/".join(self._stack)
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            dt = time.perf_counter() - t0
+            self._stack.pop()
+            for k in (key, name) if key != name else (name,):
+                self.totals[k] = self.totals.get(k, 0.0) + dt
+                self.counts[k] = self.counts.get(k, 0) + 1
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record an externally measured duration under ``name``."""
+        if seconds < 0:
+            raise ValueError("seconds must be non-negative")
+        self.totals[name] = self.totals.get(name, 0.0) + seconds
+        self.counts[name] = self.counts.get(name, 0) + 1
+
+    def get(self, name: str) -> float:
+        return self.totals.get(name, 0.0)
+
+    def merge(self, other: "StageTimer") -> None:
+        """Accumulate another ledger into this one."""
+        for k, v in other.totals.items():
+            self.totals[k] = self.totals.get(k, 0.0) + v
+        for k, c in other.counts.items():
+            self.counts[k] = self.counts.get(k, 0) + c
+
+    def items(self) -> List[Tuple[str, float]]:
+        return sorted(self.totals.items())
+
+    def report(self) -> str:
+        """Multi-line report of stage totals, longest first."""
+        rows = sorted(self.totals.items(), key=lambda kv: -kv[1])
+        width = max((len(k) for k, _ in rows), default=0)
+        return "\n".join(f"{k:<{width}}  {format_seconds(v)}  (x{self.counts[k]})"
+                         for k, v in rows)

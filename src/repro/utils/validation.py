@@ -1,0 +1,129 @@
+"""Input validation helpers shared across the library.
+
+These helpers centralize the defensive checks used at public API
+boundaries so that error messages are consistent and cheap paths stay
+cheap (validation of O(1) properties only; structural O(n) validation is
+opt-in via ``check_*`` functions).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = [
+    "require",
+    "as_int_array",
+    "as_float_array",
+    "check_square",
+    "check_csr",
+    "check_csc",
+    "check_partition_vector",
+    "check_permutation",
+    "positive_int",
+    "nonneg_int",
+    "fraction",
+]
+
+
+def require(cond: bool, message: str, exc: type[Exception] = ValueError) -> None:
+    """Raise ``exc(message)`` unless ``cond`` is true."""
+    if not cond:
+        raise exc(message)
+
+
+def positive_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a positive integer and return it as int."""
+    iv = int(value)
+    if iv != value or iv <= 0:
+        raise ValueError(f"{name} must be a positive integer, got {value!r}")
+    return iv
+
+
+def nonneg_int(value: Any, name: str) -> int:
+    """Validate that ``value`` is a non-negative integer and return it."""
+    iv = int(value)
+    if iv != value or iv < 0:
+        raise ValueError(f"{name} must be a non-negative integer, got {value!r}")
+    return iv
+
+
+def fraction(value: Any, name: str, *, lo: float = 0.0, hi: float = 1.0) -> float:
+    """Validate that ``value`` lies in the closed interval [lo, hi]."""
+    fv = float(value)
+    if not (lo <= fv <= hi) or not np.isfinite(fv):
+        raise ValueError(f"{name} must be in [{lo}, {hi}], got {value!r}")
+    return fv
+
+
+def as_int_array(values: Iterable[int] | np.ndarray, name: str = "array") -> np.ndarray:
+    """Convert to a contiguous int64 ndarray, rejecting non-integral input."""
+    arr = np.ascontiguousarray(values)
+    if arr.dtype.kind not in "iu":
+        if arr.dtype.kind == "f" and np.all(arr == np.floor(arr)):
+            arr = arr.astype(np.int64)
+        else:
+            raise TypeError(f"{name} must be an integer array, got dtype {arr.dtype}")
+    return arr.astype(np.int64, copy=False)
+
+
+def as_float_array(values: Iterable[float] | np.ndarray, name: str = "array") -> np.ndarray:
+    """Convert to a contiguous float64 ndarray."""
+    arr = np.ascontiguousarray(values, dtype=np.float64)
+    if arr.dtype.kind != "f":
+        raise TypeError(f"{name} must be a float array, got dtype {arr.dtype}")
+    return arr
+
+
+def check_square(A: sp.spmatrix, name: str = "A") -> None:
+    """Require a square sparse matrix."""
+    if A.shape[0] != A.shape[1]:
+        raise ValueError(f"{name} must be square, got shape {A.shape}")
+
+
+def check_csr(A: Any, name: str = "A") -> sp.csr_matrix:
+    """Return ``A`` as canonical CSR (sorted indices, no duplicates)."""
+    if not sp.issparse(A):
+        raise TypeError(f"{name} must be a scipy sparse matrix, got {type(A).__name__}")
+    A = A.tocsr()
+    A.sum_duplicates()
+    A.sort_indices()
+    return A
+
+
+def check_csc(A: Any, name: str = "A") -> sp.csc_matrix:
+    """Return ``A`` as canonical CSC (sorted indices, no duplicates)."""
+    if not sp.issparse(A):
+        raise TypeError(f"{name} must be a scipy sparse matrix, got {type(A).__name__}")
+    A = A.tocsc()
+    A.sum_duplicates()
+    A.sort_indices()
+    return A
+
+
+def check_partition_vector(part: np.ndarray, n: int, k: int, name: str = "part") -> np.ndarray:
+    """Validate a part-assignment vector: length n, entries in [0, k)."""
+    part = as_int_array(part, name)
+    if part.shape != (n,):
+        raise ValueError(f"{name} must have shape ({n},), got {part.shape}")
+    if part.size and (part.min() < 0 or part.max() >= k):
+        raise ValueError(f"{name} entries must be in [0, {k}), got range "
+                         f"[{part.min()}, {part.max()}]")
+    return part
+
+
+def check_permutation(perm: Sequence[int] | np.ndarray, n: int, name: str = "perm") -> np.ndarray:
+    """Validate that ``perm`` is a permutation of range(n)."""
+    perm = as_int_array(perm, name)
+    if perm.shape != (n,):
+        raise ValueError(f"{name} must have length {n}, got {perm.shape}")
+    seen = np.zeros(n, dtype=bool)
+    if n:
+        if perm.min() < 0 or perm.max() >= n:
+            raise ValueError(f"{name} entries out of range [0, {n})")
+        seen[perm] = True
+        if not seen.all():
+            raise ValueError(f"{name} is not a permutation (has duplicates)")
+    return perm

@@ -1,0 +1,63 @@
+"""Meta-tests on the public API surface: every exported item is
+importable, documented, and the package __all__ lists are accurate."""
+
+import importlib
+import inspect
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.utils",
+    "repro.sparse",
+    "repro.ordering",
+    "repro.graphs",
+    "repro.hypergraph",
+    "repro.core",
+    "repro.lu",
+    "repro.solver",
+    "repro.parallel",
+    "repro.matrices",
+    "repro.experiments",
+]
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_all_exports_importable(pkg):
+    mod = importlib.import_module(pkg)
+    assert hasattr(mod, "__all__"), f"{pkg} lacks __all__"
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{pkg}.__all__ lists missing {name!r}"
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_public_items_documented(pkg):
+    mod = importlib.import_module(pkg)
+    undocumented = []
+    for name in mod.__all__:
+        obj = getattr(mod, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            doc = inspect.getdoc(obj)
+            if not doc or len(doc) < 15:
+                undocumented.append(name)
+    assert not undocumented, f"{pkg}: undocumented public items: " \
+                             f"{undocumented}"
+
+
+@pytest.mark.parametrize("pkg", PACKAGES)
+def test_module_docstrings(pkg):
+    mod = importlib.import_module(pkg)
+    assert mod.__doc__ and len(mod.__doc__.strip()) > 20, \
+        f"{pkg} lacks a module docstring"
+
+
+def test_version_string():
+    import repro
+    assert repro.__version__.count(".") == 2
+
+
+def test_no_duplicate_exports():
+    for pkg in PACKAGES:
+        mod = importlib.import_module(pkg)
+        assert len(mod.__all__) == len(set(mod.__all__)), \
+            f"{pkg}.__all__ has duplicates"

@@ -1,0 +1,122 @@
+"""Unit tests for DBBD forms and partition statistics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import build_dbbd, SEPARATOR
+from repro.core.dbbd import DBBDPartition
+from tests.conftest import grid_laplacian
+
+
+def chain_partition():
+    """1-D chain of 5 vertices split as [0,1 | 2 | 3,4] (2 parts + sep)."""
+    A = sp.diags([np.ones(4), 2 * np.ones(5), np.ones(4)], [-1, 0, 1]).tocsr()
+    part = np.array([0, 0, SEPARATOR, 1, 1])
+    return A, part
+
+
+class TestBuild:
+    def test_valid_partition(self):
+        A, part = chain_partition()
+        p = build_dbbd(A, part, 2)
+        assert p.separator_size == 1
+        np.testing.assert_array_equal(p.subdomain_vertices(0), [0, 1])
+        np.testing.assert_array_equal(p.subdomain_vertices(1), [3, 4])
+
+    def test_invalid_separator_detected(self):
+        A, _ = chain_partition()
+        bad = np.array([0, 0, 1, 1, 1])  # edge 1-2 couples parts 0 and 1
+        with pytest.raises(AssertionError):
+            build_dbbd(A, bad, 2)
+
+    def test_validation_skippable(self):
+        A, _ = chain_partition()
+        bad = np.array([0, 0, 1, 1, 1])
+        p = build_dbbd(A, bad, 2, validate=False)
+        assert p.k == 2
+
+    def test_part_out_of_range(self):
+        A, _ = chain_partition()
+        with pytest.raises(ValueError):
+            build_dbbd(A, np.array([0, 0, 2, 1, 1]), 2)
+
+    def test_wrong_length(self):
+        A, _ = chain_partition()
+        with pytest.raises(ValueError):
+            build_dbbd(A, np.array([0, 0, -1]), 2)
+
+
+class TestBlocks:
+    def test_block_shapes(self):
+        A, part = chain_partition()
+        p = build_dbbd(A, part, 2)
+        assert p.D(0).shape == (2, 2)
+        assert p.E(0).shape == (2, 1)
+        assert p.F(1).shape == (1, 2)
+        assert p.C().shape == (1, 1)
+
+    def test_block_values(self):
+        A, part = chain_partition()
+        p = build_dbbd(A, part, 2)
+        assert p.E(0).toarray()[1, 0] == 1.0  # vertex 1 - separator 2
+        assert p.E(0).toarray()[0, 0] == 0.0
+        assert p.C().toarray()[0, 0] == 2.0
+
+    def test_permuted_matrix_is_dbbd(self, grid16):
+        from repro.graphs import nested_dissection_partition
+        r = nested_dissection_partition(grid16, 4, seed=0)
+        p = build_dbbd(grid16, r.part, 4)
+        P = p.permuted()
+        # off-diagonal cross-subdomain blocks must be empty
+        ext = p.block_extents
+        for i in range(4):
+            for j in range(4):
+                if i == j:
+                    continue
+                blk = P[ext[i]:ext[i + 1], ext[j]:ext[j + 1]]
+                assert blk.nnz == 0
+
+    def test_perm_is_permutation(self, grid16):
+        from repro.graphs import nested_dissection_partition
+        r = nested_dissection_partition(grid16, 4, seed=0)
+        p = build_dbbd(grid16, r.part, 4)
+        assert sorted(p.perm.tolist()) == list(range(grid16.shape[0]))
+
+    def test_subdomain_index_out_of_range(self):
+        A, part = chain_partition()
+        p = build_dbbd(A, part, 2)
+        with pytest.raises(IndexError):
+            p.D(5)
+
+
+class TestStats:
+    def test_stats_fields(self):
+        A, part = chain_partition()
+        p = build_dbbd(A, part, 2)
+        s = p.subdomain_stats(0)
+        assert s.dim == 2
+        assert s.nnz_D == 4  # 2 diag + 2 offdiag within [0,1]
+        assert s.ncol_E == 1
+        assert s.nnz_E == 1
+
+    def test_quality_ratios(self):
+        A, part = chain_partition()
+        p = build_dbbd(A, part, 2)
+        q = p.quality()
+        assert q.dim_ratio == 1.0
+        assert q.separator_size == 1
+
+    def test_quality_infinite_ratio_on_empty_interface(self):
+        # a part with no connection to the separator
+        A = sp.eye(4).tocsr()
+        part = np.array([0, 0, 1, 1])
+        p = build_dbbd(A, part, 2)
+        q = p.quality()
+        assert q.ncol_E_ratio == 1.0  # 0/0 -> 1.0 by convention
+
+    def test_as_dict_keys(self):
+        A, part = chain_partition()
+        q = build_dbbd(A, part, 2).quality().as_dict()
+        assert set(q) == {"separator_size", "dim(D)", "nnz(D)", "col(E)",
+                          "nnz(E)"}

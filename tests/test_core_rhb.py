@@ -1,0 +1,142 @@
+"""Unit tests for RHB partitioning and the dynamic weight schemes."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import rhb_partition, compute_vertex_weights
+from repro.core.weights import current_w1
+from repro.hypergraph import Hypergraph
+from repro.matrices import cavity_matrix
+from repro.sparse import edge_incidence_factor, row_nnz
+from tests.conftest import grid_laplacian
+
+
+class TestWeights:
+    def make_h(self, grid8):
+        M = edge_incidence_factor(grid8)
+        return Hypergraph.column_net_model(M), row_nnz(M)
+
+    def test_unit_scheme(self, grid8):
+        H, w2 = self.make_h(grid8)
+        w = compute_vertex_weights(H, "unit", w2, first_bisection=False)
+        assert w.shape == (H.n_vertices, 1)
+        assert np.all(w == 1)
+
+    def test_first_bisection_forces_unit(self, grid8):
+        H, w2 = self.make_h(grid8)
+        w = compute_vertex_weights(H, "w1", w2, first_bisection=True)
+        assert np.all(w == 1)
+
+    def test_w1_equals_degree(self, grid8):
+        H, w2 = self.make_h(grid8)
+        w = compute_vertex_weights(H, "w1", w2, first_bisection=False)
+        np.testing.assert_array_equal(w[:, 0],
+                                      np.maximum(current_w1(H), 1))
+
+    def test_w1w2_two_constraints(self, grid8):
+        H, w2 = self.make_h(grid8)
+        w = compute_vertex_weights(H, "w1w2", w2, first_bisection=False)
+        assert w.shape == (H.n_vertices, 2)
+
+    def test_w2_static(self, grid8):
+        H, w2 = self.make_h(grid8)
+        w = compute_vertex_weights(H, "w2", w2, first_bisection=False)
+        np.testing.assert_array_equal(w[:, 0], np.maximum(w2, 1))
+
+    def test_invalid_scheme(self, grid8):
+        H, w2 = self.make_h(grid8)
+        with pytest.raises(ValueError):
+            compute_vertex_weights(H, "nope", w2, first_bisection=False)
+
+    def test_wrong_w2_length(self, grid8):
+        H, _ = self.make_h(grid8)
+        with pytest.raises(ValueError):
+            compute_vertex_weights(H, "w1", np.ones(3), first_bisection=False)
+
+
+class TestRHB:
+    @pytest.mark.parametrize("metric", ["con1", "cnet", "soed"])
+    def test_dbbd_valid_each_metric(self, grid16, metric):
+        r = rhb_partition(grid16, 4, metric=metric, seed=0)
+        p = r.to_dbbd(grid16)  # validates
+        assert p.separator_size == r.separator_size
+
+    @pytest.mark.parametrize("scheme", ["unit", "w1", "w1w2"])
+    def test_schemes_run(self, grid16, scheme):
+        r = rhb_partition(grid16, 4, scheme=scheme, seed=0)
+        sizes = np.bincount(r.col_part[r.col_part >= 0], minlength=4)
+        assert np.all(sizes > 0)
+
+    def test_every_column_assigned_or_separator(self, grid16):
+        r = rhb_partition(grid16, 8, seed=1)
+        assert r.col_part.size == grid16.shape[0]
+        assert np.all((r.col_part >= -1) & (r.col_part < 8))
+
+    def test_rows_partitioned(self, grid16):
+        r = rhb_partition(grid16, 4, seed=0)
+        assert np.all((r.row_part >= 0) & (r.row_part < 4))
+
+    def test_fem_incidence_factor_used(self):
+        gm = cavity_matrix(6, 6, 6, seed=0)
+        r = rhb_partition(gm.A, 4, M=gm.M, seed=0)
+        p = r.to_dbbd(gm.A)
+        assert p.separator_size > 0
+        sizes = p.subdomain_sizes() if hasattr(p, "subdomain_sizes") else \
+            np.asarray([p.subdomain_vertices(i).size for i in range(4)])
+        assert np.all(sizes > 0)
+
+    def test_separator_smaller_than_naive(self, grid16):
+        r = rhb_partition(grid16, 4, seed=0)
+        assert r.separator_size < 0.3 * grid16.shape[0]
+
+    def test_k1_trivial(self, grid8):
+        r = rhb_partition(grid8, 1, seed=0)
+        assert r.separator_size == 0
+        assert np.all(r.col_part == 0)
+
+    def test_non_power_of_two_k(self, grid16):
+        r = rhb_partition(grid16, 6, seed=0)
+        sizes = np.bincount(r.col_part[r.col_part >= 0], minlength=6)
+        assert np.all(sizes > 0)
+
+    def test_deterministic(self, grid16):
+        a = rhb_partition(grid16, 4, seed=9)
+        b = rhb_partition(grid16, 4, seed=9)
+        np.testing.assert_array_equal(a.col_part, b.col_part)
+
+    def test_mismatched_m_rejected(self, grid16):
+        M = sp.csr_matrix((4, 7))
+        with pytest.raises(ValueError):
+            rhb_partition(grid16, 4, M=M)
+
+    def test_cut_costs_recorded(self, grid16):
+        r = rhb_partition(grid16, 4, seed=0)
+        assert len(r.cut_costs) == 3  # k-1 bisections for k=4
+        assert r.total_cut_cost == sum(r.cut_costs)
+
+    def test_dynamic_weights_change_partition(self):
+        """Regression: under net splitting the raw vertex degree never
+        changes, so w1 must count internal columns only — otherwise the
+        'dynamic' scheme silently degenerates to unit weights."""
+        gm = cavity_matrix(12, 12, 12, seed=0)
+        r_unit = rhb_partition(gm.A, 8, M=gm.M, scheme="unit", seed=0)
+        r_w1 = rhb_partition(gm.A, 8, M=gm.M, scheme="w1", seed=0)
+        assert not np.array_equal(r_unit.col_part, r_w1.col_part)
+
+    def test_parallel_partition_projection(self, grid16):
+        r = rhb_partition(grid16, 8, seed=0)
+        assert len(r.bisection_seconds) == 7
+        serial = r.serial_partition_seconds
+        par_inf = r.parallel_partition_seconds()
+        par_2 = r.parallel_partition_seconds(2)
+        assert 0 < par_inf <= par_2 <= serial + 1e-12
+        # the first bisection is always serial, so perfect parallelism
+        # cannot beat the per-level maxima
+        assert par_inf >= max(r.bisection_seconds[0], 0.0)
+
+    def test_unsymmetric_input(self, unsym50):
+        r = rhb_partition(unsym50, 2, seed=0)
+        from repro.sparse import symmetrized
+        p = r.to_dbbd(symmetrized(unsym50))
+        assert p.k == 2

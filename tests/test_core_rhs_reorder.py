@@ -1,0 +1,133 @@
+"""Unit tests for the sparse-RHS reordering algorithms (Section IV)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core.rhs_reorder import (
+    natural_column_order,
+    postorder_column_order,
+    hypergraph_column_order,
+)
+from repro.hypergraph import Hypergraph, cutsize
+from repro.lu import partition_columns, padded_zeros
+from tests.conftest import grid_laplacian
+
+
+class TestNatural:
+    def test_identity(self):
+        np.testing.assert_array_equal(natural_column_order(4), [0, 1, 2, 3])
+
+    def test_rejects_zero(self):
+        with pytest.raises(ValueError):
+            natural_column_order(0)
+
+
+class TestPostorder:
+    def test_sorts_by_first_nonzero(self):
+        # columns with first nonzeros at rows 3, 0, 2
+        E = sp.csr_matrix(np.array([[0.0, 1.0, 0.0],
+                                    [0.0, 0.0, 0.0],
+                                    [0.0, 0.0, 1.0],
+                                    [1.0, 0.0, 0.0]]))
+        order = postorder_column_order(E)
+        np.testing.assert_array_equal(order, [1, 2, 0])
+
+    def test_empty_columns_last(self):
+        E = sp.csr_matrix(np.array([[0.0, 1.0], [0.0, 0.0]]))
+        order = postorder_column_order(E)
+        np.testing.assert_array_equal(order, [1, 0])
+
+    def test_stable_on_ties(self):
+        E = sp.csr_matrix(np.array([[1.0, 1.0, 1.0]]))
+        order = postorder_column_order(E)
+        np.testing.assert_array_equal(order, [0, 1, 2])
+
+
+class TestHypergraphOrder:
+    def make_g(self):
+        """Pattern with two obvious column clusters sharing rows."""
+        rows_a = [0, 1, 2, 3]
+        cols = []
+        r = []
+        for j in range(4):           # cluster A: columns 0..3 share rows 0..3
+            for i in rows_a:
+                r.append(i)
+                cols.append(j)
+        for j in range(4, 8):        # cluster B: columns 4..7 share rows 4..7
+            for i in [4, 5, 6, 7]:
+                r.append(i)
+                cols.append(j)
+        return sp.csr_matrix((np.ones(len(r)), (r, cols)), shape=(8, 8))
+
+    def test_clusters_recovered(self):
+        G = self.make_g()
+        res = hypergraph_column_order(G, 4, seed=0)
+        parts = [set(p.tolist()) for p in res.parts]
+        assert {0, 1, 2, 3} in parts and {4, 5, 6, 7} in parts
+
+    def test_zero_padding_for_perfect_clusters(self):
+        G = self.make_g()
+        res = hypergraph_column_order(G, 4, seed=0)
+        stats = padded_zeros(G, res.parts)
+        assert stats.total_padded == 0
+
+    def test_parts_have_exact_size(self, grid16):
+        # use the grid matrix itself as a pattern
+        res = hypergraph_column_order(grid16, 16, seed=0)
+        sizes = [p.size for p in res.parts]
+        assert all(s == 16 for s in sizes[:-1])
+        assert sum(sizes) == grid16.shape[1]
+
+    def test_remainder_part_last(self):
+        G = sp.random(30, 25, 0.2, random_state=0, format="csr")
+        res = hypergraph_column_order(G, 8, seed=0)
+        sizes = [p.size for p in res.parts]
+        assert sizes == [8, 8, 8, 1]
+
+    def test_order_is_permutation(self, grid16):
+        res = hypergraph_column_order(grid16, 10, seed=0)
+        assert sorted(res.order.tolist()) == list(range(grid16.shape[1]))
+
+    def test_single_part_short_circuit(self):
+        G = sp.random(10, 5, 0.3, random_state=1, format="csr")
+        res = hypergraph_column_order(G, 8, seed=0)
+        assert len(res.parts) == 1
+        np.testing.assert_array_equal(res.order, np.arange(5))
+
+    def test_quasi_dense_removal_recorded(self):
+        G = self.make_g().tolil()
+        G[0, :] = 1.0  # make row 0 fully dense
+        G = sp.csr_matrix(G)
+        res = hypergraph_column_order(G, 4, tau=0.5, seed=0)
+        assert res.n_rows_removed_dense >= 1
+
+    def test_quality_insensitive_to_tau(self):
+        # removing the dense row should not change the recovered clusters
+        # (cluster rows have density 0.5, so tau must sit above that)
+        G = self.make_g().tolil()
+        G[0, :] = 1.0
+        G = sp.csr_matrix(G)
+        res = hypergraph_column_order(G, 4, tau=0.9, seed=0)
+        parts = [set(p.tolist()) for p in res.parts]
+        assert {4, 5, 6, 7} in parts
+
+    def test_padding_equivalence_con1(self):
+        """Eq. (15): padded zeros == B * con1 + (n_G*B - nnz) over the
+        rows that appear, for exact-size parts."""
+        G = sp.random(40, 32, 0.15, random_state=3, format="csr")
+        G.data[:] = 1.0
+        B = 8
+        res = hypergraph_column_order(G, B, seed=1)
+        stats = padded_zeros(G, res.parts)
+        # evaluate con1 on the row-net hypergraph with the part labels
+        H = Hypergraph.row_net_model(G)
+        part = np.empty(32, dtype=np.int64)
+        for idx, p in enumerate(res.parts):
+            part[p] = idx
+        con1 = cutsize(H, part, len(res.parts), "con1")
+        # Eq (15): sum_i (lambda_i * B - |r_i|) with non-empty rows
+        from repro.sparse.patterns import row_nnz
+        nz_rows = int((row_nnz(G) > 0).sum())
+        expected = con1 * B + nz_rows * B - G.nnz
+        assert stats.total_padded == expected

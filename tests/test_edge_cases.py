@@ -1,0 +1,167 @@
+"""Edge cases and failure injection across modules."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.core import build_dbbd, rhb_partition
+from repro.graphs import Graph, bisect_graph, nested_dissection_partition
+from repro.hypergraph import Hypergraph, bisect_hypergraph, cutsize
+from repro.lu import (
+    factorize, GilbertPeierlsLU, solution_pattern, SupernodalLower,
+    blocked_triangular_solve, partition_columns, detect_supernodes,
+)
+from repro.ordering import elimination_tree, postorder, minimum_degree
+from repro.solver import PDSLin, PDSLinConfig
+from tests.conftest import grid_laplacian
+
+
+class TestDegenerateGraphs:
+    def test_single_vertex_graph(self):
+        A = sp.csr_matrix(np.array([[2.0]]))
+        g = Graph.from_matrix(A)
+        assert g.n_vertices == 1 and g.n_edges == 0
+        assert elimination_tree(A)[0] == -1
+
+    def test_empty_hypergraph_bisect(self):
+        H = Hypergraph.from_arrays([0], [], 4)
+        res = bisect_hypergraph(H, seed=0)
+        assert res.cut == 0
+
+    def test_disconnected_matrix_partition(self):
+        A = sp.block_diag([grid_laplacian(5, 5)] * 4).tocsr()
+        r = nested_dissection_partition(A, 4, seed=0)
+        build_dbbd(A, r.part, 4)
+        # ideally the components become the parts with tiny separator
+        assert r.separator_size <= 10
+
+    def test_diagonal_matrix_rhb(self):
+        A = (2.0 * sp.eye(40)).tocsr()
+        r = rhb_partition(A, 4, seed=0)
+        assert r.separator_size == 0
+        sizes = np.bincount(r.col_part, minlength=4)
+        assert np.all(sizes > 0)
+
+    def test_dense_matrix_partition(self):
+        # fully dense: any k-way partition needs a huge separator; the
+        # machinery must still produce a *valid* DBBD
+        A = sp.csr_matrix(np.ones((20, 20)) + 20 * np.eye(20))
+        r = rhb_partition(A, 2, seed=0)
+        d = build_dbbd(A, r.col_part, 2, validate=True)
+        assert d.separator_size >= 10
+
+    def test_path_graph_ngd(self):
+        n = 33
+        A = (sp.diags([np.ones(n - 1), 2 * np.ones(n), np.ones(n - 1)],
+                      [-1, 0, 1])).tocsr()
+        r = nested_dissection_partition(A, 4, seed=0)
+        # a path needs exactly k-1 separator vertices
+        assert r.separator_size <= 6
+        build_dbbd(A, r.part, 4)
+
+
+class TestDegenerateLU:
+    def test_1x1_matrix(self):
+        A = sp.csc_matrix(np.array([[3.0]]))
+        f = factorize(A)
+        assert f.solve(np.array([6.0]))[0] == pytest.approx(2.0)
+
+    def test_identity_supernodes(self):
+        snl = SupernodalLower.from_csc(sp.eye(5).tocsc(), unit_diagonal=True)
+        X = np.arange(10.0).reshape(5, 2)
+        Y = X.copy()
+        snl.solve_inplace(Y)
+        np.testing.assert_array_equal(X, Y)
+
+    def test_empty_rhs_block(self):
+        A = grid_laplacian(5, 5).tocsc()
+        f = factorize(A, diag_pivot_thresh=0.0)
+        E = sp.csr_matrix((25, 0))
+        G = solution_pattern(f.L, E)
+        snl = SupernodalLower.from_csc(f.L, unit_diagonal=True)
+        res = blocked_triangular_solve(snl, E, G, [])
+        assert res.X.shape == (25, 0)
+        assert res.padding.total_padded == 0
+
+    def test_reference_lu_1x1_zero(self):
+        with pytest.raises(RuntimeError):
+            GilbertPeierlsLU(sp.csc_matrix((1, 1)))
+
+    def test_missing_diagonal_supernode_rejected(self):
+        # strictly lower factor without stored diagonal
+        L = sp.csc_matrix(np.array([[0.0, 0.0], [1.0, 0.0]]))
+        with pytest.raises(ValueError):
+            SupernodalLower.from_csc(L, unit_diagonal=True)
+
+
+class TestSolverFailureModes:
+    def test_k_larger_than_reasonable(self, rng):
+        # k close to n: many singleton subdomains; must still work
+        A = grid_laplacian(6, 6)
+        b = rng.standard_normal(36)
+        res = PDSLin(A, PDSLinConfig(k=8, seed=0)).solve(b)
+        assert res.residual_norm < 1e-7
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            PDSLin(sp.csr_matrix((3, 4)), PDSLinConfig(k=2))
+
+    def test_setup_idempotent_solves(self, rng):
+        A = grid_laplacian(8, 8)
+        solver = PDSLin(A, PDSLinConfig(k=2, seed=0))
+        solver.setup()
+        b1 = rng.standard_normal(64)
+        b2 = rng.standard_normal(64)
+        r1 = solver.solve(b1)
+        r2 = solver.solve(b2)
+        assert r1.residual_norm < 1e-8 and r2.residual_norm < 1e-8
+
+    def test_singular_subdomain_surfaces_error(self):
+        # a structurally singular matrix: zero row/column
+        A = grid_laplacian(6, 6).tolil()
+        A[7, :] = 0.0
+        A[:, 7] = 0.0
+        A = sp.csr_matrix(A)
+        solver = PDSLin(A, PDSLinConfig(k=2, seed=0))
+        with pytest.raises(Exception):
+            solver.solve(np.ones(36))
+
+
+class TestMetricEdgeCases:
+    def test_net_with_all_vertices(self):
+        H = Hypergraph.from_arrays([0, 5], [0, 1, 2, 3, 4], 5)
+        part = np.array([0, 0, 1, 1, 2])
+        assert cutsize(H, part, 3, "con1") == 2
+        assert cutsize(H, part, 3, "cnet") == 1
+        assert cutsize(H, part, 3, "soed") == 3
+
+    def test_empty_net_ignored(self):
+        H = Hypergraph.from_arrays([0, 0, 2], [0, 1], 2)
+        part = np.array([0, 1])
+        assert cutsize(H, part, 2, "con1") == 1  # only the real net
+
+    def test_partition_columns_block_larger_than_m(self):
+        parts = partition_columns(np.arange(3), 10)
+        assert len(parts) == 1 and parts[0].size == 3
+
+    def test_detect_supernodes_empty(self):
+        assert detect_supernodes(sp.csc_matrix((0, 0))) == []
+
+
+class TestOrderingEdgeCases:
+    def test_minimum_degree_complete_graph(self):
+        A = sp.csr_matrix(np.ones((6, 6)))
+        order = minimum_degree(A)
+        assert sorted(order.tolist()) == list(range(6))
+
+    def test_postorder_forest(self):
+        # two independent trees
+        parent = np.array([1, -1, 3, -1])
+        po = postorder(parent)
+        assert sorted(po.tolist()) == [0, 1, 2, 3]
+        pos = {v: i for i, v in enumerate(po)}
+        assert pos[0] < pos[1] and pos[2] < pos[3]
+
+    def test_etree_of_empty_matrix(self):
+        par = elimination_tree(sp.csr_matrix((0, 0)))
+        assert par.size == 0

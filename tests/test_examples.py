@@ -1,0 +1,60 @@
+"""Smoke tests: every example script runs to completion.
+
+Run as subprocesses so import-time behaviour, argument parsing and the
+``__main__`` guards are exercised exactly as a user would.
+"""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    proc = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=timeout)
+    assert proc.returncode == 0, f"{name} failed:\n{proc.stderr[-2000:]}"
+    return proc.stdout
+
+
+@pytest.mark.slow
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "converged:      True" in out
+        assert "stage breakdown" in out
+
+    def test_cavity_partitioning(self):
+        out = run_example("cavity_partitioning.py", "tiny")
+        assert "PT-SCOTCH" in out
+        assert "weight-scheme ablation" in out or "weight scheme" in out
+
+    def test_circuit_analysis(self):
+        out = run_example("circuit_analysis.py")
+        assert "separator size" in out
+        assert "end-to-end solves" in out
+
+    def test_rhs_reordering(self):
+        out = run_example("rhs_reordering.py")
+        assert "padded-zero fraction" in out
+        assert "quasi-dense" in out
+
+    def test_custom_matrix(self):
+        out = run_example("custom_matrix.py")
+        assert "MatrixMarket roundtrip max error: 0.0" in out
+        assert "converged=True" in out
+
+    def test_unstructured_fem(self):
+        out = run_example("unstructured_fem.py")
+        assert "partitioner comparison" in out
+        assert "converged=True" in out
+
+    def test_parallel_trace(self, tmp_path):
+        out = run_example("parallel_trace.py", str(tmp_path))
+        assert "two-level projection" in out
+        assert (tmp_path / "pdslin_trace.json").exists()
+        assert (tmp_path / "pdslin_report.json").exists()

@@ -1,0 +1,162 @@
+"""Tests for the experiment harness (each table/figure runs end-to-end
+at tiny scale and produces sane shapes)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    run_partitioner, prepare_triangular_study, render_table,
+    run_table1, format_table1,
+    run_fig1, format_fig1,
+    run_fig3, format_fig3,
+    run_table2, format_table2,
+    run_table3, format_table3,
+    run_fig4, format_fig4,
+    run_fig5, format_fig5,
+    run_quasidense, format_quasidense,
+    run_weight_ablation, run_fm_ablation, format_ablation,
+)
+from repro.matrices import generate
+
+
+class TestCommon:
+    def test_run_partitioner_both_methods(self):
+        gm = generate("tdr190k", "tiny")
+        for method in ("rhb", "ngd"):
+            pr = run_partitioner(gm, 4, method=method, seed=0)
+            assert pr.quality.separator_size > 0
+            assert pr.seconds > 0
+
+    def test_run_partitioner_bad_method(self):
+        gm = generate("tdr190k", "tiny")
+        with pytest.raises(ValueError):
+            run_partitioner(gm, 4, method="metis")
+
+    def test_prepare_triangular_study(self):
+        gm = generate("tdr190k", "tiny")
+        subs = prepare_triangular_study(gm, k=4, seed=0)
+        assert len(subs) == 4
+        for s in subs:
+            assert s.G_pattern.shape[1] == s.E_factored.shape[1]
+
+    def test_render_table(self):
+        out = render_table(["a", "b"], [[1, 2.5], ["x", float("nan")]])
+        assert "a" in out and "2.5" in out and "-" in out
+
+
+class TestTable1:
+    def test_rows_and_format(self):
+        rows = run_table1("tiny", check_definiteness=False)
+        assert len(rows) == 7
+        txt = format_table1(rows)
+        assert "tdr190k" in txt and "G3_circuit" in txt
+
+
+class TestFig3:
+    def test_single_constraint_panel(self):
+        rows = run_fig3("tdr190k", "tiny", k=4, constraint="single",
+                        include_solve=False, seed=0)
+        labels = [r.label for r in rows]
+        assert labels == ["CON1", "CNET", "SOED", "PT-SCOTCH"]
+        for r in rows:
+            assert r.separator_size > 0
+            assert r.dim_ratio >= 1.0
+
+    def test_invalid_constraint(self):
+        with pytest.raises(ValueError):
+            run_fig3("tdr190k", "tiny", constraint="triple")
+
+    def test_format(self):
+        rows = run_fig3("tdr190k", "tiny", k=4, constraint="single",
+                        include_solve=False, seed=0)
+        assert "PT-SCOTCH" in format_fig3(rows)
+
+
+class TestFig4Fig5:
+    def test_fig4_shapes(self):
+        pts = run_fig4("tdr190k", "tiny", k=4, block_sizes=(8, 32), seed=0)
+        assert len(pts) == 6  # 3 orderings x 2 sizes
+        for p in pts:
+            assert 0.0 <= p.frac_min <= p.frac_avg <= p.frac_max <= 1.0
+
+    def test_fig4_fraction_grows_with_b(self):
+        pts = run_fig4("tdr190k", "tiny", k=4, block_sizes=(4, 64),
+                       orderings=("postorder",), seed=0)
+        by_b = {p.block_size: p.frac_avg for p in pts}
+        assert by_b[4] <= by_b[64]
+
+    def test_fig5_times_positive(self):
+        gm = generate("tdr190k", "tiny")
+        subs = prepare_triangular_study(gm, k=4, seed=0)
+        pts = run_fig5(subs=subs, block_sizes=(16,), seed=0)
+        assert len(pts) == 3
+        for p in pts:
+            assert p.time_avg > 0 and p.flops_avg > 0
+
+    def test_shared_subs_between_fig4_and_fig5(self):
+        gm = generate("tdr190k", "tiny")
+        subs = prepare_triangular_study(gm, k=4, seed=0)
+        p4 = run_fig4(subs=subs, block_sizes=(16,), seed=0)
+        p5 = run_fig5(subs=subs, block_sizes=(16,), seed=0)
+        assert {p.ordering for p in p4} == {p.ordering for p in p5}
+
+    def test_formats(self):
+        gm = generate("tdr190k", "tiny")
+        subs = prepare_triangular_study(gm, k=2, seed=0)
+        assert "frac avg" in format_fig4(run_fig4(subs=subs,
+                                                  block_sizes=(8,), seed=0))
+        assert "t avg" in format_fig5(run_fig5(subs=subs,
+                                               block_sizes=(8,), seed=0))
+
+
+class TestQuasiDense:
+    def test_sweep(self):
+        gm = generate("tdr190k", "tiny")
+        subs = prepare_triangular_study(gm, k=2, seed=0)
+        pts = run_quasidense(subs=subs, block_size=16,
+                             taus=(None, 0.4), seed=0)
+        assert len(pts) == 2
+        assert pts[0].tau is None
+        assert pts[1].rows_removed_frac >= 0.0
+        assert "tau" in format_quasidense(pts)
+
+
+class TestAblation:
+    def test_weight_ablation_rows(self):
+        rows = run_weight_ablation("tdr190k", "tiny", k=4, seed=0,
+                                   n_seeds=1)
+        assert [r.label for r in rows] == \
+            ["ngd", "soed/unit", "soed/w2", "soed/w1", "soed/w1w2"]
+        txt = format_ablation(rows, title="weights")
+        assert "soed/w1" in txt
+
+    def test_fm_ablation_rows(self):
+        rows = run_fm_ablation("tdr190k", "tiny", k=2, seed=0)
+        assert len(rows) == 5
+
+
+@pytest.mark.slow
+class TestHeavyExperiments:
+    def test_fig1_projection_monotone(self):
+        pts = run_fig1("tdr455k", "tiny", k=2, cores=(2, 8, 64), seed=0)
+        assert len(pts) == 6
+        for label in ("RHB,soed", "PT-Scotch"):
+            ours = [p for p in pts if p.partitioner == label]
+            totals = [p.total for p in sorted(ours, key=lambda p: p.cores)]
+            assert totals[0] >= totals[-1]
+        assert "cores" in format_fig1(pts)
+
+    def test_table2_rows(self):
+        rows = run_table2(matrices=("G3_circuit",), scale="tiny", k=2, seed=0)
+        assert len(rows) == 2
+        assert rows[0].alg == "NGD" and rows[1].alg == "RHB"
+        assert rows[0].n_d_min <= rows[0].n_d_max
+        assert "Table II" in format_table2(rows)
+
+    def test_table3_rows(self):
+        rows = run_table3(matrices=("tdr190k",), scale="tiny", k=2, seed=0)
+        assert len(rows) == 1
+        r = rows[0]
+        assert r.fill_ratio_min >= 1.0
+        assert 0 < r.eff_density_max <= 1.0
+        assert "Table III" in format_table3(rows)

@@ -1,0 +1,71 @@
+"""Tests for FGMRES and the two-level-vs-one-level scaling experiment."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solver import gmres
+from repro.experiments import run_twolevel_vs_onelevel, format_scaling
+from tests.conftest import random_spd
+
+
+class TestFGMRES:
+    def test_fixed_preconditioner_matches_gmres(self, spd60, rng):
+        b = rng.standard_normal(60)
+        d = spd60.diagonal()
+        M = lambda v: v / d
+        plain = gmres(lambda v: spd60 @ v, b, preconditioner=M, tol=1e-10)
+        flex = gmres(lambda v: spd60 @ v, b, preconditioner=M, tol=1e-10,
+                     flexible=True)
+        assert flex.converged
+        np.testing.assert_allclose(flex.x, plain.x, atol=1e-8)
+
+    def test_varying_preconditioner_converges(self, rng):
+        """A preconditioner that changes each call breaks plain GMRES's
+        assumptions but FGMRES handles it."""
+        d = np.logspace(0, 5, 50)
+        A = sp.diags(d)
+        b = rng.standard_normal(50)
+        state = {"i": 0}
+
+        def M(v):
+            state["i"] += 1
+            # alternate between two inexact diagonal preconditioners
+            scale = 1.0 if state["i"] % 2 == 0 else 0.5
+            return scale * v / d
+
+        res = gmres(lambda v: A @ v, b, preconditioner=M, tol=1e-10,
+                    flexible=True, restart=30, maxiter=200)
+        assert res.converged
+        assert np.linalg.norm(A @ res.x - b) <= 1e-8 * np.linalg.norm(b)
+
+    def test_no_preconditioner(self, spd60, rng):
+        b = rng.standard_normal(60)
+        res = gmres(lambda v: spd60 @ v, b, flexible=True, tol=1e-10)
+        assert res.converged
+
+
+class TestScalingExperiment:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return run_twolevel_vs_onelevel("tdr190k", "tiny", cores=(4, 16),
+                                        k_two_level=4, seed=0)
+
+    def test_point_count(self, points):
+        assert len(points) == 4
+
+    def test_schur_grows_one_level(self, points):
+        one = {p.cores: p for p in points if p.mode.startswith("one")}
+        assert one[16].schur_size > one[4].schur_size
+
+    def test_two_level_schur_constant(self, points):
+        two = {p.cores: p for p in points if p.mode.startswith("two")}
+        assert two[4].schur_size == two[16].schur_size
+
+    def test_two_level_scales(self, points):
+        two = {p.cores: p for p in points if p.mode.startswith("two")}
+        assert two[16].total_time < two[4].total_time
+
+    def test_format(self, points):
+        txt = format_scaling(points)
+        assert "two-level" in txt and "one-level" in txt

@@ -1,0 +1,96 @@
+"""Tests for the Lanczos eigensolver and spectral bisection."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.graphs import (
+    Graph, graph_laplacian, lanczos_fiedler, spectral_bisection,
+)
+from tests.conftest import grid_laplacian
+
+
+def path_graph(n: int) -> Graph:
+    A = sp.diags([np.ones(n - 1), 2 * np.ones(n), np.ones(n - 1)],
+                 [-1, 0, 1]).tocsr()
+    return Graph.from_matrix(A)
+
+
+class TestLaplacian:
+    def test_rows_sum_to_zero(self, grid16):
+        g = Graph.from_matrix(grid16)
+        L = graph_laplacian(g)
+        np.testing.assert_allclose(np.asarray(L.sum(axis=1)).ravel(), 0.0,
+                                   atol=1e-12)
+
+    def test_psd(self):
+        g = path_graph(10)
+        L = graph_laplacian(g).toarray()
+        assert np.linalg.eigvalsh(L).min() > -1e-10
+
+
+class TestLanczosFiedler:
+    def test_matches_scipy_on_grid(self, grid16):
+        g = Graph.from_matrix(grid16)
+        L = graph_laplacian(g)
+        lam, v = lanczos_fiedler(L, seed=0)
+        ref = spla.eigsh(L.asfptype(), k=2, which="SM",
+                         return_eigenvectors=False)
+        lam_ref = float(np.sort(ref)[1])
+        assert lam == pytest.approx(lam_ref, rel=1e-4)
+
+    def test_eigenvector_residual(self):
+        g = path_graph(40)
+        L = graph_laplacian(g)
+        lam, v = lanczos_fiedler(L, seed=1)
+        resid = np.linalg.norm(L @ v - lam * v)
+        assert resid < 1e-5
+
+    def test_path_fiedler_is_monotone(self):
+        # the path graph's Fiedler vector is a cosine: sorted by vertex
+        g = path_graph(30)
+        _, v = lanczos_fiedler(graph_laplacian(g), seed=0)
+        s = np.sign(v[-1] - v[0])
+        diffs = np.diff(s * v)
+        assert (diffs > -1e-8).all()
+
+    def test_orthogonal_to_constants(self, grid16):
+        g = Graph.from_matrix(grid16)
+        _, v = lanczos_fiedler(graph_laplacian(g), seed=0)
+        assert abs(v.sum()) < 1e-8
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            lanczos_fiedler(sp.csr_matrix((1, 1)))
+
+
+class TestSpectralBisection:
+    def test_grid_cut_quality(self):
+        g = Graph.from_matrix(grid_laplacian(16, 16))
+        res = spectral_bisection(g, seed=0)
+        assert res.cut <= 24  # optimal straight cut is 16
+        assert abs(res.part_weights[0] - res.part_weights[1]) <= 26
+
+    def test_path_graph_cut_is_one(self):
+        g = path_graph(32)
+        res = spectral_bisection(g, seed=0)
+        assert res.cut == 1
+
+    def test_refinement_not_worse(self):
+        g = Graph.from_matrix(grid_laplacian(12, 12))
+        raw = spectral_bisection(g, seed=0, refine=False)
+        ref = spectral_bisection(g, seed=0, refine=True)
+        assert ref.cut <= raw.cut
+
+    def test_comparable_to_multilevel(self):
+        from repro.graphs import bisect_graph
+        g = Graph.from_matrix(grid_laplacian(16, 16))
+        s = spectral_bisection(g, seed=0)
+        m = bisect_graph(g, seed=0)
+        assert s.cut <= 2.0 * max(m.cut, 1)
+
+    def test_single_vertex(self):
+        g = Graph.from_matrix(sp.csr_matrix(np.array([[1.0]])))
+        res = spectral_bisection(g, seed=0)
+        assert res.cut == 0

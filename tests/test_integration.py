@@ -1,0 +1,128 @@
+"""Cross-module integration tests: full pipelines on every matrix
+family, correctness of the end-to-end solve, and consistency between
+the solver's internal accounting and the standalone experiment paths."""
+
+import numpy as np
+import pytest
+
+from repro import PDSLin, PDSLinConfig, generate, suite_names
+from repro.core import build_dbbd, rhb_partition
+from repro.experiments import prepare_triangular_study, run_partitioner
+from repro.lu import blocked_triangular_solve, padded_zeros, partition_columns
+from repro.core.rhs_reorder import hypergraph_column_order, \
+    postorder_column_order
+
+
+class TestFullSolveAllFamilies:
+    @pytest.mark.parametrize("name", suite_names())
+    def test_solve_every_suite_matrix(self, name, rng):
+        gm = generate(name, "tiny")
+        b = rng.standard_normal(gm.n)
+        cfg = PDSLinConfig(k=4, partitioner="rhb", seed=0,
+                           drop_interface=1e-4, drop_schur=1e-6,
+                           gmres_tol=1e-9)
+        res = PDSLin(gm.A, cfg, M=gm.M).solve(b)
+        assert res.converged, f"{name} did not converge"
+        assert res.residual_norm < 1e-6, f"{name}: {res.residual_norm}"
+
+    @pytest.mark.parametrize("partitioner", ["rhb", "ngd"])
+    def test_solution_matches_direct(self, partitioner, rng):
+        import scipy.sparse.linalg as spla
+        gm = generate("G3_circuit", "tiny")
+        b = rng.standard_normal(gm.n)
+        res = PDSLin(gm.A, PDSLinConfig(k=4, partitioner=partitioner,
+                                        seed=0)).solve(b)
+        x_ref = spla.spsolve(gm.A.tocsc(), b)
+        np.testing.assert_allclose(res.x, x_ref, rtol=1e-6, atol=1e-8)
+
+
+class TestAccountingConsistency:
+    def test_partition_quality_same_via_solver_and_experiment(self):
+        gm = generate("tdr190k", "tiny")
+        pr = run_partitioner(gm, 4, method="rhb", metric="soed",
+                             scheme="w1", seed=7)
+        cfg = PDSLinConfig(k=4, partitioner="rhb", metric="soed",
+                           scheme="w1", seed=7)
+        solver = PDSLin(gm.A, cfg, M=gm.M).setup()
+        assert solver.partition.separator_size == \
+            pr.quality.separator_size
+        assert solver.partition.quality().nnz_D_ratio == \
+            pytest.approx(pr.quality.nnz_D_ratio)
+
+    def test_machine_flops_populated(self, rng):
+        gm = generate("tdr190k", "tiny")
+        solver = PDSLin(gm.A, PDSLinConfig(k=4, seed=0), M=gm.M)
+        solver.solve(rng.standard_normal(gm.n))
+        flops = solver.machine.process_stage_flops("LU(D)")
+        assert flops.shape == (4,)
+        assert np.all(flops > 0)
+
+    def test_subdomain_padding_recorded(self, rng):
+        gm = generate("tdr190k", "tiny")
+        solver = PDSLin(gm.A, PDSLinConfig(k=4, seed=0, block_size=16),
+                        M=gm.M)
+        solver.setup()
+        for s in solver.subdomains:
+            assert s.padding_G.total_block_entries >= 0
+            assert s.T_tilde.shape == (s.interfaces.f_rows.size,
+                                       s.interfaces.e_cols.size)
+
+
+class TestReorderingPipelineConsistency:
+    def test_orderings_preserve_solution_values(self):
+        """The column ordering affects cost only; G values must agree."""
+        gm = generate("dds.quad", "tiny")
+        subs = prepare_triangular_study(gm, k=2, seed=0)
+        s = subs[0]
+        m = s.E_factored.shape[1]
+        ref = None
+        for order in (np.arange(m),
+                      postorder_column_order(s.E_factored),
+                      hypergraph_column_order(s.G_pattern, 16, seed=0).order):
+            parts = partition_columns(order, 16)
+            X = blocked_triangular_solve(s.snl, s.E_factored, s.G_pattern,
+                                         parts).X.toarray()
+            if ref is None:
+                ref = X
+            else:
+                np.testing.assert_allclose(X, ref, atol=1e-10)
+
+    def test_padding_matches_flops_ordering(self):
+        """More padded zeros must never mean fewer solve flops for the
+        same B (padding IS the extra work)."""
+        gm = generate("tdr190k", "tiny")
+        subs = prepare_triangular_study(gm, k=2, seed=0)
+        s = subs[0]
+        m = s.E_factored.shape[1]
+        B = 24
+        rng = np.random.default_rng(0)
+        results = []
+        for order in (np.arange(m), rng.permutation(m)):
+            parts = partition_columns(order, B)
+            pad = padded_zeros(s.G_pattern, parts).total_padded
+            res = blocked_triangular_solve(s.snl, s.E_factored,
+                                           s.G_pattern, parts)
+            results.append((pad, res.flops))
+        results.sort()
+        assert results[0][1] <= results[1][1] * 1.01
+
+
+class TestRHBtoSolverPath:
+    def test_rhb_result_drives_solver_partition(self):
+        """PDSLin with 'rhb' and the standalone rhb_partition agree when
+        given the same seed and inputs."""
+        gm = generate("dds.linear", "tiny")
+        r = rhb_partition(gm.A, 4, M=gm.M, metric="soed", scheme="w1",
+                          seed=11, n_trials=2)
+        cfg = PDSLinConfig(k=4, partitioner="rhb", metric="soed",
+                           scheme="w1", seed=11, partition_trials=2)
+        solver = PDSLin(gm.A, cfg, M=gm.M).setup()
+        np.testing.assert_array_equal(solver.partition.part, r.col_part)
+
+    def test_dbbd_of_each_family(self):
+        for name in ("tdr190k", "matrix211", "ASIC_680ks"):
+            gm = generate(name, "tiny")
+            r = rhb_partition(gm.A, 4, M=gm.M, seed=0)
+            from repro.sparse import symmetrized
+            d = build_dbbd(symmetrized(gm.A), r.col_part, 4)
+            assert d.separator_size == r.separator_size

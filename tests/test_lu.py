@@ -1,0 +1,281 @@
+"""Unit tests for the LU substrate: symbolic reach, numeric engines,
+supernodes, and the blocked triangular solver."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.lu import (
+    reach, toposorted_reach, solution_pattern,
+    LUFactors, GilbertPeierlsLU, factorize, lu_flop_count,
+    detect_supernodes, SupernodalLower,
+    partition_columns, blocked_triangular_solve, padded_zeros,
+)
+from tests.conftest import grid_laplacian, random_spd, random_unsymmetric
+
+
+def lower_tri(n, density, seed):
+    rng = np.random.default_rng(seed)
+    L = sp.tril(sp.random(n, n, density, random_state=seed), k=-1)
+    return (L + sp.eye(n)).tocsc()
+
+
+class TestReach:
+    def test_matches_numeric_pattern(self):
+        L = lower_tri(30, 0.1, 0)
+        b = np.zeros(30)
+        b[3] = 1.0
+        r = reach(L, np.array([3]))
+        x = spla.spsolve_triangular(L.tocsr(), b, lower=True)
+        np.testing.assert_array_equal(np.flatnonzero(x != 0), r)
+
+    def test_toposorted_dependency_order(self):
+        L = lower_tri(40, 0.12, 1)
+        topo = toposorted_reach(L, np.array([0, 5]))
+        pos = {v: i for i, v in enumerate(topo)}
+        for j in topo:
+            col = L.indices[L.indptr[j]:L.indptr[j + 1]]
+            for i in col:
+                if i > j and i in pos:
+                    assert pos[j] < pos[i]
+
+    def test_multiple_support(self):
+        L = lower_tri(20, 0.15, 2)
+        r1 = set(reach(L, np.array([2])).tolist())
+        r2 = set(reach(L, np.array([7])).tolist())
+        r12 = set(reach(L, np.array([2, 7])).tolist())
+        assert r12 == r1 | r2
+
+    def test_out_of_range(self):
+        with pytest.raises(IndexError):
+            reach(sp.eye(3).tocsc(), np.array([5]))
+
+    def test_solution_pattern_covers_numeric(self):
+        L = lower_tri(40, 0.1, 3)
+        B = sp.random(40, 10, 0.08, random_state=4, format="csr")
+        G = solution_pattern(L, B)
+        X = spla.spsolve_triangular(L.tocsr(), B.toarray(), lower=True)
+        violating = (np.abs(X) > 0) & (G.toarray() == 0)
+        assert not violating.any()
+
+
+class TestNumericLU:
+    @pytest.mark.parametrize("engine", ["scipy", "reference"])
+    def test_factorization_identity(self, engine, spd60):
+        f = factorize(spd60.tocsc(), engine=engine, diag_pivot_thresh=0.5)
+        LU = (f.L @ f.U).toarray()
+        Ap = spd60.toarray()[np.ix_(f.perm_r, f.perm_c)]
+        assert np.abs(LU - Ap).max() < 1e-10
+
+    @pytest.mark.parametrize("engine", ["scipy", "reference"])
+    def test_solve_residual(self, engine, unsym50, rng):
+        f = factorize(unsym50.tocsc(), engine=engine, diag_pivot_thresh=1.0)
+        b = rng.standard_normal(50)
+        assert f.residual_norm(unsym50, b) < 1e-10
+
+    def test_engines_agree_with_diagonal_pivoting(self, spd60, rng):
+        b = rng.standard_normal(60)
+        xs = factorize(spd60.tocsc(), engine="scipy",
+                       diag_pivot_thresh=0.0).solve(b)
+        xr = factorize(spd60.tocsc(), engine="reference",
+                       diag_pivot_thresh=0.0).solve(b)
+        np.testing.assert_allclose(xs, xr, rtol=1e-8, atol=1e-10)
+
+    def test_reference_partial_pivoting_stability(self):
+        # a matrix needing pivoting: tiny diagonal entry
+        A = sp.csc_matrix(np.array([[1e-14, 1.0], [1.0, 1.0]]))
+        f = GilbertPeierlsLU(A, pivot_threshold=1.0).factors
+        b = np.array([1.0, 2.0])
+        x = f.solve(b)
+        np.testing.assert_allclose(A @ x, b, atol=1e-12)
+
+    def test_reference_singular_detected(self):
+        A = sp.csc_matrix(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        with pytest.raises(RuntimeError):
+            GilbertPeierlsLU(A)
+
+    def test_col_perm_applied(self, spd60, rng):
+        perm = rng.permutation(60)
+        f = factorize(spd60, col_perm=perm)
+        b = rng.standard_normal(60)
+        # f solves the permuted system
+        Ap = spd60[perm][:, perm]
+        x = f.solve(b)
+        np.testing.assert_allclose(Ap @ x, b, atol=1e-9)
+
+    def test_flop_count_positive(self, spd60):
+        f = factorize(spd60.tocsc())
+        assert lu_flop_count(f) > 0
+
+    def test_fill_nnz(self, grid8):
+        f = factorize(grid8.tocsc(), diag_pivot_thresh=0.0)
+        assert f.fill_nnz >= grid8.nnz - grid8.shape[0]
+
+    def test_unknown_engine(self, spd60):
+        with pytest.raises(ValueError):
+            factorize(spd60, engine="cuda")
+
+    def test_keep_handle_solve(self, spd60, rng):
+        f = factorize(spd60.tocsc(), keep_handle=True)
+        assert f.handle is not None
+        b = rng.standard_normal(60)
+        np.testing.assert_allclose(spd60 @ f.solve(b), b, atol=1e-9)
+
+
+class TestSupernodes:
+    def test_dense_lower_is_one_supernode(self):
+        L = sp.csc_matrix(np.tril(np.ones((6, 6))))
+        sn = detect_supernodes(L)
+        assert sn == [(0, 6)]
+
+    def test_identity_all_singletons(self):
+        sn = detect_supernodes(sp.eye(5).tocsc())
+        assert sn == [(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]
+
+    def test_max_size_respected(self):
+        L = sp.csc_matrix(np.tril(np.ones((10, 10))))
+        sn = detect_supernodes(L, max_size=4)
+        assert all(c1 - c0 <= 4 for c0, c1 in sn)
+
+    def test_ranges_cover_all_columns(self, grid16):
+        f = factorize(grid16.tocsc(), diag_pivot_thresh=0.0)
+        sn = detect_supernodes(f.L)
+        assert sn[0][0] == 0 and sn[-1][1] == grid16.shape[0]
+        for (a0, a1), (b0, b1) in zip(sn, sn[1:]):
+            assert a1 == b0
+
+    def test_repack_solve_matches_dense(self, grid16, rng):
+        f = factorize(grid16.tocsc(), diag_pivot_thresh=0.0)
+        snl = SupernodalLower.from_csc(f.L, unit_diagonal=True)
+        X = rng.standard_normal((grid16.shape[0], 3))
+        Xref = spla.spsolve_triangular(f.L.tocsr(), X, lower=True,
+                                       unit_diagonal=True)
+        Xcopy = X.copy()
+        snl.solve_inplace(Xcopy)
+        np.testing.assert_allclose(Xcopy, Xref, atol=1e-10)
+
+    def test_non_unit_diagonal_solve(self, grid16, rng):
+        f = factorize(grid16.tocsc(), diag_pivot_thresh=0.0)
+        UT = f.U.T.tocsc()
+        snl = SupernodalLower.from_csc(UT, unit_diagonal=False)
+        X = rng.standard_normal((grid16.shape[0], 2))
+        Xref = spla.spsolve_triangular(UT.tocsr(), X, lower=True)
+        Xc = X.copy()
+        snl.solve_inplace(Xc)
+        np.testing.assert_allclose(Xc, Xref, atol=1e-8)
+
+    def test_active_cols_skip_is_exact(self, grid16, rng):
+        # with a sparse RHS whose reach is the active set, skipping
+        # inactive supernodes changes nothing
+        f = factorize(grid16.tocsc(), diag_pivot_thresh=0.0)
+        n = grid16.shape[0]
+        snl = SupernodalLower.from_csc(f.L, unit_diagonal=True)
+        b = np.zeros((n, 1))
+        b[n // 2, 0] = 1.0
+        from repro.lu import reach
+        act = np.zeros(n, dtype=bool)
+        act[reach(f.L, np.array([n // 2]))] = True
+        full = b.copy()
+        snl.solve_inplace(full)
+        skipped = b.copy()
+        snl.solve_inplace(skipped, active_cols=act)
+        np.testing.assert_allclose(skipped, full, atol=1e-12)
+
+    def test_flops_reported(self, grid16, rng):
+        f = factorize(grid16.tocsc(), diag_pivot_thresh=0.0)
+        snl = SupernodalLower.from_csc(f.L, unit_diagonal=True)
+        X = rng.standard_normal((grid16.shape[0], 4))
+        flops = snl.solve_inplace(X)
+        assert flops > 0
+
+    def test_wrong_shape_rejected(self, grid16):
+        f = factorize(grid16.tocsc(), diag_pivot_thresh=0.0)
+        snl = SupernodalLower.from_csc(f.L, unit_diagonal=True)
+        with pytest.raises(ValueError):
+            snl.solve_inplace(np.zeros(5))
+
+
+class TestBlockedSolve:
+    def setup_problem(self, seed=0):
+        A = random_spd(80, 0.06, seed=seed)
+        f = factorize(A.tocsc(), diag_pivot_thresh=0.0)
+        E = sp.random(80, 24, 0.05, random_state=seed + 1, format="csr")
+        Ep = f.permute_rows(E)
+        G = solution_pattern(f.L, Ep)
+        snl = SupernodalLower.from_csc(f.L, unit_diagonal=True)
+        return f, Ep, G, snl
+
+    def test_matches_dense_reference(self):
+        f, Ep, G, snl = self.setup_problem()
+        parts = partition_columns(np.arange(24), 6)
+        res = blocked_triangular_solve(snl, Ep, G, parts)
+        ref = spla.spsolve_triangular(f.L.tocsr(), Ep.toarray(), lower=True,
+                                      unit_diagonal=True)
+        np.testing.assert_allclose(res.X.toarray(), ref, atol=1e-10)
+
+    def test_column_order_irrelevant_to_values(self):
+        f, Ep, G, snl = self.setup_problem()
+        rng = np.random.default_rng(0)
+        order = rng.permutation(24)
+        parts = partition_columns(order, 7)
+        res = blocked_triangular_solve(snl, Ep, G, parts)
+        ref = spla.spsolve_triangular(f.L.tocsr(), Ep.toarray(), lower=True,
+                                      unit_diagonal=True)
+        np.testing.assert_allclose(res.X.toarray(), ref, atol=1e-10)
+
+    def test_drop_tol_thresholds(self):
+        f, Ep, G, snl = self.setup_problem()
+        parts = partition_columns(np.arange(24), 6)
+        dense = blocked_triangular_solve(snl, Ep, G, parts, drop_tol=0.0)
+        dropped = blocked_triangular_solve(snl, Ep, G, parts, drop_tol=0.5)
+        assert dropped.X.nnz < dense.X.nnz
+
+    def test_padding_stats_eq13(self):
+        G = sp.csr_matrix(np.array([[1, 0, 1, 0],
+                                    [0, 1, 0, 0],
+                                    [0, 0, 0, 0]], dtype=float))
+        parts = [np.array([0, 1]), np.array([2, 3])]
+        st = padded_zeros(G, parts)
+        # part {0,1}: rows 0,1 active -> 2*2 entries, 2 nonzeros -> 2 padded
+        # part {2,3}: row 0 active -> 1*2 entries, 1 nonzero -> 1 padded
+        assert st.per_part_padded == (2, 1)
+        assert st.total_block_entries == 6
+        assert st.fraction == pytest.approx(0.5)
+
+    def test_smaller_blocks_less_padding(self):
+        f, Ep, G, snl = self.setup_problem(seed=2)
+        fr = []
+        for B in (2, 8, 24):
+            parts = partition_columns(np.arange(24), B)
+            st = padded_zeros(G, parts)
+            fr.append(st.fraction)
+        assert fr[0] <= fr[1] <= fr[2]
+
+    def test_block_size_one_no_padding(self):
+        f, Ep, G, snl = self.setup_problem(seed=3)
+        parts = partition_columns(np.arange(24), 1)
+        st = padded_zeros(G, parts)
+        assert st.total_padded == 0
+
+    def test_partition_columns_remainder(self):
+        parts = partition_columns(np.arange(10), 4)
+        assert [p.size for p in parts] == [4, 4, 2]
+
+    def test_partition_columns_bad_block(self):
+        with pytest.raises(ValueError):
+            partition_columns(np.arange(4), 0)
+
+    def test_flops_scale_with_padding(self):
+        # a bad ordering (interleaved clusters) must cost more flops than
+        # a good one (clusters contiguous) at the same block size
+        f, Ep, G, snl = self.setup_problem(seed=4)
+        good = partition_columns(np.arange(24), 6)
+        rng = np.random.default_rng(1)
+        bad = partition_columns(rng.permutation(24), 6)
+        fg = blocked_triangular_solve(snl, Ep, G, good).flops
+        fb = blocked_triangular_solve(snl, Ep, G, bad).flops
+        st_g = padded_zeros(G, good).total_padded
+        st_b = padded_zeros(G, bad).total_padded
+        if st_b > st_g:  # random is worse (overwhelmingly likely)
+            assert fb >= fg

@@ -1,0 +1,98 @@
+"""Tests for relaxed (amalgamated) supernodes."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.lu import (
+    factorize, detect_supernodes, relaxed_supernodes, SupernodalLower,
+)
+from tests.conftest import grid_laplacian, random_spd
+
+
+@pytest.fixture(scope="module")
+def factor():
+    A = grid_laplacian(14, 14).tocsc()
+    return factorize(A, diag_pivot_thresh=0.0)
+
+
+class TestRelaxedRanges:
+    def test_tiles_columns(self, factor):
+        sn = relaxed_supernodes(factor.L, relax=0.3)
+        assert sn[0][0] == 0 and sn[-1][1] == factor.n
+        for (a0, a1), (b0, b1) in zip(sn, sn[1:]):
+            assert a1 == b0
+
+    def test_zero_relax_equals_strict(self, factor):
+        strict = detect_supernodes(factor.L, max_size=64)
+        relaxed = relaxed_supernodes(factor.L, relax=0.0, max_size=64)
+        assert relaxed == strict
+
+    def test_more_relax_fewer_blocks(self, factor):
+        counts = [len(relaxed_supernodes(factor.L, relax=r))
+                  for r in (0.0, 0.2, 0.5)]
+        assert counts[0] >= counts[1] >= counts[2]
+
+    def test_max_size_cap(self, factor):
+        sn = relaxed_supernodes(factor.L, relax=0.9, max_size=8)
+        assert max(c1 - c0 for c0, c1 in sn) <= 8
+
+    def test_invalid_relax(self, factor):
+        with pytest.raises(ValueError):
+            relaxed_supernodes(factor.L, relax=1.5)
+
+
+class TestAmalgamatedSolve:
+    def test_solve_matches_strict(self, factor, rng):
+        n = factor.n
+        X = rng.standard_normal((n, 3))
+        ref = spla.spsolve_triangular(factor.L.tocsr(), X, lower=True,
+                                      unit_diagonal=True)
+        for relax in (0.2, 0.5, 0.8):
+            sn = relaxed_supernodes(factor.L, relax=relax)
+            snl = SupernodalLower.from_csc(factor.L, unit_diagonal=True,
+                                           snodes=sn)
+            Y = X.copy()
+            snl.solve_inplace(Y)
+            np.testing.assert_allclose(Y, ref, atol=1e-10,
+                                       err_msg=f"relax={relax}")
+
+    def test_non_unit_diagonal(self, factor, rng):
+        UT = factor.U.T.tocsc()
+        sn = relaxed_supernodes(UT, relax=0.4)
+        snl = SupernodalLower.from_csc(UT, unit_diagonal=False, snodes=sn)
+        X = rng.standard_normal((factor.n, 2))
+        ref = spla.spsolve_triangular(UT.tocsr(), X, lower=True)
+        Y = X.copy()
+        snl.solve_inplace(Y)
+        np.testing.assert_allclose(Y, ref, atol=1e-8)
+
+    def test_fewer_kernel_calls_more_flops(self, factor, rng):
+        """Amalgamation trades kernel count for padded flops."""
+        strict = SupernodalLower.from_csc(factor.L, unit_diagonal=True)
+        sn = relaxed_supernodes(factor.L, relax=0.6)
+        fat = SupernodalLower.from_csc(factor.L, unit_diagonal=True,
+                                       snodes=sn)
+        assert fat.n_supernodes <= strict.n_supernodes
+        X = rng.standard_normal((factor.n, 4))
+        f_strict = strict.solve_inplace(X.copy())
+        f_fat = fat.solve_inplace(X.copy())
+        assert f_fat >= f_strict
+
+    def test_bad_ranges_rejected(self, factor):
+        with pytest.raises(ValueError):
+            SupernodalLower.from_csc(factor.L, unit_diagonal=True,
+                                     snodes=[(0, 5), (6, factor.n)])
+
+    def test_spd_matrix_roundtrip(self, rng):
+        A = random_spd(70, 0.08, seed=9).tocsc()
+        f = factorize(A, diag_pivot_thresh=0.0)
+        sn = relaxed_supernodes(f.L, relax=0.3)
+        snl = SupernodalLower.from_csc(f.L, unit_diagonal=True, snodes=sn)
+        b = rng.standard_normal((70, 1))
+        y = b.copy()
+        snl.solve_inplace(y)
+        ref = spla.spsolve_triangular(f.L.tocsr(), b, lower=True,
+                                      unit_diagonal=True)
+        np.testing.assert_allclose(y, ref, atol=1e-10)

@@ -1,0 +1,182 @@
+"""Unit tests for the synthetic matrix generators and suite."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import (
+    HexMesh, hex_element_matrices, assemble_fem, fd_laplacian_3d,
+    cavity_matrix, dds_like_matrix, fusion_matrix,
+    asic_like_matrix, g3_like_matrix,
+    generate, suite_names, table1_metadata,
+)
+from repro.sparse import (
+    symmetry_info, verify_structural_factor, symmetrized, density_of_rows,
+)
+
+
+class TestHexMesh:
+    def test_node_count(self):
+        assert HexMesh(3, 4, 5).n_nodes == 60
+
+    def test_element_count_3d(self):
+        assert HexMesh(3, 3, 3).n_elements == 8
+
+    def test_element_count_2d(self):
+        assert HexMesh(4, 4, 1).n_elements == 9
+
+    def test_element_nodes_are_valid_ids(self):
+        mesh = HexMesh(4, 3, 3)
+        conn = mesh.element_nodes()
+        assert conn.min() >= 0 and conn.max() < mesh.n_nodes
+        assert conn.shape == (mesh.n_elements, 8)
+
+    def test_incidence_covers_fem_pattern(self):
+        mesh = HexMesh(4, 4, 3)
+        K, _ = hex_element_matrices()
+        A = assemble_fem(mesh, K)
+        M = mesh.incidence_matrix()
+        assert verify_structural_factor(A, M)
+
+    def test_incidence_multi_dof(self):
+        mesh = HexMesh(3, 3, 2)
+        M = mesh.incidence_matrix(dofs_per_node=2)
+        assert M.shape == (mesh.n_elements, 2 * mesh.n_nodes)
+
+
+class TestElementMatrices:
+    def test_stiffness_symmetric_psd(self):
+        K, Mm = hex_element_matrices()
+        np.testing.assert_allclose(K, K.T, atol=1e-12)
+        ev = np.linalg.eigvalsh(K)
+        assert ev.min() > -1e-12  # PSD with nullspace = constants
+
+    def test_stiffness_annihilates_constants(self):
+        K, _ = hex_element_matrices()
+        np.testing.assert_allclose(K @ np.ones(8), 0.0, atol=1e-12)
+
+    def test_mass_spd(self):
+        _, Mm = hex_element_matrices()
+        assert np.linalg.eigvalsh(Mm).min() > 0
+
+    def test_mass_integrates_to_volume(self):
+        _, Mm = hex_element_matrices()
+        assert Mm.sum() == pytest.approx(1.0)  # unit cube volume
+
+
+class TestFdLaplacian:
+    def test_2d_shape_and_stencil(self):
+        A = fd_laplacian_3d(4, 5)
+        assert A.shape == (20, 20)
+        assert A[0, 0] == 4.0
+
+    def test_3d_diagonal(self):
+        A = fd_laplacian_3d(3, 3, 3)
+        assert A[13, 13] == 6.0  # center point
+
+    def test_symmetric(self):
+        A = fd_laplacian_3d(4, 4, 3)
+        assert (abs(A - A.T)).nnz == 0
+
+
+class TestGenerators:
+    def test_cavity_indefinite(self):
+        gm = cavity_matrix(7, 7, 7, seed=0)
+        info = symmetry_info(gm.A, check_definiteness=True)
+        assert info.pattern_symmetric and info.value_symmetric
+        assert info.positive_definite is False
+
+    def test_cavity_factor_valid(self):
+        gm = cavity_matrix(6, 6, 6, seed=0)
+        assert verify_structural_factor(gm.A, gm.M)
+
+    def test_cavity_nonsingular(self):
+        gm = cavity_matrix(6, 6, 6, seed=0)
+        from scipy.sparse.linalg import splu
+        lu = splu(gm.A.tocsc())
+        x = lu.solve(np.ones(gm.n))
+        assert np.isfinite(x).all()
+
+    def test_dds_linear_sparser_than_quad(self):
+        q = dds_like_matrix(8, 8, 8, variant="quad", seed=0)
+        l = dds_like_matrix(8, 8, 8, variant="linear", seed=0)
+        assert l.nnz_per_row < q.nnz_per_row
+
+    def test_dds_bad_variant(self):
+        with pytest.raises(ValueError):
+            dds_like_matrix(4, 4, 4, variant="cubic")
+
+    def test_fusion_unsymmetric_pattern(self):
+        gm = fusion_matrix(6, 6, 5, seed=0)
+        info = symmetry_info(gm.A)
+        assert not info.pattern_symmetric
+
+    def test_fusion_factor_covers_symmetrized(self):
+        gm = fusion_matrix(5, 5, 4, seed=0)
+        assert verify_structural_factor(symmetrized(gm.A), gm.M)
+
+    def test_fusion_dense_rows(self):
+        gm = fusion_matrix(8, 8, 8, dofs=2, seed=0)
+        assert gm.nnz_per_row > 35
+
+    def test_asic_has_quasi_dense_rows(self):
+        gm = asic_like_matrix(800, n_hubs=3, hub_fraction=0.1, seed=0)
+        dens = density_of_rows(gm.A)
+        assert (dens > 0.05).sum() >= 3
+
+    def test_asic_very_sparse_overall(self):
+        gm = asic_like_matrix(2000, seed=0)
+        assert gm.nnz_per_row < 8
+
+    def test_asic_pattern_symmetric_value_not(self):
+        gm = asic_like_matrix(500, seed=1)
+        info = symmetry_info(gm.A)
+        assert info.pattern_symmetric and not info.value_symmetric
+
+    def test_asic_diagonally_dominant(self):
+        gm = asic_like_matrix(400, seed=2)
+        A = gm.A
+        d = np.abs(A.diagonal())
+        off = np.abs(A).sum(axis=1).A1 - d
+        assert np.all(d >= off * 0.99)
+
+    def test_g3_spd(self):
+        gm = g3_like_matrix(20, 20, seed=0)
+        info = symmetry_info(gm.A, check_definiteness=True)
+        assert info.positive_definite is True
+
+    def test_seeds_reproducible(self):
+        a = asic_like_matrix(300, seed=5)
+        b = asic_like_matrix(300, seed=5)
+        assert (a.A != b.A).nnz == 0
+
+
+class TestSuite:
+    def test_all_names_generate_tiny(self):
+        for name in suite_names():
+            gm = generate(name, "tiny")
+            assert gm.n > 100
+
+    def test_scales_grow(self):
+        t = generate("tdr190k", "tiny")
+        s = generate("tdr190k", "small")
+        assert s.n > t.n
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            generate("laplace9000")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            generate("tdr190k", "huge")
+
+    def test_table1_matches_paper_classes(self):
+        rows = {r["name"]: r for r in table1_metadata("tiny")}
+        assert rows["tdr190k"]["pattern_symmetric"]
+        assert rows["tdr190k"]["value_symmetric"]
+        assert not rows["matrix211"]["pattern_symmetric"]
+        assert rows["ASIC_680ks"]["pattern_symmetric"]
+        assert not rows["ASIC_680ks"]["value_symmetric"]
+        assert rows["G3_circuit"]["value_symmetric"]
+        # circuit matrices much sparser than FEM ones
+        assert rows["ASIC_680ks"]["nnz/n"] < rows["tdr190k"]["nnz/n"] / 2

@@ -1,0 +1,100 @@
+"""Tests for the unstructured Delaunay FEM generator."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.matrices import (
+    random_delaunay_mesh, p1_assemble, unstructured_matrix,
+)
+from repro.sparse import symmetry_info, verify_structural_factor
+
+
+class TestMesh:
+    @pytest.mark.parametrize("domain", ["square", "disk", "annulus"])
+    def test_mesh_valid(self, domain):
+        pts, tris = random_delaunay_mesh(400, domain=domain, seed=0)
+        assert tris.min() >= 0 and tris.max() < pts.shape[0]
+        assert tris.shape[1] == 3
+        # every point referenced
+        assert np.unique(tris).size == pts.shape[0]
+
+    def test_annulus_has_hole(self):
+        pts, tris = random_delaunay_mesh(800, domain="annulus", seed=1)
+        centroids = pts[tris].mean(axis=1)
+        d = np.linalg.norm(centroids - 0.5, axis=1)
+        assert d.min() >= 0.45 * 0.5 - 1e-12
+
+    def test_deterministic(self):
+        a = random_delaunay_mesh(200, seed=5)
+        b = random_delaunay_mesh(200, seed=5)
+        np.testing.assert_array_equal(a[1], b[1])
+
+    def test_bad_domain(self):
+        with pytest.raises(ValueError):
+            random_delaunay_mesh(100, domain="torus")
+
+
+class TestP1Assembly:
+    def unit_triangle(self):
+        pts = np.array([[0.0, 0.0], [1.0, 0.0], [0.0, 1.0]])
+        tris = np.array([[0, 1, 2]])
+        return pts, tris
+
+    def test_reference_stiffness(self):
+        pts, tris = self.unit_triangle()
+        K = p1_assemble(pts, tris).toarray()
+        ref = 0.5 * np.array([[2.0, -1.0, -1.0],
+                              [-1.0, 1.0, 0.0],
+                              [-1.0, 0.0, 1.0]])
+        np.testing.assert_allclose(K, ref, atol=1e-12)
+
+    def test_stiffness_annihilates_constants(self):
+        pts, tris = random_delaunay_mesh(300, domain="disk", seed=2)
+        K = p1_assemble(pts, tris)
+        np.testing.assert_allclose(K @ np.ones(pts.shape[0]), 0.0,
+                                   atol=1e-10)
+
+    def test_mass_integrates_area(self):
+        pts, tris = self.unit_triangle()
+        M = p1_assemble(pts, tris, mass_coeff=1.0,
+                        conductivity=np.zeros(1)).toarray()
+        assert M.sum() == pytest.approx(0.5)  # triangle area
+
+    def test_conductivity_scales(self):
+        pts, tris = self.unit_triangle()
+        K1 = p1_assemble(pts, tris).toarray()
+        K3 = p1_assemble(pts, tris, conductivity=np.array([3.0])).toarray()
+        np.testing.assert_allclose(K3, 3 * K1)
+
+    def test_spd_stiffness_plus_mass(self):
+        pts, tris = random_delaunay_mesh(250, domain="square", seed=3)
+        A = p1_assemble(pts, tris, mass_coeff=1.0)
+        ev_min = np.linalg.eigvalsh(A.toarray()).min()
+        assert ev_min > 0
+
+
+class TestUnstructuredMatrix:
+    def test_structure(self):
+        gm = unstructured_matrix(600, seed=0)
+        info = symmetry_info(gm.A, check_definiteness=True)
+        assert info.pattern_symmetric and info.value_symmetric
+        assert info.positive_definite is False  # shifted -> indefinite
+
+    def test_incidence_factor_valid(self):
+        gm = unstructured_matrix(500, seed=1)
+        assert verify_structural_factor(gm.A, gm.M)
+
+    def test_rhb_partitions_annulus(self):
+        from repro.core import rhb_partition
+        gm = unstructured_matrix(800, domain="annulus", seed=0)
+        r = rhb_partition(gm.A, 4, M=gm.M, seed=0)
+        d = r.to_dbbd(gm.A)
+        assert np.all(d.subdomain_sizes() > 0)
+
+    def test_pdslin_solves(self, rng):
+        from repro.solver import PDSLin, PDSLinConfig
+        gm = unstructured_matrix(500, domain="disk", seed=0)
+        b = rng.standard_normal(gm.n)
+        res = PDSLin(gm.A, PDSLinConfig(k=4, seed=0), M=gm.M).solve(b)
+        assert res.residual_norm < 1e-7

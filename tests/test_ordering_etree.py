@@ -1,0 +1,152 @@
+"""Unit tests for elimination trees, postorder and fill paths."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ordering import (
+    elimination_tree, postorder, is_postordered, children_lists,
+    tree_level, first_descendants, etree_path_closure,
+    symbolic_cholesky_row_counts,
+)
+from tests.conftest import grid_laplacian
+
+
+def dense_etree_reference(A: np.ndarray) -> np.ndarray:
+    """Brute-force e-tree: parent[j] = min {i > j : L[i, j] != 0} of the
+    (dense) Cholesky fill pattern computed by symbolic elimination."""
+    n = A.shape[0]
+    pat = (A != 0).astype(bool)
+    pat |= pat.T
+    np.fill_diagonal(pat, True)
+    L = pat.copy()
+    for k in range(n):
+        rows = np.flatnonzero(L[:, k])
+        rows = rows[rows > k]
+        for i in rows:
+            L[i, rows] |= True  # fill among below-diagonal rows
+    parent = np.full(n, -1, dtype=np.int64)
+    for j in range(n):
+        below = np.flatnonzero(L[:, j])
+        below = below[below > j]
+        if below.size:
+            parent[j] = below.min()
+    return parent
+
+
+class TestEliminationTree:
+    def test_matches_dense_reference_small(self):
+        rng = np.random.default_rng(0)
+        for seed in range(5):
+            A = sp.random(12, 12, 0.25, random_state=seed).toarray()
+            A = A + A.T + np.eye(12)
+            par = elimination_tree(sp.csr_matrix(A))
+            ref = dense_etree_reference(A)
+            np.testing.assert_array_equal(par, ref)
+
+    def test_tridiagonal_is_a_path(self):
+        A = sp.diags([np.ones(5), np.ones(6), np.ones(5)], [-1, 0, 1]).tocsr()
+        par = elimination_tree(A)
+        np.testing.assert_array_equal(par, [1, 2, 3, 4, 5, -1])
+
+    def test_diagonal_forest(self):
+        par = elimination_tree(sp.eye(4).tocsr())
+        np.testing.assert_array_equal(par, [-1, -1, -1, -1])
+
+    def test_grid(self, grid8):
+        par = elimination_tree(grid8)
+        n = grid8.shape[0]
+        # exactly one root for a connected graph
+        assert np.count_nonzero(par == -1) == 1
+        assert np.all((par > np.arange(n)) | (par == -1))
+
+
+class TestPostorder:
+    def test_is_permutation(self, grid8):
+        par = elimination_tree(grid8)
+        po = postorder(par)
+        assert sorted(po.tolist()) == list(range(grid8.shape[0]))
+
+    def test_children_before_parents(self, grid8):
+        par = elimination_tree(grid8)
+        po = postorder(par)
+        pos = np.empty(po.size, dtype=np.int64)
+        pos[po] = np.arange(po.size)
+        for v in range(po.size):
+            if par[v] >= 0:
+                assert pos[v] < pos[par[v]]
+
+    def test_permuted_matrix_is_postordered(self, grid16):
+        par = elimination_tree(grid16)
+        po = postorder(par)
+        Ap = grid16[po][:, po].tocsr()
+        assert is_postordered(elimination_tree(Ap))
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError):
+            postorder(np.array([1, 0]))
+
+    def test_self_parent_detected(self):
+        with pytest.raises(ValueError):
+            children_lists(np.array([0, -1]))
+
+
+class TestTreeHelpers:
+    def test_tree_level_path(self):
+        par = np.array([1, 2, -1])
+        np.testing.assert_array_equal(tree_level(par), [2, 1, 0])
+
+    def test_first_descendants_path(self):
+        par = np.array([1, 2, -1])
+        np.testing.assert_array_equal(first_descendants(par), [0, 0, 0])
+
+    def test_first_descendants_star(self):
+        par = np.array([3, 3, 3, -1])
+        np.testing.assert_array_equal(first_descendants(par), [0, 1, 2, 0])
+
+    def test_is_postordered_negative(self):
+        # node 2's children are 0 and 3: subtree not contiguous
+        par = np.array([2, 4, 4, 2, -1])
+        assert not is_postordered(par)
+
+
+class TestPathClosure:
+    def test_single_node_to_root(self):
+        par = np.array([1, 2, -1])
+        out = etree_path_closure(par, np.array([0]))
+        np.testing.assert_array_equal(out, [0, 1, 2])
+
+    def test_overlapping_paths_not_duplicated(self):
+        par = np.array([2, 2, 3, -1])
+        out = etree_path_closure(par, np.array([0, 1]))
+        np.testing.assert_array_equal(out, [0, 1, 2, 3])
+
+    def test_stop_mask(self):
+        par = np.array([1, 2, -1])
+        stop = np.array([False, True, False])
+        out = etree_path_closure(par, np.array([0]), stop=stop)
+        np.testing.assert_array_equal(out, [0])
+
+    def test_out_of_range_support(self):
+        with pytest.raises(IndexError):
+            etree_path_closure(np.array([-1]), np.array([3]))
+
+
+class TestRowCounts:
+    def test_counts_match_dense_cholesky(self):
+        rng = np.random.default_rng(2)
+        A = sp.random(15, 15, 0.2, random_state=4).toarray()
+        A = A + A.T + 15 * np.eye(15)
+        As = sp.csr_matrix(A)
+        counts = symbolic_cholesky_row_counts(As)
+        # dense reference via actual Cholesky of a positive definite
+        # matrix with the same pattern
+        L = np.linalg.cholesky(A)
+        ref = (np.abs(L) > 1e-12).sum(axis=1)
+        assert np.all(counts >= ref)  # symbolic is an upper bound
+        assert counts.sum() >= ref.sum()
+
+    def test_tridiagonal_counts(self):
+        A = sp.diags([np.ones(4), np.ones(5), np.ones(4)], [-1, 0, 1]).tocsr()
+        counts = symbolic_cholesky_row_counts(A)
+        np.testing.assert_array_equal(counts, [1, 2, 2, 2, 2])

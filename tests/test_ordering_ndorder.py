@@ -1,0 +1,66 @@
+"""Tests for the nested-dissection fill-reducing ordering."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.ordering import (
+    nested_dissection_ordering, minimum_degree, permute_symmetric,
+    symbolic_cholesky_row_counts,
+)
+from tests.conftest import grid_laplacian
+
+
+def fill_of(A) -> int:
+    return int(symbolic_cholesky_row_counts(A).sum())
+
+
+class TestNDOrdering:
+    def test_is_permutation(self):
+        A = grid_laplacian(12, 12)
+        order = nested_dissection_ordering(A, leaf_size=16, seed=0)
+        assert sorted(order.tolist()) == list(range(144))
+
+    def test_reduces_fill_vs_natural(self):
+        A = grid_laplacian(20, 20)
+        order = nested_dissection_ordering(A, leaf_size=32, seed=0)
+        assert fill_of(permute_symmetric(A, order)) < fill_of(A)
+
+    def test_competitive_with_minimum_degree_on_grid(self):
+        A = grid_laplacian(24, 24)
+        nd = nested_dissection_ordering(A, leaf_size=32, seed=0)
+        md = minimum_degree(A)
+        fill_nd = fill_of(permute_symmetric(A, nd))
+        fill_md = fill_of(permute_symmetric(A, md))
+        # ND is asymptotically better on grids; at this size require it
+        # to be at least in MD's ballpark
+        assert fill_nd <= 1.3 * fill_md
+
+    def test_small_matrix_pure_md_leaf(self):
+        A = grid_laplacian(4, 4)
+        order = nested_dissection_ordering(A, leaf_size=64, seed=0)
+        np.testing.assert_array_equal(np.sort(order), np.arange(16))
+
+    def test_disconnected(self):
+        A = sp.block_diag([grid_laplacian(6, 6), grid_laplacian(5, 5)]).tocsr()
+        order = nested_dissection_ordering(A, leaf_size=8, seed=0)
+        assert sorted(order.tolist()) == list(range(61))
+
+    def test_unsymmetric_input(self, unsym50):
+        order = nested_dissection_ordering(unsym50, leaf_size=16, seed=0)
+        assert sorted(order.tolist()) == list(range(50))
+
+    def test_deterministic(self):
+        A = grid_laplacian(10, 10)
+        a = nested_dissection_ordering(A, seed=3)
+        b = nested_dissection_ordering(A, seed=3)
+        np.testing.assert_array_equal(a, b)
+
+    def test_usable_in_factorization(self, rng):
+        from repro.lu import factorize
+        A = grid_laplacian(12, 12)
+        order = nested_dissection_ordering(A, leaf_size=16, seed=0)
+        f = factorize(A.tocsc(), col_perm=order, diag_pivot_thresh=0.0)
+        b = rng.standard_normal(144)
+        Ap = A[order][:, order]
+        np.testing.assert_allclose(Ap @ f.solve(b), b, atol=1e-8)

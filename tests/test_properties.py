@@ -1,0 +1,229 @@
+"""Property-based tests (hypothesis) on core invariants."""
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings, strategies as st
+
+from repro.hypergraph import (
+    Hypergraph, cutsize, net_connectivities, split_by_side,
+    bisection_cut, fm_refine_hypergraph, initial_net_costs,
+)
+from repro.lu import (
+    reach, solution_pattern, partition_columns, padded_zeros, factorize,
+)
+from repro.ordering import elimination_tree, postorder, etree_path_closure
+from repro.sparse import symmetrized, edge_incidence_factor, \
+    verify_structural_factor
+from repro.graphs import Graph, fm_refine_bisection
+from repro.utils import check_permutation
+
+
+# -- strategies ---------------------------------------------------------------
+
+@st.composite
+def sparse_sym_matrix(draw, max_n=24):
+    """Random symmetric sparse matrix with nonzero diagonal."""
+    n = draw(st.integers(3, max_n))
+    density = draw(st.floats(0.05, 0.35))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    A = sp.random(n, n, density, random_state=rng, format="csr")
+    A = A + A.T + sp.eye(n) * (1.0 + rng.random())
+    A = A.tocsr()
+    A.sum_duplicates()
+    return A
+
+
+@st.composite
+def hypergraph_and_partition(draw, max_v=20, max_n=15, max_k=4):
+    n_v = draw(st.integers(2, max_v))
+    n_n = draw(st.integers(1, max_n))
+    k = draw(st.integers(2, max_k))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    ptr = [0]
+    pins: list[int] = []
+    for _ in range(n_n):
+        sz = int(rng.integers(1, min(n_v, 6) + 1))
+        pins.extend(rng.choice(n_v, size=sz, replace=False).tolist())
+        ptr.append(len(pins))
+    H = Hypergraph.from_arrays(ptr, pins, n_v)
+    part = rng.integers(0, k, n_v)
+    return H, part, k
+
+
+@st.composite
+def lower_triangular(draw, max_n=30):
+    n = draw(st.integers(2, max_n))
+    density = draw(st.floats(0.05, 0.3))
+    seed = draw(st.integers(0, 2**31 - 1))
+    L = sp.tril(sp.random(n, n, density, random_state=seed), k=-1)
+    return (L + sp.eye(n)).tocsc()
+
+
+# -- hypergraph metric properties ---------------------------------------------
+
+class TestCutMetricProperties:
+    @given(hypergraph_and_partition())
+    @settings(max_examples=60, deadline=None)
+    def test_soed_identity(self, hp):
+        """soed == con1 + cnet for unit costs (lambda + [lambda>1] - 1...)"""
+        H, part, k = hp
+        assert cutsize(H, part, k, "soed") == \
+            cutsize(H, part, k, "con1") + cutsize(H, part, k, "cnet")
+
+    @given(hypergraph_and_partition())
+    @settings(max_examples=60, deadline=None)
+    def test_connectivity_bounds(self, hp):
+        H, part, k = hp
+        lam = net_connectivities(H, part, k)
+        sizes = H.net_sizes()
+        assert np.all(lam <= np.minimum(sizes, k))
+        assert np.all(lam[sizes > 0] >= 1)
+
+    @given(hypergraph_and_partition())
+    @settings(max_examples=40, deadline=None)
+    def test_merging_parts_never_increases_cut(self, hp):
+        H, part, k = hp
+        merged = np.where(part == k - 1, 0, part)
+        for metric in ("con1", "cnet", "soed"):
+            assert cutsize(H, merged, k, metric) <= cutsize(H, part, k, metric)
+
+    @given(hypergraph_and_partition())
+    @settings(max_examples=40, deadline=None)
+    def test_split_conserves_pins_con1(self, hp):
+        """Net splitting preserves the pin multiset of every net."""
+        H, part, _ = hp
+        side = (part > 0).astype(np.int64)
+        spl = split_by_side(H, side, "con1")
+        total_pins = spl.children[0].n_pins + spl.children[1].n_pins
+        nonempty = sum(H.net_size(j) for j in range(H.n_nets)
+                       if H.net_size(j) > 0)
+        assert total_pins == nonempty
+
+    @given(hypergraph_and_partition())
+    @settings(max_examples=40, deadline=None)
+    def test_split_vertices_partitioned(self, hp):
+        H, part, _ = hp
+        side = (part > 0).astype(np.int64)
+        spl = split_by_side(H, side, "soed")
+        n0, n1 = spl.children[0].n_vertices, spl.children[1].n_vertices
+        assert n0 + n1 == H.n_vertices
+        recon = np.concatenate([spl.vertex_ids[0], spl.vertex_ids[1]])
+        assert sorted(recon.tolist()) == list(range(H.n_vertices))
+
+    @given(hypergraph_and_partition())
+    @settings(max_examples=30, deadline=None)
+    def test_fm_never_worsens(self, hp):
+        H, part, _ = hp
+        side = (part > 0).astype(np.int64)
+        cut0 = bisection_cut(H, side)
+        caps = np.full((2, H.n_constraints), float(H.n_vertices))
+        _, cut = fm_refine_hypergraph(H, side, caps=caps)
+        assert cut <= cut0
+
+
+# -- e-tree properties ----------------------------------------------------------
+
+class TestEtreeProperties:
+    @given(sparse_sym_matrix())
+    @settings(max_examples=50, deadline=None)
+    def test_postorder_is_permutation(self, A):
+        par = elimination_tree(A)
+        po = postorder(par)
+        check_permutation(po, A.shape[0])
+
+    @given(sparse_sym_matrix())
+    @settings(max_examples=50, deadline=None)
+    def test_parents_strictly_greater(self, A):
+        par = elimination_tree(A)
+        n = A.shape[0]
+        assert np.all((par == -1) | (par > np.arange(n)))
+
+    @given(sparse_sym_matrix())
+    @settings(max_examples=30, deadline=None)
+    def test_closure_contains_support_and_is_closed(self, A):
+        par = elimination_tree(A)
+        n = A.shape[0]
+        rng = np.random.default_rng(0)
+        supp = rng.choice(n, size=min(3, n), replace=False)
+        closed = etree_path_closure(par, supp)
+        inset = np.zeros(n, dtype=bool)
+        inset[closed] = True
+        assert inset[supp].all()
+        for v in closed:
+            p = par[v]
+            assert p == -1 or inset[p]
+
+
+# -- symbolic/numeric triangular-solve properties --------------------------------
+
+class TestTriangularProperties:
+    @given(lower_triangular(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_reach_covers_numeric_nonzeros(self, L, seed):
+        n = L.shape[0]
+        rng = np.random.default_rng(seed)
+        supp = rng.choice(n, size=min(2, n), replace=False)
+        b = np.zeros(n)
+        b[supp] = 1.0
+        x = spla.spsolve_triangular(L.tocsr(), b, lower=True)
+        r = set(reach(L, supp).tolist())
+        assert set(np.flatnonzero(x != 0.0).tolist()) <= r
+
+    @given(lower_triangular(), st.integers(1, 6))
+    @settings(max_examples=30, deadline=None)
+    def test_padding_identity(self, L, B):
+        """Eq. (15): total padded == sum_i (lambda_i * B' - |r_i|) where
+        B' is each part's actual width."""
+        n = L.shape[0]
+        E = sp.random(n, 8, 0.3, random_state=1, format="csr")
+        G = solution_pattern(L, E)
+        parts = partition_columns(np.arange(8), B)
+        st_ = padded_zeros(G, parts)
+        # brute force per row
+        Gd = G.toarray() != 0
+        total = 0
+        for cols in parts:
+            sub = Gd[:, cols]
+            active = sub.any(axis=1)
+            total += int(active.sum()) * len(cols) - int(sub.sum())
+        assert st_.total_padded == total
+
+
+# -- structural factorization property ------------------------------------------
+
+class TestStructuralProperties:
+    @given(sparse_sym_matrix())
+    @settings(max_examples=40, deadline=None)
+    def test_edge_incidence_always_valid(self, A):
+        M = edge_incidence_factor(A)
+        assert verify_structural_factor(A, M)
+
+
+# -- graph FM properties ----------------------------------------------------------
+
+class TestGraphProperties:
+    @given(sparse_sym_matrix(max_n=20), st.integers(0, 2**31 - 1))
+    @settings(max_examples=30, deadline=None)
+    def test_fm_cut_consistent(self, A, seed):
+        g = Graph.from_matrix(A)
+        rng = np.random.default_rng(seed)
+        side = rng.integers(0, 2, g.n_vertices)
+        refined, cut = fm_refine_bisection(
+            g, side, max_part_weight=g.total_vertex_weight)
+        assert cut == g.edge_cut(refined)
+        assert cut <= g.edge_cut(side)
+
+
+# -- LU properties -----------------------------------------------------------------
+
+class TestLUProperties:
+    @given(sparse_sym_matrix(max_n=20), st.integers(0, 2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_reference_lu_solves(self, A, seed):
+        rng = np.random.default_rng(seed)
+        b = rng.standard_normal(A.shape[0])
+        f = factorize(A.tocsc(), engine="reference", diag_pivot_thresh=1.0)
+        assert f.residual_norm(A, b) < 1e-8

@@ -1,0 +1,104 @@
+"""Property-based tests for the extension modules (k-way gains,
+relaxed supernodes, separator trimming)."""
+
+import numpy as np
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from hypothesis import given, settings, strategies as st
+
+from repro.core import build_dbbd, trim_separator
+from repro.graphs import nested_dissection_partition
+from repro.hypergraph import Hypergraph, cutsize, kway_move_gain
+from repro.hypergraph.kway import _pin_counts
+from repro.lu import factorize, relaxed_supernodes, SupernodalLower
+
+
+@st.composite
+def hypergraph_partition_k(draw):
+    n_v = draw(st.integers(3, 16))
+    n_n = draw(st.integers(1, 10))
+    k = draw(st.integers(2, 4))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    ptr = [0]
+    pins: list[int] = []
+    for _ in range(n_n):
+        sz = int(rng.integers(1, min(n_v, 5) + 1))
+        pins.extend(rng.choice(n_v, size=sz, replace=False).tolist())
+        ptr.append(len(pins))
+    H = Hypergraph.from_arrays(ptr, pins, n_v)
+    part = rng.integers(0, k, n_v)
+    v = int(rng.integers(n_v))
+    b = int(rng.integers(k))
+    return H, part, k, v, b
+
+
+class TestKWayGainProperty:
+    @given(hypergraph_partition_k())
+    @settings(max_examples=120, deadline=None)
+    def test_gain_equals_cut_delta(self, data):
+        H, part, k, v, b = data
+        a = int(part[v])
+        if a == b:
+            return
+        pi = _pin_counts(H, part, k)
+        sizes = H.net_sizes()
+        for metric in ("con1", "cnet", "soed"):
+            g = kway_move_gain(H, pi, sizes, v, a, b, metric)
+            p2 = part.copy()
+            p2[v] = b
+            assert g == cutsize(H, part, k, metric) - \
+                cutsize(H, p2, k, metric)
+
+
+@st.composite
+def spd_system(draw):
+    n = draw(st.integers(5, 30))
+    density = draw(st.floats(0.05, 0.3))
+    seed = draw(st.integers(0, 2**31 - 1))
+    rng = np.random.default_rng(seed)
+    A = sp.random(n, n, density, random_state=rng, format="csr")
+    A = (A + A.T + n * sp.eye(n)).tocsc()
+    return A, seed
+
+
+class TestRelaxedSupernodeProperty:
+    @given(spd_system(), st.floats(0.0, 0.9))
+    @settings(max_examples=40, deadline=None)
+    def test_solve_invariant_under_relaxation(self, system, relax):
+        A, seed = system
+        f = factorize(A, diag_pivot_thresh=0.0)
+        sn = relaxed_supernodes(f.L, relax=relax)
+        snl = SupernodalLower.from_csc(f.L, unit_diagonal=True, snodes=sn)
+        rng = np.random.default_rng(seed)
+        X = rng.standard_normal((A.shape[0], 2))
+        ref = spla.spsolve_triangular(f.L.tocsr(), X, lower=True,
+                                      unit_diagonal=True)
+        Y = X.copy()
+        snl.solve_inplace(Y)
+        np.testing.assert_allclose(Y, ref, atol=1e-9)
+
+
+@st.composite
+def partitioned_matrix(draw):
+    nx = draw(st.integers(4, 9))
+    ny = draw(st.integers(4, 9))
+    k = draw(st.sampled_from([2, 4]))
+    seed = draw(st.integers(0, 2**31 - 1))
+    from tests.conftest import grid_laplacian
+    A = grid_laplacian(nx, ny)
+    r = nested_dissection_partition(A, k, seed=seed)
+    return A, r.part, k
+
+
+class TestTrimProperty:
+    @given(partitioned_matrix())
+    @settings(max_examples=25, deadline=None)
+    def test_trim_preserves_invariant_and_shrinks(self, data):
+        A, part, k = data
+        out = trim_separator(A, part, k)
+        assert int((out == -1).sum()) <= int((part == -1).sum())
+        build_dbbd(A, out, k)  # must still be a valid DBBD
+        # non-separator assignments never change
+        moved = (part >= 0) & (out != part)
+        assert not moved.any()

@@ -1,0 +1,84 @@
+"""Tests for setup reuse: numeric refactorization (update_matrix) and
+multi-RHS solves."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.solver import PDSLin, PDSLinConfig
+from tests.conftest import grid_laplacian
+
+
+@pytest.fixture
+def system():
+    A = grid_laplacian(12, 12)
+    solver = PDSLin(A, PDSLinConfig(k=4, seed=0))
+    solver.setup()
+    return A, solver
+
+
+class TestUpdateMatrix:
+    def test_refactorize_scaled_matrix(self, system, rng):
+        A, solver = system
+        part_before = solver.partition.part.copy()
+        A2 = (2.5 * A).tocsr()
+        solver.update_matrix(A2)
+        np.testing.assert_array_equal(solver.partition.part, part_before)
+        b = rng.standard_normal(A.shape[0])
+        res = solver.solve(b)
+        assert res.residual_norm < 1e-8
+        np.testing.assert_allclose(A2 @ res.x, b, atol=1e-7)
+
+    def test_value_perturbation(self, system, rng):
+        A, solver = system
+        A2 = A.copy()
+        A2.data = A2.data * (1.0 + 0.05 * rng.random(A2.nnz))
+        A2 = A2 + A2.T  # keep it solvable and same pattern
+        A2 = A2.tocsr()
+        solver.update_matrix(A2)
+        b = rng.standard_normal(A.shape[0])
+        res = solver.solve(b)
+        assert np.linalg.norm(A2 @ res.x - b) <= \
+            1e-7 * np.linalg.norm(b)
+
+    def test_pattern_change_rejected(self, system):
+        A, solver = system
+        A2 = A.tolil()
+        A2[0, 50] = 1.0
+        A2[50, 0] = 1.0
+        with pytest.raises(ValueError):
+            solver.update_matrix(sp.csr_matrix(A2))
+
+    def test_shape_change_rejected(self, system):
+        _, solver = system
+        with pytest.raises(ValueError):
+            solver.update_matrix(grid_laplacian(6, 6))
+
+    def test_before_setup_rejected(self):
+        solver = PDSLin(grid_laplacian(8, 8), PDSLinConfig(k=2))
+        with pytest.raises(ValueError):
+            solver.update_matrix(grid_laplacian(8, 8))
+
+
+class TestSolveMultiple:
+    def test_columns_solved(self, system, rng):
+        A, solver = system
+        B = rng.standard_normal((A.shape[0], 3))
+        results = solver.solve_multiple(B)
+        assert len(results) == 3
+        for j, res in enumerate(results):
+            np.testing.assert_allclose(A @ res.x, B[:, j], atol=1e-7)
+
+    def test_bad_shape(self, system):
+        _, solver = system
+        with pytest.raises(ValueError):
+            solver.solve_multiple(np.ones(5))
+        with pytest.raises(ValueError):
+            solver.solve_multiple(np.ones((7, 2)))
+
+    def test_runs_setup_on_demand(self, rng):
+        A = grid_laplacian(8, 8)
+        solver = PDSLin(A, PDSLinConfig(k=2, seed=0))
+        B = rng.standard_normal((64, 2))
+        results = solver.solve_multiple(B)
+        assert all(r.converged for r in results)

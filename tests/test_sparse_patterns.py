@@ -1,0 +1,107 @@
+"""Unit tests for repro.sparse.patterns."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import (
+    pattern_of, pattern_equal, row_nnz, col_nnz,
+    nonzero_rows, nonzero_cols, boolean_product_pattern,
+    pattern_union, extract_submatrix, drop_explicit_zeros,
+    density_of_rows,
+)
+
+
+def mat(rows, cols, vals, shape):
+    return sp.csr_matrix((vals, (rows, cols)), shape=shape)
+
+
+class TestPatternOf:
+    def test_data_becomes_ones(self):
+        A = mat([0, 1], [1, 0], [2.5, -3.0], (2, 2))
+        P = pattern_of(A)
+        np.testing.assert_array_equal(P.data, [1, 1])
+
+    def test_explicit_zeros_dropped(self):
+        A = mat([0, 1], [0, 1], [0.0, 1.0], (2, 2))
+        P = pattern_of(A)
+        assert P.nnz == 1
+
+    def test_empty_matrix(self):
+        P = pattern_of(sp.csr_matrix((3, 3)))
+        assert P.nnz == 0
+
+
+class TestPatternEqual:
+    def test_equal_despite_values(self):
+        A = mat([0], [1], [5.0], (2, 2))
+        B = mat([0], [1], [-1.0], (2, 2))
+        assert pattern_equal(A, B)
+
+    def test_different_patterns(self):
+        A = mat([0], [1], [1.0], (2, 2))
+        B = mat([1], [0], [1.0], (2, 2))
+        assert not pattern_equal(A, B)
+
+    def test_different_shapes(self):
+        assert not pattern_equal(sp.eye(2).tocsr(), sp.eye(3).tocsr())
+
+
+class TestCounts:
+    def test_row_nnz(self):
+        A = mat([0, 0, 2], [0, 1, 2], [1, 1, 1], (3, 3))
+        np.testing.assert_array_equal(row_nnz(A), [2, 0, 1])
+
+    def test_col_nnz(self):
+        A = mat([0, 1, 2], [0, 0, 2], [1, 1, 1], (3, 3))
+        np.testing.assert_array_equal(col_nnz(A), [2, 0, 1])
+
+    def test_nonzero_rows_cols(self):
+        A = mat([0, 2], [1, 1], [1, 1], (3, 3))
+        np.testing.assert_array_equal(nonzero_rows(A), [0, 2])
+        np.testing.assert_array_equal(nonzero_cols(A), [1])
+
+    def test_counts_ignore_explicit_zeros(self):
+        A = mat([0, 0], [0, 1], [0.0, 1.0], (2, 2))
+        np.testing.assert_array_equal(row_nnz(A), [1, 0])
+
+
+class TestBooleanProduct:
+    def test_matches_dense_reference(self, rng):
+        A = sp.random(10, 8, 0.3, random_state=1, format="csr")
+        B = sp.random(8, 12, 0.3, random_state=2, format="csr")
+        P = boolean_product_pattern(A, B)
+        ref = (A.toarray() != 0).astype(int) @ (B.toarray() != 0).astype(int)
+        np.testing.assert_array_equal(P.toarray() != 0, ref > 0)
+
+    def test_identity_product(self):
+        A = sp.random(6, 6, 0.4, random_state=3, format="csr")
+        P = boolean_product_pattern(sp.eye(6).tocsr(), A)
+        assert pattern_equal(P, A)
+
+
+class TestUnionAndSubmatrix:
+    def test_union(self):
+        A = mat([0], [0], [1.0], (2, 2))
+        B = mat([1], [1], [1.0], (2, 2))
+        U = pattern_union(A, B)
+        assert U.nnz == 2
+
+    def test_union_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            pattern_union(sp.eye(2).tocsr(), sp.eye(3).tocsr())
+
+    def test_extract_submatrix(self):
+        A = sp.csr_matrix(np.arange(16, dtype=float).reshape(4, 4))
+        S = extract_submatrix(A, np.array([1, 3]), np.array([0, 2]))
+        np.testing.assert_array_equal(S.toarray(), [[4, 6], [12, 14]])
+
+
+class TestDensity:
+    def test_density_of_rows(self):
+        A = mat([0, 0, 1], [0, 1, 0], [1, 1, 1], (2, 4))
+        np.testing.assert_allclose(density_of_rows(A), [0.5, 0.25])
+
+    def test_drop_explicit_zeros_noop_when_clean(self):
+        A = sp.eye(3).tocsr()
+        assert drop_explicit_zeros(A).nnz == 3

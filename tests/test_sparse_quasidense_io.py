@@ -1,0 +1,107 @@
+"""Unit tests for quasi-dense filtering and Matrix Market I/O."""
+
+import io
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import (
+    filter_quasi_dense_rows, read_matrix_market, write_matrix_market,
+    pattern_equal,
+)
+
+
+class TestQuasiDenseFilter:
+    def make(self):
+        # 4 columns; row densities: 1.0, 0.5, 0.25, 0.0
+        rows = [0, 0, 0, 0, 1, 1, 2]
+        cols = [0, 1, 2, 3, 0, 2, 1]
+        return sp.csr_matrix((np.ones(7), (rows, cols)), shape=(4, 4))
+
+    def test_threshold_splits_correctly(self):
+        f = filter_quasi_dense_rows(self.make(), tau=0.5)
+        np.testing.assert_array_equal(f.dense_rows, [0, 1])
+        np.testing.assert_array_equal(f.empty_rows, [3])
+        np.testing.assert_array_equal(f.kept_rows, [2])
+
+    def test_kept_matrix_rows(self):
+        f = filter_quasi_dense_rows(self.make(), tau=0.9)
+        assert f.kept.shape == (2, 4)
+        np.testing.assert_array_equal(f.kept_rows, [1, 2])
+
+    def test_tau_one_keeps_everything_nonempty_nondense(self):
+        f = filter_quasi_dense_rows(self.make(), tau=1.0)
+        np.testing.assert_array_equal(f.dense_rows, [0])
+
+    def test_tau_zero_rejected(self):
+        with pytest.raises(ValueError):
+            filter_quasi_dense_rows(self.make(), tau=0.0)
+
+    def test_fraction_properties(self):
+        f = filter_quasi_dense_rows(self.make(), tau=0.5)
+        assert f.n_removed == 3
+        assert f.removed_fraction == pytest.approx(0.75)
+
+
+class TestMatrixMarketIO:
+    def test_roundtrip_general(self, unsym50):
+        buf = io.StringIO()
+        write_matrix_market(buf, unsym50, comment="test matrix")
+        buf.seek(0)
+        B = read_matrix_market(buf)
+        assert (abs(unsym50 - B)).max() < 1e-14
+
+    def test_roundtrip_file(self, tmp_path, grid8):
+        path = tmp_path / "m.mtx"
+        write_matrix_market(path, grid8)
+        B = read_matrix_market(path)
+        assert pattern_equal(grid8, B)
+        assert (abs(grid8 - B)).max() < 1e-14
+
+    def test_reads_symmetric_format(self):
+        text = """%%MatrixMarket matrix coordinate real symmetric
+3 3 3
+1 1 2.0
+2 1 -1.0
+3 3 4.0
+"""
+        A = read_matrix_market(io.StringIO(text))
+        assert A[0, 1] == -1.0 and A[1, 0] == -1.0
+        assert A[2, 2] == 4.0
+
+    def test_reads_pattern_format(self):
+        text = """%%MatrixMarket matrix coordinate pattern general
+2 2 2
+1 2
+2 1
+"""
+        A = read_matrix_market(io.StringIO(text))
+        assert A[0, 1] == 1.0 and A[1, 0] == 1.0
+
+    def test_rejects_bad_header(self):
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO("not a matrix\n"))
+
+    def test_rejects_unsupported_field(self):
+        text = "%%MatrixMarket matrix coordinate complex general\n1 1 0\n"
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO(text))
+
+    def test_skips_comment_lines(self):
+        text = """%%MatrixMarket matrix coordinate real general
+% a comment
+% another
+2 2 1
+1 1 5.0
+"""
+        A = read_matrix_market(io.StringIO(text))
+        assert A[0, 0] == 5.0
+
+    def test_truncated_file_raises(self):
+        text = """%%MatrixMarket matrix coordinate real general
+2 2 2
+1 1 5.0
+"""
+        with pytest.raises(ValueError):
+            read_matrix_market(io.StringIO(text))

@@ -1,0 +1,85 @@
+"""Unit tests for structural factorization str(A) = str(M^T M)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import (
+    edge_incidence_factor, clique_factor, verify_structural_factor,
+    symmetrized,
+)
+from tests.conftest import grid_laplacian, random_unsymmetric
+
+
+class TestEdgeIncidenceFactor:
+    def test_valid_on_grid(self, grid8):
+        M = edge_incidence_factor(grid8)
+        assert verify_structural_factor(grid8, M)
+
+    def test_rows_have_two_pins(self, grid8):
+        M = edge_incidence_factor(grid8)
+        counts = np.diff(M.indptr)
+        assert set(counts.tolist()) <= {1, 2}
+
+    def test_row_count_equals_edges(self, grid8):
+        M = edge_incidence_factor(grid8)
+        S = symmetrized(grid8)
+        n_edges = (S.nnz - grid8.shape[0]) // 2  # full diagonal present
+        assert M.shape[0] == n_edges
+
+    def test_isolated_vertex_gets_singleton_row(self):
+        A = sp.csr_matrix(np.array([[1.0, 0.5, 0.0],
+                                    [0.5, 2.0, 0.0],
+                                    [0.0, 0.0, 3.0]]))
+        M = edge_incidence_factor(A)
+        assert verify_structural_factor(A, M)
+        # vertex 2 is isolated -> some row touches only column 2
+        cols_per_row = [set(M.indices[M.indptr[i]:M.indptr[i + 1]])
+                        for i in range(M.shape[0])]
+        assert {2} in cols_per_row
+
+    def test_unsymmetric_input_symmetrized(self, unsym50):
+        M = edge_incidence_factor(unsym50)
+        assert verify_structural_factor(unsym50, M)
+
+
+class TestCliqueFactor:
+    def test_valid_on_grid(self, grid8):
+        Mc = clique_factor(grid8)
+        assert verify_structural_factor(grid8, Mc)
+
+    def test_fewer_rows_than_edge_factor_on_dense_blocks(self):
+        # a matrix with a dense 6x6 block: cliques collapse it
+        n = 12
+        A = sp.lil_matrix((n, n))
+        A[np.ix_(range(6), range(6))] = 1.0
+        A[6:, 6:] = np.eye(6)
+        A = sp.csr_matrix(A)
+        Me = edge_incidence_factor(A)
+        Mc = clique_factor(A)
+        assert verify_structural_factor(A, Mc)
+        assert Mc.shape[0] < Me.shape[0]
+
+    def test_max_clique_respected(self, grid8):
+        Mc = clique_factor(grid8, max_clique=2)
+        sizes = np.diff(Mc.indptr)
+        assert sizes.max() <= 2
+        assert verify_structural_factor(grid8, Mc)
+
+
+class TestVerify:
+    def test_detects_missing_coverage(self, grid8):
+        M = edge_incidence_factor(grid8)
+        # drop one edge-row: coverage broken
+        M2 = M[1:]
+        assert not verify_structural_factor(grid8, M2)
+
+    def test_detects_spurious_edges(self):
+        A = sp.eye(4).tocsr()
+        # row covering columns 0..3 creates off-diagonals absent in A
+        M = sp.csr_matrix(np.ones((1, 4)))
+        assert not verify_structural_factor(A, M)
+
+    def test_shape_mismatch_false(self, grid8):
+        M = sp.csr_matrix((2, 5))
+        assert not verify_structural_factor(grid8, M)

@@ -1,0 +1,64 @@
+"""Unit tests for symmetrization and symmetry diagnostics."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.sparse import (
+    symmetrized, is_structurally_symmetric, symmetry_info,
+)
+
+
+class TestSymmetrized:
+    def test_result_is_symmetric(self, unsym50):
+        S = symmetrized(unsym50)
+        assert (abs(S - S.T)).nnz == 0
+
+    def test_absolute_values(self):
+        A = sp.csr_matrix(np.array([[0.0, -2.0], [1.0, 0.0]]))
+        S = symmetrized(A)
+        assert S[0, 1] == 3.0 and S[1, 0] == 3.0
+
+    def test_rejects_rectangular(self):
+        with pytest.raises(ValueError):
+            symmetrized(sp.csr_matrix((2, 3)))
+
+
+class TestStructuralSymmetry:
+    def test_symmetric_matrix(self, grid8):
+        assert is_structurally_symmetric(grid8)
+
+    def test_pattern_symmetric_value_unsymmetric(self):
+        A = sp.csr_matrix(np.array([[1.0, 2.0], [3.0, 1.0]]))
+        assert is_structurally_symmetric(A)
+        info = symmetry_info(A)
+        assert info.pattern_symmetric and not info.value_symmetric
+
+    def test_pattern_unsymmetric(self):
+        A = sp.csr_matrix(np.array([[1.0, 2.0], [0.0, 1.0]]))
+        assert not is_structurally_symmetric(A)
+
+
+class TestSymmetryInfo:
+    def test_spd_detected(self, grid8):
+        info = symmetry_info(grid8, check_definiteness=True)
+        assert info.pattern_symmetric and info.value_symmetric
+        assert info.positive_definite is True
+
+    def test_indefinite_detected(self):
+        A = sp.csr_matrix(np.diag([1.0, -1.0, 2.0]))
+        info = symmetry_info(A, check_definiteness=True)
+        assert info.positive_definite is False
+
+    def test_unsymmetric_never_posdef(self):
+        A = sp.csr_matrix(np.array([[1.0, 2.0], [3.0, 1.0]]))
+        info = symmetry_info(A, check_definiteness=True)
+        assert info.positive_definite is False
+
+    def test_definiteness_skipped_by_default(self, grid8):
+        info = symmetry_info(grid8)
+        assert info.positive_definite is None
+
+    def test_table_row_format(self, grid8):
+        row = symmetry_info(grid8).table_row()
+        assert "pattern=yes" in row and "value=yes" in row

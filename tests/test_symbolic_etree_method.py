@@ -1,0 +1,93 @@
+"""Tests for the e-tree fill-path symbolic method (solution_pattern
+method="etree") against the exact DAG reach."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+
+from repro.lu import factorize, solution_pattern, factor_etree, reach
+from repro.ordering import elimination_tree, postorder, minimum_degree
+from repro.sparse import symmetrized
+from tests.conftest import grid_laplacian, random_spd
+
+
+@pytest.fixture(scope="module")
+def factored():
+    A = grid_laplacian(12, 12)
+    md = minimum_degree(A)
+    po = postorder(elimination_tree(symmetrized(A[md][:, md].tocsr())))
+    perm = md[po]
+    f = factorize(A[perm][:, perm].tocsc(), diag_pivot_thresh=0.0)
+    return f
+
+
+class TestFactorEtree:
+    def test_matches_matrix_etree_for_cholesky_structure(self, factored):
+        """For a symmetric-pattern factor, the first-below-diagonal
+        parents are the classical elimination tree."""
+        f = factored
+        LLt = (f.L @ f.L.T).tocsr()  # symmetric pattern containing L's
+        par_factor = factor_etree(f.L)
+        # the factor etree must be consistent: parent[j] > j or -1
+        n = f.n
+        assert np.all((par_factor == -1) | (par_factor > np.arange(n)))
+
+    def test_roots_have_empty_below(self, factored):
+        par = factor_etree(factored.L)
+        L = factored.L
+        for j in np.flatnonzero(par == -1):
+            rows = L.indices[L.indptr[j]:L.indptr[j + 1]]
+            assert (rows > j).sum() == 0
+
+
+class TestEtreeMethod:
+    def test_superset_of_exact_reach(self, factored):
+        f = factored
+        n = f.n
+        B = sp.random(n, 15, 0.05, random_state=2, format="csr")
+        G_exact = solution_pattern(f.L, B, method="reach")
+        G_etree = solution_pattern(f.L, B, method="etree")
+        missing = (G_exact.toarray() != 0) & (G_etree.toarray() == 0)
+        assert not missing.any()
+
+    def test_equal_on_cholesky_like_factor(self, factored):
+        """For MD+postorder diagonal-pivot factors of symmetric-pattern
+        matrices the fill-path closure IS the exact reach."""
+        f = factored
+        n = f.n
+        B = sp.random(n, 10, 0.08, random_state=3, format="csr")
+        G_exact = solution_pattern(f.L, B, method="reach")
+        G_etree = solution_pattern(f.L, B, method="etree")
+        np.testing.assert_array_equal(G_exact.toarray() != 0,
+                                      G_etree.toarray() != 0)
+
+    def test_covers_numeric_nonzeros(self, factored):
+        f = factored
+        n = f.n
+        B = sp.random(n, 8, 0.05, random_state=4, format="csr")
+        Bp = B  # already in factored coordinates for this test
+        G = solution_pattern(f.L, Bp, method="etree")
+        X = spla.spsolve_triangular(f.L.tocsr(), Bp.toarray(), lower=True,
+                                    unit_diagonal=True)
+        bad = (np.abs(X) > 0) & (G.toarray() == 0)
+        assert not bad.any()
+
+    def test_invalid_method(self, factored):
+        with pytest.raises(ValueError):
+            solution_pattern(factored.L, sp.csr_matrix((factored.n, 1)),
+                             method="magic")
+
+    def test_empty_rhs(self, factored):
+        G = solution_pattern(factored.L, sp.csr_matrix((factored.n, 0)),
+                             method="etree")
+        assert G.shape == (factored.n, 0)
+
+    def test_solver_end_to_end_with_etree_patterns(self, rng):
+        """PDSLin (which now predicts patterns via the e-tree model)
+        still produces exact solutions."""
+        from repro.solver import PDSLin, PDSLinConfig
+        A = grid_laplacian(14, 14)
+        b = rng.standard_normal(A.shape[0])
+        res = PDSLin(A, PDSLinConfig(k=4, seed=0)).solve(b)
+        assert res.residual_norm < 1e-8

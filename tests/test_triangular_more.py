@@ -1,0 +1,90 @@
+"""Deeper tests of the blocked triangular solver's accounting."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.lu import (
+    factorize, solution_pattern, SupernodalLower,
+    blocked_triangular_solve, partition_columns, padded_zeros,
+)
+from repro.utils import OpCounter
+from tests.conftest import grid_laplacian
+
+
+@pytest.fixture(scope="module")
+def problem():
+    A = grid_laplacian(12, 12).tocsc()
+    f = factorize(A, diag_pivot_thresh=0.0)
+    E = sp.random(144, 30, 0.04, random_state=3, format="csr")
+    Ep = f.permute_rows(E)
+    G = solution_pattern(f.L, Ep)
+    snl = SupernodalLower.from_csc(f.L, unit_diagonal=True)
+    return f, Ep, G, snl
+
+
+class TestDropTolSemantics:
+    def test_relative_per_column(self, problem):
+        f, Ep, G, snl = problem
+        parts = partition_columns(np.arange(30), 10)
+        res = blocked_triangular_solve(snl, Ep, G, parts, drop_tol=0.1)
+        X = res.X
+        for j in range(30):
+            col = X[:, j].toarray().ravel()
+            nz = col[col != 0]
+            if nz.size:
+                assert np.abs(nz).min() >= 0.1 * np.abs(nz).max() - 1e-15
+
+    def test_zero_columns_survive(self, problem):
+        f, Ep, G, snl = problem
+        # append an all-zero RHS column
+        Ez = sp.hstack([Ep, sp.csr_matrix((144, 1))]).tocsr()
+        Gz = solution_pattern(f.L, Ez)
+        parts = partition_columns(np.arange(31), 8)
+        res = blocked_triangular_solve(snl, Ez, Gz, parts)
+        assert res.X[:, 30].nnz == 0
+
+
+class TestAccounting:
+    def test_ops_counter_wired(self, problem):
+        f, Ep, G, snl = problem
+        ops = OpCounter()
+        parts = partition_columns(np.arange(30), 10)
+        res = blocked_triangular_solve(snl, Ep, G, parts, ops=ops)
+        assert ops.get("blocked_trsolve") == res.flops
+
+    def test_per_part_tuples_align(self, problem):
+        f, Ep, G, snl = problem
+        parts = partition_columns(np.arange(30), 7)
+        st = padded_zeros(G, parts)
+        assert len(st.per_part_padded) == len(parts)
+        assert sum(st.per_part_padded) == st.total_padded
+        assert sum(st.per_part_entries) == st.total_block_entries
+        for pad, ent in zip(st.per_part_padded, st.per_part_entries):
+            assert 0 <= pad <= ent
+
+    def test_fraction_bounds(self, problem):
+        f, Ep, G, snl = problem
+        for B in (1, 5, 30):
+            st = padded_zeros(G, partition_columns(np.arange(30), B))
+            assert 0.0 <= st.fraction < 1.0
+
+    def test_n_parts_recorded(self, problem):
+        f, Ep, G, snl = problem
+        parts = partition_columns(np.arange(30), 9)
+        res = blocked_triangular_solve(snl, Ep, G, parts)
+        assert res.n_parts == len(parts)
+
+    def test_seconds_positive(self, problem):
+        f, Ep, G, snl = problem
+        parts = partition_columns(np.arange(30), 15)
+        res = blocked_triangular_solve(snl, Ep, G, parts)
+        assert res.seconds > 0.0
+
+
+class TestDimensionErrors:
+    def test_factor_rhs_mismatch(self, problem):
+        f, Ep, G, snl = problem
+        bad = sp.csr_matrix((10, 4))
+        with pytest.raises(ValueError):
+            blocked_triangular_solve(snl, bad, G, [np.array([0])])

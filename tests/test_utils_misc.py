@@ -1,0 +1,148 @@
+"""Unit tests for timers, op counters, and RNG plumbing."""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro.utils import (
+    Timer, StageTimer, format_seconds,
+    OpCounter, gemm_flops, trsv_flops, lu_flops_from_counts,
+    rng_from, spawn,
+)
+
+
+class TestTimer:
+    def test_accumulates(self):
+        t = Timer()
+        with t:
+            time.sleep(0.01)
+        assert t.elapsed >= 0.009
+
+    def test_double_start_raises(self):
+        t = Timer().start()
+        with pytest.raises(RuntimeError):
+            t.start()
+        t.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_running_flag(self):
+        t = Timer()
+        assert not t.running
+        t.start()
+        assert t.running
+        t.stop()
+        assert not t.running
+
+
+class TestStageTimer:
+    def test_records_stage(self):
+        st = StageTimer()
+        with st.stage("a"):
+            pass
+        assert st.get("a") >= 0.0
+        assert st.counts["a"] == 1
+
+    def test_nested_stages_record_both_keys(self):
+        st = StageTimer()
+        with st.stage("outer"):
+            with st.stage("inner"):
+                pass
+        assert "outer/inner" in st.totals
+        assert "inner" in st.totals
+
+    def test_add_external(self):
+        st = StageTimer()
+        st.add("x", 1.5)
+        st.add("x", 0.5)
+        assert st.get("x") == pytest.approx(2.0)
+
+    def test_add_negative_rejected(self):
+        with pytest.raises(ValueError):
+            StageTimer().add("x", -1.0)
+
+    def test_merge(self):
+        a, b = StageTimer(), StageTimer()
+        a.add("s", 1.0)
+        b.add("s", 2.0)
+        b.add("t", 3.0)
+        a.merge(b)
+        assert a.get("s") == pytest.approx(3.0)
+        assert a.get("t") == pytest.approx(3.0)
+
+    def test_report_contains_stage(self):
+        st = StageTimer()
+        st.add("mystage", 0.1)
+        assert "mystage" in st.report()
+
+
+class TestFormatSeconds:
+    def test_microseconds(self):
+        assert format_seconds(5e-6).endswith("us")
+
+    def test_milliseconds(self):
+        assert format_seconds(5e-3).endswith("ms")
+
+    def test_seconds(self):
+        assert format_seconds(2.0) == "2.000s"
+
+
+class TestOpCounter:
+    def test_add_and_total(self):
+        oc = OpCounter()
+        oc.add("gemm", 100)
+        oc.add("gemm", 50)
+        oc.add("trsv", 10)
+        assert oc.get("gemm") == 150
+        assert oc.total == 160
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            OpCounter().add("x", -1)
+
+    def test_merge(self):
+        a, b = OpCounter(), OpCounter()
+        a.add("k", 1)
+        b.add("k", 2)
+        a.merge(b)
+        assert a.get("k") == 3
+
+    def test_flop_formulas(self):
+        assert gemm_flops(2, 3, 4) == 48
+        assert trsv_flops(10, 3) == 60
+        assert lu_flops_from_counts([2, 0], [3, 1]) == 2 + 12
+
+    def test_report_sorted_by_size(self):
+        oc = OpCounter()
+        oc.add("small", 1)
+        oc.add("big", 100)
+        rep = oc.report()
+        assert rep.index("big") < rep.index("small")
+
+
+class TestPrng:
+    def test_rng_from_int_deterministic(self):
+        a = rng_from(7).random()
+        b = rng_from(7).random()
+        assert a == b
+
+    def test_rng_from_generator_passthrough(self):
+        g = np.random.default_rng(1)
+        assert rng_from(g) is g
+
+    def test_spawn_children_differ(self):
+        kids = spawn(0, 3)
+        vals = [k.random() for k in kids]
+        assert len(set(vals)) == 3
+
+    def test_spawn_deterministic(self):
+        v1 = [k.random() for k in spawn(42, 2)]
+        v2 = [k.random() for k in spawn(42, 2)]
+        assert v1 == v2
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn(0, -1)

@@ -1,0 +1,151 @@
+"""Unit tests for repro.utils.validation."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.utils import (
+    require, positive_int, nonneg_int, fraction,
+    as_int_array, as_float_array,
+    check_square, check_csr, check_csc,
+    check_partition_vector, check_permutation,
+)
+
+
+class TestRequire:
+    def test_passes_on_true(self):
+        require(True, "nope")
+
+    def test_raises_value_error(self):
+        with pytest.raises(ValueError, match="broken"):
+            require(False, "broken")
+
+    def test_custom_exception(self):
+        with pytest.raises(IndexError):
+            require(False, "idx", exc=IndexError)
+
+
+class TestScalarValidators:
+    def test_positive_int_accepts(self):
+        assert positive_int(3, "x") == 3
+
+    def test_positive_int_rejects_zero(self):
+        with pytest.raises(ValueError):
+            positive_int(0, "x")
+
+    def test_positive_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            positive_int(-2, "x")
+
+    def test_positive_int_rejects_non_integral_float(self):
+        with pytest.raises(ValueError):
+            positive_int(2.5, "x")
+
+    def test_positive_int_accepts_integral_float(self):
+        assert positive_int(4.0, "x") == 4
+
+    def test_nonneg_int_accepts_zero(self):
+        assert nonneg_int(0, "x") == 0
+
+    def test_nonneg_int_rejects_negative(self):
+        with pytest.raises(ValueError):
+            nonneg_int(-1, "x")
+
+    def test_fraction_bounds(self):
+        assert fraction(0.5, "f") == 0.5
+        assert fraction(0.0, "f") == 0.0
+        assert fraction(1.0, "f") == 1.0
+
+    def test_fraction_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            fraction(1.5, "f")
+        with pytest.raises(ValueError):
+            fraction(-0.1, "f")
+
+    def test_fraction_rejects_nan(self):
+        with pytest.raises(ValueError):
+            fraction(float("nan"), "f")
+
+    def test_fraction_custom_bounds(self):
+        assert fraction(3.0, "f", lo=1.0, hi=5.0) == 3.0
+
+
+class TestArrayConversions:
+    def test_as_int_array_from_list(self):
+        out = as_int_array([1, 2, 3])
+        assert out.dtype == np.int64
+        np.testing.assert_array_equal(out, [1, 2, 3])
+
+    def test_as_int_array_from_integral_floats(self):
+        out = as_int_array(np.array([1.0, 2.0]))
+        assert out.dtype == np.int64
+
+    def test_as_int_array_rejects_fractional(self):
+        with pytest.raises(TypeError):
+            as_int_array(np.array([1.5, 2.0]))
+
+    def test_as_float_array(self):
+        out = as_float_array([1, 2])
+        assert out.dtype == np.float64
+
+
+class TestMatrixValidators:
+    def test_check_square_passes(self):
+        check_square(sp.eye(4).tocsr())
+
+    def test_check_square_rejects_rect(self):
+        with pytest.raises(ValueError):
+            check_square(sp.csr_matrix((3, 4)))
+
+    def test_check_csr_canonicalizes_duplicates(self):
+        A = sp.coo_matrix(([1.0, 2.0], ([0, 0], [1, 1])), shape=(2, 2))
+        out = check_csr(A)
+        assert out.nnz == 1
+        assert out[0, 1] == 3.0
+
+    def test_check_csr_rejects_dense(self):
+        with pytest.raises(TypeError):
+            check_csr(np.eye(3))
+
+    def test_check_csc_returns_csc(self):
+        out = check_csc(sp.eye(3).tocsr())
+        assert sp.issparse(out) and out.format == "csc"
+
+
+class TestPartitionVector:
+    def test_valid(self):
+        p = check_partition_vector(np.array([0, 1, 1, 0]), 4, 2)
+        assert p.dtype == np.int64
+
+    def test_wrong_length(self):
+        with pytest.raises(ValueError):
+            check_partition_vector(np.array([0, 1]), 3, 2)
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            check_partition_vector(np.array([0, 2]), 2, 2)
+        with pytest.raises(ValueError):
+            check_partition_vector(np.array([0, -1]), 2, 2)
+
+
+class TestPermutation:
+    def test_identity(self):
+        check_permutation(np.arange(5), 5)
+
+    def test_shuffled(self):
+        check_permutation(np.array([2, 0, 1]), 3)
+
+    def test_duplicate_rejected(self):
+        with pytest.raises(ValueError):
+            check_permutation(np.array([0, 0, 1]), 3)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            check_permutation(np.array([0, 1, 3]), 3)
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            check_permutation(np.array([0, 1]), 3)
+
+    def test_empty(self):
+        check_permutation(np.empty(0, dtype=int), 0)
