@@ -3,7 +3,9 @@ weight schemes (dynamic vs static) and FM refinement strength."""
 
 from benchmarks.conftest import publish
 from repro.experiments import (
-    run_weight_ablation, run_fm_ablation, format_ablation,
+    format_ablation,
+    run_fm_ablation,
+    run_weight_ablation,
 )
 
 

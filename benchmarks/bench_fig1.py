@@ -2,7 +2,7 @@
 RHB-soed vs PT-Scotch-style NGD, k = 8 subdomains, two-level projection."""
 
 from benchmarks.conftest import publish
-from repro.experiments import run_fig1, format_fig1
+from repro.experiments import format_fig1, run_fig1
 
 
 def test_fig1(benchmark, scale, results_dir):

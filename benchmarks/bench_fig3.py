@@ -8,7 +8,7 @@ Four panels like the paper: (a) single k=8, (b) multi k=8,
 import pytest
 
 from benchmarks.conftest import publish
-from repro.experiments import run_fig3, format_fig3
+from repro.experiments import format_fig3, run_fig3
 
 PANELS = [
     ("a", 8, "single"),

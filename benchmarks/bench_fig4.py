@@ -2,11 +2,10 @@
 for natural / postorder / hypergraph RHS orderings (four panels, one per
 matrix family)."""
 
-import numpy as np
 import pytest
 
 from benchmarks.conftest import publish
-from repro.experiments import prepare_triangular_study, run_fig4, format_fig4
+from repro.experiments import format_fig4, prepare_triangular_study, run_fig4
 from repro.matrices import generate
 
 PANELS = ["tdr190k", "dds.quad", "dds.linear", "matrix211"]

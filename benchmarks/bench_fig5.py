@@ -4,7 +4,7 @@ block size B for the three RHS orderings (four panels)."""
 import pytest
 
 from benchmarks.conftest import publish
-from repro.experiments import prepare_triangular_study, run_fig5, format_fig5
+from repro.experiments import format_fig5, prepare_triangular_study, run_fig5
 from repro.matrices import generate
 
 PANELS = ["tdr190k", "dds.quad", "dds.linear", "matrix211"]

@@ -13,12 +13,18 @@ from repro.core import rhb_partition
 from repro.graphs import nested_dissection_partition
 from repro.hypergraph import Hypergraph, bisect_hypergraph
 from repro.lu import (
-    factorize, solution_pattern, SupernodalLower,
-    blocked_triangular_solve, partition_columns,
+    SupernodalLower,
+    blocked_triangular_solve,
+    factorize,
+    partition_columns,
+    solution_pattern,
 )
 from repro.matrices import generate
-from repro.ordering import minimum_degree, reverse_cuthill_mckee, \
-    elimination_tree
+from repro.ordering import (
+    elimination_tree,
+    minimum_degree,
+    reverse_cuthill_mckee,
+)
 
 
 @pytest.fixture(scope="module")

@@ -4,7 +4,9 @@ drops too low."""
 
 from benchmarks.conftest import publish
 from repro.experiments import (
-    prepare_triangular_study, run_quasidense, format_quasidense,
+    format_quasidense,
+    prepare_triangular_study,
+    run_quasidense,
 )
 from repro.matrices import generate
 

@@ -2,7 +2,7 @@
 hierarchical-design argument)."""
 
 from benchmarks.conftest import publish
-from repro.experiments import run_twolevel_vs_onelevel, format_scaling
+from repro.experiments import format_scaling, run_twolevel_vs_onelevel
 
 
 def test_twolevel_vs_onelevel(benchmark, scale, results_dir):

@@ -7,7 +7,6 @@ cavity system and reports iterations + simulated times.
 """
 
 import numpy as np
-import pytest
 
 from benchmarks.conftest import publish
 from repro.experiments.common import render_table

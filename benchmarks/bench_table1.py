@@ -1,7 +1,7 @@
 """Bench: regenerate Table I (test-matrix properties)."""
 
 from benchmarks.conftest import publish
-from repro.experiments import run_table1, format_table1
+from repro.experiments import format_table1, run_table1
 
 
 def test_table1(benchmark, scale, results_dir):

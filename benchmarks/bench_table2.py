@@ -2,7 +2,7 @@
 solve times, NGD vs RHB (soed, single dynamic constraint), k = 8."""
 
 from benchmarks.conftest import publish
-from repro.experiments import run_table2, format_table2
+from repro.experiments import format_table2, run_table2
 from repro.experiments.table2 import DEFAULT_MATRICES
 
 

@@ -2,7 +2,7 @@
 patterns G_l (nnz, nonzero rows/cols, effective density, fill ratio)."""
 
 from benchmarks.conftest import publish
-from repro.experiments import run_table3, format_table3
+from repro.experiments import format_table3, run_table3
 from repro.experiments.table3 import DEFAULT_MATRICES
 
 

@@ -19,6 +19,34 @@ RESULTS_DIR = Path(os.environ.get(
     "REPRO_BENCH_RESULTS_DIR", Path(__file__).parent / "results"))
 
 
+def _bench_opted_in(config) -> bool:
+    if os.environ.get("REPRO_RUN_BENCH"):
+        return True
+    try:
+        return bool(config.getoption("--benchmark-only"))
+    except (ValueError, KeyError):  # pytest-benchmark not installed
+        return False
+
+
+def pytest_collection_modifyitems(config, items):
+    """Keep full benchmarks out of ordinary test runs.
+
+    Every ``bench_*.py`` item is marked ``slow`` and skipped unless the
+    run opted in via ``--benchmark-only`` (the documented benchmark
+    invocation) or ``REPRO_RUN_BENCH=1``. Tier-1 CI collects only
+    ``tests/``, but this guard makes an accidental ``pytest benchmarks/``
+    cheap instead of a multi-minute experiment sweep.
+    """
+    opted_in = _bench_opted_in(config)
+    skip = pytest.mark.skip(
+        reason="benchmark: run with --benchmark-only or REPRO_RUN_BENCH=1")
+    for item in items:
+        if Path(item.fspath).name.startswith("bench_"):
+            item.add_marker(pytest.mark.slow)
+            if not opted_in:
+                item.add_marker(skip)
+
+
 def bench_scale(default: str = "small") -> str:
     return os.environ.get("REPRO_BENCH_SCALE", default)
 

@@ -10,8 +10,8 @@ Run:  python examples/cavity_partitioning.py [tiny|small|medium]
 
 import sys
 
-from repro.experiments import run_fig3, format_fig3
-from repro.experiments.ablation import run_weight_ablation, format_ablation
+from repro.experiments import format_fig3, run_fig3
+from repro.experiments.ablation import format_ablation, run_weight_ablation
 
 
 def main(scale: str = "tiny") -> None:

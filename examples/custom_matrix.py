@@ -14,8 +14,11 @@ import scipy.sparse as sp
 
 from repro import PDSLin, PDSLinConfig, rhb_partition
 from repro.sparse import (
-    read_matrix_market, write_matrix_market, symmetry_info,
-    edge_incidence_factor, verify_structural_factor,
+    edge_incidence_factor,
+    read_matrix_market,
+    symmetry_info,
+    verify_structural_factor,
+    write_matrix_market,
 )
 
 

@@ -15,8 +15,8 @@ from pathlib import Path
 import numpy as np
 
 from repro import PDSLin, PDSLinConfig, generate
-from repro.parallel import export_chrome_trace, TwoLevelModel
-from repro.solver import run_report, format_report, save_report
+from repro.parallel import TwoLevelModel, export_chrome_trace
+from repro.solver import format_report, run_report, save_report
 
 
 def main(out_dir: str = ".") -> None:

@@ -10,10 +10,12 @@ Run:  python examples/rhs_reordering.py
 """
 
 from repro.experiments import (
-    prepare_triangular_study, run_fig4, run_fig5,
-    run_quasidense, format_quasidense,
+    format_quasidense,
+    prepare_triangular_study,
+    run_fig4,
+    run_fig5,
+    run_quasidense,
 )
-from repro.lu import padded_zeros
 from repro.matrices import generate
 
 

@@ -13,10 +13,10 @@ Public surface (see README for the architecture overview):
 - :mod:`repro.experiments` — per-table/figure harnesses.
 """
 
-from repro.core import rhb_partition, build_dbbd, DBBDPartition, RHBResult
-from repro.solver import PDSLin, PDSLinConfig, PDSLinResult
+from repro.core import DBBDPartition, RHBResult, build_dbbd, rhb_partition
 from repro.graphs import nested_dissection_partition
 from repro.matrices import generate, suite_names
+from repro.solver import PDSLin, PDSLinConfig, PDSLinResult
 
 __version__ = "1.0.0"
 

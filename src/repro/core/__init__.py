@@ -2,20 +2,24 @@
 forms, and sparse-RHS reordering for triangular solution (Section IV)."""
 
 from repro.core.dbbd import (
-    DBBDPartition,
-    SubdomainStats,
-    PartitionQuality,
-    build_dbbd,
     SEPARATOR,
+    DBBDPartition,
+    PartitionQuality,
+    SubdomainStats,
+    build_dbbd,
 )
-from repro.core.weights import WeightScheme, compute_vertex_weights, VALID_SCHEMES
-from repro.core.rhb import RHBResult, rhb_partition
 from repro.core.refine import trim_separator
+from repro.core.rhb import RHBResult, rhb_partition
 from repro.core.rhs_reorder import (
+    HypergraphOrderResult,
+    hypergraph_column_order,
     natural_column_order,
     postorder_column_order,
-    hypergraph_column_order,
-    HypergraphOrderResult,
+)
+from repro.core.weights import (
+    VALID_SCHEMES,
+    WeightScheme,
+    compute_vertex_weights,
 )
 
 __all__ = [

@@ -22,8 +22,8 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
-from repro.utils import check_csr, check_square, as_int_array
 from repro.sparse.patterns import col_nnz
+from repro.utils import as_int_array, check_csr, check_square
 
 __all__ = ["DBBDPartition", "SubdomainStats", "PartitionQuality", "build_dbbd"]
 

@@ -20,8 +20,8 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.core.dbbd import SEPARATOR
-from repro.sparse.symmetrize import symmetrized, is_structurally_symmetric
-from repro.utils import check_csr, check_square, as_int_array
+from repro.sparse.symmetrize import is_structurally_symmetric, symmetrized
+from repro.utils import as_int_array, check_csr, check_square
 
 __all__ = ["trim_separator"]
 

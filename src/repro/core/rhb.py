@@ -20,25 +20,32 @@ The result converts directly into a :class:`repro.core.dbbd.DBBDPartition`.
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, replace, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 import scipy.sparse as sp
 
+from repro.core.dbbd import SEPARATOR, DBBDPartition, build_dbbd
+from repro.core.weights import WeightScheme, compute_vertex_weights
 from repro.hypergraph import (
     Hypergraph,
     bisect_hypergraph,
-    split_by_side,
     initial_net_costs,
+    split_by_side,
 )
 from repro.hypergraph.metrics import CutMetric
-from repro.core.weights import WeightScheme, compute_vertex_weights
-from repro.core.dbbd import DBBDPartition, build_dbbd, SEPARATOR
-from repro.sparse.structural import edge_incidence_factor
-from repro.sparse.symmetrize import symmetrized, is_structurally_symmetric
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sparse.patterns import row_nnz
-from repro.utils import SeedLike, rng_from, positive_int, fraction, check_csr
+from repro.sparse.structural import edge_incidence_factor
+from repro.sparse.symmetrize import is_structurally_symmetric, symmetrized
+from repro.utils import (
+    SeedLike,
+    Timer,
+    check_csr,
+    fraction,
+    positive_int,
+    rng_from,
+)
 
 __all__ = ["RHBResult", "rhb_partition"]
 
@@ -121,7 +128,8 @@ def rhb_partition(A: sp.spmatrix, k: int, *,
                   epsilon: float = 0.1,
                   seed: SeedLike = None,
                   n_trials: int = 4,
-                  fm_passes: int = 8) -> RHBResult:
+                  fm_passes: int = 8,
+                  tracer: Tracer = NULL_TRACER) -> RHBResult:
     """Run RHB on ``A`` producing ``k`` subdomains plus separator.
 
     Parameters
@@ -141,6 +149,9 @@ def rhb_partition(A: sp.spmatrix, k: int, *,
         Vertex-weight scheme; see :mod:`repro.core.weights`.
     epsilon:
         Allowed imbalance per bisection, Eq. (6).
+    tracer:
+        Records an ``rhb_partition`` span with one nested ``rhb_bisect``
+        span per bisection (``depth`` attribute, ``cut_cost`` counter).
     """
     k = positive_int(k, "k")
     epsilon = fraction(epsilon, "epsilon")
@@ -181,12 +192,15 @@ def rhb_partition(A: sp.spmatrix, k: int, *,
         Hw = replace(H, vertex_weights=weights, _vtx_ptr=H.vtx_ptr,
                      _vtx_nets=H.vtx_nets)
         k_left = k_here // 2
-        t0 = time.perf_counter()
-        res = bisect_hypergraph(Hw, epsilon=epsilon,
-                                target0=k_left / k_here, seed=rng,
-                                n_trials=n_trials, fm_passes=fm_passes)
-        split = split_by_side(H, res.side, metric)
-        bis_seconds.append(time.perf_counter() - t0)
+        with tracer.span("rhb_bisect", depth=depth,
+                         n_vertices=H.n_vertices):
+            timer = Timer().start()
+            res = bisect_hypergraph(Hw, epsilon=epsilon,
+                                    target0=k_left / k_here, seed=rng,
+                                    n_trials=n_trials, fm_passes=fm_passes)
+            split = split_by_side(H, res.side, metric)
+            bis_seconds.append(timer.stop())
+            tracer.count("cut_cost", split.cut_cost)
         bis_depths.append(depth)
         is_sep[split.cut_net_ids] = True
         cut_costs.append(split.cut_cost)
@@ -195,9 +209,11 @@ def rhb_partition(A: sp.spmatrix, k: int, *,
         recurse(split.children[1], row_ids[split.vertex_ids[1]],
                 k_here - k_left, low + k_left, depth + 1)
 
-    recurse(H0, np.arange(n_rows, dtype=np.int64), k, 0, 0)
-    # columns cut anywhere stay separator even if a fragment reached a leaf
-    col_part[is_sep] = SEPARATOR
+    with tracer.span("rhb_partition", k=k, metric=metric, scheme=scheme):
+        recurse(H0, np.arange(n_rows, dtype=np.int64), k, 0, 0)
+        # columns cut anywhere stay separator even if a fragment reached
+        # a leaf
+        col_part[is_sep] = SEPARATOR
     return RHBResult(col_part=col_part, row_part=row_part, k=k,
                      metric=metric, scheme=scheme, cut_costs=cut_costs,
                      bisection_seconds=bis_seconds,

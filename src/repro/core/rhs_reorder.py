@@ -25,8 +25,9 @@ import numpy as np
 import scipy.sparse as sp
 
 from repro.hypergraph import Hypergraph, bisect_hypergraph, split_by_side
+from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.sparse.quasidense import filter_quasi_dense_rows
-from repro.utils import SeedLike, rng_from, positive_int, check_csr, Timer
+from repro.utils import SeedLike, Timer, check_csr, positive_int, rng_from
 
 __all__ = [
     "natural_column_order",
@@ -100,7 +101,8 @@ def _quota_recursive(H: Hypergraph, vertex_ids: np.ndarray,
 def hypergraph_column_order(G: sp.spmatrix, block_size: int, *,
                             tau: float | None = None,
                             seed: SeedLike = None,
-                            n_trials: int = 2) -> HypergraphOrderResult:
+                            n_trials: int = 2,
+                            tracer: Tracer = NULL_TRACER) -> HypergraphOrderResult:
     """Partition the columns of pattern ``G`` into parts of exactly
     ``block_size`` columns minimizing padded zeros (row-net model,
     connectivity-1 objective; Eq. (15) reduction).
@@ -113,39 +115,45 @@ def hypergraph_column_order(G: sp.spmatrix, block_size: int, *,
         If given, quasi-dense rows (density >= tau) and empty rows are
         removed before partitioning — same quality, far cheaper
         (Section V-B(c)).
+    tracer:
+        Records one ``rhs_hypergraph_order`` span with row-filtering
+        counters.
     """
     G = check_csr(G)
     B = positive_int(block_size, "block_size")
     rng = rng_from(seed)
     n_rows, n_cols = G.shape
-    timer = Timer().start()
-    removed_dense = removed_empty = 0
-    Guse = G
-    if tau is not None:
-        filt = filter_quasi_dense_rows(G, tau)
-        Guse = filt.kept
-        removed_dense = int(filt.dense_rows.size)
-        removed_empty = int(filt.empty_rows.size)
-    m_full = n_cols // B
-    quotas = [B] * m_full
-    rem = n_cols - m_full * B
-    if rem:
-        quotas.append(rem)
-    if not quotas or len(quotas) == 1:
-        order = np.arange(n_cols, dtype=np.int64)
-        return HypergraphOrderResult(order=order,
-                                     parts=[order.copy()] if n_cols else [],
-                                     partition_seconds=timer.stop(),
-                                     n_rows_used=Guse.shape[0],
-                                     n_rows_removed_dense=removed_dense,
-                                     n_rows_removed_empty=removed_empty)
-    H = Hypergraph.row_net_model(Guse)
-    parts: list[np.ndarray] = []
-    _quota_recursive(H, np.arange(n_cols, dtype=np.int64), quotas, rng,
-                     n_trials, parts)
-    # keep the remainder part last; full parts keep recursion order
-    order = np.concatenate(parts)
-    seconds = timer.stop()
+    with tracer.span("rhs_hypergraph_order", n_cols=n_cols, block=B):
+        timer = Timer().start()
+        removed_dense = removed_empty = 0
+        Guse = G
+        if tau is not None:
+            filt = filter_quasi_dense_rows(G, tau)
+            Guse = filt.kept
+            removed_dense = int(filt.dense_rows.size)
+            removed_empty = int(filt.empty_rows.size)
+        tracer.count("rows_removed_dense", removed_dense)
+        tracer.count("rows_removed_empty", removed_empty)
+        m_full = n_cols // B
+        quotas = [B] * m_full
+        rem = n_cols - m_full * B
+        if rem:
+            quotas.append(rem)
+        if not quotas or len(quotas) == 1:
+            order = np.arange(n_cols, dtype=np.int64)
+            return HypergraphOrderResult(order=order,
+                                         parts=[order.copy()] if n_cols else [],
+                                         partition_seconds=timer.stop(),
+                                         n_rows_used=Guse.shape[0],
+                                         n_rows_removed_dense=removed_dense,
+                                         n_rows_removed_empty=removed_empty)
+        H = Hypergraph.row_net_model(Guse)
+        parts: list[np.ndarray] = []
+        _quota_recursive(H, np.arange(n_cols, dtype=np.int64), quotas, rng,
+                         n_trials, parts)
+        # keep the remainder part last; full parts keep recursion order
+        order = np.concatenate(parts)
+        seconds = timer.stop()
     return HypergraphOrderResult(order=order, parts=parts,
                                  partition_seconds=seconds,
                                  n_rows_used=Guse.shape[0],

@@ -5,36 +5,41 @@ structured rows/points; each ``format_*`` renders them as the plain-text
 analogue of the paper's table or plot series.
 """
 
+from repro.experiments.ablation import (
+    AblationRow,
+    format_ablation,
+    run_fm_ablation,
+    run_weight_ablation,
+)
 from repro.experiments.common import (
     PartitionRun,
-    run_partitioner,
     SubdomainTriangular,
     prepare_triangular_study,
     render_table,
+    run_partitioner,
 )
-from repro.experiments.table1 import run_table1, format_table1
-from repro.experiments.fig1 import Fig1Point, run_fig1, format_fig1
-from repro.experiments.fig3 import Fig3Row, run_fig3, format_fig3
-from repro.experiments.table2 import Table2Row, run_table2, format_table2
-from repro.experiments.table3 import Table3Row, run_table3, format_table3
-from repro.experiments.fig4 import Fig4Point, run_fig4, format_fig4, ordering_parts
-from repro.experiments.fig5 import Fig5Point, run_fig5, format_fig5
+from repro.experiments.fig1 import Fig1Point, format_fig1, run_fig1
+from repro.experiments.fig3 import Fig3Row, format_fig3, run_fig3
+from repro.experiments.fig4 import (
+    Fig4Point,
+    format_fig4,
+    ordering_parts,
+    run_fig4,
+)
+from repro.experiments.fig5 import Fig5Point, format_fig5, run_fig5
 from repro.experiments.quasidense import (
     QuasiDensePoint,
-    run_quasidense,
     format_quasidense,
+    run_quasidense,
 )
 from repro.experiments.scaling import (
     ScalingPoint,
-    run_twolevel_vs_onelevel,
     format_scaling,
+    run_twolevel_vs_onelevel,
 )
-from repro.experiments.ablation import (
-    AblationRow,
-    run_weight_ablation,
-    run_fm_ablation,
-    format_ablation,
-)
+from repro.experiments.table1 import format_table1, run_table1
+from repro.experiments.table2 import Table2Row, format_table2, run_table2
+from repro.experiments.table3 import Table3Row, format_table3, run_table3
 
 __all__ = [
     "PartitionRun", "run_partitioner", "SubdomainTriangular",

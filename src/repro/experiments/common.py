@@ -10,14 +10,14 @@ from typing import Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core import rhb_partition, build_dbbd
+from repro.core import build_dbbd, rhb_partition
 from repro.core.dbbd import DBBDPartition, PartitionQuality
 from repro.graphs import nested_dissection_partition
-from repro.lu import factorize, solution_pattern, SupernodalLower
+from repro.lu import SupernodalLower, factorize, solution_pattern
 from repro.matrices import GeneratedMatrix
-from repro.ordering import elimination_tree, postorder, minimum_degree
+from repro.ordering import elimination_tree, minimum_degree, postorder
+from repro.solver.interfaces import SubdomainInterfaces, extract_interfaces
 from repro.sparse import symmetrized
-from repro.solver.interfaces import extract_interfaces, SubdomainInterfaces
 from repro.utils import SeedLike
 
 __all__ = [

@@ -12,7 +12,11 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.experiments.common import PartitionRun, run_partitioner, render_table
+from repro.experiments.common import (
+    PartitionRun,
+    render_table,
+    run_partitioner,
+)
 from repro.matrices import GeneratedMatrix, generate
 from repro.solver import PDSLin, PDSLinConfig
 from repro.utils import SeedLike

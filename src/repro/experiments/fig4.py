@@ -10,16 +10,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.rhs_reorder import (
+    hypergraph_column_order,
     natural_column_order,
     postorder_column_order,
-    hypergraph_column_order,
 )
 from repro.experiments.common import (
     SubdomainTriangular,
     prepare_triangular_study,
     render_table,
 )
-from repro.lu import partition_columns, padded_zeros
+from repro.lu import padded_zeros, partition_columns
 from repro.matrices import generate
 from repro.utils import SeedLike
 

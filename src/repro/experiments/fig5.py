@@ -19,7 +19,11 @@ from repro.experiments.common import (
     prepare_triangular_study,
     render_table,
 )
-from repro.experiments.fig4 import ordering_parts, ORDERINGS, DEFAULT_BLOCK_SIZES
+from repro.experiments.fig4 import (
+    DEFAULT_BLOCK_SIZES,
+    ORDERINGS,
+    ordering_parts,
+)
 from repro.lu import blocked_triangular_solve
 from repro.matrices import generate
 from repro.utils import SeedLike

@@ -20,9 +20,8 @@ from repro.experiments.common import (
     prepare_triangular_study,
     render_table,
 )
-from repro.lu import partition_columns, padded_zeros
+from repro.lu import padded_zeros
 from repro.matrices import generate
-from repro.sparse import filter_quasi_dense_rows
 from repro.utils import SeedLike
 
 __all__ = ["QuasiDensePoint", "run_quasidense", "format_quasidense"]

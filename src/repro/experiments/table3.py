@@ -17,7 +17,7 @@ import numpy as np
 
 from repro.experiments.common import prepare_triangular_study, render_table
 from repro.matrices import generate
-from repro.sparse.patterns import row_nnz, col_nnz
+from repro.sparse.patterns import col_nnz, row_nnz
 from repro.utils import SeedLike
 
 __all__ = ["Table3Row", "run_table3", "format_table3"]

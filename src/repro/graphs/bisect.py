@@ -13,10 +13,10 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.graphs.graph import Graph
 from repro.graphs.coarsen import coarsen
 from repro.graphs.fm import fm_refine_bisection
-from repro.utils import SeedLike, rng_from, spawn, fraction
+from repro.graphs.graph import Graph
+from repro.utils import SeedLike, fraction, rng_from, spawn
 
 __all__ = ["BisectionResult", "bisect_graph", "greedy_bfs_bisection"]
 

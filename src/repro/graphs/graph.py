@@ -13,8 +13,8 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from repro.utils import check_csr, check_square, as_int_array
 from repro.sparse.symmetrize import symmetrized
+from repro.utils import as_int_array, check_csr, check_square
 
 __all__ = ["Graph"]
 

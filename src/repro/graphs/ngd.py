@@ -17,10 +17,10 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
-from repro.graphs.graph import Graph
 from repro.graphs.bisect import bisect_graph
+from repro.graphs.graph import Graph
 from repro.graphs.separator import vertex_separator_from_cut
-from repro.utils import SeedLike, rng_from, positive_int, fraction
+from repro.utils import SeedLike, fraction, positive_int, rng_from
 
 __all__ = ["NGDResult", "nested_dissection_partition"]
 

@@ -20,7 +20,8 @@ from repro.utils import as_int_array
 __all__ = ["VertexSeparator", "maximum_bipartite_matching", "vertex_separator_from_cut"]
 
 
-def maximum_bipartite_matching(adj: list[list[int]], n_right: int) -> tuple[np.ndarray, np.ndarray]:
+def maximum_bipartite_matching(adj: list[list[int]],
+                               n_right: int) -> tuple[np.ndarray, np.ndarray]:
     """Kuhn's augmenting-path maximum matching.
 
     ``adj[u]`` lists right-vertices adjacent to left-vertex ``u``.

@@ -13,10 +13,10 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.graphs.graph import Graph
 from repro.graphs.bisect import BisectionResult
 from repro.graphs.fm import fm_refine_bisection
-from repro.utils import SeedLike, rng_from, positive_int
+from repro.graphs.graph import Graph
+from repro.utils import SeedLike, positive_int, rng_from
 
 __all__ = ["graph_laplacian", "lanczos_fiedler", "spectral_bisection"]
 

@@ -2,33 +2,37 @@
 multilevel bisection with multi-constraint FM, and the net
 splitting/discarding machinery for recursive bisection."""
 
-from repro.hypergraph.hypergraph import Hypergraph
-from repro.hypergraph.metrics import (
-    CutMetric,
-    net_connectivities,
-    cutsize,
-    imbalance,
-    part_weights,
-)
-from repro.hypergraph.coarsen import (
-    HCoarseLevel,
-    heavy_connectivity_matching,
-    contract_hypergraph,
-    coarsen_hypergraph,
-)
-from repro.hypergraph.refine import (
-    fm_refine_hypergraph,
-    bisection_cut,
-    hypergraph_gains,
-)
 from repro.hypergraph.bisect import (
     HBisectionResult,
     bisect_hypergraph,
     enforce_exact_quota,
 )
-from repro.hypergraph.netops import BisectionSplit, split_by_side, initial_net_costs
+from repro.hypergraph.coarsen import (
+    HCoarseLevel,
+    coarsen_hypergraph,
+    contract_hypergraph,
+    heavy_connectivity_matching,
+)
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.kway import kway_move_gain, kway_refine
+from repro.hypergraph.metrics import (
+    CutMetric,
+    cutsize,
+    imbalance,
+    net_connectivities,
+    part_weights,
+)
+from repro.hypergraph.netops import (
+    BisectionSplit,
+    initial_net_costs,
+    split_by_side,
+)
 from repro.hypergraph.partitioner import KWayPartition, partition_hypergraph
-from repro.hypergraph.kway import kway_refine, kway_move_gain
+from repro.hypergraph.refine import (
+    bisection_cut,
+    fm_refine_hypergraph,
+    hypergraph_gains,
+)
 
 __all__ = [
     "Hypergraph",

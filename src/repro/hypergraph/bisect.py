@@ -17,11 +17,15 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.coarsen import coarsen_hypergraph
-from repro.hypergraph.refine import fm_refine_hypergraph, bisection_cut, \
-    hypergraph_gains, _side_counts
-from repro.utils import SeedLike, rng_from, spawn, fraction
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.refine import (
+    _side_counts,
+    bisection_cut,
+    fm_refine_hypergraph,
+    hypergraph_gains,
+)
+from repro.utils import SeedLike, fraction, rng_from, spawn
 
 __all__ = ["HBisectionResult", "bisect_hypergraph", "enforce_exact_quota"]
 

@@ -17,7 +17,7 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
-from repro.utils import check_csr, as_int_array
+from repro.utils import as_int_array, check_csr
 
 __all__ = ["Hypergraph"]
 

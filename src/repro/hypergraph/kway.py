@@ -24,7 +24,7 @@ import numpy as np
 
 from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.metrics import CutMetric
-from repro.utils import SeedLike, rng_from, check_partition_vector, fraction
+from repro.utils import SeedLike, check_partition_vector, fraction, rng_from
 
 __all__ = ["kway_refine", "kway_move_gain"]
 

@@ -15,11 +15,12 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.bisect import bisect_hypergraph
-from repro.hypergraph.netops import split_by_side, initial_net_costs
+from repro.hypergraph.hypergraph import Hypergraph
 from repro.hypergraph.metrics import CutMetric, cutsize, imbalance
-from repro.utils import SeedLike, rng_from, positive_int, fraction
+from repro.hypergraph.netops import initial_net_costs, split_by_side
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.utils import SeedLike, fraction, positive_int, rng_from
 
 __all__ = ["KWayPartition", "partition_hypergraph"]
 
@@ -41,7 +42,8 @@ def partition_hypergraph(H: Hypergraph, k: int, *,
                          seed: SeedLike = None,
                          n_trials: int = 4,
                          fm_passes: int = 8,
-                         refine_kway: bool = True) -> KWayPartition:
+                         refine_kway: bool = True,
+                         tracer: Tracer = NULL_TRACER) -> KWayPartition:
     """Partition the vertices of ``H`` into ``k`` parts.
 
     Recursive bisection with net splitting (con1/soed) or discarding
@@ -51,6 +53,9 @@ def partition_hypergraph(H: Hypergraph, k: int, *,
 
     ``refine_kway`` runs a direct k-way FM pass on the flat partition
     afterwards (see :func:`repro.hypergraph.kway.kway_refine`).
+
+    ``tracer`` records a ``partition_hypergraph`` span (with nested
+    ``bisect`` spans per recursion node) and a ``cut`` counter.
     """
     k = positive_int(k, "k")
     epsilon = fraction(epsilon, "epsilon")
@@ -59,24 +64,28 @@ def partition_hypergraph(H: Hypergraph, k: int, *,
     H0 = replace(H, net_costs=initial_net_costs(H.n_nets, metric))
 
     def recurse(sub: Hypergraph, ids: np.ndarray, k_here: int,
-                low: int) -> None:
+                low: int, depth: int) -> None:
         if k_here == 1 or sub.n_vertices == 0:
             part[ids] = low
             return
         k_left = k_here // 2
-        res = bisect_hypergraph(sub, epsilon=epsilon,
-                                target0=k_left / k_here, seed=rng,
-                                n_trials=n_trials, fm_passes=fm_passes)
-        spl = split_by_side(sub, res.side, metric)
-        recurse(spl.children[0], ids[spl.vertex_ids[0]], k_left, low)
+        with tracer.span("bisect", depth=depth, n_vertices=sub.n_vertices):
+            res = bisect_hypergraph(sub, epsilon=epsilon,
+                                    target0=k_left / k_here, seed=rng,
+                                    n_trials=n_trials, fm_passes=fm_passes)
+            spl = split_by_side(sub, res.side, metric)
+        recurse(spl.children[0], ids[spl.vertex_ids[0]], k_left, low,
+                depth + 1)
         recurse(spl.children[1], ids[spl.vertex_ids[1]],
-                k_here - k_left, low + k_left)
+                k_here - k_left, low + k_left, depth + 1)
 
-    recurse(H0, np.arange(H.n_vertices, dtype=np.int64), k, 0)
-    out = part
-    if refine_kway and k > 2:
-        from repro.hypergraph.kway import kway_refine
-        out = kway_refine(H, out, k, metric=metric, epsilon=epsilon)
-    return KWayPartition(part=out, k=k, metric=metric,
-                         cut=cutsize(H, out, k, metric),
+    with tracer.span("partition_hypergraph", k=k, metric=metric):
+        recurse(H0, np.arange(H.n_vertices, dtype=np.int64), k, 0, 0)
+        out = part
+        if refine_kway and k > 2:
+            from repro.hypergraph.kway import kway_refine
+            out = kway_refine(H, out, k, metric=metric, epsilon=epsilon)
+        cut = cutsize(H, out, k, metric)
+        tracer.count("cut", cut)
+    return KWayPartition(part=out, k=k, metric=metric, cut=cut,
                          imbalance=imbalance(H, out, k))

@@ -2,15 +2,29 @@
 (reference Gilbert-Peierls + SuperLU bridge), supernode detection, and
 the blocked multi-RHS sparse triangular solver with padding."""
 
-from repro.lu.symbolic import reach, toposorted_reach, solution_pattern, factor_etree
-from repro.lu.numeric import LUFactors, GilbertPeierlsLU, factorize, lu_flop_count
-from repro.lu.supernodes import detect_supernodes, relaxed_supernodes, SupernodalLower
+from repro.lu.numeric import (
+    GilbertPeierlsLU,
+    LUFactors,
+    factorize,
+    lu_flop_count,
+)
+from repro.lu.supernodes import (
+    SupernodalLower,
+    detect_supernodes,
+    relaxed_supernodes,
+)
+from repro.lu.symbolic import (
+    factor_etree,
+    reach,
+    solution_pattern,
+    toposorted_reach,
+)
 from repro.lu.triangular import (
-    PaddingStats,
     BlockedSolveResult,
-    partition_columns,
+    PaddingStats,
     blocked_triangular_solve,
     padded_zeros,
+    partition_columns,
 )
 
 __all__ = [

@@ -22,7 +22,8 @@ import numpy as np
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
-from repro.utils import check_csc, check_csr, check_permutation, OpCounter
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.utils import OpCounter, check_csc, check_csr, check_permutation
 
 __all__ = ["LUFactors", "GilbertPeierlsLU", "factorize", "lu_flop_count"]
 
@@ -237,7 +238,8 @@ class GilbertPeierlsLU:
 
 def factorize(A: sp.spmatrix, *, col_perm: np.ndarray | None = None,
               diag_pivot_thresh: float = 0.01,
-              engine: str = "scipy", keep_handle: bool = False) -> LUFactors:
+              engine: str = "scipy", keep_handle: bool = False,
+              tracer: Tracer = NULL_TRACER) -> LUFactors:
     """Factorize ``A`` with an optional caller-supplied symmetric
     pre-permutation (e.g. minimum degree + e-tree postorder).
 
@@ -248,7 +250,22 @@ def factorize(A: sp.spmatrix, *, col_perm: np.ndarray | None = None,
     e-tree prediction, mirroring the static-pivoting configuration of
     SuperLU_DIST inside PDSLin. The returned permutations are relative
     to the *pre-permuted* matrix; callers track ``col_perm`` themselves.
+
+    ``tracer`` records one ``factorize`` span with ``lu_fill_nnz`` and
+    ``lu_flops`` counters.
     """
+    with tracer.span("factorize", engine=engine):
+        f = _factorize(A, col_perm=col_perm,
+                       diag_pivot_thresh=diag_pivot_thresh,
+                       engine=engine, keep_handle=keep_handle)
+        tracer.count("lu_fill_nnz", f.fill_nnz)
+        tracer.count("lu_flops", lu_flop_count(f))
+    return f
+
+
+def _factorize(A: sp.spmatrix, *, col_perm: np.ndarray | None,
+               diag_pivot_thresh: float, engine: str,
+               keep_handle: bool) -> LUFactors:
     A = check_csc(A).astype(np.float64)
     n = A.shape[0]
     if col_perm is not None:

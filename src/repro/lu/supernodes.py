@@ -16,7 +16,7 @@ import numpy as np
 import scipy.linalg as sla
 import scipy.sparse as sp
 
-from repro.utils import check_csc, OpCounter
+from repro.utils import OpCounter, check_csc
 
 __all__ = ["detect_supernodes", "relaxed_supernodes", "SupernodalLower"]
 

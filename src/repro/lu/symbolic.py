@@ -15,7 +15,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.utils import check_csc, as_int_array
+from repro.utils import as_int_array, check_csc
 
 __all__ = ["reach", "solution_pattern", "toposorted_reach", "factor_etree"]
 

@@ -11,13 +11,14 @@ overhead, which is exactly what the reordering minimizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 import scipy.sparse as sp
 
 from repro.lu.supernodes import SupernodalLower
-from repro.utils import check_csr, OpCounter, Timer
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.utils import OpCounter, Timer, check_csr
 
 __all__ = ["PaddingStats", "BlockedSolveResult", "partition_columns",
            "blocked_triangular_solve", "padded_zeros"]
@@ -96,7 +97,8 @@ def blocked_triangular_solve(snl: SupernodalLower, E: sp.spmatrix,
                              G_pattern: sp.spmatrix,
                              parts: list[np.ndarray], *,
                              drop_tol: float = 0.0,
-                             ops: OpCounter | None = None) -> BlockedSolveResult:
+                             ops: OpCounter | None = None,
+                             tracer: Tracer = NULL_TRACER) -> BlockedSolveResult:
     """Solve ``L X = E`` part by part with padding.
 
     Parameters
@@ -115,38 +117,45 @@ def blocked_triangular_solve(snl: SupernodalLower, E: sp.spmatrix,
         Entries with magnitude below ``drop_tol * max|column|`` are
         discarded from the returned solution (the W~/G~ thresholding of
         the paper's preconditioner construction).
+    tracer:
+        Records one ``blocked_trsolve`` span with ``padded_zeros``,
+        ``block_entries`` and ``trsolve_flops`` counters.
     """
     E = check_csr(E).tocsc()
     Gc = G_pattern.tocsc()
     n, m = E.shape
     if snl.n != n:
         raise ValueError("factor and RHS dimensions differ")
-    timer = Timer().start()
-    total_flops = 0
-    pad_stats = padded_zeros(G_pattern, parts)
-    out_cols: dict[int, tuple[np.ndarray, np.ndarray]] = {}
-    for cols in parts:
-        bsz = len(cols)
-        if bsz == 0:
-            continue
-        active = np.zeros(n, dtype=bool)
-        for j in cols:
-            active[Gc.indices[Gc.indptr[j]:Gc.indptr[j + 1]]] = True
-        X = np.zeros((n, bsz))
-        for t, j in enumerate(cols):
-            rr = E.indices[E.indptr[j]:E.indptr[j + 1]]
-            X[rr, t] = E.data[E.indptr[j]:E.indptr[j + 1]]
-        total_flops += snl.solve_inplace(X, active_cols=active, ops=None)
-        rows_active = np.flatnonzero(active)
-        sub = X[rows_active]
-        for t, j in enumerate(cols):
-            colv = sub[:, t]
-            nzmask = colv != 0.0
-            if drop_tol > 0.0 and np.any(nzmask):
-                thresh = drop_tol * np.abs(colv).max()
-                nzmask &= np.abs(colv) >= thresh
-            out_cols[int(j)] = (rows_active[nzmask], colv[nzmask])
-    seconds = timer.stop()
+    with tracer.span("blocked_trsolve", n_parts=len(parts), nrhs=m):
+        timer = Timer().start()
+        total_flops = 0
+        pad_stats = padded_zeros(G_pattern, parts)
+        out_cols: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        for cols in parts:
+            bsz = len(cols)
+            if bsz == 0:
+                continue
+            active = np.zeros(n, dtype=bool)
+            for j in cols:
+                active[Gc.indices[Gc.indptr[j]:Gc.indptr[j + 1]]] = True
+            X = np.zeros((n, bsz))
+            for t, j in enumerate(cols):
+                rr = E.indices[E.indptr[j]:E.indptr[j + 1]]
+                X[rr, t] = E.data[E.indptr[j]:E.indptr[j + 1]]
+            total_flops += snl.solve_inplace(X, active_cols=active, ops=None)
+            rows_active = np.flatnonzero(active)
+            sub = X[rows_active]
+            for t, j in enumerate(cols):
+                colv = sub[:, t]
+                nzmask = colv != 0.0
+                if drop_tol > 0.0 and np.any(nzmask):
+                    thresh = drop_tol * np.abs(colv).max()
+                    nzmask &= np.abs(colv) >= thresh
+                out_cols[int(j)] = (rows_active[nzmask], colv[nzmask])
+        seconds = timer.stop()
+        tracer.count("padded_zeros", pad_stats.total_padded)
+        tracer.count("block_entries", pad_stats.total_block_entries)
+        tracer.count("trsolve_flops", total_flops)
     indptr = [0]
     indices: list[np.ndarray] = []
     data: list[np.ndarray] = []

@@ -1,16 +1,25 @@
 """Synthetic test-matrix generators mirroring the paper's Table I
 (accelerator cavity, fusion, circuit families)."""
 
-from repro.matrices.grids import HexMesh, hex_element_matrices, assemble_fem, fd_laplacian_3d
-from repro.matrices.cavity import GeneratedMatrix, cavity_matrix, dds_like_matrix
-from repro.matrices.fusion import fusion_matrix
+from repro.matrices.cavity import (
+    GeneratedMatrix,
+    cavity_matrix,
+    dds_like_matrix,
+)
 from repro.matrices.circuit import asic_like_matrix, g3_like_matrix
-from repro.matrices.unstructured import (
-    random_delaunay_mesh,
-    p1_assemble,
-    unstructured_matrix,
+from repro.matrices.fusion import fusion_matrix
+from repro.matrices.grids import (
+    HexMesh,
+    assemble_fem,
+    fd_laplacian_3d,
+    hex_element_matrices,
 )
 from repro.matrices.suite import SUITE, generate, suite_names, table1_metadata
+from repro.matrices.unstructured import (
+    p1_assemble,
+    random_delaunay_mesh,
+    unstructured_matrix,
+)
 
 __all__ = [
     "HexMesh", "hex_element_matrices", "assemble_fem", "fd_laplacian_3d",

@@ -22,10 +22,10 @@ import scipy.sparse as sp
 
 from repro.matrices.grids import (
     HexMesh,
-    hex_element_matrices,
     assemble_from_connectivity,
-    incidence_from_connectivity,
     carve_nodes,
+    hex_element_matrices,
+    incidence_from_connectivity,
 )
 from repro.utils import SeedLike, rng_from
 

@@ -18,7 +18,7 @@ import scipy.sparse as sp
 
 from repro.matrices.cavity import GeneratedMatrix
 from repro.matrices.grids import fd_laplacian_3d
-from repro.utils import SeedLike, rng_from, positive_int, fraction
+from repro.utils import SeedLike, fraction, positive_int, rng_from
 
 __all__ = ["asic_like_matrix", "g3_like_matrix"]
 

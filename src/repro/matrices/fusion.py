@@ -13,8 +13,8 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.matrices.grids import HexMesh, hex_element_matrices, assemble_fem
 from repro.matrices.cavity import GeneratedMatrix
+from repro.matrices.grids import HexMesh, assemble_fem, hex_element_matrices
 from repro.utils import SeedLike, rng_from
 
 __all__ = ["fusion_matrix"]

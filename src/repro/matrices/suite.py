@@ -10,9 +10,13 @@ from __future__ import annotations
 
 from typing import Callable, Dict
 
-from repro.matrices.cavity import GeneratedMatrix, cavity_matrix, dds_like_matrix
-from repro.matrices.fusion import fusion_matrix
+from repro.matrices.cavity import (
+    GeneratedMatrix,
+    cavity_matrix,
+    dds_like_matrix,
+)
 from repro.matrices.circuit import asic_like_matrix, g3_like_matrix
+from repro.matrices.fusion import fusion_matrix
 
 __all__ = ["SUITE", "generate", "suite_names", "table1_metadata"]
 

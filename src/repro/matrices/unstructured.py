@@ -17,7 +17,7 @@ from scipy.spatial import Delaunay
 
 from repro.matrices.cavity import GeneratedMatrix
 from repro.matrices.grids import incidence_from_connectivity
-from repro.utils import SeedLike, rng_from, positive_int
+from repro.utils import SeedLike, positive_int, rng_from
 
 __all__ = ["random_delaunay_mesh", "p1_assemble", "unstructured_matrix"]
 

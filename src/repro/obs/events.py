@@ -1,0 +1,81 @@
+"""Shared trace-event model and Chrome-trace rendering.
+
+Both the real wall-clock tracer (:mod:`repro.obs.tracer`) and the
+simulated machine (:mod:`repro.parallel.trace`) describe a run as a
+flat list of :class:`TraceEvent` — a named interval on a named track —
+and render it through :func:`chrome_trace_dict`. One event model means
+a simulated schedule and a measured run can be inspected with the same
+tooling (``chrome://tracing`` / Perfetto) and diffed event for event.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, Sequence, TextIO, Union
+
+__all__ = ["TraceEvent", "chrome_trace_dict", "write_chrome_trace"]
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One named interval on one track (Chrome "complete" event).
+
+    ``ts_us``/``dur_us`` are microseconds relative to an arbitrary
+    epoch; ``track`` names the lane the event renders in (a simulated
+    process, a thread, or just ``"main"``).
+    """
+
+    name: str
+    ts_us: float
+    dur_us: float
+    track: str = "main"
+    args: dict = field(default_factory=dict)
+
+
+def _track_ids(events: Iterable[TraceEvent],
+               track_order: Sequence[str] | None) -> dict[str, int]:
+    """Assign stable tids: explicit order first, then first appearance."""
+    tids: dict[str, int] = {}
+    for t in track_order or ():
+        tids.setdefault(t, len(tids))
+    for e in events:
+        tids.setdefault(e.track, len(tids))
+    return tids
+
+
+def chrome_trace_dict(events: Sequence[TraceEvent], *,
+                      process_name: str = "repro",
+                      track_order: Sequence[str] | None = None) -> dict:
+    """Render events as a Trace Event Format dict.
+
+    Tracks named in ``track_order`` get the lowest thread ids (and
+    appear in the trace even when they carry no events); remaining
+    tracks are numbered in order of first appearance.
+    """
+    tids = _track_ids(events, track_order)
+    meta: list[dict] = [{"name": "process_name", "ph": "M", "pid": 0,
+                         "args": {"name": process_name}}]
+    meta.extend({"name": "thread_name", "ph": "M", "pid": 0, "tid": tid,
+                 "args": {"name": track}}
+                for track, tid in tids.items())
+    xs = [{"name": e.name, "ph": "X", "ts": e.ts_us, "dur": e.dur_us,
+           "pid": 0, "tid": tids[e.track], "args": dict(e.args)}
+          for e in events]
+    return {"traceEvents": meta + xs, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(events: Sequence[TraceEvent],
+                       path_or_file: Union[str, Path, TextIO], *,
+                       process_name: str = "repro",
+                       track_order: Sequence[str] | None = None) -> dict:
+    """Serialize :func:`chrome_trace_dict` to a path or file object."""
+    trace = chrome_trace_dict(events, process_name=process_name,
+                              track_order=track_order)
+    if isinstance(path_or_file, (str, Path)):
+        with open(path_or_file, "w") as f:
+            json.dump(trace, f)
+    else:
+        json.dump(trace, path_or_file)
+    return trace

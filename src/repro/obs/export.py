@@ -1,0 +1,93 @@
+"""Exporters for a traced run.
+
+Three views of one :class:`repro.obs.Tracer`:
+
+- :func:`export_chrome_trace` — the spans as a Chrome-trace JSON
+  (shared event model with the simulated machine's exporter);
+- :func:`stage_metrics` / :func:`write_metrics` — a flat
+  ``metrics.json`` (stage name -> wall seconds, call count, counters)
+  that :mod:`tools.perf_gate` diffs against committed baselines;
+- :func:`format_stage_summary` — the human rendering used by
+  :func:`repro.solver.report.run_report`.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TextIO, Union
+
+from repro.obs.events import write_chrome_trace
+from repro.obs.tracer import Tracer
+
+__all__ = ["export_chrome_trace", "stage_metrics", "write_metrics",
+           "load_metrics", "format_stage_summary", "METRICS_SCHEMA_VERSION"]
+
+METRICS_SCHEMA_VERSION = 1
+
+
+def export_chrome_trace(tracer: Tracer,
+                        path_or_file: Union[str, Path, TextIO]) -> dict:
+    """Write the tracer's spans as Trace Event Format JSON."""
+    return write_chrome_trace(tracer.events(), path_or_file,
+                              process_name="repro.obs")
+
+
+def stage_metrics(tracer: Tracer) -> dict:
+    """Aggregate spans by stage name.
+
+    Returns ``{"stages": {name: {"wall_s", "calls", "counters"}},
+    "totals": {"wall_s", "counters"}}``. Total wall time sums the
+    top-level spans only, so nesting never double-counts.
+    """
+    stages: dict[str, dict] = {}
+    for rec in tracer.spans:
+        st = stages.setdefault(rec.name,
+                               {"wall_s": 0.0, "calls": 0, "counters": {}})
+        st["wall_s"] += rec.wall_s
+        st["calls"] += 1
+        for k, v in rec.counters.items():
+            st["counters"][k] = st["counters"].get(k, 0) + v
+    for st in stages.values():
+        st["wall_s"] = round(st["wall_s"], 9)
+    total_wall = sum(rec.wall_s for rec in tracer.iter_roots())
+    return {
+        "schema_version": METRICS_SCHEMA_VERSION,
+        "stages": stages,
+        "totals": {"wall_s": round(total_wall, 9),
+                   "counters": dict(tracer.counters)},
+    }
+
+
+def write_metrics(tracer: Tracer, path: Union[str, Path], *,
+                  meta: dict | None = None) -> dict:
+    """Serialize :func:`stage_metrics` (plus optional run metadata)."""
+    m = stage_metrics(tracer)
+    if meta:
+        m["meta"] = dict(meta)
+    with open(path, "w") as f:
+        json.dump(m, f, indent=2, sort_keys=True)
+    return m
+
+
+def load_metrics(path: Union[str, Path]) -> dict:
+    """Read a metrics.json written by :func:`write_metrics`."""
+    with open(path) as f:
+        return json.load(f)
+
+
+def format_stage_summary(tracer: Tracer, *, top: int = 12) -> str:
+    """Readable per-stage table, longest wall time first."""
+    m = stage_metrics(tracer)
+    rows = sorted(m["stages"].items(), key=lambda kv: -kv[1]["wall_s"])[:top]
+    if not rows:
+        return "(no spans recorded)"
+    width = max(len(name) for name, _ in rows)
+    lines = []
+    for name, st in rows:
+        counters = "  ".join(f"{k}={int(v) if float(v).is_integer() else v}"
+                             for k, v in sorted(st["counters"].items()))
+        lines.append(f"{name:<{width}}  {st['wall_s']:.4f}s  "
+                     f"(x{st['calls']})" + (f"  {counters}" if counters else ""))
+    lines.append(f"{'TOTAL':<{width}}  {m['totals']['wall_s']:.4f}s")
+    return "\n".join(lines)

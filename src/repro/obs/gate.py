@@ -1,0 +1,114 @@
+"""Perf-regression gate: diff fresh metrics against a baseline.
+
+Wall times are compared as ratios against ``time_tol`` (1.5 = allow
+50% slowdown before failing; stages shorter than ``min_time_s`` in the
+baseline are too noisy to gate on and are skipped). Counters — op
+counts, padded zeros, iterations — are deterministic for a fixed seed,
+so they get the much tighter ``ops_tol``. A stage present in the
+baseline but absent from the fresh run fails the gate: the pipeline
+changed shape and the baseline must be re-recorded deliberately.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["GateCheck", "GateReport", "compare_metrics",
+           "DEFAULT_TIME_TOL", "DEFAULT_OPS_TOL", "DEFAULT_MIN_TIME_S"]
+
+DEFAULT_TIME_TOL = 1.5
+DEFAULT_OPS_TOL = 1.10
+DEFAULT_MIN_TIME_S = 0.005
+
+
+@dataclass(frozen=True)
+class GateCheck:
+    """One comparison: a stage wall time or a stage counter."""
+
+    stage: str
+    metric: str              # "wall_s" or a counter name
+    baseline: float
+    current: float
+    tolerance: float
+    regressed: bool
+    skipped: bool = False    # below the noise floor, not gated
+
+    @property
+    def ratio(self) -> float:
+        if self.baseline <= 0:
+            return float("inf") if self.current > 0 else 1.0
+        return self.current / self.baseline
+
+    def describe(self) -> str:
+        flag = ("SKIP" if self.skipped else
+                "FAIL" if self.regressed else "ok")
+        return (f"[{flag:>4}] {self.stage}/{self.metric}: "
+                f"{self.baseline:g} -> {self.current:g} "
+                f"(x{self.ratio:.3f}, tol x{self.tolerance:g})")
+
+
+@dataclass
+class GateReport:
+    """All checks plus the verdict."""
+
+    checks: list[GateCheck]
+    missing_stages: list[str]
+
+    @property
+    def ok(self) -> bool:
+        return not self.missing_stages and \
+            not any(c.regressed for c in self.checks)
+
+    @property
+    def regressions(self) -> list[GateCheck]:
+        return [c for c in self.checks if c.regressed]
+
+    def describe(self) -> str:
+        lines = [c.describe() for c in self.checks]
+        lines.extend(f"[FAIL] stage {s!r} in baseline but not in current run"
+                     for s in self.missing_stages)
+        verdict = "PASS" if self.ok else \
+            f"FAIL ({len(self.regressions) + len(self.missing_stages)} regressions)"
+        lines.append(f"perf gate: {verdict}")
+        return "\n".join(lines)
+
+
+def _check(stage: str, metric: str, base: float, cur: float,
+           tol: float, *, floor: float = 0.0) -> GateCheck:
+    if base < floor:
+        return GateCheck(stage, metric, base, cur, tol,
+                         regressed=False, skipped=True)
+    return GateCheck(stage, metric, base, cur, tol,
+                     regressed=cur > tol * base + 1e-12)
+
+
+def compare_metrics(current: dict, baseline: dict, *,
+                    time_tol: float = DEFAULT_TIME_TOL,
+                    ops_tol: float = DEFAULT_OPS_TOL,
+                    min_time_s: float = DEFAULT_MIN_TIME_S) -> GateReport:
+    """Gate ``current`` metrics against ``baseline`` (both are
+    :func:`repro.obs.export.stage_metrics`-shaped dicts)."""
+    if time_tol <= 0 or ops_tol <= 0:
+        raise ValueError("tolerances must be positive ratios")
+    checks: list[GateCheck] = []
+    missing: list[str] = []
+    cur_stages = current.get("stages", {})
+    for name, base_st in sorted(baseline.get("stages", {}).items()):
+        cur_st = cur_stages.get(name)
+        if cur_st is None:
+            missing.append(name)
+            continue
+        checks.append(_check(name, "wall_s", float(base_st["wall_s"]),
+                             float(cur_st["wall_s"]), time_tol,
+                             floor=min_time_s))
+        cur_counters = cur_st.get("counters", {})
+        for cname, bval in sorted(base_st.get("counters", {}).items()):
+            checks.append(_check(name, cname, float(bval),
+                                 float(cur_counters.get(cname, 0.0)),
+                                 ops_tol))
+    base_total = float(baseline.get("totals", {}).get("wall_s", 0.0))
+    cur_total = float(current.get("totals", {}).get("wall_s", 0.0))
+    if base_total > 0:
+        checks.append(_check("TOTAL", "wall_s", base_total, cur_total,
+                             time_tol, floor=min_time_s))
+    return GateReport(checks=checks, missing_stages=missing)

@@ -1,0 +1,111 @@
+"""The perf-smoke scenario: one small traced end-to-end solve.
+
+This is the workload the CI perf gate runs and the baseline recorder
+samples: a tiny Table-I matrix through the full PDSLin pipeline —
+partition, subdomain LU, interface solves, Schur assembly + LU, GMRES —
+with a live :class:`repro.obs.Tracer` attached. Run directly
+(``PYTHONPATH=src python -m repro.obs.smoke --metrics m.json``) to
+produce the ``metrics.json`` / Chrome-trace artifacts.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from pathlib import Path
+
+import numpy as np
+
+from repro.obs.export import (
+    export_chrome_trace,
+    format_stage_summary,
+    stage_metrics,
+    write_metrics,
+)
+from repro.obs.tracer import Tracer
+
+__all__ = ["SmokeRun", "run_smoke", "SMOKE_MATRIX", "SMOKE_SCALE"]
+
+SMOKE_MATRIX = "tdr190k"
+SMOKE_SCALE = "tiny"
+
+
+@dataclass
+class SmokeRun:
+    """A completed smoke solve with its tracer and accounting."""
+
+    tracer: Tracer
+    metrics: dict
+    converged: bool
+    iterations: int
+    residual_norm: float
+
+    @property
+    def meta(self) -> dict:
+        return self.metrics.get("meta", {})
+
+
+def run_smoke(*, name: str = SMOKE_MATRIX, scale: str = SMOKE_SCALE,
+              k: int = 4, seed: int = 0,
+              rhs_ordering: str = "hypergraph") -> SmokeRun:
+    """Solve the smoke system once under a fresh tracer.
+
+    Deterministic given ``seed``: the matrix, right-hand side and every
+    op-count metric are reproducible; only wall times vary run to run.
+    """
+    # imported here so `repro.obs` stays free of solver dependencies
+    from repro.matrices import generate
+    from repro.solver import PDSLin, PDSLinConfig
+
+    gm = generate(name, scale)
+    A = gm.A.tocsr()
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(A.shape[0])
+    tracer = Tracer()
+    cfg = PDSLinConfig(k=k, seed=seed, rhs_ordering=rhs_ordering,
+                       block_size=32)
+    solver = PDSLin(A, cfg, tracer=tracer)
+    result = solver.solve(b)
+    metrics = stage_metrics(tracer)
+    metrics["meta"] = {
+        "scenario": "smoke", "matrix": name, "scale": scale, "k": k,
+        "seed": seed, "rhs_ordering": rhs_ordering,
+        "n": int(A.shape[0]), "nnz": int(A.nnz),
+        "converged": bool(result.converged),
+        "iterations": int(result.iterations),
+    }
+    return SmokeRun(tracer=tracer, metrics=metrics,
+                    converged=bool(result.converged),
+                    iterations=int(result.iterations),
+                    residual_norm=float(result.residual_norm))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run the smoke scenario and write the perf artifacts."""
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--metrics", default="metrics.json",
+                    help="output path for metrics.json")
+    ap.add_argument("--trace", default=None,
+                    help="optional output path for the Chrome-trace JSON")
+    ap.add_argument("--scale", default=SMOKE_SCALE)
+    ap.add_argument("--matrix", default=SMOKE_MATRIX)
+    ap.add_argument("--k", type=int, default=4)
+    ap.add_argument("--seed", type=int, default=0)
+    args = ap.parse_args(argv)
+    run = run_smoke(name=args.matrix, scale=args.scale, k=args.k,
+                    seed=args.seed)
+    for out in (args.metrics, args.trace):
+        if out:
+            Path(out).parent.mkdir(parents=True, exist_ok=True)
+    write_metrics(run.tracer, args.metrics, meta=run.meta)
+    if args.trace:
+        export_chrome_trace(run.tracer, args.trace)
+    print(format_stage_summary(run.tracer))
+    print(f"converged={run.converged} iterations={run.iterations} "
+          f"residual={run.residual_norm:.2e}")
+    print(f"wrote {args.metrics}" + (f" and {args.trace}" if args.trace else ""))
+    return 0 if run.converged else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,22 +1,22 @@
 """Fill-reducing orderings and elimination-tree machinery."""
 
 from repro.ordering.etree import (
-    elimination_tree,
-    postorder,
-    is_postordered,
     children_lists,
-    tree_level,
-    first_descendants,
+    elimination_tree,
     etree_path_closure,
+    first_descendants,
+    is_postordered,
+    postorder,
     symbolic_cholesky_row_counts,
+    tree_level,
 )
 from repro.ordering.mindeg import minimum_degree, permute_symmetric
 from repro.ordering.nd_order import nested_dissection_ordering
 from repro.ordering.rcm import (
-    reverse_cuthill_mckee,
-    pseudo_peripheral_vertex,
     bandwidth,
     envelope_size,
+    pseudo_peripheral_vertex,
+    reverse_cuthill_mckee,
 )
 
 __all__ = [

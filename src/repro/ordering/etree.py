@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.utils import check_csr, check_square, as_int_array
+from repro.utils import as_int_array, check_csr, check_square
 
 __all__ = [
     "elimination_tree",

@@ -23,8 +23,8 @@ import heapq
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse.symmetrize import is_structurally_symmetric, symmetrized
 from repro.utils import check_csr, check_square
-from repro.sparse.symmetrize import symmetrized, is_structurally_symmetric
 
 __all__ = ["minimum_degree", "permute_symmetric"]
 

@@ -14,12 +14,18 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
-from repro.graphs.graph import Graph
 from repro.graphs.bisect import bisect_graph
+from repro.graphs.graph import Graph
 from repro.graphs.separator import vertex_separator_from_cut
 from repro.ordering.mindeg import minimum_degree
-from repro.sparse.symmetrize import symmetrized, is_structurally_symmetric
-from repro.utils import SeedLike, rng_from, positive_int, check_csr, check_square
+from repro.sparse.symmetrize import is_structurally_symmetric, symmetrized
+from repro.utils import (
+    SeedLike,
+    check_csr,
+    check_square,
+    positive_int,
+    rng_from,
+)
 
 __all__ = ["nested_dissection_ordering"]
 

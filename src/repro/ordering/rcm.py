@@ -10,10 +10,11 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse.symmetrize import is_structurally_symmetric, symmetrized
 from repro.utils import check_csr, check_square
-from repro.sparse.symmetrize import symmetrized, is_structurally_symmetric
 
-__all__ = ["reverse_cuthill_mckee", "pseudo_peripheral_vertex", "bandwidth", "envelope_size"]
+__all__ = ["reverse_cuthill_mckee", "pseudo_peripheral_vertex", "bandwidth",
+           "envelope_size"]
 
 
 def _bfs_levels(indptr: np.ndarray, indices: np.ndarray, start: int,

@@ -1,12 +1,20 @@
 """Simulated distributed execution: per-process ledgers, stage
 makespans, balance ratios, and the two-level core-count projection."""
 
+from repro.parallel.costmodel import (
+    DEFAULT_STAGE_SCALING,
+    StageScaling,
+    TwoLevelModel,
+)
 from repro.parallel.machine import ProcessLedger, SimulatedMachine
-from repro.parallel.costmodel import StageScaling, TwoLevelModel, DEFAULT_STAGE_SCALING
-from repro.parallel.trace import export_chrome_trace, STAGE_ORDER
+from repro.parallel.trace import (
+    STAGE_ORDER,
+    export_chrome_trace,
+    machine_events,
+)
 
 __all__ = [
     "ProcessLedger", "SimulatedMachine",
     "StageScaling", "TwoLevelModel", "DEFAULT_STAGE_SCALING",
-    "export_chrome_trace", "STAGE_ORDER",
+    "export_chrome_trace", "machine_events", "STAGE_ORDER",
 ]

@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.parallel.machine import SimulatedMachine
-from repro.utils import positive_int, fraction
+from repro.utils import fraction, positive_int
 
 __all__ = ["StageScaling", "TwoLevelModel", "DEFAULT_STAGE_SCALING"]
 

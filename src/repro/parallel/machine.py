@@ -18,7 +18,7 @@ from typing import Dict, Iterator, List
 
 import numpy as np
 
-from repro.utils import StageTimer, OpCounter, positive_int
+from repro.utils import OpCounter, StageTimer, positive_int
 
 __all__ = ["ProcessLedger", "SimulatedMachine"]
 

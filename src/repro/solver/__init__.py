@@ -1,20 +1,20 @@
 """Hybrid solver layer: GMRES, Schur assembly, and the PDSLin pipeline."""
 
-from repro.solver.gmres import GMRESResult, gmres
 from repro.solver.bicgstab import BiCGSTABResult, bicgstab
+from repro.solver.gmres import GMRESResult, gmres
 from repro.solver.interfaces import SubdomainInterfaces, extract_interfaces
+from repro.solver.pdslin import (
+    PDSLin,
+    PDSLinConfig,
+    PDSLinResult,
+    SubdomainComputation,
+)
+from repro.solver.report import format_report, run_report, save_report
 from repro.solver.schur import (
     assemble_approximate_schur,
     drop_small_entries,
     implicit_schur_matvec,
 )
-from repro.solver.pdslin import (
-    PDSLinConfig,
-    PDSLin,
-    PDSLinResult,
-    SubdomainComputation,
-)
-from repro.solver.report import run_report, format_report, save_report
 
 __all__ = [
     "GMRESResult", "gmres",

@@ -14,6 +14,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 __all__ = ["BiCGSTABResult", "bicgstab"]
 
 Operator = Callable[[np.ndarray], np.ndarray]
@@ -38,8 +40,25 @@ def bicgstab(matvec: Operator, b: np.ndarray, *,
              preconditioner: Optional[Operator] = None,
              x0: Optional[np.ndarray] = None,
              tol: float = 1e-10,
-             maxiter: int = 1000) -> BiCGSTABResult:
-    """Solve ``A x = b``; right preconditioning, true-residual test."""
+             maxiter: int = 1000,
+             tracer: Tracer = NULL_TRACER) -> BiCGSTABResult:
+    """Solve ``A x = b``; right preconditioning, true-residual test.
+
+    ``tracer`` records one ``bicgstab`` span with iteration counters.
+    """
+    with tracer.span("bicgstab"):
+        res = _bicgstab(matvec, b, preconditioner=preconditioner, x0=x0,
+                        tol=tol, maxiter=maxiter)
+        tracer.count("bicgstab_iterations", res.iterations)
+        tracer.count("bicgstab_converged", int(res.converged))
+    return res
+
+
+def _bicgstab(matvec: Operator, b: np.ndarray, *,
+              preconditioner: Optional[Operator] = None,
+              x0: Optional[np.ndarray] = None,
+              tol: float = 1e-10,
+              maxiter: int = 1000) -> BiCGSTABResult:
     b = np.asarray(b, dtype=np.float64)
     n = b.size
     if maxiter <= 0:

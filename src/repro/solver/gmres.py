@@ -13,6 +13,8 @@ from typing import Callable, Optional
 
 import numpy as np
 
+from repro.obs.tracer import NULL_TRACER, Tracer
+
 __all__ = ["GMRESResult", "gmres"]
 
 Operator = Callable[[np.ndarray], np.ndarray]
@@ -38,7 +40,8 @@ def gmres(matvec: Operator, b: np.ndarray, *,
           tol: float = 1e-10,
           restart: int = 50,
           maxiter: int = 500,
-          flexible: bool = False) -> GMRESResult:
+          flexible: bool = False,
+          tracer: Tracer = NULL_TRACER) -> GMRESResult:
     """Solve ``A x = b`` given ``matvec(v) = A v``.
 
     Right preconditioning: iterates on ``A M^{-1} u = b`` with
@@ -49,7 +52,26 @@ def gmres(matvec: Operator, b: np.ndarray, *,
     vectors ``z_j = M_j(v_j)`` are stored explicitly so the
     preconditioner may change between iterations — PDSLin uses this mode
     when the Schur preconditioner itself involves inner iterations.
+
+    ``tracer`` records one ``gmres`` span with a ``gmres_iterations``
+    counter (and ``gmres_converged`` 0/1).
     """
+    with tracer.span("gmres", flexible=flexible, restart=restart):
+        res = _gmres(matvec, b, preconditioner=preconditioner, x0=x0,
+                     tol=tol, restart=restart, maxiter=maxiter,
+                     flexible=flexible)
+        tracer.count("gmres_iterations", res.iterations)
+        tracer.count("gmres_converged", int(res.converged))
+    return res
+
+
+def _gmres(matvec: Operator, b: np.ndarray, *,
+           preconditioner: Optional[Operator] = None,
+           x0: Optional[np.ndarray] = None,
+           tol: float = 1e-10,
+           restart: int = 50,
+           maxiter: int = 500,
+           flexible: bool = False) -> GMRESResult:
     b = np.asarray(b, dtype=np.float64)
     n = b.size
     if restart <= 0 or maxiter <= 0:

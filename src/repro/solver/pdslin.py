@@ -21,42 +21,42 @@ yields the per-stage makespans and balance ratios the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 import scipy.sparse as sp
 
-from repro.core import rhb_partition, build_dbbd
+from repro.core import build_dbbd, rhb_partition
 from repro.core.dbbd import DBBDPartition
 from repro.core.rhs_reorder import (
+    hypergraph_column_order,
     natural_column_order,
     postorder_column_order,
-    hypergraph_column_order,
 )
+from repro.core.weights import WeightScheme
 from repro.graphs import nested_dissection_partition
 from repro.hypergraph.metrics import CutMetric
-from repro.core.weights import WeightScheme
 from repro.lu import (
-    factorize,
-    lu_flop_count,
-    solution_pattern,
-    SupernodalLower,
-    blocked_triangular_solve,
-    partition_columns,
     LUFactors,
     PaddingStats,
+    SupernodalLower,
+    blocked_triangular_solve,
+    factorize,
+    lu_flop_count,
+    partition_columns,
+    solution_pattern,
 )
-from repro.ordering import elimination_tree, postorder, minimum_degree
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.ordering import elimination_tree, minimum_degree, postorder
 from repro.parallel import SimulatedMachine
-from repro.sparse import symmetrized
-from repro.solver.gmres import gmres, GMRESResult
+from repro.solver.gmres import GMRESResult, gmres
 from repro.solver.interfaces import SubdomainInterfaces, extract_interfaces
 from repro.solver.schur import (
     assemble_approximate_schur,
-    drop_small_entries,
     implicit_schur_matvec,
 )
+from repro.sparse import symmetrized
 from repro.utils import SeedLike, check_csr, check_square, positive_int
 
 __all__ = ["PDSLinConfig", "SubdomainComputation", "PDSLinResult", "PDSLin"]
@@ -151,14 +151,21 @@ class PDSLin:
         solver = PDSLin(A, PDSLinConfig(k=8, partitioner="rhb"))
         solver.setup()
         result = solver.solve(b)
+
+    Pass a :class:`repro.obs.Tracer` to record real wall-clock spans and
+    counters for every pipeline stage (partition, per-subdomain
+    factorization, interface solves, Schur assembly/factorization,
+    Krylov solve); without one, instrumentation is a no-op.
     """
 
     def __init__(self, A: sp.spmatrix, config: PDSLinConfig | None = None, *,
-                 M: sp.spmatrix | None = None):
+                 M: sp.spmatrix | None = None,
+                 tracer: Tracer | None = None):
         self.A = check_csr(A)
         check_square(self.A, "A")
         self.config = config or PDSLinConfig()
         self.M = M  # optional structural factor for RHB
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         self.machine = SimulatedMachine(self.config.k)
         self.partition: DBBDPartition | None = None
         self.subdomains: list[SubdomainComputation] = []
@@ -171,11 +178,14 @@ class PDSLin:
 
     def setup(self) -> "PDSLin":
         cfg = self.config
-        with self.machine.on_root("Partition"):
+        with self.machine.on_root("Partition"), \
+                self.tracer.span("partition", partitioner=cfg.partitioner,
+                                 k=cfg.k):
             if cfg.partitioner == "rhb":
                 r = rhb_partition(self.A, cfg.k, M=self.M, metric=cfg.metric,
                                   scheme=cfg.scheme, epsilon=cfg.epsilon,
-                                  seed=cfg.seed, n_trials=cfg.partition_trials)
+                                  seed=cfg.seed, n_trials=cfg.partition_trials,
+                                  tracer=self.tracer)
                 part = r.col_part
             else:
                 r = nested_dissection_partition(self.A, cfg.k,
@@ -187,6 +197,8 @@ class PDSLin:
                 from repro.core.refine import trim_separator
                 part = trim_separator(self.A, part, cfg.k)
             self.partition = build_dbbd(self.A, part, cfg.k)
+            self.tracer.count("separator_size",
+                              int(self.partition.separator_vertices.size))
         self._numeric_setup()
         return self
 
@@ -249,7 +261,8 @@ class PDSLin:
         if cfg.rhs_ordering == "postorder":
             return postorder_column_order(E_rows_factored)
         res = hypergraph_column_order(G_pattern, cfg.block_size,
-                                      tau=cfg.quasi_dense_tau, seed=cfg.seed)
+                                      tau=cfg.quasi_dense_tau, seed=cfg.seed,
+                                      tracer=self.tracer)
         return res.order
 
     def _repack(self, L_like: sp.csc_matrix, *,
@@ -274,21 +287,26 @@ class PDSLin:
         order = self._column_order(B_sparse, Gpat)
         parts = partition_columns(order, cfg.block_size)
         res = blocked_triangular_solve(snl, B_sparse, Gpat, parts,
-                                       drop_tol=cfg.drop_interface)
+                                       drop_tol=cfg.drop_interface,
+                                       tracer=self.tracer)
         return res.X, res.padding
 
     def _setup_subdomain(self, ell: int) -> None:
         cfg = self.config
         assert self.partition is not None
-        with self.machine.on_process(ell, "LU(D)") as ledger:
+        with self.machine.on_process(ell, "LU(D)") as ledger, \
+                self.tracer.span("factor_subdomain", l=ell):
             sub = extract_interfaces(self.partition, ell)
             perm = self._order_subdomain(sub.D)
             Dp = sub.D[perm][:, perm].tocsc()
             factors = factorize(Dp, diag_pivot_thresh=cfg.diag_pivot_thresh,
-                                keep_handle=True)
+                                keep_handle=True, tracer=self.tracer)
             flops = lu_flop_count(factors)
             ledger.ops.add("LU(D)", flops)
-        with self.machine.on_process(ell, "Comp(S)") as ledger:
+            self.tracer.count("subdomain_dim", int(sub.D.shape[0]))
+            self.tracer.count("subdomain_nnz", int(sub.D.nnz))
+        with self.machine.on_process(ell, "Comp(S)") as ledger, \
+                self.tracer.span("interface_solve", l=ell):
             # G = L^{-1} P E^
             Epp = factors.permute_rows(sub.E_hat[perm].tocsr())
             snl_L = self._repack(factors.L, unit_diagonal=True)
@@ -317,8 +335,10 @@ class PDSLin:
         with self.machine.on_root("Comp(S)"):
             updates = [(s.interfaces, s.T_tilde) for s in self.subdomains]
             self.S_tilde = assemble_approximate_schur(
-                C, updates, drop_tol=cfg.drop_schur)
-        with self.machine.on_root("LU(S)") as ledger:
+                C, updates, drop_tol=cfg.drop_schur, tracer=self.tracer)
+        with self.machine.on_root("LU(S)") as ledger, \
+                self.tracer.span("factor_schur",
+                                 method=cfg.schur_factorization):
             sp_perm = minimum_degree(self.S_tilde)
             Sp = self.S_tilde[sp_perm][:, sp_perm].tocsc()
             if cfg.schur_factorization == "ilu":
@@ -332,11 +352,16 @@ class PDSLin:
                     perm_r=np.asarray(ilu.perm_r, dtype=np.int64),
                     perm_c=np.asarray(ilu.perm_c, dtype=np.int64),
                     handle=ilu)
+                self.tracer.count("lu_fill_nnz",
+                                  self._schur_factors.fill_nnz)
+                self.tracer.count("lu_flops",
+                                  lu_flop_count(self._schur_factors))
             else:
                 # the Schur preconditioner needs numerical robustness,
                 # not a structure-faithful factor: allow real pivoting
                 self._schur_factors = factorize(Sp, diag_pivot_thresh=1.0,
-                                                keep_handle=True)
+                                                keep_handle=True,
+                                                tracer=self.tracer)
             self._schur_perm = sp_perm
             ledger.ops.add("LU(S)", lu_flop_count(self._schur_factors))
 
@@ -353,6 +378,10 @@ class PDSLin:
         """Solve ``A x = b`` (setup() is run on demand)."""
         if not self._is_setup:
             self.setup()
+        with self.tracer.span("solve"):
+            return self._solve(b)
+
+    def _solve(self, b: np.ndarray) -> PDSLinResult:
         cfg = self.config
         assert self.partition is not None
         b = np.asarray(b, dtype=np.float64)
@@ -396,12 +425,14 @@ class PDSLin:
             if cfg.krylov == "bicgstab":
                 from repro.solver.bicgstab import bicgstab
                 g_res = bicgstab(matvec, g, preconditioner=self._precondition,
-                                 tol=cfg.gmres_tol, maxiter=cfg.gmres_maxiter)
+                                 tol=cfg.gmres_tol, maxiter=cfg.gmres_maxiter,
+                                 tracer=self.tracer)
             else:
                 g_res = gmres(matvec, g, preconditioner=self._precondition,
                               tol=cfg.gmres_tol, restart=cfg.gmres_restart,
                               maxiter=cfg.gmres_maxiter,
-                              flexible=(cfg.krylov == "fgmres"))
+                              flexible=(cfg.krylov == "fgmres"),
+                              tracer=self.tracer)
             y = g_res.x
             x[sep] = y
 

@@ -15,9 +15,10 @@ from typing import Any
 
 import numpy as np
 
+from repro.obs.export import stage_metrics
 from repro.solver.pdslin import PDSLin, PDSLinResult
 
-__all__ = ["run_report", "format_report"]
+__all__ = ["run_report", "format_report", "save_report"]
 
 
 def _jsonable(v: Any) -> Any:
@@ -54,10 +55,14 @@ def run_report(solver: PDSLin, result: PDSLinResult) -> dict:
         }
         for s in solver.subdomains
     ]
+    obs = None
+    if solver.tracer.enabled and solver.tracer.spans:
+        obs = stage_metrics(solver.tracer)
     return {
         "config": cfg,
         "n": int(solver.A.shape[0]),
         "nnz": int(solver.A.nnz),
+        "obs": obs,
         "partition": {
             "separator_size": int(q.separator_size),
             "dim_ratio": round(q.dim_ratio, 4),
@@ -96,6 +101,12 @@ def format_report(report: dict) -> str:
         f"residual={report['solve']['residual_norm']:.2e} "
         f"converged={report['solve']['converged']}",
     ]
+    obs = report.get("obs")
+    if obs:
+        lines.append("traced stages (wall): " + "  ".join(
+            f"{name}={st['wall_s']:.4f}s"
+            for name, st in sorted(obs["stages"].items(),
+                                   key=lambda kv: -kv[1]["wall_s"])[:6]))
     return "\n".join(lines)
 
 

@@ -20,8 +20,9 @@ from typing import Callable, Sequence
 import numpy as np
 import scipy.sparse as sp
 
-from repro.solver.interfaces import SubdomainInterfaces
 from repro.lu.numeric import LUFactors
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.solver.interfaces import SubdomainInterfaces
 
 __all__ = ["assemble_approximate_schur", "drop_small_entries",
            "implicit_schur_matvec"]
@@ -45,44 +46,52 @@ def drop_small_entries(A: sp.spmatrix, rel_tol: float) -> sp.csr_matrix:
     return out
 
 
-def assemble_approximate_schur(C: sp.spmatrix,
-                               updates: Sequence[tuple[SubdomainInterfaces, sp.spmatrix]],
-                               *, drop_tol: float = 0.0) -> sp.csr_matrix:
+def assemble_approximate_schur(
+        C: sp.spmatrix,
+        updates: Sequence[tuple[SubdomainInterfaces, sp.spmatrix]],
+        *, drop_tol: float = 0.0,
+                               tracer: Tracer = NULL_TRACER) -> sp.csr_matrix:
     """Form ``S~ = drop(C - sum_l R_F T~_l R_E^T)``.
 
     ``updates`` pairs each subdomain's interface maps with its local
     update matrix ``T~_l`` of shape (nf_l, ne_l); the maps scatter it
-    into separator coordinates.
+    into separator coordinates. ``tracer`` records a ``schur_assemble``
+    span with ``schur_nnz`` / ``schur_dropped_nnz`` counters.
     """
-    C = C.tocsr()
-    ns = C.shape[0]
-    rows: list[np.ndarray] = []
-    cols: list[np.ndarray] = []
-    vals: list[np.ndarray] = []
-    for sub, T in updates:
-        T = T.tocoo()
-        if T.shape != (sub.f_rows.size, sub.e_cols.size):
-            raise ValueError(
-                f"subdomain {sub.ell}: T has shape {T.shape}, expected "
-                f"({sub.f_rows.size}, {sub.e_cols.size})")
-        rows.append(sub.f_rows[T.row])
-        cols.append(sub.e_cols[T.col])
-        vals.append(-T.data)
-    if rows:
-        scatter = sp.csr_matrix(
-            (np.concatenate(vals),
-             (np.concatenate(rows), np.concatenate(cols))), shape=(ns, ns))
-        S_hat = (C + scatter).tocsr()
-    else:
-        S_hat = C.copy()
-    S_hat.sum_duplicates()
-    return drop_small_entries(S_hat, drop_tol)
+    with tracer.span("schur_assemble", n_updates=len(updates)):
+        C = C.tocsr()
+        ns = C.shape[0]
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+        for sub, T in updates:
+            T = T.tocoo()
+            if T.shape != (sub.f_rows.size, sub.e_cols.size):
+                raise ValueError(
+                    f"subdomain {sub.ell}: T has shape {T.shape}, expected "
+                    f"({sub.f_rows.size}, {sub.e_cols.size})")
+            rows.append(sub.f_rows[T.row])
+            cols.append(sub.e_cols[T.col])
+            vals.append(-T.data)
+        if rows:
+            scatter = sp.csr_matrix(
+                (np.concatenate(vals),
+                 (np.concatenate(rows), np.concatenate(cols))), shape=(ns, ns))
+            S_hat = (C + scatter).tocsr()
+        else:
+            S_hat = C.copy()
+        S_hat.sum_duplicates()
+        S_tilde = drop_small_entries(S_hat, drop_tol)
+        tracer.count("schur_nnz", int(S_tilde.nnz))
+        tracer.count("schur_dropped_nnz", int(S_hat.nnz - S_tilde.nnz))
+    return S_tilde
 
 
-def implicit_schur_matvec(C: sp.spmatrix,
-                          subs: Sequence[SubdomainInterfaces],
-                          factors: Sequence[LUFactors],
-                          perms: Sequence[np.ndarray]) -> Callable[[np.ndarray], np.ndarray]:
+def implicit_schur_matvec(
+        C: sp.spmatrix,
+        subs: Sequence[SubdomainInterfaces],
+        factors: Sequence[LUFactors],
+        perms: Sequence[np.ndarray]) -> Callable[[np.ndarray], np.ndarray]:
     """Matvec closure for the exact Schur operator.
 
     ``factors[l]`` factorizes ``D_l[perm][:, perm]`` with

@@ -1,32 +1,32 @@
 """Sparse-matrix substrate: pattern algebra, symmetrization, structural
 factorization, quasi-dense filtering, Matrix Market I/O."""
 
+from repro.sparse.io import read_matrix_market, write_matrix_market
 from repro.sparse.patterns import (
-    pattern_of,
-    pattern_equal,
-    row_nnz,
-    col_nnz,
-    nonzero_rows,
-    nonzero_cols,
     boolean_product_pattern,
-    pattern_union,
-    extract_submatrix,
-    drop_explicit_zeros,
+    col_nnz,
     density_of_rows,
-)
-from repro.sparse.symmetrize import (
-    symmetrized,
-    is_structurally_symmetric,
-    SymmetryInfo,
-    symmetry_info,
-)
-from repro.sparse.structural import (
-    edge_incidence_factor,
-    clique_factor,
-    verify_structural_factor,
+    drop_explicit_zeros,
+    extract_submatrix,
+    nonzero_cols,
+    nonzero_rows,
+    pattern_equal,
+    pattern_of,
+    pattern_union,
+    row_nnz,
 )
 from repro.sparse.quasidense import QuasiDenseFilter, filter_quasi_dense_rows
-from repro.sparse.io import read_matrix_market, write_matrix_market
+from repro.sparse.structural import (
+    clique_factor,
+    edge_incidence_factor,
+    verify_structural_factor,
+)
+from repro.sparse.symmetrize import (
+    SymmetryInfo,
+    is_structurally_symmetric,
+    symmetrized,
+    symmetry_info,
+)
 
 __all__ = [
     "pattern_of", "pattern_equal", "row_nnz", "col_nnz", "nonzero_rows",

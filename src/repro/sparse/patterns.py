@@ -9,12 +9,10 @@ pattern extraction), all built on CSR index arrays so they vectorize.
 
 from __future__ import annotations
 
-from typing import Tuple
-
 import numpy as np
 import scipy.sparse as sp
 
-from repro.utils import check_csr, as_int_array
+from repro.utils import as_int_array, check_csr
 
 __all__ = [
     "pattern_of",

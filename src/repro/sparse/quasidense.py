@@ -20,8 +20,8 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from repro.utils import check_csr, fraction
 from repro.sparse.patterns import row_nnz
+from repro.utils import check_csr, fraction
 
 __all__ = ["QuasiDenseFilter", "filter_quasi_dense_rows"]
 

@@ -25,9 +25,9 @@ from __future__ import annotations
 import numpy as np
 import scipy.sparse as sp
 
+from repro.sparse.patterns import boolean_product_pattern, pattern_of
+from repro.sparse.symmetrize import is_structurally_symmetric, symmetrized
 from repro.utils import check_csr, check_square
-from repro.sparse.patterns import pattern_of, boolean_product_pattern
-from repro.sparse.symmetrize import symmetrized, is_structurally_symmetric
 
 __all__ = ["edge_incidence_factor", "clique_factor", "verify_structural_factor"]
 
@@ -114,8 +114,9 @@ def clique_factor(A: sp.spmatrix, *, max_clique: int = 32) -> sp.csr_matrix:
         touched[c] = True
     for v in np.flatnonzero(~touched):
         cliques.append([int(v)])
-    rows = np.concatenate([np.full(len(c), r, dtype=np.int64)
-                           for r, c in enumerate(cliques)]) if cliques else np.empty(0, np.int64)
+    rows = np.concatenate(
+        [np.full(len(c), r, dtype=np.int64)
+         for r, c in enumerate(cliques)]) if cliques else np.empty(0, np.int64)
     cols = np.concatenate([np.asarray(c, dtype=np.int64) for c in cliques]) \
         if cliques else np.empty(0, np.int64)
     M = sp.csr_matrix((np.ones(rows.size, dtype=np.int8), (rows, cols)),

@@ -12,8 +12,8 @@ from dataclasses import dataclass
 import numpy as np
 import scipy.sparse as sp
 
-from repro.utils import check_csr, check_square
 from repro.sparse.patterns import pattern_of
+from repro.utils import check_csr, check_square
 
 __all__ = ["symmetrized", "SymmetryInfo", "symmetry_info", "is_structurally_symmetric"]
 
@@ -55,7 +55,8 @@ class SymmetryInfo:
     def table_row(self) -> str:
         fmt = lambda b: "yes" if b else "no"
         pd = "?" if self.positive_definite is None else fmt(self.positive_definite)
-        return f"pattern={fmt(self.pattern_symmetric)} value={fmt(self.value_symmetric)} posdef={pd}"
+        return (f"pattern={fmt(self.pattern_symmetric)} "
+                f"value={fmt(self.value_symmetric)} posdef={pd}")
 
 
 def symmetry_info(A: sp.spmatrix, *, check_definiteness: bool = False,

@@ -1,21 +1,26 @@
 """Shared utilities: validation, timing, deterministic RNG, flop counting."""
 
+from repro.utils.opcount import (
+    OpCounter,
+    gemm_flops,
+    lu_flops_from_counts,
+    trsv_flops,
+)
+from repro.utils.prng import SeedLike, rng_from, spawn
+from repro.utils.timing import StageTimer, Timer, format_seconds
 from repro.utils.validation import (
-    require,
-    as_int_array,
     as_float_array,
-    check_square,
-    check_csr,
+    as_int_array,
     check_csc,
+    check_csr,
     check_partition_vector,
     check_permutation,
-    positive_int,
-    nonneg_int,
+    check_square,
     fraction,
+    nonneg_int,
+    positive_int,
+    require,
 )
-from repro.utils.timing import Timer, StageTimer, format_seconds
-from repro.utils.prng import SeedLike, rng_from, spawn
-from repro.utils.opcount import OpCounter, gemm_flops, trsv_flops, lu_flops_from_counts
 
 __all__ = [
     "require", "as_int_array", "as_float_array", "check_square", "check_csr",

@@ -9,7 +9,7 @@ streams so nested components do not share state accidentally.
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import List, Union
 
 import numpy as np
 

@@ -4,14 +4,21 @@ The paper reports per-stage times (LU(D), Comp(S), LU(S), Solve) and
 per-process balance. ``StageTimer`` records named wall-clock intervals,
 supports nesting, and exposes per-stage totals; the parallel simulator
 (:mod:`repro.parallel`) aggregates these per simulated process.
+
+Measurement is delegated to the observability layer: each
+``StageTimer`` owns a :class:`repro.obs.Tracer`, so the per-process
+ledgers of the simulated machine carry full span records (not just
+totals) and export through the same event model as real traced runs.
 """
 
 from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Tuple
+
+from repro.obs.tracer import Tracer
 
 __all__ = ["Timer", "StageTimer", "format_seconds"]
 
@@ -57,31 +64,31 @@ class Timer:
         self.stop()
 
 
-@dataclass
 class StageTimer:
     """Accumulates wall time per named stage, supporting nesting.
 
     Nested stages record under ``outer/inner`` keys as well as their own
-    flat name, so both views are available.
+    flat name, so both views are available. The underlying measurements
+    are spans on ``self.tracer``, available for event-level export.
     """
 
-    totals: Dict[str, float] = field(default_factory=dict)
-    counts: Dict[str, int] = field(default_factory=dict)
-    _stack: List[str] = field(default_factory=list)
+    def __init__(self) -> None:
+        self.tracer = Tracer()
+        self.totals: Dict[str, float] = {}
+        self.counts: Dict[str, int] = {}
 
     @contextmanager
     def stage(self, name: str) -> Iterator[None]:
         """Context manager timing one stage occurrence."""
-        self._stack.append(name)
-        key = "/".join(self._stack)
-        t0 = time.perf_counter()
+        span = self.tracer.span(name)
+        span.__enter__()
         try:
             yield
         finally:
-            dt = time.perf_counter() - t0
-            self._stack.pop()
-            for k in (key, name) if key != name else (name,):
-                self.totals[k] = self.totals.get(k, 0.0) + dt
+            span.__exit__(None, None, None)
+            rec = self.tracer.spans[-1]
+            for k in (rec.path, name) if rec.path != name else (name,):
+                self.totals[k] = self.totals.get(k, 0.0) + rec.wall_s
                 self.counts[k] = self.counts.get(k, 0) + 1
 
     def add(self, name: str, seconds: float) -> None:
@@ -95,7 +102,9 @@ class StageTimer:
         return self.totals.get(name, 0.0)
 
     def merge(self, other: "StageTimer") -> None:
-        """Accumulate another ledger into this one."""
+        """Accumulate another ledger into this one (totals view only;
+        the other tracer's span records keep their own epoch)."""
+        self.tracer.spans.extend(other.tracer.spans)
         for k, v in other.totals.items():
             self.totals[k] = self.totals.get(k, 0.0) + v
         for k, c in other.counts.items():

@@ -69,7 +69,8 @@ def as_int_array(values: Iterable[int] | np.ndarray, name: str = "array") -> np.
     return arr.astype(np.int64, copy=False)
 
 
-def as_float_array(values: Iterable[float] | np.ndarray, name: str = "array") -> np.ndarray:
+def as_float_array(values: Iterable[float] | np.ndarray,
+                   name: str = "array") -> np.ndarray:
     """Convert to a contiguous float64 ndarray."""
     arr = np.ascontiguousarray(values, dtype=np.float64)
     if arr.dtype.kind != "f":
@@ -103,7 +104,8 @@ def check_csc(A: Any, name: str = "A") -> sp.csc_matrix:
     return A
 
 
-def check_partition_vector(part: np.ndarray, n: int, k: int, name: str = "part") -> np.ndarray:
+def check_partition_vector(part: np.ndarray, n: int, k: int,
+                           name: str = "part") -> np.ndarray:
     """Validate a part-assignment vector: length n, entries in [0, k)."""
     part = as_int_array(part, name)
     if part.shape != (n,):
@@ -114,7 +116,8 @@ def check_partition_vector(part: np.ndarray, n: int, k: int, name: str = "part")
     return part
 
 
-def check_permutation(perm: Sequence[int] | np.ndarray, n: int, name: str = "perm") -> np.ndarray:
+def check_permutation(perm: Sequence[int] | np.ndarray, n: int,
+                      name: str = "perm") -> np.ndarray:
     """Validate that ``perm`` is a permutation of range(n)."""
     perm = as_int_array(perm, name)
     if perm.shape != (n,):

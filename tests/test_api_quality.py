@@ -19,6 +19,7 @@ PACKAGES = [
     "repro.parallel",
     "repro.matrices",
     "repro.experiments",
+    "repro.obs",
 ]
 
 

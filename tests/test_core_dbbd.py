@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.core import build_dbbd, SEPARATOR
-from repro.core.dbbd import DBBDPartition
-from tests.conftest import grid_laplacian
+from repro.core import SEPARATOR, build_dbbd
 
 
 def chain_partition():

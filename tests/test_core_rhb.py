@@ -4,12 +4,11 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.core import rhb_partition, compute_vertex_weights
+from repro.core import compute_vertex_weights, rhb_partition
 from repro.core.weights import current_w1
 from repro.hypergraph import Hypergraph
 from repro.matrices import cavity_matrix
 from repro.sparse import edge_incidence_factor, row_nnz
-from tests.conftest import grid_laplacian
 
 
 class TestWeights:

@@ -5,13 +5,12 @@ import pytest
 import scipy.sparse as sp
 
 from repro.core.rhs_reorder import (
+    hypergraph_column_order,
     natural_column_order,
     postorder_column_order,
-    hypergraph_column_order,
 )
 from repro.hypergraph import Hypergraph, cutsize
-from repro.lu import partition_columns, padded_zeros
-from tests.conftest import grid_laplacian
+from repro.lu import padded_zeros
 
 
 class TestNatural:

@@ -1,10 +1,12 @@
 """Additional cost-model and machine-ledger behaviour tests."""
 
-import numpy as np
 import pytest
 
 from repro.parallel import (
-    SimulatedMachine, TwoLevelModel, StageScaling, DEFAULT_STAGE_SCALING,
+    DEFAULT_STAGE_SCALING,
+    SimulatedMachine,
+    StageScaling,
+    TwoLevelModel,
 )
 
 

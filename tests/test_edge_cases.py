@@ -3,17 +3,22 @@
 import numpy as np
 import pytest
 import scipy.sparse as sp
+from tests.conftest import grid_laplacian
 
 from repro.core import build_dbbd, rhb_partition
-from repro.graphs import Graph, bisect_graph, nested_dissection_partition
+from repro.graphs import Graph, nested_dissection_partition
 from repro.hypergraph import Hypergraph, bisect_hypergraph, cutsize
 from repro.lu import (
-    factorize, GilbertPeierlsLU, solution_pattern, SupernodalLower,
-    blocked_triangular_solve, partition_columns, detect_supernodes,
+    GilbertPeierlsLU,
+    SupernodalLower,
+    blocked_triangular_solve,
+    detect_supernodes,
+    factorize,
+    partition_columns,
+    solution_pattern,
 )
-from repro.ordering import elimination_tree, postorder, minimum_degree
+from repro.ordering import elimination_tree, minimum_degree, postorder
 from repro.solver import PDSLin, PDSLinConfig
-from tests.conftest import grid_laplacian
 
 
 class TestDegenerateGraphs:

@@ -1,20 +1,31 @@
 """Tests for the experiment harness (each table/figure runs end-to-end
 at tiny scale and produces sane shapes)."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (
-    run_partitioner, prepare_triangular_study, render_table,
-    run_table1, format_table1,
-    run_fig1, format_fig1,
-    run_fig3, format_fig3,
-    run_table2, format_table2,
-    run_table3, format_table3,
-    run_fig4, format_fig4,
-    run_fig5, format_fig5,
-    run_quasidense, format_quasidense,
-    run_weight_ablation, run_fm_ablation, format_ablation,
+    format_ablation,
+    format_fig1,
+    format_fig3,
+    format_fig4,
+    format_fig5,
+    format_quasidense,
+    format_table1,
+    format_table2,
+    format_table3,
+    prepare_triangular_study,
+    render_table,
+    run_fig1,
+    run_fig3,
+    run_fig4,
+    run_fig5,
+    run_fm_ablation,
+    run_partitioner,
+    run_quasidense,
+    run_table1,
+    run_table2,
+    run_table3,
+    run_weight_ablation,
 )
 from repro.matrices import generate
 

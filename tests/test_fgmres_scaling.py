@@ -4,9 +4,8 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
+from repro.experiments import format_scaling, run_twolevel_vs_onelevel
 from repro.solver import gmres
-from repro.experiments import run_twolevel_vs_onelevel, format_scaling
-from tests.conftest import random_spd
 
 
 class TestFGMRES:

@@ -4,16 +4,22 @@ separators, NGD)."""
 import numpy as np
 import pytest
 import scipy.sparse as sp
-
-from repro.graphs import (
-    Graph, heavy_edge_matching, contract, coarsen,
-    fm_refine_bisection, compute_gains,
-    bisect_graph, greedy_bfs_bisection,
-    maximum_bipartite_matching, vertex_separator_from_cut,
-    nested_dissection_partition, SEPARATOR,
-)
-from repro.core.dbbd import build_dbbd
 from tests.conftest import grid_laplacian
+
+from repro.core.dbbd import build_dbbd
+from repro.graphs import (
+    Graph,
+    bisect_graph,
+    coarsen,
+    compute_gains,
+    contract,
+    fm_refine_bisection,
+    greedy_bfs_bisection,
+    heavy_edge_matching,
+    maximum_bipartite_matching,
+    nested_dissection_partition,
+    vertex_separator_from_cut,
+)
 
 
 class TestGraph:

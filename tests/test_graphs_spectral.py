@@ -4,11 +4,14 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+from tests.conftest import grid_laplacian
 
 from repro.graphs import (
-    Graph, graph_laplacian, lanczos_fiedler, spectral_bisection,
+    Graph,
+    graph_laplacian,
+    lanczos_fiedler,
+    spectral_bisection,
 )
-from tests.conftest import grid_laplacian
 
 
 def path_graph(n: int) -> Graph:

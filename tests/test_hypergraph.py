@@ -2,16 +2,25 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
+from tests.conftest import grid_laplacian
 
 from repro.hypergraph import (
-    Hypergraph, net_connectivities, cutsize, imbalance, part_weights,
-    heavy_connectivity_matching, contract_hypergraph, coarsen_hypergraph,
-    fm_refine_hypergraph, bisection_cut, hypergraph_gains,
-    bisect_hypergraph, enforce_exact_quota,
-    split_by_side, initial_net_costs,
+    Hypergraph,
+    bisect_hypergraph,
+    bisection_cut,
+    coarsen_hypergraph,
+    contract_hypergraph,
+    cutsize,
+    enforce_exact_quota,
+    fm_refine_hypergraph,
+    heavy_connectivity_matching,
+    hypergraph_gains,
+    imbalance,
+    initial_net_costs,
+    net_connectivities,
+    part_weights,
+    split_by_side,
 )
-from tests.conftest import grid_laplacian
 
 
 def small_h() -> Hypergraph:
@@ -168,7 +177,7 @@ class TestFM:
         # run FM and double-check its reported cut against from-scratch
         H = Hypergraph.column_net_model(grid8)
         rng = np.random.default_rng(5)
-        for trial in range(3):
+        for _trial in range(3):
             side = rng.integers(0, 2, H.n_vertices)
             caps = np.full((2, 1), 0.7 * H.n_vertices)
             refined, cut = fm_refine_hypergraph(H, side, caps=caps)

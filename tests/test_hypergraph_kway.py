@@ -3,13 +3,17 @@ refinement."""
 
 import numpy as np
 import pytest
+from tests.conftest import grid_laplacian
 
 from repro.hypergraph import (
-    Hypergraph, partition_hypergraph, kway_refine, kway_move_gain,
-    cutsize, imbalance,
+    Hypergraph,
+    cutsize,
+    imbalance,
+    kway_move_gain,
+    kway_refine,
+    partition_hypergraph,
 )
 from repro.hypergraph.kway import _pin_counts
-from tests.conftest import grid_laplacian
 
 
 @pytest.fixture(scope="module")

@@ -7,10 +7,12 @@ import pytest
 
 from repro import PDSLin, PDSLinConfig, generate, suite_names
 from repro.core import build_dbbd, rhb_partition
+from repro.core.rhs_reorder import (
+    hypergraph_column_order,
+    postorder_column_order,
+)
 from repro.experiments import prepare_triangular_study, run_partitioner
 from repro.lu import blocked_triangular_solve, padded_zeros, partition_columns
-from repro.core.rhs_reorder import hypergraph_column_order, \
-    postorder_column_order
 
 
 class TestFullSolveAllFamilies:

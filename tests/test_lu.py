@@ -5,18 +5,24 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+from tests.conftest import random_spd
 
 from repro.lu import (
-    reach, toposorted_reach, solution_pattern,
-    LUFactors, GilbertPeierlsLU, factorize, lu_flop_count,
-    detect_supernodes, SupernodalLower,
-    partition_columns, blocked_triangular_solve, padded_zeros,
+    GilbertPeierlsLU,
+    SupernodalLower,
+    blocked_triangular_solve,
+    detect_supernodes,
+    factorize,
+    lu_flop_count,
+    padded_zeros,
+    partition_columns,
+    reach,
+    solution_pattern,
+    toposorted_reach,
 )
-from tests.conftest import grid_laplacian, random_spd, random_unsymmetric
 
 
 def lower_tri(n, density, seed):
-    rng = np.random.default_rng(seed)
     L = sp.tril(sp.random(n, n, density, random_state=seed), k=-1)
     return (L + sp.eye(n)).tocsc()
 

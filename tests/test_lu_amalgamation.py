@@ -2,13 +2,15 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+from tests.conftest import grid_laplacian, random_spd
 
 from repro.lu import (
-    factorize, detect_supernodes, relaxed_supernodes, SupernodalLower,
+    SupernodalLower,
+    detect_supernodes,
+    factorize,
+    relaxed_supernodes,
 )
-from tests.conftest import grid_laplacian, random_spd
 
 
 @pytest.fixture(scope="module")

@@ -2,16 +2,26 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.matrices import (
-    HexMesh, hex_element_matrices, assemble_fem, fd_laplacian_3d,
-    cavity_matrix, dds_like_matrix, fusion_matrix,
-    asic_like_matrix, g3_like_matrix,
-    generate, suite_names, table1_metadata,
+    HexMesh,
+    asic_like_matrix,
+    assemble_fem,
+    cavity_matrix,
+    dds_like_matrix,
+    fd_laplacian_3d,
+    fusion_matrix,
+    g3_like_matrix,
+    generate,
+    hex_element_matrices,
+    suite_names,
+    table1_metadata,
 )
 from repro.sparse import (
-    symmetry_info, verify_structural_factor, symmetrized, density_of_rows,
+    density_of_rows,
+    symmetrized,
+    symmetry_info,
+    verify_structural_factor,
 )
 
 

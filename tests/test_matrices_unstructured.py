@@ -2,10 +2,11 @@
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
 
 from repro.matrices import (
-    random_delaunay_mesh, p1_assemble, unstructured_matrix,
+    p1_assemble,
+    random_delaunay_mesh,
+    unstructured_matrix,
 )
 from repro.sparse import symmetry_info, verify_structural_factor
 

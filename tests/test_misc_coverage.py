@@ -2,13 +2,15 @@
 multi-constraint k-way refinement, report round-trips."""
 
 import numpy as np
-import pytest
+from tests.conftest import grid_laplacian
 
 from repro.hypergraph import (
-    Hypergraph, contract_hypergraph, heavy_connectivity_matching,
-    kway_refine, cutsize,
+    Hypergraph,
+    contract_hypergraph,
+    cutsize,
+    heavy_connectivity_matching,
+    kway_refine,
 )
-from tests.conftest import grid_laplacian
 
 
 class TestCLIMore:

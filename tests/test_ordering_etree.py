@@ -5,11 +5,15 @@ import pytest
 import scipy.sparse as sp
 
 from repro.ordering import (
-    elimination_tree, postorder, is_postordered, children_lists,
-    tree_level, first_descendants, etree_path_closure,
+    children_lists,
+    elimination_tree,
+    etree_path_closure,
+    first_descendants,
+    is_postordered,
+    postorder,
     symbolic_cholesky_row_counts,
+    tree_level,
 )
-from tests.conftest import grid_laplacian
 
 
 def dense_etree_reference(A: np.ndarray) -> np.ndarray:
@@ -36,7 +40,6 @@ def dense_etree_reference(A: np.ndarray) -> np.ndarray:
 
 class TestEliminationTree:
     def test_matches_dense_reference_small(self):
-        rng = np.random.default_rng(0)
         for seed in range(5):
             A = sp.random(12, 12, 0.25, random_state=seed).toarray()
             A = A + A.T + np.eye(12)
@@ -134,7 +137,6 @@ class TestPathClosure:
 
 class TestRowCounts:
     def test_counts_match_dense_cholesky(self):
-        rng = np.random.default_rng(2)
         A = sp.random(15, 15, 0.2, random_state=4).toarray()
         A = A + A.T + 15 * np.eye(15)
         As = sp.csr_matrix(A)

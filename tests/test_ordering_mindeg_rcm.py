@@ -3,13 +3,17 @@
 import numpy as np
 import pytest
 import scipy.sparse as sp
+from tests.conftest import grid_laplacian
 
 from repro.ordering import (
-    minimum_degree, permute_symmetric, reverse_cuthill_mckee,
-    pseudo_peripheral_vertex, bandwidth, envelope_size,
+    bandwidth,
+    envelope_size,
+    minimum_degree,
+    permute_symmetric,
+    pseudo_peripheral_vertex,
+    reverse_cuthill_mckee,
     symbolic_cholesky_row_counts,
 )
-from tests.conftest import grid_laplacian, random_spd
 
 
 def fill_of(A) -> int:

@@ -1,14 +1,15 @@
 """Tests for the nested-dissection fill-reducing ordering."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
+from tests.conftest import grid_laplacian
 
 from repro.ordering import (
-    nested_dissection_ordering, minimum_degree, permute_symmetric,
+    minimum_degree,
+    nested_dissection_ordering,
+    permute_symmetric,
     symbolic_cholesky_row_counts,
 )
-from tests.conftest import grid_laplacian
 
 
 def fill_of(A) -> int:

@@ -2,11 +2,13 @@
 
 import time
 
-import numpy as np
 import pytest
 
 from repro.parallel import (
-    SimulatedMachine, TwoLevelModel, StageScaling, DEFAULT_STAGE_SCALING,
+    DEFAULT_STAGE_SCALING,
+    SimulatedMachine,
+    StageScaling,
+    TwoLevelModel,
 )
 
 

@@ -1,0 +1,129 @@
+"""Tests for the perf-regression gate and its CLI."""
+
+import copy
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.obs.gate import compare_metrics
+
+REPO = Path(__file__).resolve().parent.parent
+
+
+def metrics(wall_a=0.10, wall_b=0.20, ops=1000, total=0.30):
+    return {
+        "schema_version": 1,
+        "stages": {
+            "stage_a": {"wall_s": wall_a, "calls": 1,
+                        "counters": {"ops": ops}},
+            "stage_b": {"wall_s": wall_b, "calls": 2, "counters": {}},
+        },
+        "totals": {"wall_s": total, "counters": {"ops": ops}},
+    }
+
+
+class TestCompareMetrics:
+    def test_identical_metrics_pass(self):
+        report = compare_metrics(metrics(), metrics())
+        assert report.ok
+        assert report.regressions == []
+        assert report.describe().endswith("perf gate: PASS")
+
+    def test_within_tolerance_passes(self):
+        cur = metrics(wall_a=0.13, wall_b=0.25, total=0.38)  # < 1.5x
+        assert compare_metrics(cur, metrics()).ok
+
+    def test_wall_time_regression_fails(self):
+        cur = metrics(wall_a=0.35)  # 3.5x the 0.10 baseline
+        report = compare_metrics(cur, metrics())
+        assert not report.ok
+        assert any(c.stage == "stage_a" and c.metric == "wall_s"
+                   for c in report.regressions)
+
+    def test_baseline_tightened_by_half_fails(self):
+        # the acceptance scenario: same run, baseline halved -> ratio 2.0
+        cur = metrics()
+        tight = copy.deepcopy(metrics())
+        for st in tight["stages"].values():
+            st["wall_s"] /= 2.0
+        tight["totals"]["wall_s"] /= 2.0
+        report = compare_metrics(cur, tight)
+        assert not report.ok
+
+    def test_counter_regression_uses_tight_tolerance(self):
+        cur = metrics(ops=1200)  # 1.2x > ops_tol 1.10
+        report = compare_metrics(cur, metrics())
+        assert any(c.metric == "ops" and c.regressed
+                   for c in report.regressions)
+        # but a 20% wall slowdown alone is fine at time_tol=1.5
+        assert compare_metrics(metrics(wall_a=0.12), metrics()).ok
+
+    def test_noise_floor_skips_tiny_stages(self):
+        base = metrics(wall_a=0.001)
+        cur = metrics(wall_a=0.004)  # 4x, but under min_time_s
+        report = compare_metrics(cur, base)
+        skipped = [c for c in report.checks
+                   if c.stage == "stage_a" and c.metric == "wall_s"]
+        assert skipped[0].skipped and not skipped[0].regressed
+        assert report.ok
+
+    def test_missing_stage_fails(self):
+        cur = metrics()
+        del cur["stages"]["stage_b"]
+        report = compare_metrics(cur, metrics())
+        assert not report.ok
+        assert report.missing_stages == ["stage_b"]
+        assert "stage_b" in report.describe()
+
+    def test_extra_current_stage_is_ignored(self):
+        cur = metrics()
+        cur["stages"]["new_stage"] = {"wall_s": 9.9, "calls": 1,
+                                      "counters": {}}
+        assert compare_metrics(cur, metrics()).ok
+
+    def test_bad_tolerance_rejected(self):
+        with pytest.raises(ValueError):
+            compare_metrics(metrics(), metrics(), time_tol=0)
+
+
+class TestPerfGateCli:
+    def _run(self, tmp_path, cur, base, *extra):
+        cur_p = tmp_path / "current.json"
+        base_p = tmp_path / "baseline.json"
+        cur_p.write_text(json.dumps(cur))
+        base_p.write_text(json.dumps(base))
+        return subprocess.run(
+            [sys.executable, str(REPO / "tools" / "perf_gate.py"),
+             str(cur_p), str(base_p), *extra],
+            capture_output=True, text=True)
+
+    def test_exit_zero_on_pass(self, tmp_path):
+        proc = self._run(tmp_path, metrics(), metrics())
+        assert proc.returncode == 0, proc.stderr
+        assert "perf gate: PASS" in proc.stdout
+
+    def test_exit_nonzero_on_regression(self, tmp_path):
+        proc = self._run(tmp_path, metrics(wall_a=0.50), metrics())
+        assert proc.returncode == 1
+        assert "perf gate: FAIL" in proc.stdout
+
+    def test_tolerance_flags_are_honored(self, tmp_path):
+        proc = self._run(tmp_path, metrics(wall_a=0.50), metrics(),
+                         "--time-tol", "10.0")
+        assert proc.returncode == 0, proc.stdout
+
+
+def test_committed_baseline_is_well_formed():
+    """The baseline the CI perf-smoke job diffs against stays valid."""
+    path = REPO / "benchmarks" / "baselines" / "smoke.json"
+    base = json.loads(path.read_text())
+    assert base["schema_version"] == 1
+    for required in ("partition", "factor_subdomain", "interface_solve",
+                     "schur_assemble", "factor_schur", "gmres", "solve"):
+        assert required in base["stages"], required
+    for st in base["stages"].values():
+        assert st["wall_s"] >= 0 and st["calls"] >= 1
+    assert base["meta"]["converged"] is True

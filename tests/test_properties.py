@@ -5,17 +5,24 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 from hypothesis import given, settings, strategies as st
 
+from repro.graphs import Graph, fm_refine_bisection
 from repro.hypergraph import (
-    Hypergraph, cutsize, net_connectivities, split_by_side,
-    bisection_cut, fm_refine_hypergraph, initial_net_costs,
+    Hypergraph,
+    bisection_cut,
+    cutsize,
+    fm_refine_hypergraph,
+    net_connectivities,
+    split_by_side,
 )
 from repro.lu import (
-    reach, solution_pattern, partition_columns, padded_zeros, factorize,
+    factorize,
+    padded_zeros,
+    partition_columns,
+    reach,
+    solution_pattern,
 )
-from repro.ordering import elimination_tree, postorder, etree_path_closure
-from repro.sparse import symmetrized, edge_incidence_factor, \
-    verify_structural_factor
-from repro.graphs import Graph, fm_refine_bisection
+from repro.ordering import elimination_tree, etree_path_closure, postorder
+from repro.sparse import edge_incidence_factor, verify_structural_factor
 from repro.utils import check_permutation
 
 

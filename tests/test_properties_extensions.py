@@ -10,7 +10,7 @@ from repro.core import build_dbbd, trim_separator
 from repro.graphs import nested_dissection_partition
 from repro.hypergraph import Hypergraph, cutsize, kway_move_gain
 from repro.hypergraph.kway import _pin_counts
-from repro.lu import factorize, relaxed_supernodes, SupernodalLower
+from repro.lu import SupernodalLower, factorize, relaxed_supernodes
 
 
 @st.composite

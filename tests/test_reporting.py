@@ -4,12 +4,16 @@ import json
 
 import numpy as np
 import pytest
+from tests.conftest import grid_laplacian
 
 from repro.parallel import SimulatedMachine, export_chrome_trace
 from repro.solver import (
-    PDSLin, PDSLinConfig, run_report, format_report, save_report,
+    PDSLin,
+    PDSLinConfig,
+    format_report,
+    run_report,
+    save_report,
 )
-from tests.conftest import grid_laplacian
 
 
 @pytest.fixture(scope="module")

@@ -3,14 +3,17 @@
 import numpy as np
 import pytest
 import scipy.sparse as sp
+from tests.conftest import grid_laplacian
 
-from repro.core import build_dbbd, SEPARATOR
+from repro.core import build_dbbd
 from repro.solver import (
-    gmres, PDSLin, PDSLinConfig,
-    extract_interfaces, assemble_approximate_schur, drop_small_entries,
-    implicit_schur_matvec,
+    PDSLin,
+    PDSLinConfig,
+    assemble_approximate_schur,
+    drop_small_entries,
+    extract_interfaces,
+    gmres,
 )
-from tests.conftest import grid_laplacian, random_spd
 
 
 class TestGMRES:
@@ -112,12 +115,9 @@ class TestSchurAssembly:
     def test_exact_schur_against_dense(self, grid16):
         """S~ with no dropping equals the dense Schur complement."""
         from repro.graphs import nested_dissection_partition
-        from repro.lu import factorize
-        from repro.ordering import minimum_degree
         r = nested_dissection_partition(grid16, 2, seed=0)
         p = build_dbbd(grid16, r.part, 2)
         sep = p.separator_vertices
-        n = grid16.shape[0]
         # dense reference
         interior = np.flatnonzero(p.part >= 0)
         Ad = grid16.toarray()

@@ -4,11 +4,11 @@ the experiment CLI."""
 import numpy as np
 import pytest
 import scipy.sparse as sp
+from tests.conftest import grid_laplacian
 
 from repro.core import build_dbbd, rhb_partition, trim_separator
 from repro.graphs import nested_dissection_partition
-from repro.solver import bicgstab, PDSLin, PDSLinConfig
-from tests.conftest import grid_laplacian, random_spd
+from repro.solver import PDSLin, PDSLinConfig, bicgstab
 
 
 class TestBiCGSTAB:

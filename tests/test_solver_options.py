@@ -3,11 +3,11 @@ supernode amalgamation, and the spectral NGD bisector."""
 
 import numpy as np
 import pytest
-
-from repro.graphs import nested_dissection_partition
-from repro.core import build_dbbd
-from repro.solver import PDSLin, PDSLinConfig
 from tests.conftest import grid_laplacian
+
+from repro.core import build_dbbd
+from repro.graphs import nested_dissection_partition
+from repro.solver import PDSLin, PDSLinConfig
 
 
 class TestSubdomainOrdering:

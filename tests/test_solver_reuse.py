@@ -4,9 +4,9 @@ multi-RHS solves."""
 import numpy as np
 import pytest
 import scipy.sparse as sp
+from tests.conftest import grid_laplacian
 
 from repro.solver import PDSLin, PDSLinConfig
-from tests.conftest import grid_laplacian
 
 
 @pytest.fixture

@@ -5,10 +5,17 @@ import pytest
 import scipy.sparse as sp
 
 from repro.sparse import (
-    pattern_of, pattern_equal, row_nnz, col_nnz,
-    nonzero_rows, nonzero_cols, boolean_product_pattern,
-    pattern_union, extract_submatrix, drop_explicit_zeros,
+    boolean_product_pattern,
+    col_nnz,
     density_of_rows,
+    drop_explicit_zeros,
+    extract_submatrix,
+    nonzero_cols,
+    nonzero_rows,
+    pattern_equal,
+    pattern_of,
+    pattern_union,
+    row_nnz,
 )
 
 

@@ -7,8 +7,10 @@ import pytest
 import scipy.sparse as sp
 
 from repro.sparse import (
-    filter_quasi_dense_rows, read_matrix_market, write_matrix_market,
+    filter_quasi_dense_rows,
     pattern_equal,
+    read_matrix_market,
+    write_matrix_market,
 )
 
 

@@ -1,14 +1,14 @@
 """Unit tests for structural factorization str(A) = str(M^T M)."""
 
 import numpy as np
-import pytest
 import scipy.sparse as sp
 
 from repro.sparse import (
-    edge_incidence_factor, clique_factor, verify_structural_factor,
+    clique_factor,
+    edge_incidence_factor,
     symmetrized,
+    verify_structural_factor,
 )
-from tests.conftest import grid_laplacian, random_unsymmetric
 
 
 class TestEdgeIncidenceFactor:

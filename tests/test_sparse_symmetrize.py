@@ -4,9 +4,7 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 
-from repro.sparse import (
-    symmetrized, is_structurally_symmetric, symmetry_info,
-)
+from repro.sparse import is_structurally_symmetric, symmetrized, symmetry_info
 
 
 class TestSymmetrized:

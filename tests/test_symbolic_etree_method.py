@@ -5,11 +5,11 @@ import numpy as np
 import pytest
 import scipy.sparse as sp
 import scipy.sparse.linalg as spla
+from tests.conftest import grid_laplacian
 
-from repro.lu import factorize, solution_pattern, factor_etree, reach
-from repro.ordering import elimination_tree, postorder, minimum_degree
+from repro.lu import factor_etree, factorize, reach, solution_pattern
+from repro.ordering import elimination_tree, minimum_degree, postorder
 from repro.sparse import symmetrized
-from tests.conftest import grid_laplacian, random_spd
 
 
 @pytest.fixture(scope="module")
@@ -27,7 +27,6 @@ class TestFactorEtree:
         """For a symmetric-pattern factor, the first-below-diagonal
         parents are the classical elimination tree."""
         f = factored
-        LLt = (f.L @ f.L.T).tocsr()  # symmetric pattern containing L's
         par_factor = factor_etree(f.L)
         # the factor etree must be consistent: parent[j] > j or -1
         n = f.n

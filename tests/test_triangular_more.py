@@ -3,13 +3,17 @@
 import numpy as np
 import pytest
 import scipy.sparse as sp
+from tests.conftest import grid_laplacian
 
 from repro.lu import (
-    factorize, solution_pattern, SupernodalLower,
-    blocked_triangular_solve, partition_columns, padded_zeros,
+    SupernodalLower,
+    blocked_triangular_solve,
+    factorize,
+    padded_zeros,
+    partition_columns,
+    solution_pattern,
 )
 from repro.utils import OpCounter
-from tests.conftest import grid_laplacian
 
 
 @pytest.fixture(scope="module")

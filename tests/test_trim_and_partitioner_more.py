@@ -4,14 +4,15 @@ definitions; and DBBD round-trips through permutation."""
 
 import numpy as np
 import pytest
-import scipy.sparse as sp
+from tests.conftest import grid_laplacian
 
 from repro.core import build_dbbd, rhb_partition, trim_separator
 from repro.core.dbbd import SEPARATOR
 from repro.hypergraph import (
-    Hypergraph, partition_hypergraph, cutsize, net_connectivities,
+    Hypergraph,
+    net_connectivities,
+    partition_hypergraph,
 )
-from tests.conftest import grid_laplacian
 
 
 class TestTrimWithRHBMetrics:

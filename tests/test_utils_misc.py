@@ -6,9 +6,15 @@ import numpy as np
 import pytest
 
 from repro.utils import (
-    Timer, StageTimer, format_seconds,
-    OpCounter, gemm_flops, trsv_flops, lu_flops_from_counts,
-    rng_from, spawn,
+    OpCounter,
+    StageTimer,
+    Timer,
+    format_seconds,
+    gemm_flops,
+    lu_flops_from_counts,
+    rng_from,
+    spawn,
+    trsv_flops,
 )
 
 

@@ -5,10 +5,17 @@ import pytest
 import scipy.sparse as sp
 
 from repro.utils import (
-    require, positive_int, nonneg_int, fraction,
-    as_int_array, as_float_array,
-    check_square, check_csr, check_csc,
-    check_partition_vector, check_permutation,
+    as_float_array,
+    as_int_array,
+    check_csc,
+    check_csr,
+    check_partition_vector,
+    check_permutation,
+    check_square,
+    fraction,
+    nonneg_int,
+    positive_int,
+    require,
 )
 
 

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""CI perf gate: diff a fresh metrics.json against a committed baseline.
+
+Usage::
+
+    PYTHONPATH=src python -m repro.obs.smoke --metrics /tmp/metrics.json
+    PYTHONPATH=src python tools/perf_gate.py /tmp/metrics.json \
+        benchmarks/baselines/smoke.json
+
+Exits 0 when every stage's wall time and op counters are within
+tolerance of the baseline, nonzero otherwise. Wall times gate at
+``--time-tol`` (default 1.5 = 50% slack, stages under ``--min-time``
+seconds skipped as noise); deterministic counters gate at the tighter
+``--ops-tol``. Re-record the baseline with ``tools/record_baseline.py``
+after an intentional perf change.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # allow running as a plain script: put src/ on the path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.export import load_metrics
+from repro.obs.gate import (
+    DEFAULT_MIN_TIME_S,
+    DEFAULT_OPS_TOL,
+    DEFAULT_TIME_TOL,
+    compare_metrics,
+)
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("current", help="fresh metrics.json to check")
+    ap.add_argument("baseline", help="committed baseline metrics.json")
+    ap.add_argument("--time-tol", type=float, default=DEFAULT_TIME_TOL,
+                    help="allowed wall-time ratio current/baseline "
+                         "(default %(default)s)")
+    ap.add_argument("--ops-tol", type=float, default=DEFAULT_OPS_TOL,
+                    help="allowed counter ratio current/baseline "
+                         "(default %(default)s)")
+    ap.add_argument("--min-time", type=float, default=DEFAULT_MIN_TIME_S,
+                    help="baseline stages shorter than this many seconds "
+                         "are not gated on wall time (default %(default)s)")
+    args = ap.parse_args(argv)
+    try:
+        current = load_metrics(args.current)
+        baseline = load_metrics(args.baseline)
+    except (OSError, ValueError) as exc:
+        print(f"perf_gate: cannot read metrics: {exc}", file=sys.stderr)
+        return 2
+    report = compare_metrics(current, baseline,
+                             time_tol=args.time_tol, ops_tol=args.ops_tol,
+                             min_time_s=args.min_time)
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

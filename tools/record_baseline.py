@@ -1,0 +1,86 @@
+#!/usr/bin/env python
+"""Record the perf-smoke baseline for the CI perf gate.
+
+Runs the :mod:`repro.obs.smoke` scenario N times, takes the per-stage
+*median* wall time (single-shot timings are noisy; counters are
+deterministic and must agree across runs), and writes the result as
+``benchmarks/baselines/smoke.json``. Commit the output; the CI
+perf-smoke job diffs every fresh run against it via
+``tools/perf_gate.py``.
+
+Usage::
+
+    PYTHONPATH=src python tools/record_baseline.py --runs 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from pathlib import Path
+
+if __package__ in (None, ""):
+    # allow running as a plain script: put src/ on the path
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.smoke import run_smoke
+
+DEFAULT_OUT = Path(__file__).resolve().parent.parent / \
+    "benchmarks" / "baselines" / "smoke.json"
+
+
+def record(runs: int, *, scale: str, k: int, seed: int) -> dict:
+    """Median-of-N smoke metrics (see module docstring)."""
+    if runs <= 0:
+        raise ValueError("runs must be positive")
+    samples = [run_smoke(scale=scale, k=k, seed=seed).metrics
+               for _ in range(runs)]
+    base = samples[0]
+    for other in samples[1:]:
+        if other["totals"]["counters"] != base["totals"]["counters"]:
+            raise RuntimeError(
+                "op counters differ across identical runs; the smoke "
+                "scenario is not deterministic — refusing to record")
+    out = {k_: v for k_, v in base.items() if k_ != "stages"}
+    out["stages"] = {}
+    for name, st in base["stages"].items():
+        walls = [s["stages"][name]["wall_s"] for s in samples]
+        out["stages"][name] = {
+            "wall_s": round(statistics.median(walls), 9),
+            "calls": st["calls"],
+            "counters": st["counters"],
+        }
+    out["totals"] = {
+        "wall_s": round(statistics.median(
+            s["totals"]["wall_s"] for s in samples), 9),
+        "counters": base["totals"]["counters"],
+    }
+    out["meta"] = dict(base.get("meta", {}), baseline_runs=runs)
+    return out
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--runs", type=int, default=5,
+                    help="number of smoke runs to take the median over")
+    ap.add_argument("--scale", default="tiny")
+    ap.add_argument("--k", type=int, default=4)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--out", default=str(DEFAULT_OUT))
+    args = ap.parse_args(argv)
+    baseline = record(args.runs, scale=args.scale, k=args.k, seed=args.seed)
+    out = Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with open(out, "w") as f:
+        json.dump(baseline, f, indent=2, sort_keys=True)
+        f.write("\n")
+    total = baseline["totals"]["wall_s"]
+    print(f"recorded {out} (median of {args.runs} runs, "
+          f"total {total:.3f}s, {len(baseline['stages'])} stages)")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
