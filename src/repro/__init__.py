@@ -10,12 +10,14 @@ Public surface (see README for the architecture overview):
 - :mod:`repro.lu` / :mod:`repro.ordering` — sparse direct-method substrate;
 - :mod:`repro.matrices` — synthetic Table-I matrix suite;
 - :mod:`repro.parallel` — simulated distributed machine;
+- :mod:`repro.resilience` — fault injection and breakdown recovery;
 - :mod:`repro.experiments` — per-table/figure harnesses.
 """
 
 from repro.core import DBBDPartition, RHBResult, build_dbbd, rhb_partition
 from repro.graphs import nested_dissection_partition
 from repro.matrices import generate, suite_names
+from repro.resilience import FaultPlan, FaultSpec, RecoveryReport, RetryPolicy
 from repro.solver import PDSLin, PDSLinConfig, PDSLinResult
 
 __version__ = "1.0.0"
@@ -23,6 +25,7 @@ __version__ = "1.0.0"
 __all__ = [
     "rhb_partition", "build_dbbd", "DBBDPartition", "RHBResult",
     "PDSLin", "PDSLinConfig", "PDSLinResult",
+    "FaultPlan", "FaultSpec", "RecoveryReport", "RetryPolicy",
     "nested_dissection_partition",
     "generate", "suite_names",
     "__version__",

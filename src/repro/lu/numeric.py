@@ -23,7 +23,14 @@ import scipy.sparse as sp
 import scipy.sparse.linalg as spla
 
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.utils import OpCounter, check_csc, check_csr, check_permutation
+from repro.resilience.errors import SingularSubdomainError
+from repro.utils import (
+    OpCounter,
+    check_csc,
+    check_csr,
+    check_finite,
+    check_permutation,
+)
 
 __all__ = ["LUFactors", "GilbertPeierlsLU", "factorize", "lu_flop_count"]
 
@@ -99,9 +106,17 @@ class GilbertPeierlsLU:
     2. numeric: sparse lower solve along the reach;
     3. pivot: largest candidate within ``pivot_threshold`` of the max,
        preferring the diagonal.
+
+    A singular pivot raises :class:`SingularSubdomainError` (with the
+    failing column, best pivot magnitude and ``subdomain`` context) —
+    unless ``static_pivoting`` is on, in which case tiny or missing
+    pivots are replaced by ``sqrt(eps) * max|A|`` (the SuperLU_DIST
+    static-pivoting strategy: trade exactness for a usable, slightly
+    perturbed factorization) and counted in ``self.perturbations``.
     """
 
     def __init__(self, A: sp.spmatrix, *, pivot_threshold: float = 1.0,
+                 static_pivoting: bool = False, subdomain: int | None = None,
                  ops: OpCounter | None = None):
         A = check_csc(A).astype(np.float64)
         if A.shape[0] != A.shape[1]:
@@ -109,6 +124,10 @@ class GilbertPeierlsLU:
         if not (0.0 <= pivot_threshold <= 1.0):
             raise ValueError("pivot_threshold must be in [0, 1]")
         n = A.shape[0]
+        a_max = float(np.abs(A.data).max()) if A.nnz else 1.0
+        # static pivot replacement magnitude (SuperLU_DIST uses the same)
+        perturb = np.sqrt(np.finfo(np.float64).eps) * max(a_max, 1e-300)
+        self.perturbations = 0
         row_map = np.full(n, -1, dtype=np.int64)   # original row -> position
         perm_r = np.empty(n, dtype=np.int64)       # position -> original row
         # L columns: (original row ids, values); U columns: (positions, values)
@@ -178,11 +197,24 @@ class GilbertPeierlsLU:
                     c_rows.append(r)
                     c_vals.append(v)
             if not c_rows:
-                raise RuntimeError(f"structurally singular at column {j}")
+                if not static_pivoting:
+                    raise SingularSubdomainError(
+                        f"structurally singular at column {j}: no "
+                        f"unfactored rows in the column pattern",
+                        column=j, pivot=0.0, subdomain=subdomain)
+                # conjure a pivot row: the diagonal row if still free,
+                # else the lowest-numbered free row
+                prow = j if row_map[j] < 0 \
+                    else int(np.flatnonzero(row_map < 0)[0])
+                c_rows = [prow]
+                c_vals = [0.0]
             cv = np.abs(np.asarray(c_vals))
             absmax = float(cv.max())
-            if absmax == 0.0:
-                raise RuntimeError(f"numerically singular at column {j}")
+            if absmax == 0.0 and not static_pivoting:
+                raise SingularSubdomainError(
+                    f"numerically singular at column {j}: all candidate "
+                    f"pivots are zero", column=j, pivot=0.0,
+                    subdomain=subdomain)
             pivot_idx = -1
             for t, r in enumerate(c_rows):
                 if r == j and cv[t] >= pivot_threshold * absmax:
@@ -191,6 +223,9 @@ class GilbertPeierlsLU:
             if pivot_idx < 0:
                 pivot_idx = int(np.argmax(cv))
             prow, pval = c_rows[pivot_idx], c_vals[pivot_idx]
+            if static_pivoting and abs(pval) < perturb:
+                pval = perturb if pval >= 0.0 else -perturb
+                self.perturbations += 1
             perm_r[j] = prow
             row_map[prow] = j
             u_pos.append(j)
@@ -252,7 +287,9 @@ def factorize(A: sp.spmatrix, *, col_perm: np.ndarray | None = None,
     to the *pre-permuted* matrix; callers track ``col_perm`` themselves.
 
     ``tracer`` records one ``factorize`` span with ``lu_fill_nnz`` and
-    ``lu_flops`` counters.
+    ``lu_flops`` counters. Matrices containing NaN/Inf are rejected with
+    a ``ValueError`` up front rather than propagating silently through
+    the factors.
     """
     with tracer.span("factorize", engine=engine):
         f = _factorize(A, col_perm=col_perm,
@@ -267,6 +304,7 @@ def _factorize(A: sp.spmatrix, *, col_perm: np.ndarray | None,
                diag_pivot_thresh: float, engine: str,
                keep_handle: bool) -> LUFactors:
     A = check_csc(A).astype(np.float64)
+    check_finite(A, "A")
     n = A.shape[0]
     if col_perm is not None:
         col_perm = check_permutation(col_perm, n, "col_perm")

@@ -6,7 +6,7 @@ from repro.parallel.costmodel import (
     StageScaling,
     TwoLevelModel,
 )
-from repro.parallel.machine import ProcessLedger, SimulatedMachine
+from repro.parallel.machine import RECOVER_STAGE, ProcessLedger, SimulatedMachine
 from repro.parallel.trace import (
     STAGE_ORDER,
     export_chrome_trace,
@@ -14,7 +14,7 @@ from repro.parallel.trace import (
 )
 
 __all__ = [
-    "ProcessLedger", "SimulatedMachine",
+    "ProcessLedger", "SimulatedMachine", "RECOVER_STAGE",
     "StageScaling", "TwoLevelModel", "DEFAULT_STAGE_SCALING",
     "export_chrome_trace", "machine_events", "STAGE_ORDER",
 ]

@@ -14,13 +14,20 @@ from __future__ import annotations
 
 from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional
 
 import numpy as np
 
 from repro.utils import OpCounter, StageTimer, positive_int
 
-__all__ = ["ProcessLedger", "SimulatedMachine"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.resilience.faults import FaultPlan
+
+__all__ = ["ProcessLedger", "SimulatedMachine", "RECOVER_STAGE"]
+
+#: Stage name all recovery work (retries, failover re-execution,
+#: deterministic recovery charges) is accounted under.
+RECOVER_STAGE = "Recover"
 
 
 @dataclass
@@ -36,12 +43,20 @@ class SimulatedMachine:
 
     Per-stage parallel time = max over processes that participated;
     serial (root) stages add directly.
+
+    An optional :class:`repro.resilience.FaultPlan` arms fault
+    injection: entering a stage the plan targets raises an
+    :class:`~repro.resilience.InjectedFault` (charged the entry's wall
+    time), and straggler specs inflate the stage's simulated cost on
+    successful exit. Recovery actions charge simulated time to the
+    :data:`RECOVER_STAGE` stage via :meth:`charge_recovery`.
     """
 
-    def __init__(self, k: int):
+    def __init__(self, k: int, *, fault_plan: Optional["FaultPlan"] = None):
         self.k = positive_int(k, "k")
         self.processes: List[ProcessLedger] = [ProcessLedger() for _ in range(self.k)]
         self.root = ProcessLedger()
+        self.fault_plan = fault_plan
 
     @contextmanager
     def on_process(self, ell: int, stage: str) -> Iterator[ProcessLedger]:
@@ -50,12 +65,33 @@ class SimulatedMachine:
             raise IndexError(f"process {ell} out of range [0, {self.k})")
         ledger = self.processes[ell]
         with ledger.timer.stage(stage):
+            if self.fault_plan is not None:
+                self.fault_plan.before(stage, ell)
             yield ledger
+        if self.fault_plan is not None:
+            delay = self.fault_plan.after(stage, ell)
+            if delay > 0.0:
+                ledger.timer.add(stage, delay)
 
     @contextmanager
     def on_root(self, stage: str) -> Iterator[ProcessLedger]:
         with self.root.timer.stage(stage):
+            if self.fault_plan is not None:
+                self.fault_plan.before(stage, None)
             yield self.root
+        if self.fault_plan is not None:
+            delay = self.fault_plan.after(stage, None)
+            if delay > 0.0:
+                self.root.timer.add(stage, delay)
+
+    def charge_recovery(self, ell: int | None = None, *,
+                        seconds: float, flops: int = 0) -> None:
+        """Charge deterministic recovery cost to process ``ell`` (or the
+        root when ``None``) under the :data:`RECOVER_STAGE` stage."""
+        ledger = self.root if ell is None else self.processes[ell]
+        ledger.timer.add(RECOVER_STAGE, seconds)
+        if flops:
+            ledger.ops.add(RECOVER_STAGE, flops)
 
     # -- queries ---------------------------------------------------------
 

@@ -1,0 +1,44 @@
+"""Resilience subsystem: fault injection, breakdown recovery, degraded-
+mode reporting.
+
+PDSLin's value proposition is surviving hard problems at scale, so the
+pipeline must *recover* rather than abort:
+
+- :mod:`repro.resilience.errors` — the structured error hierarchy
+  (:class:`SolverError` and friends) carrying stage/subdomain context;
+- :mod:`repro.resilience.faults` — seeded, deterministic fault
+  injection for the simulated machine (:class:`FaultPlan`);
+- :mod:`repro.resilience.retry` — the generic :class:`RetryPolicy`;
+- :mod:`repro.resilience.report` — :class:`RecoveryReport`, the
+  degraded-mode accounting attached to every solve result;
+- :mod:`repro.resilience.recovery` — numerical ladders
+  (:func:`factorize_resilient`: threshold -> full -> static pivoting);
+- :mod:`repro.resilience.chaos` — the seeded chaos-smoke scenario run
+  by CI (imported explicitly; it pulls in the solver stack).
+"""
+
+from repro.resilience.errors import (
+    InjectedFault,
+    KrylovBreakdownError,
+    SchurFactorizationError,
+    SingularSubdomainError,
+    SolverError,
+)
+from repro.resilience.faults import FaultPlan, FaultSpec, FiredFault
+from repro.resilience.recovery import factorize_resilient
+from repro.resilience.report import (
+    DEGRADING_ACTIONS,
+    RecoveryEvent,
+    RecoveryReport,
+    emit_recovery,
+)
+from repro.resilience.retry import RetryPolicy, run_with_retry
+
+__all__ = [
+    "SolverError", "SingularSubdomainError", "SchurFactorizationError",
+    "KrylovBreakdownError", "InjectedFault",
+    "FaultSpec", "FaultPlan", "FiredFault",
+    "RetryPolicy", "run_with_retry",
+    "RecoveryEvent", "RecoveryReport", "DEGRADING_ACTIONS", "emit_recovery",
+    "factorize_resilient",
+]

@@ -1,0 +1,134 @@
+"""The chaos-smoke scenario: the smoke solve under a seeded FaultPlan.
+
+This is the resilience counterpart of :mod:`repro.obs.smoke` and what
+the CI ``chaos-smoke`` job runs: the tiny Table-I matrix through the
+full PDSLin pipeline while a standard fault plan injects one
+*permanent* subdomain-LU fault (forcing failover to root) and one
+*transient* Schur-factorization fault (forcing a retry). The run must
+still converge, report a non-empty :class:`RecoveryReport`, show a
+``Recover`` stage in the machine breakdown, and the tracer's recovery
+counters must match the report — otherwise the process exits non-zero.
+
+Run directly::
+
+    PYTHONPATH=src python -m repro.resilience.chaos --seed 0 --k 4
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.obs.tracer import Tracer
+from repro.resilience.faults import FaultPlan, FaultSpec
+from repro.resilience.report import RecoveryReport
+
+__all__ = ["ChaosRun", "standard_fault_plan", "run_chaos_smoke"]
+
+
+def standard_fault_plan(*, k: int = 4, seed: int = 0,
+                        process: int | None = None) -> FaultPlan:
+    """The canonical CI fault plan: one permanent ``LU(D)`` fault on one
+    subdomain process plus one transient ``LU(S)`` fault on root.
+
+    The victim process is drawn deterministically from ``seed`` (or
+    forced with ``process``), so the same seed always injures the same
+    subdomain.
+    """
+    if process is None:
+        process = int(np.random.default_rng(seed).integers(0, k))
+    return FaultPlan([
+        FaultSpec(stage="LU(D)", process=process, kind="permanent"),
+        FaultSpec(stage="LU(S)", process=None, kind="transient"),
+    ], seed=seed)
+
+
+@dataclass
+class ChaosRun:
+    """A completed chaos solve with everything the checks need."""
+
+    tracer: Tracer
+    recovery: RecoveryReport
+    breakdown: dict
+    converged: bool
+    degraded: bool
+    residual_norm: float
+    checks: dict[str, bool]
+
+    @property
+    def ok(self) -> bool:
+        """True when the solve converged *and* every check passed."""
+        return bool(self.converged and all(self.checks.values()))
+
+
+def run_chaos_smoke(*, k: int = 4, seed: int = 0,
+                    plan: FaultPlan | None = None) -> ChaosRun:
+    """Run the smoke problem under the standard fault plan and verify
+    the acceptance conditions.
+
+    Checks recorded in ``ChaosRun.checks``:
+
+    - ``converged`` — the injected faults did not break the solve;
+    - ``recovered`` — the recovery report is non-empty;
+    - ``recover_stage`` — recovery time shows up as a ``Recover`` stage
+      in the simulated-machine breakdown;
+    - ``counters_match`` — the tracer's ``recovery_events`` counter
+      equals the number of reported events;
+    - ``degraded_flagged`` — the permanent fault flipped the degraded
+      flag instead of the result claiming full health.
+    """
+    # imported here so `repro.resilience` stays importable without the
+    # solver stack (repro.lu imports our error types at module level)
+    from repro.matrices import generate
+    from repro.obs.smoke import SMOKE_MATRIX, SMOKE_SCALE
+    from repro.solver import PDSLin, PDSLinConfig
+
+    if plan is None:
+        plan = standard_fault_plan(k=k, seed=seed)
+    gm = generate(SMOKE_MATRIX, SMOKE_SCALE)
+    A = gm.A.tocsr()
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(A.shape[0])
+    tracer = Tracer()
+    cfg = PDSLinConfig(k=k, seed=seed, rhs_ordering="hypergraph",
+                       block_size=32)
+    solver = PDSLin(A, cfg, tracer=tracer, fault_plan=plan)
+    result = solver.solve(b)
+    bd = result.breakdown()
+    rep = result.recovery
+    checks = {
+        "converged": bool(result.converged),
+        "recovered": bool(rep.events),
+        "recover_stage": bool(bd.get("Recover", 0.0) > 0.0),
+        "counters_match": int(tracer.counters.get("recovery_events", 0))
+                          == len(rep.events),
+        "degraded_flagged": bool(result.degraded),
+    }
+    return ChaosRun(tracer=tracer, recovery=rep, breakdown=bd,
+                    converged=bool(result.converged),
+                    degraded=bool(result.degraded),
+                    residual_norm=float(result.residual_norm),
+                    checks=checks)
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run the chaos smoke and exit non-zero on any failed check."""
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--k", type=int, default=4)
+    args = ap.parse_args(argv)
+    run = run_chaos_smoke(k=args.k, seed=args.seed)
+    print(run.recovery.summary())
+    for stage, t in sorted(run.breakdown.items()):
+        print(f"  {stage:<12} {t * 1e3:8.2f} ms")
+    for name, passed in run.checks.items():
+        print(f"check {name:<16} {'PASS' if passed else 'FAIL'}")
+    print(f"converged={run.converged} degraded={run.degraded} "
+          f"residual={run.residual_norm:.2e}")
+    return 0 if run.ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

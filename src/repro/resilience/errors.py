@@ -1,0 +1,121 @@
+"""Structured error hierarchy for the PDSLin pipeline.
+
+Every failure mode the recovery ladder knows how to handle is a
+:class:`SolverError` subclass carrying pipeline context (stage name,
+subdomain index) so that recovery code — and the user, when recovery is
+exhausted — sees *where* the pipeline broke, not just a bare message.
+
+``SolverError`` subclasses :class:`RuntimeError` so that pre-existing
+callers catching ``RuntimeError`` around factorizations keep working.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "SolverError",
+    "SingularSubdomainError",
+    "SchurFactorizationError",
+    "KrylovBreakdownError",
+    "InjectedFault",
+]
+
+
+class SolverError(RuntimeError):
+    """Base class for structured solver failures.
+
+    Carries the pipeline ``stage`` (``"LU(D)"``, ``"Comp(S)"``,
+    ``"LU(S)"``, ``"Solve"``, ...) and, for per-subdomain work, the
+    ``subdomain`` index the failure occurred on.
+    """
+
+    def __init__(self, message: str, *, stage: str | None = None,
+                 subdomain: int | None = None):
+        super().__init__(message)
+        self.stage = stage
+        self.subdomain = subdomain
+
+    def context(self) -> str:
+        """Human-readable ``stage=... subdomain=...`` fragment."""
+        parts = []
+        if self.stage is not None:
+            parts.append(f"stage={self.stage}")
+        if self.subdomain is not None:
+            parts.append(f"subdomain={self.subdomain}")
+        return " ".join(parts)
+
+    def __str__(self) -> str:
+        base = super().__str__()
+        ctx = self.context()
+        return f"{base} [{ctx}]" if ctx else base
+
+
+class SingularSubdomainError(SolverError):
+    """A subdomain (or Schur) LU hit a structurally or numerically
+    singular pivot.
+
+    ``column`` is the factorization column that failed and ``pivot``
+    the magnitude of the best available pivot there (0.0 when the
+    column had no candidate rows at all).
+    """
+
+    def __init__(self, message: str, *, column: int | None = None,
+                 pivot: float | None = None, stage: str = "LU(D)",
+                 subdomain: int | None = None):
+        super().__init__(message, stage=stage, subdomain=subdomain)
+        self.column = column
+        self.pivot = pivot
+
+
+class SchurFactorizationError(SolverError):
+    """Factorization of the approximate Schur complement broke down.
+
+    ``method`` records which factorization was attempted
+    (``"lu"`` or ``"ilu"``).
+    """
+
+    def __init__(self, message: str, *, method: str = "lu",
+                 stage: str = "LU(S)"):
+        super().__init__(message, stage=stage)
+        self.method = method
+
+
+class KrylovBreakdownError(SolverError):
+    """A Krylov method broke down or failed to converge on the Schur
+    system.
+
+    ``method`` is ``"gmres"`` or ``"bicgstab"``; ``iterations`` how far
+    it got. Used both as a raised error and as the recorded cause of a
+    krylov-fallback recovery event.
+    """
+
+    def __init__(self, message: str, *, method: str = "gmres",
+                 iterations: int = 0, stage: str = "Solve"):
+        super().__init__(message, stage=stage)
+        self.method = method
+        self.iterations = iterations
+
+
+class InjectedFault(SolverError):
+    """A fault raised on purpose by a :class:`repro.resilience.FaultPlan`.
+
+    ``kind`` is ``"transient"`` (goes away on retry) or ``"permanent"``
+    (every attempt on the same stage/process fails — the work must move
+    elsewhere). ``recovery_cost_s`` is the simulated time a recovery
+    action for this fault charges to the machine's ``Recover`` stage.
+    """
+
+    def __init__(self, message: str, *, kind: str = "transient",
+                 stage: str | None = None, subdomain: int | None = None,
+                 recovery_cost_s: float = 1e-3):
+        super().__init__(message, stage=stage, subdomain=subdomain)
+        if kind not in ("transient", "permanent"):
+            raise ValueError(f"kind must be 'transient' or 'permanent', "
+                             f"got {kind!r}")
+        self.kind = kind
+        self.recovery_cost_s = float(recovery_cost_s)
+
+    @property
+    def permanent(self) -> bool:
+        """True when retrying the same stage on the same process is
+        guaranteed to fail again."""
+        return self.kind == "permanent"

@@ -1,0 +1,169 @@
+"""Seeded fault injection for the simulated machine.
+
+A :class:`FaultPlan` is a deterministic schedule of faults keyed on
+``(stage, process)``: when the :class:`repro.parallel.SimulatedMachine`
+enters a matching stage, the plan raises an
+:class:`~repro.resilience.errors.InjectedFault` (transient faults fire
+a fixed number of times and then clear; permanent faults fire on every
+attempt) or, for stragglers, inflates the stage's simulated cost by a
+fixed delay. Given the same specs and seed, execution order — and
+therefore every fired fault — is identical run to run, which is what
+makes chaos tests reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.resilience.errors import InjectedFault
+
+__all__ = ["FaultSpec", "FiredFault", "FaultPlan"]
+
+FAULT_KINDS = ("transient", "permanent", "straggler")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``stage`` names the machine stage it arms on (``"LU(D)"``,
+    ``"LU(S)"``, ...); ``process`` the simulated process index, or
+    ``None`` for the root process. ``kind``:
+
+    - ``"transient"`` — raises on the first ``trips`` entries of the
+      stage, then clears (a retry succeeds);
+    - ``"permanent"`` — raises on *every* entry (the work must fail
+      over to another process);
+    - ``"straggler"`` — never raises, but adds ``delay_s`` of simulated
+      time to the stage on every entry.
+
+    ``recovery_cost_s`` is carried on the raised fault: the simulated
+    cost a recovery action charges to the ``Recover`` stage.
+    """
+
+    stage: str
+    process: int | None = None
+    kind: str = "transient"
+    trips: int = 1
+    delay_s: float = 0.05
+    recovery_cost_s: float = 1e-3
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"kind must be one of {FAULT_KINDS}, "
+                             f"got {self.kind!r}")
+        if self.trips < 1:
+            raise ValueError("trips must be >= 1")
+        if self.delay_s < 0 or self.recovery_cost_s < 0:
+            raise ValueError("delay_s and recovery_cost_s must be >= 0")
+
+    def target(self) -> str:
+        """``"root"`` or ``"process <i>"`` — for fault messages."""
+        return "root" if self.process is None else f"process {self.process}"
+
+
+@dataclass(frozen=True)
+class FiredFault:
+    """One fault occurrence, recorded on the plan in firing order."""
+
+    stage: str
+    process: int | None
+    kind: str
+    attempt: int
+
+
+class FaultPlan:
+    """A deterministic schedule of :class:`FaultSpec` entries.
+
+    The plan keeps per-spec attempt counters and a ``fired`` log, so the
+    same plan driven through the same (serial, deterministic) execution
+    produces the same fault sequence. Plans are stateful: call
+    :meth:`reset` before reusing one for a second run.
+    """
+
+    def __init__(self, specs: Iterable[FaultSpec] = (), *, seed: int = 0):
+        self.specs: Tuple[FaultSpec, ...] = tuple(specs)
+        self.seed = int(seed)
+        self._by_key: Dict[Tuple[str, int | None], List[int]] = {}
+        for i, spec in enumerate(self.specs):
+            self._by_key.setdefault((spec.stage, spec.process), []).append(i)
+        self._attempts: Dict[int, int] = {}
+        self.fired: List[FiredFault] = []
+
+    @classmethod
+    def random(cls, *, seed: int, k: int,
+               stages: Sequence[str] = ("LU(D)", "Comp(S)"),
+               rate: float = 0.25, kind: str = "transient",
+               delay_s: float = 0.05,
+               recovery_cost_s: float = 1e-3) -> "FaultPlan":
+        """Draw a plan deterministically from ``seed``: each
+        ``(stage, process)`` pair in ``stages`` x ``range(k)`` is armed
+        with probability ``rate``."""
+        if not (0.0 <= rate <= 1.0):
+            raise ValueError("rate must be in [0, 1]")
+        rng = np.random.default_rng(seed)
+        specs = [FaultSpec(stage, process=ell, kind=kind, delay_s=delay_s,
+                           recovery_cost_s=recovery_cost_s)
+                 for stage in stages for ell in range(k)
+                 if rng.random() < rate]
+        return cls(specs, seed=seed)
+
+    def reset(self) -> None:
+        """Clear attempt counters and the fired log (reuse for a new run)."""
+        self._attempts.clear()
+        self.fired.clear()
+
+    def _specs_for(self, stage: str, process: int | None) -> List[int]:
+        return self._by_key.get((stage, process), [])
+
+    def before(self, stage: str, process: int | None = None) -> None:
+        """Called by the machine on stage entry; raises the first armed
+        :class:`InjectedFault` for this ``(stage, process)``."""
+        for i in self._specs_for(stage, process):
+            spec = self.specs[i]
+            if spec.kind == "straggler":
+                continue
+            attempt = self._attempts.get(i, 0) + 1
+            self._attempts[i] = attempt
+            if spec.kind == "permanent" or attempt <= spec.trips:
+                self.fired.append(FiredFault(stage=stage, process=process,
+                                             kind=spec.kind, attempt=attempt))
+                raise InjectedFault(
+                    f"injected {spec.kind} fault in {stage} on "
+                    f"{spec.target()} (attempt {attempt})",
+                    kind="permanent" if spec.kind == "permanent"
+                    else "transient",
+                    stage=stage, subdomain=spec.process,
+                    recovery_cost_s=spec.recovery_cost_s)
+
+    def after(self, stage: str, process: int | None = None) -> float:
+        """Called by the machine on successful stage exit; returns the
+        straggler delay (simulated seconds) to add to the stage cost."""
+        delay = 0.0
+        for i in self._specs_for(stage, process):
+            spec = self.specs[i]
+            if spec.kind != "straggler":
+                continue
+            attempt = self._attempts.get(i, 0) + 1
+            self._attempts[i] = attempt
+            self.fired.append(FiredFault(stage=stage, process=process,
+                                         kind="straggler", attempt=attempt))
+            delay += spec.delay_s
+        return delay
+
+    def fired_summary(self) -> Dict[str, int]:
+        """Counts of fired faults per kind."""
+        out: Dict[str, int] = {}
+        for f in self.fired:
+            out[f.kind] = out.get(f.kind, 0) + 1
+        return out
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"FaultPlan({len(self.specs)} specs, seed={self.seed}, "
+                f"fired={len(self.fired)})")

@@ -1,0 +1,76 @@
+"""Numerical-breakdown recovery ladders.
+
+:func:`factorize_resilient` is the subdomain-LU ladder PDSLin climbs
+when a factorization breaks down (SuperLU-style):
+
+1. threshold pivoting at the caller's ``diag_pivot_thresh`` (the
+   structure-preserving default);
+2. full partial pivoting (``diag_pivot_thresh=1.0``) — trades the
+   e-tree-faithful structure for numerical robustness;
+3. static pivot perturbation: the reference Gilbert-Peierls kernel with
+   tiny pivots replaced by ``sqrt(eps)·max|A|`` (the SuperLU_DIST
+   static-pivoting trick), reporting how many pivots were perturbed.
+
+Each escalation records a :class:`~repro.resilience.report.RecoveryEvent`
+and emits ``recovery_*`` tracer counters.
+"""
+
+from __future__ import annotations
+
+from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.resilience.errors import SingularSubdomainError
+from repro.resilience.report import RecoveryReport, emit_recovery
+
+__all__ = ["factorize_resilient"]
+
+
+def factorize_resilient(A, *, diag_pivot_thresh: float = 0.0,
+                        stage: str = "LU(D)", subdomain: int | None = None,
+                        report: RecoveryReport | None = None,
+                        tracer: Tracer = NULL_TRACER):
+    """Factorize ``A``, escalating through the pivoting ladder on
+    breakdown.
+
+    Returns ``(factors, perturbations)`` where ``perturbations`` is the
+    number of statically perturbed pivots (0 unless the last rung ran).
+    Raises :class:`SingularSubdomainError` only if every rung fails.
+    """
+    # imported lazily: repro.lu itself imports repro.resilience.errors,
+    # so a module-level import here would be circular
+    from repro.lu.numeric import GilbertPeierlsLU, factorize
+
+    if report is None:
+        report = RecoveryReport()
+    try:
+        return factorize(A, diag_pivot_thresh=diag_pivot_thresh,
+                         keep_handle=True, tracer=tracer), 0
+    except (RuntimeError, ValueError) as first:
+        ladder_exc = first
+        if diag_pivot_thresh < 1.0:
+            emit_recovery(tracer, report, stage, "full-pivot", first,
+                          detail="escalating to full partial pivoting",
+                          subdomain=subdomain)
+            try:
+                with tracer.span("recover", stage=stage, action="full-pivot"):
+                    return factorize(A, diag_pivot_thresh=1.0,
+                                     keep_handle=True, tracer=tracer), 0
+            except (RuntimeError, ValueError) as second:
+                ladder_exc = second
+        emit_recovery(tracer, report, stage, "static-pivot", ladder_exc,
+                      detail="static pivot perturbation (sqrt(eps)*||A||)",
+                      subdomain=subdomain)
+        try:
+            with tracer.span("recover", stage=stage, action="static-pivot"):
+                lu = GilbertPeierlsLU(A, pivot_threshold=1.0,
+                                      static_pivoting=True,
+                                      subdomain=subdomain)
+        except SingularSubdomainError:
+            raise
+        except (RuntimeError, ValueError) as last:
+            raise SingularSubdomainError(
+                f"factorization failed at every rung of the pivoting "
+                f"ladder: {last}", stage=stage, subdomain=subdomain,
+            ) from last
+        report.perturbed_pivots += lu.perturbations
+        tracer.count("perturbed_pivots", lu.perturbations)
+        return lu.factors, lu.perturbations

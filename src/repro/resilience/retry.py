@@ -1,0 +1,63 @@
+"""Generic retry policy and helper.
+
+The recovery ladder in :class:`repro.solver.PDSLin` and the chaos tests
+share one notion of "how hard to try": a :class:`RetryPolicy` bounds the
+attempts per unit of work and names the escalation rungs taken when
+plain retries are exhausted (e.g. threshold pivoting -> full pivoting ->
+static pivot perturbation for a singular subdomain LU).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator, Tuple, TypeVar
+
+__all__ = ["RetryPolicy", "run_with_retry"]
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Bounds and escalation steps for one recovery ladder.
+
+    ``max_attempts`` counts the *total* tries of the primary action
+    (first attempt included); once exhausted, recovery escalates through
+    ``escalation`` (informational rung names, outermost first) or fails.
+    """
+
+    max_attempts: int = 3
+    escalation: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+
+    def attempts(self) -> Iterator[int]:
+        """Iterate attempt numbers ``1..max_attempts``."""
+        return iter(range(1, self.max_attempts + 1))
+
+
+def run_with_retry(fn: Callable[[int], T], *,
+                   policy: RetryPolicy | None = None,
+                   retry_on: tuple[type[BaseException], ...] = (RuntimeError,),
+                   on_retry: Callable[[int, BaseException], None] | None = None,
+                   ) -> Tuple[T, int]:
+    """Call ``fn(attempt)`` until it succeeds or attempts run out.
+
+    Returns ``(result, attempts_used)``. Exceptions not in ``retry_on``
+    propagate immediately; the last retryable exception propagates once
+    ``policy.max_attempts`` is exhausted. ``on_retry(attempt, exc)``
+    runs before each re-attempt (charge simulated recovery time, log an
+    event, ...).
+    """
+    policy = policy or RetryPolicy()
+    for attempt in policy.attempts():
+        try:
+            return fn(attempt), attempt
+        except retry_on as exc:
+            if attempt >= policy.max_attempts:
+                raise
+            if on_retry is not None:
+                on_retry(attempt, exc)
+    raise AssertionError("unreachable")  # pragma: no cover

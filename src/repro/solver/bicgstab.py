@@ -23,13 +23,19 @@ Operator = Callable[[np.ndarray], np.ndarray]
 
 @dataclass
 class BiCGSTABResult:
-    """Solution plus convergence history (one entry per half-step)."""
+    """Solution plus convergence history (one entry per half-step).
+
+    ``restarts`` counts rho-breakdown restarts of the recurrence (fresh
+    shadow residual); ``breakdown`` is set when the iteration had to
+    stop making progress entirely.
+    """
 
     x: np.ndarray
     converged: bool
     iterations: int
     residual_norms: list[float] = field(default_factory=list)
     breakdown: bool = False
+    restarts: int = 0
 
     @property
     def final_residual(self) -> float:
@@ -51,6 +57,8 @@ def bicgstab(matvec: Operator, b: np.ndarray, *,
                         tol=tol, maxiter=maxiter)
         tracer.count("bicgstab_iterations", res.iterations)
         tracer.count("bicgstab_converged", int(res.converged))
+        tracer.count("bicgstab_restarts", res.restarts)
+        tracer.count("bicgstab_breakdown", int(res.breakdown))
     return res
 
 
@@ -89,12 +97,14 @@ def _bicgstab(matvec: Operator, b: np.ndarray, *,
             # restart the recurrence with a fresh shadow vector
             if rnorm_now <= tol * bnorm:
                 return BiCGSTABResult(x=x, converged=True, iterations=it - 1,
-                                      residual_norms=history)
+                                      residual_norms=history,
+                                      restarts=restarts)
             restarts += 1
             if restarts > 5:
                 return BiCGSTABResult(x=x, converged=False,
                                       iterations=it - 1,
-                                      residual_norms=history, breakdown=True)
+                                      residual_norms=history, breakdown=True,
+                                      restarts=restarts)
             r_hat = r.copy()
             rho_old = alpha = omega = 1.0
             v[:] = 0.0
@@ -109,7 +119,8 @@ def _bicgstab(matvec: Operator, b: np.ndarray, *,
                                   * float(np.linalg.norm(r_hat)), eps):
             done = float(np.linalg.norm(r)) <= tol * bnorm
             return BiCGSTABResult(x=x, converged=done, iterations=it - 1,
-                                  residual_norms=history, breakdown=not done)
+                                  residual_norms=history, breakdown=not done,
+                                  restarts=restarts)
         alpha = rho / denom
         s = r - alpha * v
         x = x + alpha * np.asarray(phat, dtype=np.float64)
@@ -117,7 +128,7 @@ def _bicgstab(matvec: Operator, b: np.ndarray, *,
         history.append(snorm)
         if snorm <= tol * bnorm:
             return BiCGSTABResult(x=x, converged=True, iterations=it,
-                                  residual_norms=history)
+                                  residual_norms=history, restarts=restarts)
         shat = M(s)
         t = np.asarray(matvec(shat), dtype=np.float64)
         tt = float(t @ t)
@@ -126,7 +137,8 @@ def _bicgstab(matvec: Operator, b: np.ndarray, *,
             # make progress
             done = snorm <= tol * bnorm
             return BiCGSTABResult(x=x, converged=done, iterations=it,
-                                  residual_norms=history, breakdown=not done)
+                                  residual_norms=history, breakdown=not done,
+                                  restarts=restarts)
         omega = float(t @ s) / tt
         x = x + omega * np.asarray(shat, dtype=np.float64)
         r = s - omega * t
@@ -134,10 +146,11 @@ def _bicgstab(matvec: Operator, b: np.ndarray, *,
         history.append(rnorm)
         if rnorm <= tol * bnorm:
             return BiCGSTABResult(x=x, converged=True, iterations=it,
-                                  residual_norms=history)
+                                  residual_norms=history, restarts=restarts)
         if abs(omega) < eps:
             return BiCGSTABResult(x=x, converged=False, iterations=it,
-                                  residual_norms=history, breakdown=True)
+                                  residual_norms=history, breakdown=True,
+                                  restarts=restarts)
         rho_old = rho
     return BiCGSTABResult(x=x, converged=False, iterations=maxiter,
-                          residual_norms=history)
+                          residual_norms=history, restarts=restarts)

@@ -22,12 +22,19 @@ Operator = Callable[[np.ndarray], np.ndarray]
 
 @dataclass
 class GMRESResult:
-    """Solution plus convergence history."""
+    """Solution plus convergence history.
+
+    ``stagnated`` is set on non-convergence when the final restart
+    cycle reduced the residual by less than 10% — the signal the
+    recovery ladder uses to refresh the preconditioner rather than
+    simply run more iterations.
+    """
 
     x: np.ndarray
     converged: bool
     iterations: int
     residual_norms: list[float] = field(default_factory=list)
+    stagnated: bool = False
 
     @property
     def final_residual(self) -> float:
@@ -84,6 +91,7 @@ def _gmres(matvec: Operator, b: np.ndarray, *,
                            residual_norms=[0.0])
     history: list[float] = []
     total_iters = 0
+    last_cycle_reduction = 1.0
 
     while total_iters < maxiter:
         r = b - matvec(x)
@@ -144,8 +152,11 @@ def _gmres(matvec: Operator, b: np.ndarray, *,
             else:
                 x = x + M(V[:, :j_done] @ y)
         r = b - matvec(x)
-        if np.linalg.norm(r) <= tol * bnorm:
+        rnorm = float(np.linalg.norm(r))
+        if rnorm <= tol * bnorm:
             return GMRESResult(x=x, converged=True, iterations=total_iters,
-                               residual_norms=history + [float(np.linalg.norm(r))])
+                               residual_norms=history + [rnorm])
+        last_cycle_reduction = rnorm / beta if beta > 0 else 1.0
     return GMRESResult(x=x, converged=False, iterations=total_iters,
-                       residual_norms=history)
+                       residual_norms=history,
+                       stagnated=bool(last_cycle_reduction > 0.9))

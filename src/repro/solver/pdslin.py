@@ -21,8 +21,8 @@ yields the per-stage makespans and balance ratios the paper reports.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Callable, Optional
 
 import numpy as np
 import scipy.sparse as sp
@@ -42,14 +42,23 @@ from repro.lu import (
     PaddingStats,
     SupernodalLower,
     blocked_triangular_solve,
-    factorize,
     lu_flop_count,
     partition_columns,
     solution_pattern,
 )
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ordering import elimination_tree, minimum_degree, postorder
-from repro.parallel import SimulatedMachine
+from repro.parallel import RECOVER_STAGE, SimulatedMachine
+from repro.resilience import (
+    FaultPlan,
+    InjectedFault,
+    KrylovBreakdownError,
+    RecoveryReport,
+    RetryPolicy,
+    SchurFactorizationError,
+    emit_recovery,
+    factorize_resilient,
+)
 from repro.solver.gmres import GMRESResult, gmres
 from repro.solver.interfaces import SubdomainInterfaces, extract_interfaces
 from repro.solver.schur import (
@@ -57,7 +66,13 @@ from repro.solver.schur import (
     implicit_schur_matvec,
 )
 from repro.sparse import symmetrized
-from repro.utils import SeedLike, check_csr, check_square, positive_int
+from repro.utils import (
+    SeedLike,
+    check_csr,
+    check_finite,
+    check_square,
+    positive_int,
+)
 
 __all__ = ["PDSLinConfig", "SubdomainComputation", "PDSLinResult", "PDSLin"]
 
@@ -129,7 +144,14 @@ class SubdomainComputation:
 
 @dataclass
 class PDSLinResult:
-    """Solution plus the full accounting of the run."""
+    """Solution plus the full accounting of the run.
+
+    ``recovery`` carries the degraded-mode report: every retry,
+    escalation and fallback the solve needed. A solve that survived
+    only through degradation (perturbed pivots, a lost process, a
+    rebuilt preconditioner) has ``recovery.degraded`` — and therefore
+    ``result.degraded`` — set instead of silently claiming full health.
+    """
 
     x: np.ndarray
     converged: bool
@@ -138,6 +160,12 @@ class PDSLinResult:
     schur_size: int
     machine: SimulatedMachine
     gmres: GMRESResult
+    recovery: RecoveryReport = field(default_factory=RecoveryReport)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the solve succeeded only in degraded mode."""
+        return self.recovery.degraded
 
     def breakdown(self) -> dict[str, float]:
         return self.machine.breakdown()
@@ -156,17 +184,34 @@ class PDSLin:
     counters for every pipeline stage (partition, per-subdomain
     factorization, interface solves, Schur assembly/factorization,
     Krylov solve); without one, instrumentation is a no-op.
+
+    Resilience: an optional :class:`repro.resilience.FaultPlan` arms
+    seeded fault injection on the simulated machine, and the recovery
+    ladder — bounded by ``retry_policy`` — retries transient faults
+    (charging simulated time to the ``Recover`` stage), fails permanent
+    subdomain faults over to the root process, escalates singular
+    subdomain LU through full pivoting to static pivot perturbation,
+    falls back ILU->LU on Schur factorization breakdown, refreshes the
+    Schur preconditioner once on GMRES stagnation, and falls back
+    BiCGSTAB->GMRES on breakdown. Everything that happened is on
+    ``self.recovery`` (also attached to every result).
     """
 
     def __init__(self, A: sp.spmatrix, config: PDSLinConfig | None = None, *,
                  M: sp.spmatrix | None = None,
-                 tracer: Tracer | None = None):
+                 tracer: Tracer | None = None,
+                 fault_plan: FaultPlan | None = None,
+                 retry_policy: RetryPolicy | None = None):
         self.A = check_csr(A)
         check_square(self.A, "A")
+        check_finite(self.A, "A")
         self.config = config or PDSLinConfig()
         self.M = M  # optional structural factor for RHB
         self.tracer = tracer if tracer is not None else NULL_TRACER
-        self.machine = SimulatedMachine(self.config.k)
+        self.machine = SimulatedMachine(self.config.k, fault_plan=fault_plan)
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.recovery = RecoveryReport(
+            preconditioner_mode=self.config.schur_factorization)
         self.partition: DBBDPartition | None = None
         self.subdomains: list[SubdomainComputation] = []
         self.S_tilde: sp.csr_matrix | None = None
@@ -174,31 +219,96 @@ class PDSLin:
         self._schur_factors: LUFactors | None = None
         self._is_setup = False
 
+    # -- resilient execution ----------------------------------------------
+
+    def _record(self, stage: str, action: str, error: object, *,
+                detail: str = "", subdomain: int | None = None,
+                attempt: int = 1):
+        """Record one recovery event on the report + tracer counters."""
+        return emit_recovery(self.tracer, self.recovery, stage, action,
+                             error, detail=detail, subdomain=subdomain,
+                             attempt=attempt)
+
+    def _on_subdomain(self, ell: int, stage: str, body: Callable):
+        """Run ``body(ledger)`` on process ``ell``, with the injected-
+        fault ladder: transient faults retry in place (recovery time
+        charged to the ``Recover`` stage of that process); permanent
+        faults — or exhausted retries — fail the work over to the root
+        process, marking the solve degraded.
+
+        Only :class:`InjectedFault` is handled here (it is raised at
+        stage *entry*, so the body never ran); numerical errors from
+        inside the body have their own ladders and propagate.
+        """
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                with self.machine.on_process(ell, stage) as ledger:
+                    return body(ledger)
+            except InjectedFault as fault:
+                self.machine.charge_recovery(
+                    ell, seconds=fault.recovery_cost_s)
+                if not fault.permanent and \
+                        attempt < self.retry_policy.max_attempts:
+                    self._record(stage, "retry", fault, subdomain=ell,
+                                 attempt=attempt)
+                    continue
+                self._record(stage, "failover-root", fault, subdomain=ell,
+                             attempt=attempt,
+                             detail="re-executing the work on root")
+                with self.tracer.span("recover", stage=stage,
+                                      action="failover-root", l=ell), \
+                        self.machine.on_root(RECOVER_STAGE) as ledger:
+                    return body(ledger)
+
+    def _on_root_stage(self, stage: str, body: Callable):
+        """Run ``body(ledger)`` on the root process, retrying transient
+        injected faults. There is no spare root to fail over to, so a
+        permanent root fault (or exhausted retries) propagates."""
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                with self.machine.on_root(stage) as ledger:
+                    return body(ledger)
+            except InjectedFault as fault:
+                self.machine.charge_recovery(
+                    None, seconds=fault.recovery_cost_s)
+                if fault.permanent or \
+                        attempt >= self.retry_policy.max_attempts:
+                    raise
+                self._record(stage, "retry", fault, attempt=attempt)
+
     # -- setup ------------------------------------------------------------
 
     def setup(self) -> "PDSLin":
         cfg = self.config
-        with self.machine.on_root("Partition"), \
-                self.tracer.span("partition", partitioner=cfg.partitioner,
-                                 k=cfg.k):
-            if cfg.partitioner == "rhb":
-                r = rhb_partition(self.A, cfg.k, M=self.M, metric=cfg.metric,
-                                  scheme=cfg.scheme, epsilon=cfg.epsilon,
-                                  seed=cfg.seed, n_trials=cfg.partition_trials,
-                                  tracer=self.tracer)
-                part = r.col_part
-            else:
-                r = nested_dissection_partition(self.A, cfg.k,
-                                                epsilon=cfg.epsilon,
-                                                seed=cfg.seed,
-                                                n_trials=cfg.partition_trials)
-                part = r.part
-            if cfg.trim_separator:
-                from repro.core.refine import trim_separator
-                part = trim_separator(self.A, part, cfg.k)
-            self.partition = build_dbbd(self.A, part, cfg.k)
-            self.tracer.count("separator_size",
-                              int(self.partition.separator_vertices.size))
+
+        def partition_body(ledger):
+            with self.tracer.span("partition", partitioner=cfg.partitioner,
+                                  k=cfg.k):
+                if cfg.partitioner == "rhb":
+                    r = rhb_partition(self.A, cfg.k, M=self.M,
+                                      metric=cfg.metric,
+                                      scheme=cfg.scheme, epsilon=cfg.epsilon,
+                                      seed=cfg.seed,
+                                      n_trials=cfg.partition_trials,
+                                      tracer=self.tracer)
+                    part = r.col_part
+                else:
+                    r = nested_dissection_partition(
+                        self.A, cfg.k, epsilon=cfg.epsilon, seed=cfg.seed,
+                        n_trials=cfg.partition_trials)
+                    part = r.part
+                if cfg.trim_separator:
+                    from repro.core.refine import trim_separator
+                    part = trim_separator(self.A, part, cfg.k)
+                self.partition = build_dbbd(self.A, part, cfg.k)
+                self.tracer.count("separator_size",
+                                  int(self.partition.separator_vertices.size))
+
+        self._on_root_stage("Partition", partition_body)
         self._numeric_setup()
         return self
 
@@ -294,31 +404,45 @@ class PDSLin:
     def _setup_subdomain(self, ell: int) -> None:
         cfg = self.config
         assert self.partition is not None
-        with self.machine.on_process(ell, "LU(D)") as ledger, \
-                self.tracer.span("factor_subdomain", l=ell):
-            sub = extract_interfaces(self.partition, ell)
-            perm = self._order_subdomain(sub.D)
-            Dp = sub.D[perm][:, perm].tocsc()
-            factors = factorize(Dp, diag_pivot_thresh=cfg.diag_pivot_thresh,
-                                keep_handle=True, tracer=self.tracer)
-            flops = lu_flop_count(factors)
-            ledger.ops.add("LU(D)", flops)
-            self.tracer.count("subdomain_dim", int(sub.D.shape[0]))
-            self.tracer.count("subdomain_nnz", int(sub.D.nnz))
-        with self.machine.on_process(ell, "Comp(S)") as ledger, \
-                self.tracer.span("interface_solve", l=ell):
-            # G = L^{-1} P E^
-            Epp = factors.permute_rows(sub.E_hat[perm].tocsr())
-            snl_L = self._repack(factors.L, unit_diagonal=True)
-            G_tilde, pad_G = self._solve_interface(snl_L, Epp, factors.L)
-            # W^T = U^{-T} (F^ P~)^T ; U^T is lower triangular, non-unit
-            Fc = sub.F_hat[:, perm].tocsr()[:, factors.perm_c].tocsr()
-            UT = factors.U.T.tocsc()
-            snl_U = self._repack(UT, unit_diagonal=False)
-            WT_tilde, pad_W = self._solve_interface(snl_U, Fc.T.tocsr(), UT)
-            T_tilde = (WT_tilde.T @ G_tilde).tocsr()
-            ledger.ops.add("Comp(S)", pad_G.total_block_entries * 2
-                           + pad_W.total_block_entries * 2)
+
+        def lu_body(ledger):
+            with self.tracer.span("factor_subdomain", l=ell):
+                sub = extract_interfaces(self.partition, ell)
+                perm = self._order_subdomain(sub.D)
+                Dp = sub.D[perm][:, perm].tocsc()
+                # the pivoting ladder: threshold -> full -> static
+                # perturbation (records its own recovery events)
+                factors, _ = factorize_resilient(
+                    Dp, diag_pivot_thresh=cfg.diag_pivot_thresh,
+                    stage="LU(D)", subdomain=ell, report=self.recovery,
+                    tracer=self.tracer)
+                flops = lu_flop_count(factors)
+                ledger.ops.add("LU(D)", flops)
+                self.tracer.count("subdomain_dim", int(sub.D.shape[0]))
+                self.tracer.count("subdomain_nnz", int(sub.D.nnz))
+                return sub, perm, factors, flops
+
+        sub, perm, factors, flops = self._on_subdomain(ell, "LU(D)", lu_body)
+
+        def comp_body(ledger):
+            with self.tracer.span("interface_solve", l=ell):
+                # G = L^{-1} P E^
+                Epp = factors.permute_rows(sub.E_hat[perm].tocsr())
+                snl_L = self._repack(factors.L, unit_diagonal=True)
+                G_tilde, pad_G = self._solve_interface(snl_L, Epp, factors.L)
+                # W^T = U^{-T} (F^ P~)^T ; U^T is lower triangular, non-unit
+                Fc = sub.F_hat[:, perm].tocsr()[:, factors.perm_c].tocsr()
+                UT = factors.U.T.tocsc()
+                snl_U = self._repack(UT, unit_diagonal=False)
+                WT_tilde, pad_W = self._solve_interface(snl_U, Fc.T.tocsr(),
+                                                        UT)
+                T_tilde = (WT_tilde.T @ G_tilde).tocsr()
+                ledger.ops.add("Comp(S)", pad_G.total_block_entries * 2
+                               + pad_W.total_block_entries * 2)
+                return G_tilde, pad_G, WT_tilde, pad_W, T_tilde
+
+        G_tilde, pad_G, WT_tilde, pad_W, T_tilde = \
+            self._on_subdomain(ell, "Comp(S)", comp_body)
         self.subdomains.append(SubdomainComputation(
             interfaces=sub, perm=perm, factors=factors,
             G_tilde=G_tilde, WT_tilde=WT_tilde, T_tilde=T_tilde,
@@ -332,38 +456,94 @@ class PDSLin:
         if ns == 0:
             self.S_tilde = C
             return
-        with self.machine.on_root("Comp(S)"):
+
+        def asm_body(ledger):
             updates = [(s.interfaces, s.T_tilde) for s in self.subdomains]
             self.S_tilde = assemble_approximate_schur(
                 C, updates, drop_tol=cfg.drop_schur, tracer=self.tracer)
-        with self.machine.on_root("LU(S)") as ledger, \
-                self.tracer.span("factor_schur",
-                                 method=cfg.schur_factorization):
+
+        self._on_root_stage("Comp(S)", asm_body)
+        mode = cfg.schur_factorization
+        try:
+            self._on_root_stage("LU(S)",
+                                lambda ledger: self._factor_schur(mode,
+                                                                  ledger))
+            self.recovery.preconditioner_mode = mode
+        except SchurFactorizationError as err:
+            if mode != "ilu":
+                raise
+            # ILU of S~ broke down: fall back to the full LU — a
+            # *stronger* preconditioner, so robustness costs memory,
+            # not convergence
+            self._record("LU(S)", "ilu-to-lu", err,
+                         detail="ILU breakdown; falling back to full LU "
+                                "of S~")
+            with self.tracer.span("recover", stage="LU(S)",
+                                  action="ilu-to-lu"):
+                self._on_root_stage(
+                    RECOVER_STAGE,
+                    lambda ledger: self._factor_schur("lu", ledger))
+            self.recovery.preconditioner_mode = "lu(from-ilu)"
+
+    def _factor_schur(self, mode: str, ledger) -> None:
+        """Factor ``S~`` as the preconditioner, in ``mode`` ("lu" or
+        "ilu"). ILU breakdown raises :class:`SchurFactorizationError`;
+        the LU path escalates through the pivoting ladder itself."""
+        cfg = self.config
+        with self.tracer.span("factor_schur", method=mode):
             sp_perm = minimum_degree(self.S_tilde)
             Sp = self.S_tilde[sp_perm][:, sp_perm].tocsc()
-            if cfg.schur_factorization == "ilu":
+            if mode == "ilu":
                 # incomplete factorization of S~ — an even cheaper (and
                 # weaker) preconditioner, one of PDSLin's design options
                 import scipy.sparse.linalg as spla
-                ilu = spla.spilu(Sp, drop_tol=max(cfg.drop_schur, 1e-8),
-                                 fill_factor=10.0)
-                self._schur_factors = LUFactors(
+                try:
+                    ilu = spla.spilu(Sp, drop_tol=max(cfg.drop_schur, 1e-8),
+                                     fill_factor=10.0)
+                except (RuntimeError, ValueError) as exc:
+                    raise SchurFactorizationError(
+                        f"ILU of S~ broke down: {exc}",
+                        method="ilu") from exc
+                factors = LUFactors(
                     L=ilu.L.tocsc(), U=ilu.U.tocsc(),
                     perm_r=np.asarray(ilu.perm_r, dtype=np.int64),
                     perm_c=np.asarray(ilu.perm_c, dtype=np.int64),
                     handle=ilu)
-                self.tracer.count("lu_fill_nnz",
-                                  self._schur_factors.fill_nnz)
-                self.tracer.count("lu_flops",
-                                  lu_flop_count(self._schur_factors))
+                if not (np.all(np.isfinite(factors.L.data))
+                        and np.all(np.isfinite(factors.U.data))):
+                    raise SchurFactorizationError(
+                        "ILU of S~ produced non-finite factors",
+                        method="ilu")
+                self.tracer.count("lu_fill_nnz", factors.fill_nnz)
+                self.tracer.count("lu_flops", lu_flop_count(factors))
             else:
                 # the Schur preconditioner needs numerical robustness,
-                # not a structure-faithful factor: allow real pivoting
-                self._schur_factors = factorize(Sp, diag_pivot_thresh=1.0,
-                                                keep_handle=True,
-                                                tracer=self.tracer)
+                # not a structure-faithful factor: allow real pivoting,
+                # escalating to static perturbation on breakdown
+                factors, _ = factorize_resilient(
+                    Sp, diag_pivot_thresh=1.0, stage="LU(S)",
+                    report=self.recovery, tracer=self.tracer)
+            self._schur_factors = factors
             self._schur_perm = sp_perm
-            ledger.ops.add("LU(S)", lu_flop_count(self._schur_factors))
+            ledger.ops.add("LU(S)", lu_flop_count(factors))
+
+    def _refresh_schur_preconditioner(self) -> None:
+        """Rebuild ``S~`` keeping *every* assembled entry (drop
+        tolerance 0) and factor it with full LU — the recovery move
+        when GMRES stagnates on a too-aggressively-dropped
+        preconditioner. Reuses the cached per-subdomain update matrices
+        ``T~``, so no interface solves are repeated."""
+        assert self.partition is not None
+
+        def body(ledger):
+            updates = [(s.interfaces, s.T_tilde) for s in self.subdomains]
+            self.S_tilde = assemble_approximate_schur(
+                self.partition.C(), updates, drop_tol=0.0,
+                tracer=self.tracer)
+            self._factor_schur("lu", ledger)
+
+        self._on_root_stage(RECOVER_STAGE, body)
+        self.recovery.preconditioner_mode = "lu(refreshed, drop_schur=0)"
 
     # -- solve ------------------------------------------------------------
 
@@ -375,11 +555,72 @@ class PDSLin:
         return out
 
     def solve(self, b: np.ndarray) -> PDSLinResult:
-        """Solve ``A x = b`` (setup() is run on demand)."""
+        """Solve ``A x = b`` (setup() is run on demand). Rejects
+        right-hand sides containing NaN/Inf."""
+        b = np.asarray(b, dtype=np.float64)
+        check_finite(b, "b")
         if not self._is_setup:
             self.setup()
         with self.tracer.span("solve"):
             return self._solve(b)
+
+    def _solve_schur_system(self, matvec, g: np.ndarray):
+        """One Krylov attempt on the Schur system, then the recovery
+        ladder: BiCGSTAB breakdown falls back to GMRES; GMRES
+        stagnation/non-convergence gets one retry with a refreshed
+        (no-dropping) Schur preconditioner, warm-started from the
+        failed iterate. Retried solves run under fresh ``Solve``
+        stages; the preconditioner rebuild is charged to ``Recover``."""
+        cfg = self.config
+
+        def run_gmres(x0=None):
+            def body(ledger):
+                return gmres(matvec, g, preconditioner=self._precondition,
+                             x0=x0, tol=cfg.gmres_tol,
+                             restart=cfg.gmres_restart,
+                             maxiter=cfg.gmres_maxiter,
+                             flexible=(cfg.krylov == "fgmres"),
+                             tracer=self.tracer)
+            return self._on_root_stage("Solve", body)
+
+        if cfg.krylov == "bicgstab":
+            from repro.solver.bicgstab import bicgstab
+
+            def body(ledger):
+                return bicgstab(matvec, g,
+                                preconditioner=self._precondition,
+                                tol=cfg.gmres_tol,
+                                maxiter=cfg.gmres_maxiter,
+                                tracer=self.tracer)
+            res = self._on_root_stage("Solve", body)
+            if res.converged:
+                return res
+            err = KrylovBreakdownError(
+                "BiCGSTAB breakdown on the Schur system" if res.breakdown
+                else "BiCGSTAB failed to converge on the Schur system",
+                method="bicgstab", iterations=res.iterations)
+            self._record("Solve", "krylov-fallback", err,
+                         detail="falling back BiCGSTAB -> GMRES")
+            with self.tracer.span("recover", stage="Solve",
+                                  action="krylov-fallback"):
+                res = run_gmres(x0=res.x)
+        else:
+            res = run_gmres()
+
+        if not res.converged:
+            err = KrylovBreakdownError(
+                "GMRES stagnated on the Schur system"
+                if getattr(res, "stagnated", False)
+                else "GMRES failed to converge on the Schur system",
+                method="gmres", iterations=res.iterations)
+            self._record("Solve", "precond-refresh", err,
+                         detail="rebuilding S~ preconditioner with "
+                                "drop_schur=0 and retrying once")
+            with self.tracer.span("recover", stage="Solve",
+                                  action="precond-refresh"):
+                self._refresh_schur_preconditioner()
+            res = run_gmres(x0=res.x)
+        return res
 
     def _solve(self, b: np.ndarray) -> PDSLinResult:
         cfg = self.config
@@ -403,47 +644,49 @@ class PDSLin:
                              / max(np.linalg.norm(b), 1e-300))
             return PDSLinResult(x=x, converged=True, iterations=0,
                                 residual_norm=res_norm, schur_size=0,
-                                machine=self.machine, gmres=g_res)
+                                machine=self.machine, gmres=g_res,
+                                recovery=self.recovery)
 
         g = b[sep].copy()
         # g^ = g - sum F_l D_l^{-1} f_l
         d_solutions: list[np.ndarray] = []
-        for s in self.subdomains:
-            with self.machine.on_process(s.interfaces.ell, "Solve"):
+
+        def forward_body_for(s):
+            def body(ledger):
                 v = s.interfaces.vertices
                 fl = b[v]
                 ul = s.factors.solve(fl[s.perm])  # in permuted coords
-                d_solutions.append(ul)
                 Fp = s.interfaces.F_hat[:, s.perm].tocsr()
-                g[s.interfaces.f_rows] -= Fp @ ul
+                return ul, Fp @ ul
+            return body
+
+        for s in self.subdomains:
+            ul, g_corr = self._on_subdomain(s.interfaces.ell, "Solve",
+                                            forward_body_for(s))
+            d_solutions.append(ul)
+            g[s.interfaces.f_rows] -= g_corr
 
         with self.machine.on_root("Solve"):
             subs = [s.interfaces for s in self.subdomains]
             facs = [s.factors for s in self.subdomains]
             perms = [s.perm for s in self.subdomains]
             matvec = implicit_schur_matvec(p.C(), subs, facs, perms)
-            if cfg.krylov == "bicgstab":
-                from repro.solver.bicgstab import bicgstab
-                g_res = bicgstab(matvec, g, preconditioner=self._precondition,
-                                 tol=cfg.gmres_tol, maxiter=cfg.gmres_maxiter,
-                                 tracer=self.tracer)
-            else:
-                g_res = gmres(matvec, g, preconditioner=self._precondition,
-                              tol=cfg.gmres_tol, restart=cfg.gmres_restart,
-                              maxiter=cfg.gmres_maxiter,
-                              flexible=(cfg.krylov == "fgmres"),
-                              tracer=self.tracer)
-            y = g_res.x
-            x[sep] = y
+        g_res = self._solve_schur_system(matvec, g)
+        y = g_res.x
+        x[sep] = y
 
         # back substitution: u_l = D^{-1}(f_l - E_l y)
-        for s, ul0 in zip(self.subdomains, d_solutions):
-            with self.machine.on_process(s.interfaces.ell, "Solve"):
-                v = s.interfaces.vertices
+        def backward_body_for(s, ul0):
+            def body(ledger):
                 Ep = s.interfaces.E_hat[s.perm].tocsr()
                 rhs_corr = Ep @ y[s.interfaces.e_cols]
-                ul = ul0 - s.factors.solve(rhs_corr)
-                x[v[s.perm]] = ul
+                return ul0 - s.factors.solve(rhs_corr)
+            return body
+
+        for s, ul0 in zip(self.subdomains, d_solutions):
+            ul = self._on_subdomain(s.interfaces.ell, "Solve",
+                                    backward_body_for(s, ul0))
+            x[s.interfaces.vertices[s.perm]] = ul
 
         res_norm = float(np.linalg.norm(self.A @ x - b)
                          / max(np.linalg.norm(b), 1e-300))
@@ -451,14 +694,17 @@ class PDSLin:
                             iterations=g_res.iterations,
                             residual_norm=res_norm,
                             schur_size=int(sep.size),
-                            machine=self.machine, gmres=g_res)
+                            machine=self.machine, gmres=g_res,
+                            recovery=self.recovery)
 
     def solve_multiple(self, B: np.ndarray) -> list[PDSLinResult]:
         """Solve ``A x_j = B[:, j]`` for every column, reusing the setup
-        (the factorizations amortize across right-hand sides)."""
+        (the factorizations amortize across right-hand sides). Rejects
+        ``B`` containing NaN/Inf."""
         B = np.asarray(B, dtype=np.float64)
         if B.ndim != 2 or B.shape[0] != self.A.shape[0]:
             raise ValueError(f"B must be ({self.A.shape[0]}, nrhs)")
+        check_finite(B, "B")
         if not self._is_setup:
             self.setup()
         return [self.solve(B[:, j]) for j in range(B.shape[1])]

@@ -13,6 +13,7 @@ from repro.utils.validation import (
     as_int_array,
     check_csc,
     check_csr,
+    check_finite,
     check_partition_vector,
     check_permutation,
     check_square,
@@ -24,7 +25,8 @@ from repro.utils.validation import (
 
 __all__ = [
     "require", "as_int_array", "as_float_array", "check_square", "check_csr",
-    "check_csc", "check_partition_vector", "check_permutation", "positive_int",
+    "check_csc", "check_finite", "check_partition_vector", "check_permutation",
+    "positive_int",
     "nonneg_int", "fraction",
     "Timer", "StageTimer", "format_seconds",
     "SeedLike", "rng_from", "spawn",

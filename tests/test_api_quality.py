@@ -17,6 +17,7 @@ PACKAGES = [
     "repro.lu",
     "repro.solver",
     "repro.parallel",
+    "repro.resilience",
     "repro.matrices",
     "repro.experiments",
     "repro.obs",

@@ -121,15 +121,23 @@ class TestSolverFailureModes:
         r2 = solver.solve(b2)
         assert r1.residual_norm < 1e-8 and r2.residual_norm < 1e-8
 
-    def test_singular_subdomain_surfaces_error(self):
-        # a structurally singular matrix: zero row/column
+    def test_singular_subdomain_recovers_degraded(self):
+        # a structurally singular matrix (zero row/column) used to abort
+        # the subdomain factorization; the recovery ladder now survives
+        # it via static pivot perturbation — and the result says so
+        # (degraded + perturbation count) instead of claiming health
         A = grid_laplacian(6, 6).tolil()
         A[7, :] = 0.0
         A[:, 7] = 0.0
         A = sp.csr_matrix(A)
         solver = PDSLin(A, PDSLinConfig(k=2, seed=0))
-        with pytest.raises(Exception):
-            solver.solve(np.ones(36))
+        result = solver.solve(np.ones(36))
+        assert result.degraded
+        assert result.recovery.perturbed_pivots >= 1
+        assert result.recovery.actions().get("static-pivot", 0) >= 1
+        # the true residual is reported honestly (the system is singular,
+        # so no accurate solution exists)
+        assert result.residual_norm > 1e-8
 
 
 class TestMetricEdgeCases:

@@ -53,6 +53,13 @@ class TestExamples:
         assert "partitioner comparison" in out
         assert "converged=True" in out
 
+    def test_chaos_solve(self):
+        out = run_example("chaos_solve.py")
+        assert "all scenarios recovered: True" in out
+        assert "DEGRADED" in out
+        assert "static-pivot" in out
+        assert "precond-refresh" in out
+
     def test_parallel_trace(self, tmp_path):
         out = run_example("parallel_trace.py", str(tmp_path))
         assert "two-level projection" in out

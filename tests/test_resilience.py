@@ -1,0 +1,374 @@
+"""Unit tests for the resilience subsystem: structured errors, seeded
+fault injection, machine integration, retry policy, recovery report."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+
+from repro.lu.numeric import GilbertPeierlsLU, factorize
+from repro.obs import Tracer
+from repro.parallel import RECOVER_STAGE, SimulatedMachine
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    KrylovBreakdownError,
+    RecoveryReport,
+    RetryPolicy,
+    SchurFactorizationError,
+    SingularSubdomainError,
+    SolverError,
+    emit_recovery,
+    factorize_resilient,
+    run_with_retry,
+)
+
+
+# ---------------------------------------------------------------------------
+# structured errors
+# ---------------------------------------------------------------------------
+
+class TestErrors:
+    def test_solver_error_context_in_message(self):
+        err = SolverError("boom", stage="LU(D)", subdomain=3)
+        assert "stage=LU(D)" in str(err)
+        assert "subdomain=3" in str(err)
+
+    def test_solver_error_is_runtime_error(self):
+        # pre-existing callers catch RuntimeError around factorizations
+        assert issubclass(SingularSubdomainError, RuntimeError)
+        assert issubclass(SchurFactorizationError, RuntimeError)
+        assert issubclass(KrylovBreakdownError, RuntimeError)
+        assert issubclass(InjectedFault, RuntimeError)
+
+    def test_singular_subdomain_attributes(self):
+        err = SingularSubdomainError("singular", column=7, pivot=1e-20,
+                                     subdomain=2)
+        assert err.column == 7
+        assert err.pivot == 1e-20
+        assert err.stage == "LU(D)"
+        assert err.subdomain == 2
+
+    def test_krylov_breakdown_attributes(self):
+        err = KrylovBreakdownError("stalled", method="bicgstab",
+                                   iterations=42)
+        assert err.method == "bicgstab"
+        assert err.iterations == 42
+        assert err.stage == "Solve"
+
+    def test_injected_fault_kinds(self):
+        assert InjectedFault("x", kind="permanent").permanent
+        assert not InjectedFault("x", kind="transient").permanent
+        with pytest.raises(ValueError):
+            InjectedFault("x", kind="sporadic")
+
+
+# ---------------------------------------------------------------------------
+# fault plan
+# ---------------------------------------------------------------------------
+
+class TestFaultPlan:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            FaultSpec("LU(D)", kind="weird")
+        with pytest.raises(ValueError):
+            FaultSpec("LU(D)", trips=0)
+        with pytest.raises(ValueError):
+            FaultSpec("LU(D)", delay_s=-1.0)
+        assert FaultSpec("LU(D)", process=2).target() == "process 2"
+        assert FaultSpec("LU(S)").target() == "root"
+
+    def test_transient_fires_then_clears(self):
+        plan = FaultPlan([FaultSpec("LU(D)", process=0, kind="transient",
+                                    trips=2)])
+        with pytest.raises(InjectedFault):
+            plan.before("LU(D)", 0)
+        with pytest.raises(InjectedFault):
+            plan.before("LU(D)", 0)
+        plan.before("LU(D)", 0)  # third attempt: cleared
+        assert len(plan.fired) == 2
+        assert plan.fired_summary() == {"transient": 2}
+
+    def test_permanent_fires_forever(self):
+        plan = FaultPlan([FaultSpec("LU(D)", process=1, kind="permanent")])
+        for _ in range(4):
+            with pytest.raises(InjectedFault) as exc:
+                plan.before("LU(D)", 1)
+            assert exc.value.permanent
+        assert all(f.kind == "permanent" for f in plan.fired)
+
+    def test_untargeted_stage_passes(self):
+        plan = FaultPlan([FaultSpec("LU(D)", process=0)])
+        plan.before("LU(D)", 1)       # other process
+        plan.before("Comp(S)", 0)     # other stage
+        plan.before("LU(D)", None)    # root, not process 0
+        assert not plan.fired
+
+    def test_straggler_adds_delay_on_exit(self):
+        plan = FaultPlan([FaultSpec("Solve", process=0, kind="straggler",
+                                    delay_s=0.25)])
+        plan.before("Solve", 0)  # stragglers never raise
+        assert plan.after("Solve", 0) == pytest.approx(0.25)
+        assert plan.after("Solve", 1) == 0.0
+        assert plan.fired_summary() == {"straggler": 1}
+
+    def test_reset_clears_state(self):
+        plan = FaultPlan([FaultSpec("LU(D)", process=0, trips=1)])
+        with pytest.raises(InjectedFault):
+            plan.before("LU(D)", 0)
+        plan.reset()
+        assert not plan.fired
+        with pytest.raises(InjectedFault):
+            plan.before("LU(D)", 0)  # armed again after reset
+
+    def test_random_plan_deterministic(self):
+        a = FaultPlan.random(seed=7, k=8, rate=0.5)
+        b = FaultPlan.random(seed=7, k=8, rate=0.5)
+        assert a.specs == b.specs
+        # rate bounds
+        assert len(FaultPlan.random(seed=0, k=4, rate=0.0)) == 0
+        assert len(FaultPlan.random(seed=0, k=4,
+                                    stages=("LU(D)",), rate=1.0)) == 4
+        with pytest.raises(ValueError):
+            FaultPlan.random(seed=0, k=4, rate=1.5)
+
+
+# ---------------------------------------------------------------------------
+# machine integration
+# ---------------------------------------------------------------------------
+
+class TestMachineFaults:
+    def test_fault_raised_inside_stage(self):
+        plan = FaultPlan([FaultSpec("LU(D)", process=1, kind="transient")])
+        m = SimulatedMachine(2, fault_plan=plan)
+        with pytest.raises(InjectedFault):
+            with m.on_process(1, "LU(D)"):
+                raise AssertionError("body must not run on a fault")
+        # the failed entry still charged wall time to the stage
+        assert m.processes[1].timer.get("LU(D)") > 0.0
+
+    def test_straggler_inflates_stage_time(self):
+        plan = FaultPlan([FaultSpec("Solve", process=0, kind="straggler",
+                                    delay_s=0.5)])
+        m = SimulatedMachine(2, fault_plan=plan)
+        with m.on_process(0, "Solve"):
+            pass
+        with m.on_process(1, "Solve"):
+            pass
+        t = m.process_stage_times("Solve")
+        assert t[0] >= 0.5
+        assert t[1] < 0.5
+        assert m.parallel_stage_time("Solve") >= 0.5
+
+    def test_root_faults(self):
+        plan = FaultPlan([FaultSpec("LU(S)", process=None, kind="transient")])
+        m = SimulatedMachine(2, fault_plan=plan)
+        with pytest.raises(InjectedFault):
+            with m.on_root("LU(S)"):
+                pass
+        with m.on_root("LU(S)"):  # transient cleared
+            pass
+
+    def test_charge_recovery(self):
+        m = SimulatedMachine(3)
+        m.charge_recovery(1, seconds=0.125, flops=1000)
+        m.charge_recovery(None, seconds=0.25)
+        assert m.processes[1].timer.get(RECOVER_STAGE) == pytest.approx(0.125)
+        assert m.processes[1].ops.get(RECOVER_STAGE) == 1000
+        assert m.root.timer.get(RECOVER_STAGE) == pytest.approx(0.25)
+        assert RECOVER_STAGE in m.breakdown()
+        # parallel max (0.125) + serial root (0.25)
+        assert m.breakdown()[RECOVER_STAGE] == pytest.approx(0.375)
+
+    def test_scripted_makespan_deterministic(self):
+        """Two machines driven by identical deterministic charges under
+        the same plan produce bit-identical makespans."""
+        def drive(machine, plan):
+            for ell in range(machine.k):
+                try:
+                    with machine.on_process(ell, "LU(D)") as led:
+                        led.timer.add("LU(D)", 0.5)
+                except InjectedFault as f:
+                    machine.charge_recovery(ell, seconds=f.recovery_cost_s)
+                    with machine.on_process(ell, "LU(D)") as led:
+                        led.timer.add("LU(D)", 0.5)
+            return machine
+
+        plans = [FaultPlan([FaultSpec("LU(D)", process=1, trips=1,
+                                      recovery_cost_s=0.125)])
+                 for _ in range(2)]
+        machines = [drive(SimulatedMachine(4, fault_plan=p), p)
+                    for p in plans]
+        # wall-time noise from the stage context manager is real time,
+        # so compare the deterministic (add-based) charges instead
+        r0 = machines[0].breakdown()[RECOVER_STAGE]
+        r1 = machines[1].breakdown()[RECOVER_STAGE]
+        assert r0 == r1 == pytest.approx(0.125)
+        assert [f.attempt for f in plans[0].fired] == \
+               [f.attempt for f in plans[1].fired]
+
+
+# ---------------------------------------------------------------------------
+# retry policy
+# ---------------------------------------------------------------------------
+
+class TestRetry:
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        assert list(RetryPolicy(max_attempts=3).attempts()) == [1, 2, 3]
+
+    def test_success_after_failures(self):
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            if attempt < 3:
+                raise RuntimeError("flaky")
+            return "ok"
+
+        result, used = run_with_retry(fn, policy=RetryPolicy(max_attempts=4))
+        assert result == "ok" and used == 3
+        assert calls == [1, 2, 3]
+
+    def test_exhaustion_raises_last_error(self):
+        with pytest.raises(RuntimeError, match="always"):
+            run_with_retry(lambda a: (_ for _ in ()).throw(
+                RuntimeError("always")), policy=RetryPolicy(max_attempts=2))
+
+    def test_non_retryable_propagates_immediately(self):
+        calls = []
+
+        def fn(attempt):
+            calls.append(attempt)
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            run_with_retry(fn, policy=RetryPolicy(max_attempts=5))
+        assert calls == [1]
+
+    def test_on_retry_hook(self):
+        seen = []
+
+        def fn(attempt):
+            if attempt == 1:
+                raise RuntimeError("once")
+            return attempt
+
+        run_with_retry(fn, policy=RetryPolicy(max_attempts=2),
+                       on_retry=lambda a, e: seen.append((a, str(e))))
+        assert seen == [(1, "once")]
+
+
+# ---------------------------------------------------------------------------
+# recovery report
+# ---------------------------------------------------------------------------
+
+class TestRecoveryReport:
+    def test_healthy_until_event(self):
+        rep = RecoveryReport()
+        assert rep.healthy and not rep.degraded
+        rep.record("LU(D)", "retry", RuntimeError("x"))
+        assert not rep.healthy and not rep.degraded  # retry isn't degrading
+        assert rep.retries == 1
+
+    def test_degrading_actions_flip_flag(self):
+        for action in ("static-pivot", "failover-root", "precond-refresh",
+                       "krylov-fallback"):
+            rep = RecoveryReport()
+            rep.record("LU(D)", action, RuntimeError("x"))
+            assert rep.degraded, action
+
+    def test_summary_and_to_dict(self):
+        rep = RecoveryReport()
+        rep.record("LU(D)", "static-pivot",
+                   SingularSubdomainError("bad pivot"), subdomain=2,
+                   detail="perturbed")
+        rep.perturbed_pivots = 3
+        text = rep.summary()
+        assert "DEGRADED" in text
+        assert "LU(D)[l=2]" in text
+        assert "3 perturbed pivots" in text
+        d = rep.to_dict()
+        assert d["degraded"] and d["perturbed_pivots"] == 3
+        assert d["events"][0]["error"] == "SingularSubdomainError"
+        assert rep.actions() == {"static-pivot": 1}
+
+    def test_emit_recovery_counts_on_tracer(self):
+        tracer = Tracer()
+        rep = RecoveryReport()
+        emit_recovery(tracer, rep, "LU(S)", "ilu-to-lu", RuntimeError("x"))
+        emit_recovery(tracer, rep, "Solve", "krylov-fallback",
+                      KrylovBreakdownError("y"))
+        assert tracer.counters["recovery_events"] == 2
+        assert tracer.counters["recovery_ilu_to_lu"] == 1
+        assert tracer.counters["recovery_krylov_fallback"] == 1
+        assert len(rep.events) == 2
+
+
+# ---------------------------------------------------------------------------
+# structured errors out of the LU kernel + the factorization ladder
+# ---------------------------------------------------------------------------
+
+def _singular4() -> sp.csc_matrix:
+    """4x4 with an exactly dependent column pair (numerically singular)."""
+    A = np.array([[2.0, 1.0, 3.0, 0.0],
+                  [4.0, 2.0, 6.0, 1.0],
+                  [1.0, 0.5, 1.5, 2.0],
+                  [0.0, 0.0, 0.0, 1.0]])
+    return sp.csc_matrix(A)
+
+
+class TestFactorizeResilient:
+    def test_gp_raises_structured_error(self):
+        with pytest.raises(SingularSubdomainError) as exc:
+            GilbertPeierlsLU(_singular4(), subdomain=5)
+        err = exc.value
+        assert err.column is not None and err.pivot == 0.0
+        assert err.subdomain == 5
+        assert "stage=LU(D)" in str(err)
+
+    def test_gp_structural_singularity(self):
+        A = sp.csc_matrix(np.array([[1.0, 0.0], [0.0, 0.0]]))
+        with pytest.raises(SingularSubdomainError):
+            GilbertPeierlsLU(A)
+
+    def test_static_pivoting_survives_and_counts(self):
+        lu = GilbertPeierlsLU(_singular4(), static_pivoting=True)
+        assert lu.perturbations >= 1
+        assert np.all(np.isfinite(lu.factors.L.data))
+        assert np.all(np.isfinite(lu.factors.U.data))
+
+    def test_rejects_non_finite_input(self):
+        A = np.eye(3)
+        A[1, 1] = np.nan
+        with pytest.raises(ValueError, match="non-finite"):
+            factorize(sp.csc_matrix(A))
+
+    def test_ladder_escalates_to_static_pivot(self):
+        rep = RecoveryReport()
+        tracer = Tracer()
+        factors, perturbations = factorize_resilient(
+            _singular4(), diag_pivot_thresh=0.0, subdomain=1,
+            report=rep, tracer=tracer)
+        assert perturbations >= 1
+        assert rep.perturbed_pivots == perturbations
+        assert rep.degraded
+        actions = rep.actions()
+        assert actions.get("full-pivot") == 1
+        assert actions.get("static-pivot") == 1
+        assert tracer.counters["perturbed_pivots"] == perturbations
+        # the perturbed factors are still usable
+        b = np.ones(4)
+        x = factors.solve(b)
+        assert np.all(np.isfinite(x))
+
+    def test_ladder_no_events_on_healthy_matrix(self):
+        rep = RecoveryReport()
+        A = sp.csc_matrix(np.array([[4.0, 1.0], [1.0, 3.0]]))
+        factors, perturbations = factorize_resilient(A, report=rep)
+        assert perturbations == 0 and rep.healthy
+        x = factors.solve(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(A.toarray() @ x, [1.0, 2.0], atol=1e-12)
