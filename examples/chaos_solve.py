@@ -58,8 +58,13 @@ def main() -> None:
     banner("scenario 2: singular subdomain -> static pivoting")
     # make one interior equation lose its subdomain coupling: the
     # subdomain block turns singular while the global system stays
-    # solvable through the separator
-    probe = PDSLin(gm.A, cfg)
+    # solvable through the separator. The numerics layer's max-product
+    # matching would proactively permute the bad pivot away, so we
+    # disable it here to watch the *reactive* ladder (threshold ->
+    # full -> static perturbation) do its work.
+    cfg2 = PDSLinConfig(k=4, block_size=32, seed=seed,
+                        static_pivot_matching=False)
+    probe = PDSLin(gm.A, cfg2)
     probe.setup()
     part = probe.partition.part
     sepv = set(probe.partition.separator_vertices.tolist())
@@ -76,11 +81,17 @@ def main() -> None:
             A2[victim, int(w)] = 0.0
     A2 = A2.tocsr()
     A2.eliminate_zeros()
-    solver2 = PDSLin(A2, cfg)
+    solver2 = PDSLin(A2, cfg2)
     result2 = solver2.solve(b)
     print(f"converged={result2.converged} degraded={result2.degraded} "
           f"perturbed pivots={result2.recovery.perturbed_pivots}")
     print(result2.recovery.summary())
+    # same system with matching on: the bad pivot never reaches LU
+    solver2b = PDSLin(A2, cfg)
+    result2b = solver2b.solve(b)
+    print(f"with matching: converged={result2b.converged} "
+          f"perturbed pivots={result2b.recovery.perturbed_pivots} "
+          f"(proactive static pivoting)")
 
     # -- scenario 3: weakened preconditioner -> refresh ---------------------
     banner("scenario 3: GMRES stall -> preconditioner refresh")

@@ -11,12 +11,20 @@ Public surface (see README for the architecture overview):
 - :mod:`repro.matrices` — synthetic Table-I matrix suite;
 - :mod:`repro.parallel` — simulated distributed machine;
 - :mod:`repro.resilience` — fault injection and breakdown recovery;
+- :mod:`repro.numerics` — equilibration, static-pivot matching,
+  condition estimation, certified iterative refinement;
 - :mod:`repro.experiments` — per-table/figure harnesses.
 """
 
 from repro.core import DBBDPartition, RHBResult, build_dbbd, rhb_partition
 from repro.graphs import nested_dissection_partition
-from repro.matrices import generate, suite_names
+from repro.matrices import (
+    generate,
+    generate_robust,
+    robust_suite_names,
+    suite_names,
+)
+from repro.numerics import CertifiedAccuracy, backward_errors
 from repro.resilience import FaultPlan, FaultSpec, RecoveryReport, RetryPolicy
 from repro.solver import PDSLin, PDSLinConfig, PDSLinResult
 
@@ -26,7 +34,8 @@ __all__ = [
     "rhb_partition", "build_dbbd", "DBBDPartition", "RHBResult",
     "PDSLin", "PDSLinConfig", "PDSLinResult",
     "FaultPlan", "FaultSpec", "RecoveryReport", "RetryPolicy",
+    "CertifiedAccuracy", "backward_errors",
     "nested_dissection_partition",
-    "generate", "suite_names",
+    "generate", "suite_names", "generate_robust", "robust_suite_names",
     "__version__",
 ]

@@ -83,6 +83,25 @@ class LUFactors:
         x[self.perm_c] = z
         return x
 
+    def solve_transpose(self, b: np.ndarray) -> np.ndarray:
+        """Dense solve ``A^T x = b`` through the same factors.
+
+        Needed by the Hager-Higham condition estimator, which requires
+        both ``A^{-1} v`` and ``A^{-T} v`` products. With
+        ``A^{-1} = P_c^T U^{-1} L^{-1} P_r`` this is
+        ``A^{-T} = P_r^T L^{-T} U^{-T} P_c``.
+        """
+        b = np.asarray(b, dtype=np.float64)
+        if self.handle is not None:
+            return self.handle.solve(b, trans="T")  # type: ignore[attr-defined]
+        y = spla.spsolve_triangular(self.U.T.tocsr(), b[self.perm_c],
+                                    lower=True)
+        z = spla.spsolve_triangular(self.L.T.tocsr(), y, lower=False,
+                                    unit_diagonal=True)
+        x = np.empty_like(z)
+        x[self.perm_r] = z
+        return x
+
     def residual_norm(self, A: sp.spmatrix, b: np.ndarray) -> float:
         x = self.solve(b)
         return float(np.linalg.norm(A @ x - b) / max(np.linalg.norm(b), 1e-300))

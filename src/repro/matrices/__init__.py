@@ -8,13 +8,22 @@ from repro.matrices.cavity import (
 )
 from repro.matrices.circuit import asic_like_matrix, g3_like_matrix
 from repro.matrices.fusion import fusion_matrix
+from repro.matrices.graded import graded_matrix, shifted_circuit_matrix
 from repro.matrices.grids import (
     HexMesh,
     assemble_fem,
     fd_laplacian_3d,
     hex_element_matrices,
 )
-from repro.matrices.suite import SUITE, generate, suite_names, table1_metadata
+from repro.matrices.suite import (
+    ROBUST_SUITE,
+    SUITE,
+    generate,
+    generate_robust,
+    robust_suite_names,
+    suite_names,
+    table1_metadata,
+)
 from repro.matrices.unstructured import (
     p1_assemble,
     random_delaunay_mesh,
@@ -25,6 +34,8 @@ __all__ = [
     "HexMesh", "hex_element_matrices", "assemble_fem", "fd_laplacian_3d",
     "GeneratedMatrix", "cavity_matrix", "dds_like_matrix",
     "fusion_matrix", "asic_like_matrix", "g3_like_matrix",
+    "graded_matrix", "shifted_circuit_matrix",
     "random_delaunay_mesh", "p1_assemble", "unstructured_matrix",
-    "SUITE", "generate", "suite_names", "table1_metadata",
+    "SUITE", "ROBUST_SUITE", "generate", "generate_robust",
+    "suite_names", "robust_suite_names", "table1_metadata",
 ]

@@ -1,0 +1,103 @@
+"""Ill-conditioned stress matrices for the numerics layer.
+
+These generators produce systems that are *globally* solvable but
+defeat the default hybrid pipeline unless the robustness layer
+(:mod:`repro.numerics`) is on:
+
+- :func:`graded_matrix` — a well-conditioned FD operator wrapped in a
+  geometrically graded diagonal scaling spanning ``decades`` orders of
+  magnitude (the classic boundary-layer / multi-physics unit mismatch).
+  Relative-residual convergence tests and threshold dropping both go
+  blind at this dynamic range; Ruiz equilibration removes it exactly.
+- :func:`shifted_circuit_matrix` — an ASIC-style circuit whose row
+  order has been cyclically shifted on a subset of nodes, leaving
+  near-zero (``weak``) diagonal pivots where the shift passed through.
+  Diagonal-preference LU commits to those pivots and pays in accuracy;
+  maximum-product matching permutes the large entries back first.
+
+Both return the same :class:`GeneratedMatrix` record as the Table-I
+suite and are registered in ``repro.matrices.suite.ROBUST_SUITE``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.matrices.cavity import GeneratedMatrix
+from repro.matrices.circuit import asic_like_matrix
+from repro.matrices.grids import fd_laplacian_3d
+from repro.utils import SeedLike, fraction, positive_int, rng_from
+
+__all__ = ["graded_matrix", "shifted_circuit_matrix"]
+
+
+def graded_matrix(nx: int, ny: int, nz: int = 1, *, decades: float = 8.0,
+                  seed: SeedLike = 0,
+                  name: str = "graded") -> GeneratedMatrix:
+    """Geometrically graded diagonal scaling of an FD Laplacian.
+
+    Row/column ``i`` of the base operator is scaled by
+    ``10**(-decades * i / (n-1))`` — a geometric progression, so the
+    symmetric system ``D A D`` carries ``2 * decades`` orders of
+    magnitude of artificial conditioning on top of the (benign) grid
+    operator. A solver that equilibrates sees the base operator again.
+    """
+    positive_int(nx, "nx")
+    positive_int(ny, "ny")
+    positive_int(nz, "nz")
+    if decades < 0:
+        raise ValueError("decades must be >= 0")
+    rng = rng_from(seed)
+    base = fd_laplacian_3d(nx, ny, nz)
+    n = base.shape[0]
+    expo = -decades * np.arange(n) / max(n - 1, 1)
+    d = 10.0 ** expo
+    # small multiplicative jitter so rows at the same grading level do
+    # not scale identically (exact degeneracy is unrealistically kind)
+    d *= 1.0 + 0.1 * rng.random(n)
+    Dd = sp.diags(d)
+    A = (Dd @ base @ Dd).tocsr()
+    A.sum_duplicates()
+    A.sort_indices()
+    return GeneratedMatrix(
+        name=name, A=A, M=None,
+        source="synthetic: graded FD Laplacian",
+        description=(f"{nx}x{ny}x{nz} FD Laplacian under a geometric "
+                     f"diagonal grading spanning {decades:g} decades"))
+
+
+def shifted_circuit_matrix(n: int, *, shift_fraction: float = 0.15,
+                           weak: float = 1e-14, seed: SeedLike = 0,
+                           name: str = "circuit.shifted") -> GeneratedMatrix:
+    """Near-singular circuit variant: cyclically shifted rows.
+
+    Starts from :func:`repro.matrices.circuit.asic_like_matrix`, then
+    applies a cyclic row shift over a random subset of
+    ``shift_fraction * n`` nodes and adds ``weak * I``. Where the shift
+    passed through, the structurally present diagonal entry is ~``weak``
+    while the dominant entry sits off-diagonal — the exact failure mode
+    MC64-style static-pivot matching exists for. The matrix stays
+    nonsingular (a row permutation of a nonsingular matrix, plus a tiny
+    shift).
+    """
+    n = positive_int(n, "n")
+    fraction(shift_fraction, "shift_fraction")
+    if weak < 0:
+        raise ValueError("weak must be >= 0")
+    rng = rng_from(seed)
+    gm = asic_like_matrix(n, seed=seed, name=name)
+    m = max(2, int(round(shift_fraction * n)))
+    rows = np.sort(rng.choice(n, size=m, replace=False))
+    perm = np.arange(n)
+    perm[rows] = np.roll(rows, 1)  # one m-cycle over the chosen rows
+    A = gm.A.tocsr()[perm].tocsr()
+    A = (A + weak * sp.eye(n, format="csr")).tocsr()
+    A.sum_duplicates()
+    A.sort_indices()
+    return GeneratedMatrix(
+        name=name, A=A, M=None,
+        source="synthetic: shifted ASIC circuit",
+        description=(f"ASIC-like circuit on {n} nodes with a cyclic row "
+                     f"shift over {m} nodes leaving ~{weak:g} diagonal "
+                     f"pivots"))

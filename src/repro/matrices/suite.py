@@ -17,8 +17,10 @@ from repro.matrices.cavity import (
 )
 from repro.matrices.circuit import asic_like_matrix, g3_like_matrix
 from repro.matrices.fusion import fusion_matrix
+from repro.matrices.graded import graded_matrix, shifted_circuit_matrix
 
-__all__ = ["SUITE", "generate", "suite_names", "table1_metadata"]
+__all__ = ["SUITE", "ROBUST_SUITE", "generate", "generate_robust",
+           "suite_names", "robust_suite_names", "table1_metadata"]
 
 _SCALES = ("tiny", "small", "medium")
 
@@ -73,9 +75,46 @@ SUITE: Dict[str, Dict[str, Callable[[], GeneratedMatrix]]] = {
 }
 
 
+# numerics stress suite (separate from Table I: these matrices are
+# *designed* to defeat the default pipeline unless repro.numerics is on)
+ROBUST_SUITE: Dict[str, Dict[str, Callable[[], GeneratedMatrix]]] = {
+    "graded.laplace": {
+        "tiny": lambda: graded_matrix(14, 14, 1, decades=8.0,
+                                      name="graded.laplace"),
+        "small": lambda: graded_matrix(11, 11, 10, decades=8.0,
+                                       name="graded.laplace"),
+        "medium": lambda: graded_matrix(22, 22, 20, decades=8.0,
+                                        name="graded.laplace"),
+    },
+    "circuit.shifted": {
+        "tiny": lambda: shifted_circuit_matrix(500,
+                                               name="circuit.shifted"),
+        "small": lambda: shifted_circuit_matrix(3000,
+                                                name="circuit.shifted"),
+        "medium": lambda: shifted_circuit_matrix(15000,
+                                                 name="circuit.shifted"),
+    },
+}
+
+
 def suite_names() -> list[str]:
     """Names of the Table-I suite matrices."""
     return list(SUITE)
+
+
+def robust_suite_names() -> list[str]:
+    """Names of the numerics stress-suite matrices."""
+    return list(ROBUST_SUITE)
+
+
+def generate_robust(name: str, scale: str = "small") -> GeneratedMatrix:
+    """Instantiate a numerics stress matrix at the requested scale."""
+    if name not in ROBUST_SUITE:
+        raise KeyError(f"unknown matrix {name!r}; choose from "
+                       f"{robust_suite_names()}")
+    if scale not in _SCALES:
+        raise ValueError(f"scale must be one of {_SCALES}, got {scale!r}")
+    return ROBUST_SUITE[name][scale]()
 
 
 def generate(name: str, scale: str = "small") -> GeneratedMatrix:

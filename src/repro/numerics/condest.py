@@ -1,0 +1,108 @@
+"""Hager-Higham 1-norm condition estimation.
+
+``cond_1(A) = ||A||_1 ||A^{-1}||_1`` diagnoses *why* a solve is about to
+go wrong: a subdomain ``D_l`` with a huge condition number amplifies
+the thresholded interface solves ``G~``/``W~`` into a useless Schur
+preconditioner long before anything visibly breaks down. Forming
+``A^{-1}`` is out of the question, but Hager's iteration (refined by
+Higham, the algorithm behind LAPACK's ``xLACON``) estimates
+``||A^{-1}||_1`` from a handful of solves with ``A`` and ``A^T`` —
+exactly the operations an existing LU factorization provides for free.
+
+The estimate is a lower bound that is almost always within a small
+factor of the truth; that is all the drop-tolerance auto-tightening
+logic needs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.lu.numeric import LUFactors
+
+__all__ = ["onenormest_inverse", "condest_from_factors", "condest"]
+
+Operator = Callable[[np.ndarray], np.ndarray]
+
+
+def onenormest_inverse(solve: Operator, solve_t: Operator, n: int, *,
+                       itmax: int = 5) -> float:
+    """Estimate ``||A^{-1}||_1`` given solves with ``A`` and ``A^T``.
+
+    Hager's algorithm: starting from the uniform vector, alternate
+    ``y = A^{-1} x`` (estimate is ``||y||_1``) and a gradient step
+    ``z = A^{-T} sign(y)``; move the probe to the unit vector of the
+    largest ``|z_j|`` until the estimate stops improving. Augmented
+    with Higham's odd/even extra vector so a deceptive first probe
+    cannot return a gross underestimate.
+    """
+    if n <= 0:
+        return 0.0
+    x = np.full(n, 1.0 / n)
+    est = 0.0
+    for _ in range(max(itmax, 1)):
+        y = np.asarray(solve(x), dtype=np.float64)
+        est_new = float(np.abs(y).sum())
+        xi = np.where(y >= 0.0, 1.0, -1.0)
+        z = np.asarray(solve_t(xi), dtype=np.float64)
+        j = int(np.argmax(np.abs(z)))
+        if float(np.abs(z[j])) <= float(z @ x) or est_new <= est:
+            est = max(est, est_new)
+            break
+        est = est_new
+        x = np.zeros(n)
+        x[j] = 1.0
+    # Higham's alternating probe: catches adversarial cases where the
+    # unit-vector walk converges to a non-maximizing column
+    w = np.array([(-1.0) ** i * (1.0 + i / max(n - 1, 1))
+                  for i in range(n)])
+    y = np.asarray(solve(w), dtype=np.float64)
+    alt = 2.0 * float(np.abs(y).sum()) / (3.0 * n)
+    return float(max(est, alt))
+
+
+def condest_from_factors(A: sp.spmatrix, factors: LUFactors, *,
+                         itmax: int = 5) -> float:
+    """``cond_1`` estimate of ``A`` using its LU factors for the solves.
+
+    ``A`` must be the matrix that was factorized (any pre-permutation
+    already applied). Returns ``inf`` when the factors contain
+    non-finite entries — the factorization itself already broke down.
+    """
+    n = A.shape[0]
+    if n == 0:
+        return 1.0
+    norm_a = _onenorm(A)
+    if norm_a == 0.0:
+        return 0.0
+    if not (np.all(np.isfinite(factors.L.data))
+            and np.all(np.isfinite(factors.U.data))):
+        return float("inf")
+    inv_est = onenormest_inverse(factors.solve, factors.solve_transpose,
+                                 n, itmax=itmax)
+    if not np.isfinite(inv_est):
+        return float("inf")
+    return float(norm_a * inv_est)
+
+
+def condest(A: sp.spmatrix, *, solve: Operator, solve_t: Operator,
+            itmax: int = 5) -> float:
+    """``cond_1`` estimate of ``A`` through caller-supplied solves —
+    e.g. a full hybrid solver standing in for ``A^{-1}``."""
+    n = A.shape[0]
+    norm_a = _onenorm(A)
+    if n == 0 or norm_a == 0.0:
+        return 0.0 if norm_a == 0.0 else 1.0
+    return float(norm_a * onenormest_inverse(solve, solve_t, n,
+                                             itmax=itmax))
+
+
+def _onenorm(A: sp.spmatrix) -> float:
+    """Exact ``||A||_1`` (max absolute column sum)."""
+    if A.shape[1] == 0 or A.nnz == 0:
+        return 0.0
+    colsums = np.asarray(np.abs(A).sum(axis=0)).ravel()
+    return float(colsums.max())

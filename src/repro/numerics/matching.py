@@ -1,0 +1,200 @@
+"""MC64-style maximum-product bipartite matching (static pivoting).
+
+Threshold-pivoted subdomain factorizations break down *reactively*: a
+tiny pivot is only discovered mid-factorization, after which the
+recovery ladder retries with stronger pivoting or perturbs the pivot.
+The production alternative (Duff-Koster MC64, used by SuperLU_DIST and
+MUMPS) is *proactive*: permute the rows of ``A`` so the product of
+diagonal magnitudes is maximized before any factorization starts, which
+makes diagonal-preferring pivoting numerically safe.
+
+Maximizing ``prod_j |a_{p(j), j}|`` over permutations ``p`` is the
+classic assignment problem on costs
+
+    c_ij = log(max_i |a_ij|) - log|a_ij|  >=  0,
+
+solved here by shortest augmenting paths with dual potentials (the
+sparse Jonker-Volgenant scheme: one Dijkstra search per row, matched
+edges kept tight under the duals). Structurally deficient matrices get
+a maximum (not perfect) matching; the free rows are paired with free
+columns arbitrarily and reported via ``matched_fraction``.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.utils import check_csr
+
+__all__ = ["MatchingResult", "maximum_product_matching"]
+
+
+@dataclass
+class MatchingResult:
+    """A row permutation putting large entries on the diagonal.
+
+    ``row_perm[k]`` is the original row to place at position ``k``, so
+    ``A[row_perm, :]`` has the matched entries on its diagonal.
+    ``log10_product`` is ``sum_j log10 |a_{row_perm[j], j}|`` over
+    matched diagonal entries; ``matched_fraction < 1`` flags structural
+    deficiency (some diagonal positions have no nonzero available).
+    ``identity`` is set when the input diagonal was already optimal and
+    the search was skipped.
+    """
+
+    row_perm: np.ndarray
+    matched_fraction: float
+    log10_product: float
+    identity: bool = False
+
+    @property
+    def is_perfect(self) -> bool:
+        return self.matched_fraction == 1.0
+
+    def apply(self, A: sp.spmatrix) -> sp.csr_matrix:
+        """Return ``P A`` (rows permuted to the matched order)."""
+        return check_csr(A)[self.row_perm].tocsr()
+
+
+def _column_abs_max(A: sp.csc_matrix) -> np.ndarray:
+    out = np.zeros(A.shape[1])
+    absdata = np.abs(A.data)
+    for j in range(A.shape[1]):
+        lo, hi = A.indptr[j], A.indptr[j + 1]
+        if hi > lo:
+            out[j] = absdata[lo:hi].max()
+    return out
+
+
+def _diagonal_already_optimal(A: sp.csr_matrix,
+                              col_max: np.ndarray) -> bool:
+    """True when every |a_ii| equals its column max — the identity
+    matching then has cost 0, which is globally optimal (all costs are
+    non-negative). This fast path covers diagonally dominant systems
+    (most of the Table-I suite) without a single Dijkstra search."""
+    diag = np.abs(A.diagonal())
+    return bool(np.all(diag >= col_max * (1.0 - 1e-12)))
+
+
+def maximum_product_matching(A: sp.spmatrix) -> MatchingResult:
+    """Match each column to a row maximizing the diagonal product.
+
+    Runs on ``log|a_ij|`` so products become sums; explicit zeros are
+    treated as absent edges. Complexity is one heap-based Dijkstra per
+    row over the sparse pattern — ``O(n * nnz log n)`` worst case, with
+    an O(nnz) fast path for already-dominant diagonals.
+    """
+    A = check_csr(A)
+    n_rows, n_cols = A.shape
+    if n_rows != n_cols:
+        raise ValueError(f"matching needs a square matrix, got {A.shape}")
+    n = n_rows
+    if n == 0:
+        return MatchingResult(row_perm=np.empty(0, dtype=np.int64),
+                              matched_fraction=1.0, log10_product=0.0,
+                              identity=True)
+    col_max = _column_abs_max(A.tocsc())
+    if _diagonal_already_optimal(A, col_max):
+        diag = np.abs(A.diagonal())
+        logprod = float(np.log10(diag[diag > 0]).sum())
+        return MatchingResult(row_perm=np.arange(n, dtype=np.int64),
+                              matched_fraction=1.0, log10_product=logprod,
+                              identity=True)
+
+    # Edge costs c_ij = log(col_max[j]) - log|a_ij| >= 0, CSR by row.
+    mask = A.data != 0.0
+    data = np.abs(A.data[mask])
+    indices = A.indices[mask].astype(np.int64)
+    row_ids = np.repeat(np.arange(n), np.diff(A.indptr))
+    counts = np.bincount(row_ids[mask], minlength=n)
+    indptr = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    with np.errstate(divide="ignore"):
+        cost = np.log(col_max[indices]) - np.log(data)
+
+    inf = np.inf
+    match_row = np.full(n, -1, dtype=np.int64)   # row -> matched col
+    match_col = np.full(n, -1, dtype=np.int64)   # col -> matched row
+    v = np.zeros(n)                              # column potentials
+    u = np.zeros(n)                              # row potentials
+    unmatched_rows: list[int] = []
+
+    dist = np.empty(n)
+    prev_row = np.empty(n, dtype=np.int64)
+    scanned = np.empty(n, dtype=bool)
+    row_entry_dist = np.empty(n)                 # dist at which a row joined
+
+    def relax(i: int, base: float, heap: list) -> None:
+        for t in range(indptr[i], indptr[i + 1]):
+            j = int(indices[t])
+            if scanned[j]:
+                continue
+            nd = base + cost[t] - u[i] - v[j]
+            if nd < dist[j] - 1e-300:
+                dist[j] = nd
+                prev_row[j] = i
+                heapq.heappush(heap, (nd, j))
+
+    for k in range(n):
+        dist.fill(inf)
+        prev_row.fill(-1)
+        scanned.fill(False)
+        heap: list[tuple[float, int]] = []
+        tree_rows = [k]
+        row_entry_dist[k] = 0.0
+        relax(k, 0.0, heap)
+        sink = -1
+        lowest = 0.0
+        while heap:
+            d, j = heapq.heappop(heap)
+            if scanned[j] or d > dist[j]:
+                continue
+            scanned[j] = True
+            lowest = d
+            if match_col[j] < 0:
+                sink = j
+                break
+            i2 = int(match_col[j])
+            tree_rows.append(i2)
+            row_entry_dist[i2] = d
+            relax(i2, d, heap)  # matched edges are tight: traversal is free
+
+        if sink < 0:
+            # structurally deficient: no augmenting path from row k
+            unmatched_rows.append(k)
+            continue
+
+        # dual update keeps feasibility and makes the path tight
+        for i in tree_rows:
+            u[i] += lowest - row_entry_dist[i]
+        sc = np.flatnonzero(scanned)
+        v[sc] -= lowest - dist[sc]
+        # augment along the alternating path ending at `sink`
+        j = sink
+        while True:
+            i = int(prev_row[j])
+            j_next = int(match_row[i])
+            match_row[i] = j
+            match_col[j] = i
+            if i == k:
+                break
+            j = j_next
+
+    matched = int(np.count_nonzero(match_col >= 0))
+    if unmatched_rows:
+        free_cols = np.flatnonzero(match_col < 0)
+        for i, j in zip(unmatched_rows, free_cols.tolist()):
+            match_row[i] = j
+            match_col[j] = i
+
+    row_perm = match_col.astype(np.int64)  # position j gets its matched row
+    diag = np.abs(A[row_perm].diagonal())
+    logprod = float(np.log10(diag[diag > 0]).sum()) if np.any(diag > 0) \
+        else -np.inf
+    return MatchingResult(row_perm=row_perm,
+                          matched_fraction=matched / n,
+                          log10_product=logprod)

@@ -1,0 +1,168 @@
+"""Backward errors and certified fixed-precision iterative refinement.
+
+A residual norm alone says little: ``||b - A x||`` can look small while
+individual equations are satisfied to no digits at all. The quantities
+that actually certify a solve (Oettli-Prager / Higham, and what
+LAPACK's expert drivers report) are
+
+- the *componentwise* backward error
+  ``berr = max_i |r_i| / (|A| |x| + |b|)_i`` — the smallest relative
+  perturbation of A and b, entry by entry, for which ``x`` is exact;
+- the *normwise* backward error
+  ``nberr = ||r||_inf / (||A||_inf ||x||_inf + ||b||_inf)``;
+- a forward-error bound ``ferr <~ cond(A) * berr``.
+
+Fixed-precision iterative refinement drives ``berr`` down to O(eps):
+repeat ``d = solve(r); x += d`` while the backward error keeps
+shrinking. Each step multiplies the error by roughly
+``eps * cond(A)``-ish contraction factor of the inner solver, so
+either it converges in a few steps or it stagnates — and stagnation is
+itself a diagnosis (the inner solver is too weak), which the caller can
+escalate on (PDSLin rebuilds the Schur preconditioner) before giving
+up.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["CertifiedAccuracy", "backward_errors", "refine"]
+
+# one refinement step must shrink berr at least this much, or we call
+# it stagnation (Higham's rho_thresh in the LAPACK refinement papers)
+STALL_RATIO = 0.5
+
+
+def backward_errors(A: sp.spmatrix, x: np.ndarray, b: np.ndarray,
+                    r: np.ndarray | None = None) -> tuple[float, float]:
+    """(componentwise, normwise) backward error of ``x`` for ``A x = b``.
+
+    A zero denominator with a zero residual contributes 0 (the equation
+    is exactly satisfied); with a nonzero residual it contributes
+    ``inf`` (no perturbation of a zero row can explain the residual).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    b = np.asarray(b, dtype=np.float64)
+    if r is None:
+        r = b - A @ x
+    absr = np.abs(r)
+    denom = np.abs(A) @ np.abs(x) + np.abs(b)
+    live = denom > 0.0
+    berr = float((absr[live] / denom[live]).max()) if np.any(live) else 0.0
+    if np.any(absr[~live] > 0.0):
+        berr = float("inf")
+    norm_a = float(np.abs(A).sum(axis=1).max()) if A.shape[0] else 0.0
+    ndenom = norm_a * float(np.abs(x).max(initial=0.0)) \
+        + float(np.abs(b).max(initial=0.0))
+    rinf = float(absr.max(initial=0.0))
+    nberr = rinf / ndenom if ndenom > 0.0 else (0.0 if rinf == 0.0
+                                                else float("inf"))
+    return berr, nberr
+
+
+@dataclass
+class CertifiedAccuracy:
+    """Quantified accuracy of one solve, attached to the result.
+
+    ``certified`` means the componentwise backward error reached
+    ``certify_tol`` — the solution is exact for a system within that
+    relative distance of the one posed. ``ferr_bound`` is the usual
+    ``cond * berr_norm`` first-order forward-error bound (with the
+    condition number itself an estimate, so a diagnostic, not a proof).
+    ``escalations`` counts refinement stalls that were escalated into
+    the resilience ladder (preconditioner rebuild) before continuing.
+    """
+
+    berr: float
+    nberr: float
+    cond_est: float
+    ferr_bound: float
+    refine_steps: int
+    certified: bool
+    certify_tol: float
+    stagnated: bool = False
+    escalations: int = 0
+    berr_history: list[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return {
+            "berr": self.berr,
+            "nberr": self.nberr,
+            "cond_est": self.cond_est,
+            "ferr_bound": self.ferr_bound,
+            "refine_steps": self.refine_steps,
+            "certified": self.certified,
+            "certify_tol": self.certify_tol,
+            "stagnated": self.stagnated,
+            "escalations": self.escalations,
+            "berr_history": [float(v) for v in self.berr_history],
+        }
+
+    def describe(self) -> str:
+        tag = "CERTIFIED" if self.certified else "UNCERTIFIED"
+        return (f"accuracy: {tag} berr={self.berr:.2e} "
+                f"nberr={self.nberr:.2e} cond~{self.cond_est:.2e} "
+                f"ferr<~{self.ferr_bound:.2e} "
+                f"steps={self.refine_steps}"
+                + (f" escalations={self.escalations}"
+                   if self.escalations else ""))
+
+
+def refine(A: sp.spmatrix, b: np.ndarray, x0: np.ndarray,
+           solve: Callable[[np.ndarray], np.ndarray], *,
+           tol: float = 1e-14,
+           certify_tol: float = 1e-12,
+           maxiter: int = 4,
+           cond_est: float = float("nan"),
+           on_stall: Optional[Callable[[], bool]] = None,
+           ) -> tuple[np.ndarray, CertifiedAccuracy]:
+    """Refine ``x0`` until the componentwise backward error reaches
+    ``tol``, stagnates, or ``maxiter`` correction solves are spent.
+
+    ``solve(r)`` must return an (approximate) solution of ``A d = r``.
+    On stagnation, ``on_stall()`` is consulted: returning True means
+    the caller strengthened the inner solver (e.g. rebuilt the Schur
+    preconditioner with no dropping) and refinement should continue;
+    returning False — or a second stall — ends refinement. The best
+    iterate seen (smallest berr) is the one returned.
+    """
+    b = np.asarray(b, dtype=np.float64)
+    x = np.asarray(x0, dtype=np.float64).copy()
+    berr, nberr = backward_errors(A, x, b)
+    history = [berr]
+    best_x, best = x, (berr, nberr)
+    steps = 0
+    stagnated = False
+    escalations = 0
+    while berr > tol and steps < maxiter:
+        r = b - A @ x
+        d = np.asarray(solve(r), dtype=np.float64)
+        if not np.all(np.isfinite(d)):
+            stagnated = True
+            break
+        x = x + d
+        steps += 1
+        berr, nberr = backward_errors(A, x, b)
+        history.append(berr)
+        if berr < best[0]:
+            best_x, best = x, (berr, nberr)
+        if berr > STALL_RATIO * history[-2]:
+            if on_stall is not None and escalations == 0 \
+                    and berr > certify_tol and on_stall():
+                escalations += 1
+                continue
+            stagnated = berr > tol
+            break
+    berr, nberr = best
+    x = best_x
+    ferr = cond_est * nberr if np.isfinite(cond_est) else float("nan")
+    acc = CertifiedAccuracy(
+        berr=berr, nberr=nberr, cond_est=float(cond_est), ferr_bound=ferr,
+        refine_steps=steps, certified=bool(berr <= certify_tol),
+        certify_tol=certify_tol, stagnated=stagnated,
+        escalations=escalations, berr_history=history)
+    return x, acc

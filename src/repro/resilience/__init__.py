@@ -20,6 +20,7 @@ pipeline must *recover* rather than abort:
 from repro.resilience.errors import (
     InjectedFault,
     KrylovBreakdownError,
+    RefinementStallError,
     SchurFactorizationError,
     SingularSubdomainError,
     SolverError,
@@ -36,7 +37,7 @@ from repro.resilience.retry import RetryPolicy, run_with_retry
 
 __all__ = [
     "SolverError", "SingularSubdomainError", "SchurFactorizationError",
-    "KrylovBreakdownError", "InjectedFault",
+    "KrylovBreakdownError", "RefinementStallError", "InjectedFault",
     "FaultSpec", "FaultPlan", "FiredFault",
     "RetryPolicy", "run_with_retry",
     "RecoveryEvent", "RecoveryReport", "DEGRADING_ACTIONS", "emit_recovery",

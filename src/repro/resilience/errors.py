@@ -16,6 +16,7 @@ __all__ = [
     "SingularSubdomainError",
     "SchurFactorizationError",
     "KrylovBreakdownError",
+    "RefinementStallError",
     "InjectedFault",
 ]
 
@@ -93,6 +94,24 @@ class KrylovBreakdownError(SolverError):
         super().__init__(message, stage=stage)
         self.method = method
         self.iterations = iterations
+
+
+class RefinementStallError(SolverError):
+    """Post-solve iterative refinement stagnated: corrections stopped
+    shrinking the componentwise backward error.
+
+    Raised-or-recorded by the certification pass
+    (:mod:`repro.numerics.refine` via the solver): a first stall
+    escalates into a preconditioner rebuild; a stall after escalation
+    leaves the solve uncertified and is recorded as a degrading
+    ``refine-stall`` event. ``berr`` is the backward error refinement
+    got stuck at (NaN when recorded before the final value is known).
+    """
+
+    def __init__(self, message: str, *, berr: float = float("nan"),
+                 stage: str = "Refine"):
+        super().__init__(message, stage=stage)
+        self.berr = float(berr)
 
 
 class InjectedFault(SolverError):

@@ -19,9 +19,11 @@ __all__ = ["RecoveryEvent", "RecoveryReport", "DEGRADING_ACTIONS",
 
 # Actions after which the solve no longer reflects the requested
 # configuration at full health: perturbed factors, lost processes,
-# rebuilt preconditioners, switched Krylov methods.
+# rebuilt preconditioners, switched Krylov methods, refinement that
+# gave up before certifying the answer.
 DEGRADING_ACTIONS = frozenset({
     "static-pivot", "failover-root", "precond-refresh", "krylov-fallback",
+    "refine-stall",
 })
 
 
@@ -66,6 +68,9 @@ class RecoveryReport:
     perturbed_pivots: int = 0
     preconditioner_mode: str = "lu"
     degraded: bool = False
+    # CertifiedAccuracy.to_dict() of the most recent solve (None until
+    # a certification pass has run)
+    accuracy: dict | None = None
 
     def record(self, stage: str, action: str, error: object, *,
                detail: str = "", subdomain: int | None = None,
@@ -98,17 +103,32 @@ class RecoveryReport:
             out[e.action] = out.get(e.action, 0) + 1
         return out
 
+    def _accuracy_line(self) -> str | None:
+        if not self.accuracy:
+            return None
+        tag = "CERTIFIED" if self.accuracy.get("certified") \
+            else "UNCERTIFIED"
+        return (f"  accuracy: {tag} "
+                f"berr={self.accuracy.get('berr', float('nan')):.2e} "
+                f"cond~{self.accuracy.get('cond_est', float('nan')):.2e} "
+                f"refine_steps={self.accuracy.get('refine_steps', 0)}")
+
     def summary(self) -> str:
-        """Multi-line report: health line, then one line per event."""
+        """Multi-line report: health line, then one line per event,
+        then the certified-accuracy line when a certification ran."""
+        acc = self._accuracy_line()
         if self.healthy:
-            return "recovery: none (full health)"
+            head = "recovery: none (full health)"
+            return head if acc is None else head + "\n" + acc
         head = (f"recovery: {len(self.events)} events, "
                 f"{self.retries} retries, "
                 f"{self.perturbed_pivots} perturbed pivots, "
                 f"preconditioner={self.preconditioner_mode}, "
                 f"{'DEGRADED' if self.degraded else 'full health'}")
-        return "\n".join([head] + ["  - " + e.describe()
-                                   for e in self.events])
+        lines = [head] + ["  - " + e.describe() for e in self.events]
+        if acc is not None:
+            lines.append(acc)
+        return "\n".join(lines)
 
     def to_dict(self) -> dict:
         """JSON-serializable form (for metrics/report artifacts)."""
@@ -117,6 +137,7 @@ class RecoveryReport:
             "perturbed_pivots": self.perturbed_pivots,
             "preconditioner_mode": self.preconditioner_mode,
             "retries": self.retries,
+            "accuracy": self.accuracy,
             "events": [{"stage": e.stage, "action": e.action,
                         "error": e.error, "detail": e.detail,
                         "subdomain": e.subdomain, "attempt": e.attempt}

@@ -15,6 +15,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.utils import check_finite
 
 __all__ = ["BiCGSTABResult", "bicgstab"]
 
@@ -51,7 +52,13 @@ def bicgstab(matvec: Operator, b: np.ndarray, *,
     """Solve ``A x = b``; right preconditioning, true-residual test.
 
     ``tracer`` records one ``bicgstab`` span with iteration counters.
+
+    Rejects ``b``/``x0`` containing NaN/Inf (a NaN norm silently passes
+    every convergence test); ``b = 0`` returns ``x = 0``, converged.
     """
+    check_finite(np.asarray(b, dtype=np.float64), "b")
+    if x0 is not None:
+        check_finite(np.asarray(x0, dtype=np.float64), "x0")
     with tracer.span("bicgstab"):
         res = _bicgstab(matvec, b, preconditioner=preconditioner, x0=x0,
                         tol=tol, maxiter=maxiter)

@@ -14,6 +14,7 @@ from typing import Callable, Optional
 import numpy as np
 
 from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.utils import check_finite
 
 __all__ = ["GMRESResult", "gmres"]
 
@@ -62,7 +63,13 @@ def gmres(matvec: Operator, b: np.ndarray, *,
 
     ``tracer`` records one ``gmres`` span with a ``gmres_iterations``
     counter (and ``gmres_converged`` 0/1).
+
+    Rejects ``b``/``x0`` containing NaN/Inf (a NaN norm silently passes
+    every convergence test); ``b = 0`` returns ``x = 0``, converged.
     """
+    check_finite(np.asarray(b, dtype=np.float64), "b")
+    if x0 is not None:
+        check_finite(np.asarray(x0, dtype=np.float64), "x0")
     with tracer.span("gmres", flexible=flexible, restart=restart):
         res = _gmres(matvec, b, preconditioner=preconditioner, x0=x0,
                      tol=tol, restart=restart, maxiter=maxiter,

@@ -46,6 +46,13 @@ from repro.lu import (
     partition_columns,
     solution_pattern,
 )
+from repro.numerics.condest import condest_from_factors
+from repro.numerics.pipeline import (
+    SystemTransform,
+    prepare_system,
+    retarget_system,
+)
+from repro.numerics.refine import CertifiedAccuracy, refine
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ordering import elimination_tree, minimum_degree, postorder
 from repro.parallel import RECOVER_STAGE, SimulatedMachine
@@ -54,6 +61,7 @@ from repro.resilience import (
     InjectedFault,
     KrylovBreakdownError,
     RecoveryReport,
+    RefinementStallError,
     RetryPolicy,
     SchurFactorizationError,
     emit_recovery,
@@ -104,6 +112,20 @@ class PDSLinConfig:
     trim_separator: bool = False        # post-hoc separator trimming pass
     subdomain_ordering: str = "md"      # "md" | "nd" | "rcm"
     supernode_relax: float = 0.0        # amalgamation threshold (0 = strict)
+    # -- numerical robustness layer (repro.numerics) --
+    numerics: bool = True               # master switch; False restores the
+    #                                     pre-numerics pipeline exactly
+    equilibrate: bool = True            # Ruiz row/col scaling before DBBD
+    equilibrate_iters: int = 20
+    equilibrate_tol: float = 1e-2
+    static_pivot_matching: bool = True  # MC64-style max-product row matching
+    matching_threshold: float = 1e-3    # engage matching only when some
+    #                                     scaled |a_ii| falls below this
+    condest: bool = True                # Hager-Higham cond_1 per D_l and S~
+    cond_threshold: float = 1e10        # above this, drop tols auto-tighten
+    refine_maxiter: int = 4             # post-solve iterative refinement
+    refine_tol: float = 1e-14           # target componentwise backward error
+    certify_tol: float = 1e-12          # berr needed for certified=True
 
     def __post_init__(self) -> None:
         self.k = positive_int(self.k, "k")
@@ -125,6 +147,24 @@ class PDSLinConfig:
             raise ValueError("supernode_relax must be in [0, 1)")
         if self.block_size <= 0:
             raise ValueError("block_size must be positive")
+        if not self.numerics:
+            # one switch turns the whole robustness layer off
+            self.equilibrate = False
+            self.static_pivot_matching = False
+            self.condest = False
+            self.refine_maxiter = 0
+        self.equilibrate_iters = positive_int(self.equilibrate_iters,
+                                              "equilibrate_iters")
+        if self.equilibrate_tol <= 0.0:
+            raise ValueError("equilibrate_tol must be positive")
+        if self.matching_threshold < 0.0:
+            raise ValueError("matching_threshold must be >= 0")
+        if self.cond_threshold < 1.0:
+            raise ValueError("cond_threshold must be >= 1")
+        if self.refine_maxiter < 0:
+            raise ValueError("refine_maxiter must be >= 0")
+        if self.refine_tol <= 0.0 or self.certify_tol <= 0.0:
+            raise ValueError("refine_tol and certify_tol must be positive")
 
 
 @dataclass
@@ -151,6 +191,12 @@ class PDSLinResult:
     only through degradation (perturbed pivots, a lost process, a
     rebuilt preconditioner) has ``recovery.degraded`` — and therefore
     ``result.degraded`` — set instead of silently claiming full health.
+
+    ``accuracy`` is the :class:`repro.numerics.CertifiedAccuracy` block
+    (componentwise/normwise backward error, condition estimate,
+    forward-error bound, refinement steps) when the numerics layer ran;
+    ``None`` with ``numerics=False``. ``x`` and ``residual_norm`` are
+    always in the *original* (unscaled, unpermuted) system.
     """
 
     x: np.ndarray
@@ -161,11 +207,18 @@ class PDSLinResult:
     machine: SimulatedMachine
     gmres: GMRESResult
     recovery: RecoveryReport = field(default_factory=RecoveryReport)
+    accuracy: Optional[CertifiedAccuracy] = None
 
     @property
     def degraded(self) -> bool:
         """True when the solve succeeded only in degraded mode."""
         return self.recovery.degraded
+
+    @property
+    def certified(self) -> bool:
+        """True when refinement certified the componentwise backward
+        error below ``certify_tol`` (False when numerics is off)."""
+        return self.accuracy is not None and self.accuracy.certified
 
     def breakdown(self) -> dict[str, float]:
         return self.machine.breakdown()
@@ -202,9 +255,12 @@ class PDSLin:
                  tracer: Tracer | None = None,
                  fault_plan: FaultPlan | None = None,
                  retry_policy: RetryPolicy | None = None):
-        self.A = check_csr(A)
-        check_square(self.A, "A")
-        check_finite(self.A, "A")
+        self.A_input = check_csr(A)
+        check_square(self.A_input, "A")
+        check_finite(self.A_input, "A")
+        # the working matrix P R A C (replaced by the numerics pre-pass
+        # in setup(); identical to A_input with numerics off)
+        self.A = self.A_input
         self.config = config or PDSLinConfig()
         self.M = M  # optional structural factor for RHB
         self.tracer = tracer if tracer is not None else NULL_TRACER
@@ -218,6 +274,13 @@ class PDSLin:
         self._schur_perm: np.ndarray | None = None
         self._schur_factors: LUFactors | None = None
         self._is_setup = False
+        self._prep: SystemTransform | None = None
+        # effective drop tolerances: start at the configured values and
+        # only tighten (condition-estimate driven)
+        self._drop_interface_eff = self.config.drop_interface
+        self._drop_schur_eff = self.config.drop_schur
+        self._schur_drop_used = self.config.drop_schur
+        self.cond_estimates: dict = {"subdomains": {}, "schur": None}
 
     # -- resilient execution ----------------------------------------------
 
@@ -284,12 +347,14 @@ class PDSLin:
 
     def setup(self) -> "PDSLin":
         cfg = self.config
+        self._prepare_numerics()
 
         def partition_body(ledger):
             with self.tracer.span("partition", partitioner=cfg.partitioner,
                                   k=cfg.k):
                 if cfg.partitioner == "rhb":
-                    r = rhb_partition(self.A, cfg.k, M=self.M,
+                    r = rhb_partition(self.A, cfg.k,
+                                      M=self._structural_factor(),
                                       metric=cfg.metric,
                                       scheme=cfg.scheme, epsilon=cfg.epsilon,
                                       seed=cfg.seed,
@@ -312,9 +377,71 @@ class PDSLin:
         self._numeric_setup()
         return self
 
+    # -- numerics pre-pass (repro.numerics) --------------------------------
+
+    def _prepare_numerics(self) -> None:
+        """Build the working system ``A_w = P R A C`` (Ruiz scaling +
+        max-product matching) that every downstream stage operates on.
+        Runs before partitioning so the DBBD structure is computed on
+        the row-permuted matrix. Real preprocessing, traced but not
+        charged to the simulated machine (it is outside the paper's
+        stage model)."""
+        cfg = self.config
+        if not (cfg.equilibrate or cfg.static_pivot_matching):
+            self._prep = None
+            self.A = self.A_input
+            return
+        self._prep = prepare_system(
+            self.A_input, equilibrate=cfg.equilibrate,
+            matching=cfg.static_pivot_matching,
+            equilibrate_iters=cfg.equilibrate_iters,
+            equilibrate_tol=cfg.equilibrate_tol,
+            matching_threshold=cfg.matching_threshold, tracer=self.tracer)
+        self.A = self._prep.A_work
+
+    def _structural_factor(self) -> sp.spmatrix | None:
+        """The RHB structural factor to use. A user-supplied ``M``
+        describes the *original* row structure; once matching permutes
+        rows it no longer models the working matrix, so RHB falls back
+        to its default incidence factor (built from ``self.A``)."""
+        if self.M is None or self._prep is None:
+            return self.M
+        mt = self._prep.matching
+        if mt is None or mt.identity:
+            return self.M
+        return None
+
+    def _to_working_rhs(self, b: np.ndarray) -> np.ndarray:
+        """``P R b`` — map a right-hand side into the working system."""
+        if self._prep is None:
+            return np.asarray(b, dtype=np.float64)
+        return self._prep.scale_rhs(b)
+
+    def _from_working_solution(self, y: np.ndarray) -> np.ndarray:
+        """``C y`` — map a working-system solution back out."""
+        if self._prep is None:
+            return np.asarray(y, dtype=np.float64)
+        return self._prep.unscale_solution(y)
+
+    def _tighten_drops(self, cond: float) -> None:
+        """Condition-driven auto-tightening: scale the interface/Schur
+        drop tolerances down by ``cond / cond_threshold`` (capped) so
+        ill-conditioned blocks are approximated less aggressively."""
+        cfg = self.config
+        factor = min(cond / cfg.cond_threshold, 1e6)
+        new_i = cfg.drop_interface / factor
+        new_s = cfg.drop_schur / factor
+        if new_i < self._drop_interface_eff or new_s < self._drop_schur_eff:
+            self._drop_interface_eff = min(self._drop_interface_eff, new_i)
+            self._drop_schur_eff = min(self._drop_schur_eff, new_s)
+            self.tracer.count("cond_tightenings")
+
     def _numeric_setup(self) -> None:
         """Everything after partitioning: subdomain factorizations,
         interface solves, Schur assembly and factorization."""
+        self._drop_interface_eff = self.config.drop_interface
+        self._drop_schur_eff = self.config.drop_schur
+        self.cond_estimates = {"subdomains": {}, "schur": None}
         self.subdomains = []
         for ell in range(self.config.k):
             self._setup_subdomain(ell)
@@ -333,14 +460,25 @@ class PDSLin:
             raise ValueError("call setup() before update_matrix()")
         A_new = check_csr(A_new)
         check_square(A_new, "A_new")
-        old = self.A
+        check_finite(A_new, "A_new")
+        old = self.A_input
         if A_new.shape != old.shape or A_new.nnz != old.nnz or \
                 not (np.array_equal(A_new.indptr, old.indptr)
                      and np.array_equal(A_new.indices, old.indices)):
             raise ValueError("update_matrix requires the same sparsity "
                              "pattern; build a new solver instead")
-        self.A = A_new
-        self.partition = build_dbbd(A_new, self.partition.part,
+        self.A_input = A_new
+        if self._prep is not None:
+            # same pattern, fresh values: keep the matching permutation
+            # (the partition depends on it) but recompute the scalings
+            self._prep = retarget_system(
+                self._prep, A_new,
+                equilibrate_iters=self.config.equilibrate_iters,
+                equilibrate_tol=self.config.equilibrate_tol)
+            self.A = self._prep.A_work
+        else:
+            self.A = A_new
+        self.partition = build_dbbd(self.A, self.partition.part,
                                     self.config.k, validate=False)
         self._numeric_setup()
         return self
@@ -397,7 +535,7 @@ class PDSLin:
         order = self._column_order(B_sparse, Gpat)
         parts = partition_columns(order, cfg.block_size)
         res = blocked_triangular_solve(snl, B_sparse, Gpat, parts,
-                                       drop_tol=cfg.drop_interface,
+                                       drop_tol=self._drop_interface_eff,
                                        tracer=self.tracer)
         return res.X, res.padding
 
@@ -420,6 +558,12 @@ class PDSLin:
                 ledger.ops.add("LU(D)", flops)
                 self.tracer.count("subdomain_dim", int(sub.D.shape[0]))
                 self.tracer.count("subdomain_nnz", int(sub.D.nnz))
+                if cfg.condest:
+                    cond = condest_from_factors(Dp, factors)
+                    self.cond_estimates["subdomains"][ell] = cond
+                    self.tracer.count("cond_est_subdomain", cond)
+                    if np.isfinite(cond) and cond > cfg.cond_threshold:
+                        self._tighten_drops(cond)
                 return sub, perm, factors, flops
 
         sub, perm, factors, flops = self._on_subdomain(ell, "LU(D)", lu_body)
@@ -460,7 +604,9 @@ class PDSLin:
         def asm_body(ledger):
             updates = [(s.interfaces, s.T_tilde) for s in self.subdomains]
             self.S_tilde = assemble_approximate_schur(
-                C, updates, drop_tol=cfg.drop_schur, tracer=self.tracer)
+                C, updates, drop_tol=self._drop_schur_eff,
+                tracer=self.tracer)
+            self._schur_drop_used = self._drop_schur_eff
 
         self._on_root_stage("Comp(S)", asm_body)
         mode = cfg.schur_factorization
@@ -484,6 +630,26 @@ class PDSLin:
                     RECOVER_STAGE,
                     lambda ledger: self._factor_schur("lu", ledger))
             self.recovery.preconditioner_mode = "lu(from-ilu)"
+        # proactive (non-degrading) robustness move: a badly conditioned
+        # Schur factor makes a dropped S~ a poor preconditioner, so
+        # reassemble keeping every entry before GMRES ever runs
+        cond_s = self.cond_estimates.get("schur")
+        if (cfg.condest and cond_s is not None and np.isfinite(cond_s)
+                and cond_s > cfg.cond_threshold
+                and self._schur_drop_used > 0.0
+                and self.recovery.preconditioner_mode != "ilu"):
+
+            def rebuild_body(ledger):
+                updates = [(s.interfaces, s.T_tilde)
+                           for s in self.subdomains]
+                self.S_tilde = assemble_approximate_schur(
+                    C, updates, drop_tol=0.0, tracer=self.tracer)
+                self._factor_schur("lu", ledger)
+
+            self.tracer.count("schur_cond_rebuilds")
+            self._on_root_stage("LU(S)", rebuild_body)
+            self._schur_drop_used = 0.0
+            self._drop_schur_eff = 0.0
 
     def _factor_schur(self, mode: str, ledger) -> None:
         """Factor ``S~`` as the preconditioner, in ``mode`` ("lu" or
@@ -523,6 +689,10 @@ class PDSLin:
                 factors, _ = factorize_resilient(
                     Sp, diag_pivot_thresh=1.0, stage="LU(S)",
                     report=self.recovery, tracer=self.tracer)
+                if cfg.condest:
+                    cond = condest_from_factors(Sp, factors)
+                    self.cond_estimates["schur"] = cond
+                    self.tracer.count("cond_est_schur", cond)
             self._schur_factors = factors
             self._schur_perm = sp_perm
             ledger.ops.add("LU(S)", lu_flop_count(factors))
@@ -543,6 +713,7 @@ class PDSLin:
             self._factor_schur("lu", ledger)
 
         self._on_root_stage(RECOVER_STAGE, body)
+        self._schur_drop_used = 0.0
         self.recovery.preconditioner_mode = "lu(refreshed, drop_schur=0)"
 
     # -- solve ------------------------------------------------------------
@@ -556,13 +727,94 @@ class PDSLin:
 
     def solve(self, b: np.ndarray) -> PDSLinResult:
         """Solve ``A x = b`` (setup() is run on demand). Rejects
-        right-hand sides containing NaN/Inf."""
+        right-hand sides containing NaN/Inf.
+
+        ``b`` and the returned ``x`` live in the original system; the
+        numerics transform (scaling + matching) is applied on the way
+        in and undone on the way out. With the numerics layer on, the
+        solution is iteratively refined against the *original* ``A``
+        and the result carries a :class:`CertifiedAccuracy` block."""
         b = np.asarray(b, dtype=np.float64)
         check_finite(b, "b")
         if not self._is_setup:
             self.setup()
+        if b.shape != (self.A_input.shape[0],):
+            raise ValueError(f"b must have shape "
+                             f"({self.A_input.shape[0]},)")
         with self.tracer.span("solve"):
-            return self._solve(b)
+            res = self._solve(self._to_working_rhs(b))
+            res.x = self._from_working_solution(res.x)
+            return self._finalize(b, res)
+
+    def _correction_solve(self, r: np.ndarray) -> np.ndarray:
+        """Approximate ``A d = r`` in the original system — one full
+        hybrid pass through the working system, used as the inner
+        solver of iterative refinement."""
+        res = self._solve(self._to_working_rhs(r))
+        return self._from_working_solution(res.x)
+
+    def _cond_for_bound(self) -> float:
+        """The condition estimate entering the forward-error bound: the
+        worst finite estimate seen across subdomains and the Schur
+        factor (NaN when condest is off)."""
+        vals = [c for c in self.cond_estimates["subdomains"].values()
+                if np.isfinite(c)]
+        cond_s = self.cond_estimates.get("schur")
+        if cond_s is not None and np.isfinite(cond_s):
+            vals.append(cond_s)
+        return float(max(vals)) if vals else float("nan")
+
+    def _on_refine_stall(self) -> bool:
+        """Refinement stalled: escalate into the resilience ladder by
+        rebuilding the Schur preconditioner with no dropping. Returns
+        True when something was actually strengthened (refinement then
+        continues); False when there is nothing left to escalate."""
+        if self.S_tilde is None or self.S_tilde.shape[0] == 0 \
+                or self._schur_drop_used <= 0.0:
+            return False
+        err = RefinementStallError(
+            "iterative refinement stagnated",
+            berr=float("nan"))
+        self._record("Refine", "precond-refresh", err,
+                     detail="refinement stalled; rebuilding S~ "
+                            "preconditioner with drop_schur=0")
+        with self.tracer.span("recover", stage="Refine",
+                              action="precond-refresh"):
+            self._refresh_schur_preconditioner()
+        return True
+
+    def _finalize(self, b: np.ndarray, res: PDSLinResult) -> PDSLinResult:
+        """Post-solve certification in the original system: iterative
+        refinement (with stall escalation), the CertifiedAccuracy
+        block, and the true residual norm of ``A_input x = b``."""
+        cfg = self.config
+        if cfg.refine_maxiter > 0 or cfg.condest:
+            with self.tracer.span("refine"):
+                x, acc = refine(
+                    self.A_input, b, res.x, self._correction_solve,
+                    tol=cfg.refine_tol, certify_tol=cfg.certify_tol,
+                    maxiter=cfg.refine_maxiter,
+                    cond_est=self._cond_for_bound(),
+                    on_stall=self._on_refine_stall)
+                self.tracer.count("refine_steps", acc.refine_steps)
+                self.tracer.count("refine_certified", int(acc.certified))
+            res.x = x
+            res.accuracy = acc
+            if acc.stagnated and not acc.certified:
+                # escalation exhausted and still uncertified: this is a
+                # degraded answer, say so through the recovery report
+                self._record(
+                    "Refine", "refine-stall",
+                    RefinementStallError("refinement stagnated "
+                                         "uncertified", berr=acc.berr),
+                    detail=f"berr={acc.berr:.2e} after "
+                           f"{acc.refine_steps} steps "
+                           f"({acc.escalations} escalations)")
+            self.recovery.accuracy = acc.to_dict()
+        r = b - self.A_input @ res.x
+        res.residual_norm = float(np.linalg.norm(r)
+                                  / max(np.linalg.norm(b), 1e-300))
+        return res
 
     def _solve_schur_system(self, matvec, g: np.ndarray):
         """One Krylov attempt on the Schur system, then the recovery

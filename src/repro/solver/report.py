@@ -60,9 +60,11 @@ def run_report(solver: PDSLin, result: PDSLinResult) -> dict:
         obs = stage_metrics(solver.tracer)
     return {
         "config": cfg,
-        "n": int(solver.A.shape[0]),
-        "nnz": int(solver.A.nnz),
+        "n": int(solver.A_input.shape[0]),
+        "nnz": int(solver.A_input.nnz),
         "obs": obs,
+        "numerics": solver._prep.to_dict() if solver._prep is not None
+        else None,
         "partition": {
             "separator_size": int(q.separator_size),
             "dim_ratio": round(q.dim_ratio, 4),
@@ -78,6 +80,9 @@ def run_report(solver: PDSLin, result: PDSLinResult) -> dict:
             "iterations": int(result.iterations),
             "residual_norm": float(result.residual_norm),
             "schur_size": int(result.schur_size),
+            "certified": bool(result.certified),
+            "accuracy": result.accuracy.to_dict()
+            if result.accuracy is not None else None,
         },
     }
 
@@ -101,6 +106,13 @@ def format_report(report: dict) -> str:
         f"residual={report['solve']['residual_norm']:.2e} "
         f"converged={report['solve']['converged']}",
     ]
+    acc = report["solve"].get("accuracy")
+    if acc:
+        tag = "CERTIFIED" if acc["certified"] else "UNCERTIFIED"
+        lines.append(f"accuracy: {tag} berr={acc['berr']:.2e} "
+                     f"nberr={acc['nberr']:.2e} "
+                     f"cond~{acc['cond_est']:.2e} "
+                     f"refine_steps={acc['refine_steps']}")
     obs = report.get("obs")
     if obs:
         lines.append("traced stages (wall): " + "  ".join(

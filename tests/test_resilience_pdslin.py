@@ -150,8 +150,12 @@ class TestNumericalRecovery:
         A2 = A2.tocsr()
         A2.eliminate_zeros()
 
+        # static_pivot_matching would *proactively* permute the zero
+        # pivot away (see test below); disable it to exercise the
+        # reactive perturbation rung
         tracer = Tracer()
-        solver = PDSLin(A2, PDSLinConfig(k=2, block_size=16, seed=0),
+        solver = PDSLin(A2, PDSLinConfig(k=2, block_size=16, seed=0,
+                                         static_pivot_matching=False),
                         tracer=tracer)
         result = solver.solve(_rhs(A2))
         assert result.converged

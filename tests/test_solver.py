@@ -124,9 +124,10 @@ class TestSchurAssembly:
         S_ref = Ad[np.ix_(sep, sep)] - Ad[np.ix_(sep, interior)] @ \
             np.linalg.solve(Ad[np.ix_(interior, interior)],
                             Ad[np.ix_(interior, sep)])
-        # via the solver pieces with no dropping
+        # via the solver pieces with no dropping (numerics off so S~ is
+        # the Schur complement of A itself, not of the scaled system)
         cfg = PDSLinConfig(k=2, partitioner="ngd", drop_interface=0.0,
-                           drop_schur=0.0, seed=0)
+                           drop_schur=0.0, seed=0, numerics=False)
         solver = PDSLin(grid16, cfg)
         solver.setup()
         S = solver.S_tilde.toarray()
