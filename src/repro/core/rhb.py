@@ -129,7 +129,8 @@ def rhb_partition(A: sp.spmatrix, k: int, *,
                   seed: SeedLike = None,
                   n_trials: int = 4,
                   fm_passes: int = 8,
-                  tracer: Tracer = NULL_TRACER) -> RHBResult:
+                  tracer: Tracer = NULL_TRACER,
+                  verify=None) -> RHBResult:
     """Run RHB on ``A`` producing ``k`` subdomains plus separator.
 
     Parameters
@@ -152,6 +153,14 @@ def rhb_partition(A: sp.spmatrix, k: int, *,
     tracer:
         Records an ``rhb_partition`` span with one nested ``rhb_bisect``
         span per bisection (``depth`` attribute, ``cut_cost`` counter).
+    verify:
+        A :class:`repro.verify.Verifier` (or True for the default one)
+        arms the partitioning invariant checks: dynamic vertex weights
+        are recomputed from their Section III-C definitions at every
+        bisection, and at the end the accumulated recursive cut cost
+        must telescope to the flat unit-cost metric on the final row
+        partition and every interior column must be consistent with its
+        rows' leaf part.
     """
     k = positive_int(k, "k")
     epsilon = fraction(epsilon, "epsilon")
@@ -165,6 +174,11 @@ def rhb_partition(A: sp.spmatrix, k: int, *,
         raise ValueError(
             f"M has {M.shape[1]} columns but A is {A.shape[0]}x{A.shape[0]}")
     rng = rng_from(seed)
+    if verify is True:
+        from repro.verify.invariants import Verifier
+        verify = Verifier()
+    verifier = verify if (verify is not None
+                          and getattr(verify, "enabled", False)) else None
 
     n_rows, n_cols = M.shape
     H0 = Hypergraph.column_net_model(M)
@@ -189,6 +203,10 @@ def rhb_partition(A: sp.spmatrix, k: int, *,
         weights = compute_vertex_weights(H, scheme, w2_full[row_ids],
                                          first_bisection=(depth == 0),
                                          net_internal=~is_sep[H.net_ids])
+        if verifier is not None:
+            verifier.after_weights(H, scheme, weights, w2_full[row_ids],
+                                   first_bisection=(depth == 0),
+                                   net_internal=~is_sep[H.net_ids])
         Hw = replace(H, vertex_weights=weights, _vtx_ptr=H.vtx_ptr,
                      _vtx_nets=H.vtx_nets)
         k_left = k_here // 2
@@ -214,6 +232,9 @@ def rhb_partition(A: sp.spmatrix, k: int, *,
         # columns cut anywhere stay separator even if a fragment reached
         # a leaf
         col_part[is_sep] = SEPARATOR
+    if verifier is not None:
+        verifier.after_rhb(H0, row_part, col_part, k, metric,
+                           int(sum(cut_costs)))
     return RHBResult(col_part=col_part, row_part=row_part, k=k,
                      metric=metric, scheme=scheme, cut_costs=cut_costs,
                      bisection_seconds=bis_seconds,

@@ -62,7 +62,8 @@ def nested_dissection_partition(A: sp.spmatrix | Graph, k: int, *,
                                 epsilon: float = 0.05,
                                 seed: SeedLike = None,
                                 n_trials: int = 4,
-                                bisector: str = "fm") -> NGDResult:
+                                bisector: str = "fm",
+                                verify=None) -> NGDResult:
     """Partition the vertices of ``A`` into ``k`` subdomains plus a
     separator by recursive bisection.
 
@@ -78,6 +79,10 @@ def nested_dissection_partition(A: sp.spmatrix | Graph, k: int, *,
         ``"fm"`` — multilevel FM (the PT-Scotch-like default);
         ``"spectral"`` — Fiedler-vector bisection (only for k a power of
         two; spectral splits are inherently 50/50).
+    verify:
+        A :class:`repro.verify.Verifier` (or True for the default one)
+        checks the result is a complete vertex separator: part ids in
+        range and no edge joining two different subdomains.
     """
     k = positive_int(k, "k")
     epsilon = fraction(epsilon, "epsilon")
@@ -120,4 +125,11 @@ def nested_dissection_partition(A: sp.spmatrix | Graph, k: int, *,
         recurse(g1, ids[vs.side1], k_here - k_left, low + k_left, depth + 1)
 
     recurse(g, np.arange(n, dtype=np.int64), k, 0, 0)
+    if verify is True:
+        from repro.verify.invariants import Verifier
+        verify = Verifier()
+    if verify is not None and getattr(verify, "enabled", False):
+        adj = sp.csr_matrix(
+            (np.ones(g.indices.size), g.indices, g.indptr), shape=(n, n))
+        verify.check_vertex_separator(adj, part, k)
     return NGDResult(part=part, k=k, levels=levels)

@@ -41,7 +41,7 @@ def net_connectivities(H: Hypergraph, part: np.ndarray, k: int) -> np.ndarray:
 
 
 def cutsize(H: Hypergraph, part: np.ndarray, k: int,
-            metric: CutMetric = "con1") -> int:
+            metric: CutMetric = "con1", *, verify: bool = False) -> int:
     """Cutsize of a k-way partition under the chosen metric.
 
     - ``con1``: sum of cost(j) * (lambda(j) - 1)           (Eq. 7)
@@ -52,16 +52,37 @@ def cutsize(H: Hypergraph, part: np.ndarray, k: int,
     :mod:`repro.hypergraph.bisect` realizes this metric through the
     cost-2/halve-on-cut construction described in Section III-C;
     this function is the direct (flat) definition used to verify it.
+
+    ``verify=True`` cross-checks the vectorized connectivity reduction
+    against the plain-loop reference of :mod:`repro.verify.oracles`
+    (including the soed = con1 + cnet identity) and raises
+    :class:`repro.verify.VerificationError` on disagreement.
     """
     if metric not in _VALID_METRICS:
         raise ValueError(f"metric must be one of {_VALID_METRICS}, got {metric!r}")
     lam = net_connectivities(H, part, k)
     c = H.net_costs
     if metric == "con1":
-        return int((c * np.maximum(lam - 1, 0)).sum())
-    if metric == "cnet":
-        return int(c[lam > 1].sum())
-    return int((c * lam)[lam > 1].sum())
+        val = int((c * np.maximum(lam - 1, 0)).sum())
+    elif metric == "cnet":
+        val = int(c[lam > 1].sum())
+    else:
+        val = int((c * lam)[lam > 1].sum())
+    if verify:
+        from repro.verify.invariants import VerificationError
+        from repro.verify.oracles import cut_metrics_reference
+        ref = cut_metrics_reference(H, part, k)
+        if val != ref[metric]:
+            raise VerificationError(
+                "metrics.cutsize",
+                f"vectorized {metric} = {val} disagrees with the "
+                f"plain-loop reference {ref[metric]}")
+        if ref["soed"] != ref["con1"] + ref["cnet"]:
+            raise VerificationError(
+                "metrics.soed-identity",
+                f"soed {ref['soed']} != con1 {ref['con1']} + cnet "
+                f"{ref['cnet']}")
+    return val
 
 
 def part_weights(H: Hypergraph, part: np.ndarray, k: int) -> np.ndarray:

@@ -21,20 +21,41 @@ __all__ = ["reach", "solution_pattern", "toposorted_reach", "factor_etree"]
 
 
 def factor_etree(L: sp.spmatrix) -> np.ndarray:
-    """First-below-diagonal parent pointer per column of ``L``.
+    """Elimination tree of the factor pattern with the *ancestor
+    guarantee*: for every stored entry ``L[i, j]`` (``i > j``), ``i`` is
+    an ancestor of ``j`` in the returned tree.
 
-    For a factor with Cholesky-like structure this is exactly the
-    elimination tree, and the fill path from any node to the root covers
-    its reach set (Gilbert's theorem, the paper's Section IV-A model).
+    That guarantee is what makes the fill-path closure of
+    :func:`solution_pattern` a safe superset of the exact reach: every
+    DAG edge of the triangular solve climbs toward an ancestor, so the
+    reach of any support column is contained in its path to the root
+    (Gilbert's theorem, the paper's Section IV-A model).
+
+    For a factor with Cholesky-like structure (every below-diagonal row
+    index of column ``j`` already an ancestor of the first one) this is
+    the classical elimination tree — the first below-diagonal entry per
+    column. For general LU factors under pivoting that shortcut
+    *under*-approximates (a column may hit a row off its first-parent
+    path), so the tree is built with Liu's algorithm over the pattern:
+    rows in increasing order, climbing with path compression and
+    grafting every terminating subtree under the current row.
     """
     L = check_csc(L)
     n = L.shape[0]
+    Lr = sp.tril(L, -1, format="csr")
     parent = np.full(n, -1, dtype=np.int64)
-    for j in range(n):
-        rows = L.indices[L.indptr[j]:L.indptr[j + 1]]
-        below = rows[rows > j]
-        if below.size:
-            parent[j] = below[0]  # indices are sorted: first = min
+    ancestor = np.full(n, -1, dtype=np.int64)
+    indptr, indices = Lr.indptr, Lr.indices
+    for i in range(n):
+        for j in indices[indptr[i]:indptr[i + 1]].tolist():
+            r = j
+            while ancestor[r] != -1 and ancestor[r] != i:
+                t = ancestor[r]
+                ancestor[r] = i  # path compression
+                r = t
+            if ancestor[r] == -1:
+                ancestor[r] = i
+                parent[r] = i
     return parent
 
 

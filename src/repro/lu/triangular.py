@@ -123,21 +123,32 @@ def blocked_triangular_solve(snl: SupernodalLower, E: sp.spmatrix,
     """
     E = check_csr(E).tocsc()
     Gc = G_pattern.tocsc()
+    Gc.sum_duplicates()
     n, m = E.shape
     if snl.n != n:
         raise ValueError("factor and RHS dimensions differ")
     with tracer.span("blocked_trsolve", n_parts=len(parts), nrhs=m):
         timer = Timer().start()
         total_flops = 0
-        pad_stats = padded_zeros(G_pattern, parts)
+        # one sweep over G_pattern per part: the active-row mask drives
+        # the numeric solve and yields the Eq. (14) padding accounting
+        # at the same time (identical to the padded_zeros oracle)
+        per_padded: list[int] = []
+        per_entries: list[int] = []
         out_cols: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         for cols in parts:
             bsz = len(cols)
+            active = np.zeros(n, dtype=bool)
+            nnz_part = 0
+            for j in cols:
+                rows = Gc.indices[Gc.indptr[j]:Gc.indptr[j + 1]]
+                active[rows] = True
+                nnz_part += rows.size
+            block = int(np.count_nonzero(active)) * bsz
+            per_padded.append(block - nnz_part)
+            per_entries.append(block)
             if bsz == 0:
                 continue
-            active = np.zeros(n, dtype=bool)
-            for j in cols:
-                active[Gc.indices[Gc.indptr[j]:Gc.indptr[j + 1]]] = True
             X = np.zeros((n, bsz))
             for t, j in enumerate(cols):
                 rr = E.indices[E.indptr[j]:E.indptr[j + 1]]
@@ -152,6 +163,10 @@ def blocked_triangular_solve(snl: SupernodalLower, E: sp.spmatrix,
                     thresh = drop_tol * np.abs(colv).max()
                     nzmask &= np.abs(colv) >= thresh
                 out_cols[int(j)] = (rows_active[nzmask], colv[nzmask])
+        pad_stats = PaddingStats(total_padded=int(sum(per_padded)),
+                                 total_block_entries=int(sum(per_entries)),
+                                 per_part_padded=tuple(per_padded),
+                                 per_part_entries=tuple(per_entries))
         seconds = timer.stop()
         tracer.count("padded_zeros", pad_stats.total_padded)
         tracer.count("block_entries", pad_stats.total_block_entries)

@@ -128,13 +128,17 @@ class SimulatedMachine:
         return float(sum(self.breakdown().values()))
 
     def balance_ratio(self, stage: str, *, use_flops: bool = False) -> float:
-        """Wmax/Wmin over processes for a stage (paper's balance metric)."""
+        """Wmax/Wmin over processes that *participated* in a stage (the
+        paper's balance metric). Processes with zero recorded work never
+        entered the stage and are excluded — a partially-attended stage
+        reports the imbalance among its actual workers, not inf. A
+        stage nobody entered has ratio 1."""
         w = (self.process_stage_flops(stage).astype(np.float64)
              if use_flops else self.process_stage_times(stage))
-        if w.size == 0 or w.max() == 0:
+        w = w[w > 0]
+        if w.size == 0:
             return 1.0
-        mn = w.min()
-        return float(w.max() / mn) if mn > 0 else float("inf")
+        return float(w.max() / w.min())
 
     def report(self) -> str:
         rows = [f"{s:<16} {t:.4f}s" for s, t in sorted(self.breakdown().items())]

@@ -117,6 +117,7 @@ def _gmres(matvec: Operator, b: np.ndarray, *,
         V[:, 0] = r / beta
         g[0] = beta
         j_done = 0
+        breakdown = False
         for j in range(m):
             # copy: a matvec/preconditioner may return its input array,
             # and the MGS loop below mutates w in place
@@ -131,6 +132,13 @@ def _gmres(matvec: Operator, b: np.ndarray, *,
             H[j + 1, j] = np.linalg.norm(w)
             if H[j + 1, j] > 1e-300:
                 V[:, j + 1] = w / H[j + 1, j]
+            else:
+                # Arnoldi breakdown: the Krylov space is invariant
+                # (happy breakdown) or the operator annihilated the new
+                # direction; there is no vector to continue with, so
+                # solve the small system as it stands and leave the
+                # cycle
+                breakdown = True
             # apply existing Givens rotations to the new column
             for i in range(j):
                 t = cs[i] * H[i, j] + sn[i] * H[i + 1, j]
@@ -146,8 +154,15 @@ def _gmres(matvec: Operator, b: np.ndarray, *,
             H[j + 1, j] = 0.0
             g[j + 1] = -sn[j] * g[j]
             g[j] = cs[j] * g[j]
-            j_done = j + 1
             total_iters += 1
+            if breakdown:
+                if denom > 0.0:
+                    j_done = j + 1
+                    history.append(float(abs(g[j + 1])))
+                # denom == 0: the new column is identically null — keep
+                # j_done at j so the small system stays nonsingular
+                break
+            j_done = j + 1
             history.append(float(abs(g[j + 1])))
             if abs(g[j + 1]) <= tol * bnorm:
                 break
@@ -163,6 +178,13 @@ def _gmres(matvec: Operator, b: np.ndarray, *,
         if rnorm <= tol * bnorm:
             return GMRESResult(x=x, converged=True, iterations=total_iters,
                                residual_norms=history + [rnorm])
+        if breakdown and rnorm >= beta * (1.0 - 1e-12):
+            # breakdown without progress: the residual lies in a
+            # direction the operator cannot reach, so restarting from
+            # the same r would break down identically forever
+            return GMRESResult(x=x, converged=False, iterations=total_iters,
+                               residual_norms=history + [rnorm],
+                               stagnated=True)
         last_cycle_reduction = rnorm / beta if beta > 0 else 1.0
     return GMRESResult(x=x, converged=False, iterations=total_iters,
                        residual_norms=history,

@@ -74,6 +74,7 @@ from repro.solver.schur import (
     implicit_schur_matvec,
 )
 from repro.sparse import symmetrized
+from repro.verify.invariants import NULL_VERIFIER, Verifier
 from repro.utils import (
     SeedLike,
     check_csr,
@@ -254,7 +255,8 @@ class PDSLin:
                  M: sp.spmatrix | None = None,
                  tracer: Tracer | None = None,
                  fault_plan: FaultPlan | None = None,
-                 retry_policy: RetryPolicy | None = None):
+                 retry_policy: RetryPolicy | None = None,
+                 verify: bool | Verifier = False):
         self.A_input = check_csr(A)
         check_square(self.A_input, "A")
         check_finite(self.A_input, "A")
@@ -264,6 +266,13 @@ class PDSLin:
         self.config = config or PDSLinConfig()
         self.M = M  # optional structural factor for RHB
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        # verify=True arms the post-stage invariant checks of
+        # repro.verify (a custom Verifier may be passed directly);
+        # the default NULL_VERIFIER makes every hook a no-op
+        if isinstance(verify, Verifier):
+            self.verifier = verify
+        else:
+            self.verifier = Verifier() if verify else NULL_VERIFIER
         self.machine = SimulatedMachine(self.config.k, fault_plan=fault_plan)
         self.retry_policy = retry_policy or RetryPolicy()
         self.recovery = RecoveryReport(
@@ -359,17 +368,19 @@ class PDSLin:
                                       scheme=cfg.scheme, epsilon=cfg.epsilon,
                                       seed=cfg.seed,
                                       n_trials=cfg.partition_trials,
-                                      tracer=self.tracer)
+                                      tracer=self.tracer,
+                                      verify=self.verifier)
                     part = r.col_part
                 else:
                     r = nested_dissection_partition(
                         self.A, cfg.k, epsilon=cfg.epsilon, seed=cfg.seed,
-                        n_trials=cfg.partition_trials)
+                        n_trials=cfg.partition_trials, verify=self.verifier)
                     part = r.part
                 if cfg.trim_separator:
                     from repro.core.refine import trim_separator
                     part = trim_separator(self.A, part, cfg.k)
                 self.partition = build_dbbd(self.A, part, cfg.k)
+                self.verifier.after_partition(self.A, self.partition)
                 self.tracer.count("separator_size",
                                   int(self.partition.separator_vertices.size))
 
@@ -546,6 +557,8 @@ class PDSLin:
         def lu_body(ledger):
             with self.tracer.span("factor_subdomain", l=ell):
                 sub = extract_interfaces(self.partition, ell)
+                self.verifier.after_interfaces(
+                    sub, self.partition.separator_size)
                 perm = self._order_subdomain(sub.D)
                 Dp = sub.D[perm][:, perm].tocsc()
                 # the pivoting ladder: threshold -> full -> static
@@ -554,6 +567,7 @@ class PDSLin:
                     Dp, diag_pivot_thresh=cfg.diag_pivot_thresh,
                     stage="LU(D)", subdomain=ell, report=self.recovery,
                     tracer=self.tracer)
+                self.verifier.after_subdomain_lu(ell, Dp, factors)
                 flops = lu_flop_count(factors)
                 ledger.ops.add("LU(D)", flops)
                 self.tracer.count("subdomain_dim", int(sub.D.shape[0]))
@@ -574,12 +588,16 @@ class PDSLin:
                 Epp = factors.permute_rows(sub.E_hat[perm].tocsr())
                 snl_L = self._repack(factors.L, unit_diagonal=True)
                 G_tilde, pad_G = self._solve_interface(snl_L, Epp, factors.L)
+                self.verifier.after_interface_solve(
+                    factors.L, Epp, G_tilde, self._drop_interface_eff)
                 # W^T = U^{-T} (F^ P~)^T ; U^T is lower triangular, non-unit
                 Fc = sub.F_hat[:, perm].tocsr()[:, factors.perm_c].tocsr()
                 UT = factors.U.T.tocsc()
                 snl_U = self._repack(UT, unit_diagonal=False)
                 WT_tilde, pad_W = self._solve_interface(snl_U, Fc.T.tocsr(),
                                                         UT)
+                self.verifier.after_interface_solve(
+                    UT, Fc.T.tocsr(), WT_tilde, self._drop_interface_eff)
                 T_tilde = (WT_tilde.T @ G_tilde).tocsr()
                 ledger.ops.add("Comp(S)", pad_G.total_block_entries * 2
                                + pad_W.total_block_entries * 2)
@@ -607,6 +625,12 @@ class PDSLin:
                 C, updates, drop_tol=self._drop_schur_eff,
                 tracer=self.tracer)
             self._schur_drop_used = self._drop_schur_eff
+            if self.verifier.enabled:
+                # reassemble without dropping to check S~ against S^
+                S_hat = assemble_approximate_schur(C, updates, drop_tol=0.0,
+                                                   tracer=NULL_TRACER)
+                self.verifier.after_schur_assembly(
+                    C, S_hat, self.S_tilde, self._drop_schur_eff)
 
         self._on_root_stage("Comp(S)", asm_body)
         mode = cfg.schur_factorization
@@ -744,7 +768,10 @@ class PDSLin:
         with self.tracer.span("solve"):
             res = self._solve(self._to_working_rhs(b))
             res.x = self._from_working_solution(res.x)
-            return self._finalize(b, res)
+            res = self._finalize(b, res)
+            self.verifier.after_solve(self.A_input, b, res.x,
+                                      res.residual_norm)
+            return res
 
     def _correction_solve(self, r: np.ndarray) -> np.ndarray:
         """Approximate ``A d = r`` in the original system — one full
@@ -924,6 +951,7 @@ class PDSLin:
             perms = [s.perm for s in self.subdomains]
             matvec = implicit_schur_matvec(p.C(), subs, facs, perms)
         g_res = self._solve_schur_system(matvec, g)
+        self.verifier.after_krylov(matvec, g, g_res)
         y = g_res.x
         x[sep] = y
 

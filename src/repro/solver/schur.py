@@ -33,10 +33,18 @@ def drop_small_entries(A: sp.spmatrix, rel_tol: float) -> sp.csr_matrix:
 
     Diagonal entries are always kept so the Schur factorization stays
     structurally nonsingular.
+
+    The input is canonicalized (duplicates summed, indices sorted)
+    *before* thresholding, so the threshold and the keep mask see the
+    summed values — duplicate COO fragments of one entry are dropped or
+    kept as a unit, never piecewise.
     """
-    A = A.tocoo()
+    A = A.tocoo(copy=True)
+    A.sum_duplicates()
     if rel_tol <= 0.0 or A.nnz == 0:
-        return A.tocsr()
+        out = A.tocsr()
+        out.sort_indices()
+        return out
     thresh = rel_tol * float(np.abs(A.data).max())
     keep = (np.abs(A.data) >= thresh) | (A.row == A.col)
     out = sp.csr_matrix((A.data[keep], (A.row[keep], A.col[keep])),

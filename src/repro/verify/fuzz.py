@@ -1,0 +1,179 @@
+"""Seeded differential fuzz harness.
+
+Usage::
+
+    python -m repro.verify.fuzz --seed 0 --budget 60
+    python -m repro.verify.fuzz --replay fuzz-failures/<case>.npz
+
+Phase 1 runs every matrix of the Table-I suite (tiny scale) through
+:func:`repro.verify.differential.differential_solve` with all invariant
+hooks armed, plus the three-way Schur oracle cross-check on the
+smaller systems. Phase 2 draws seeded random cases — perturbed suite
+matrices and random diagonally-dominant-ish sparse systems — until the
+time budget runs out.
+
+A failure is shrunk to a minimal reproducer (same failure category),
+saved as ``.npz``, and the exact replay command is printed. Exit code
+is the number of distinct failures (0 = clean).
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+import time
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.verify.shrink import (
+    FuzzCase,
+    failure_category,
+    load_reproducer,
+    run_case,
+    save_reproducer,
+    shrink_case,
+)
+
+__all__ = ["build_suite_cases", "random_case", "run_fuzz", "main"]
+
+#: Above this dimension the dense three-way Schur cross-check is
+#: skipped (differential solve + invariants still run).
+STAGE_ORACLE_LIMIT = 900
+
+
+def build_suite_cases(seed: int) -> list[FuzzCase]:
+    """One case per Table-I suite matrix at tiny scale."""
+    from repro.matrices.suite import generate, suite_names
+    rng = np.random.default_rng(seed)
+    cases = []
+    for name in suite_names():
+        gm = generate(name, "tiny")
+        A = gm.A.tocsr()
+        b = rng.standard_normal(A.shape[0])
+        cases.append(FuzzCase(name=name, A=A, b=b, k=4, seed=seed))
+    return cases
+
+
+def random_case(rng: np.random.Generator, index: int,
+                base_cases: list[FuzzCase]) -> FuzzCase:
+    """Draw one random case: a value-perturbed suite matrix or a fresh
+    random sparse system (mostly diagonally dominant, occasionally
+    not — the solver must still not crash or lie on hard inputs)."""
+    kind = rng.integers(3)
+    k = int(rng.choice([2, 4, 8]))
+    if kind == 0:
+        base = base_cases[int(rng.integers(len(base_cases)))]
+        A = base.A.tocsr(copy=True)
+        # rescale a random subset of entries across several decades
+        m = A.nnz
+        hit = rng.random(m) < 0.2
+        A.data[hit] *= 10.0 ** rng.uniform(-3, 3, int(hit.sum()))
+        name = f"perturbed:{base.name}:{index}"
+    else:
+        n = int(rng.integers(60, 240))
+        density = float(rng.uniform(0.01, 0.05))
+        A = sp.random(n, n, density=density, format="csr", random_state=rng)
+        A.data = rng.standard_normal(A.data.size)
+        rowsum = np.asarray(np.abs(A).sum(axis=1)).ravel()
+        if kind == 1:
+            diag = rowsum + 1.0          # strictly diagonally dominant
+        else:
+            diag = rowsum * rng.uniform(0.1, 1.5) + 1e-8
+        A = (A + sp.diags(diag)).tocsr()
+        name = f"random:{'dd' if kind == 1 else 'loose'}:{index}"
+    b = rng.standard_normal(A.shape[0])
+    return FuzzCase(name=name, A=A, b=b, k=k, seed=int(rng.integers(2**31)))
+
+
+def _run_stage_oracles(case: FuzzCase) -> tuple[bool, str]:
+    from repro.verify.differential import check_stage_oracles
+    try:
+        check_stage_oracles(case.A, k=case.k, seed=case.seed)
+    except Exception as exc:  # noqa: BLE001 - every failure is a finding
+        return False, failure_category(exc)
+    return True, ""
+
+
+def _handle_failure(case: FuzzCase, category: str, out_dir: str,
+                    failures: list[tuple[str, str, str]]) -> None:
+    print(f"  FAIL [{category}] {case.name} (n={case.n}, k={case.k}) "
+          f"— shrinking...", flush=True)
+    small = shrink_case(case, category)
+    os.makedirs(out_dir, exist_ok=True)
+    fname = category.replace(":", "_").replace("/", "_")
+    path = os.path.join(out_dir, f"{fname}-{len(failures)}.npz")
+    save_reproducer(small, category, path)
+    print(f"  shrunk to n={small.n}, k={small.k}; reproducer: {path}")
+    print(f"  replay: python -m repro.verify.fuzz --replay {path}")
+    failures.append((category, case.name, path))
+
+
+def run_fuzz(seed: int, budget: float, out_dir: str, *,
+             rtol: float = 1e-6) -> int:
+    t0 = time.monotonic()
+    rng = np.random.default_rng(seed)
+    failures: list[tuple[str, str, str]] = []
+
+    print(f"phase 1: suite matrices (seed={seed})")
+    suite_cases = build_suite_cases(seed)
+    for case in suite_cases:
+        t = time.monotonic()
+        ok, cat = run_case(case, rtol=rtol)
+        if ok and case.n <= STAGE_ORACLE_LIMIT:
+            ok, cat = _run_stage_oracles(case)
+        status = "ok" if ok else "FAIL"
+        print(f"  {case.name:<14} n={case.n:<6} "
+              f"{time.monotonic() - t:6.2f}s  {status}", flush=True)
+        if not ok:
+            _handle_failure(case, cat, out_dir, failures)
+
+    print("phase 2: random cases until budget")
+    i = 0
+    while time.monotonic() - t0 < budget:
+        case = random_case(rng, i, suite_cases)
+        ok, cat = run_case(case, rtol=rtol)
+        if not ok:
+            _handle_failure(case, cat, out_dir, failures)
+        i += 1
+    print(f"done: {len(suite_cases)} suite + {i} random cases in "
+          f"{time.monotonic() - t0:.1f}s, {len(failures)} failure(s)")
+    for cat, name, path in failures:
+        print(f"  [{cat}] {name} -> {path}")
+    return len(failures)
+
+
+def replay(path: str, *, rtol: float = 1e-6) -> int:
+    case, category = load_reproducer(path)
+    print(f"replaying {case.name} (n={case.n}, k={case.k}, "
+          f"recorded category {category})")
+    ok, cat = run_case(case, rtol=rtol)
+    if ok:
+        print("case passes now")
+        return 0
+    print(f"still failing: [{cat}]")
+    return 1
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        prog="python -m repro.verify.fuzz",
+        description="Seeded differential fuzzing of the hybrid solver.")
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--budget", type=float, default=60.0,
+                    help="time budget in seconds (phase 2 stops then)")
+    ap.add_argument("--out", default="fuzz-failures",
+                    help="directory for shrunk .npz reproducers")
+    ap.add_argument("--rtol", type=float, default=1e-6,
+                    help="accepted normwise backward error")
+    ap.add_argument("--replay", default=None,
+                    help="re-run one saved .npz reproducer instead")
+    args = ap.parse_args(argv)
+    if args.replay:
+        return replay(args.replay, rtol=args.rtol)
+    return run_fuzz(args.seed, args.budget, args.out, rtol=args.rtol)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,352 @@
+"""Pluggable post-stage invariant checks.
+
+A :class:`Verifier` is handed to :class:`repro.solver.PDSLin` (and the
+partitioners) through their ``verify=`` flags. Each pipeline stage then
+calls the matching ``after_*`` hook; a failed check raises
+:class:`VerificationError` naming the stage, the check and the observed
+values. The default :data:`NULL_VERIFIER` makes every hook a no-op, so
+production runs pay nothing.
+
+Checks are *structural invariants* — permutations are bijections, DBBD
+blocks tile ``A`` exactly, interface maps are injective, factor
+products reconstruct their input, Krylov residual histories are true
+residuals — cheap enough to run on every CI solve. The expensive
+differential comparisons (dense Schur, brute-force padding) live in
+:mod:`repro.verify.differential`.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, List
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.verify.oracles import (
+    lu_reconstruction_error,
+    rhb_cut_cost_reference,
+    vertex_weights_reference,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.dbbd import DBBDPartition
+    from repro.hypergraph.hypergraph import Hypergraph
+    from repro.lu.numeric import LUFactors
+    from repro.solver.interfaces import SubdomainInterfaces
+
+__all__ = ["VerificationError", "Verifier", "NullVerifier", "NULL_VERIFIER"]
+
+
+class VerificationError(AssertionError):
+    """An invariant or differential check failed.
+
+    ``check`` is the dotted name of the failed check (e.g.
+    ``"partition.dbbd-exact"``) so fuzz failures can be bucketed.
+    """
+
+    def __init__(self, check: str, detail: str):
+        super().__init__(f"[{check}] {detail}")
+        self.check = check
+        self.detail = detail
+
+
+class Verifier:
+    """Runs post-stage assertions; raises :class:`VerificationError`.
+
+    Parameters
+    ----------
+    dense_limit:
+        Checks requiring a dense reconstruction/solve are skipped for
+        block dimensions above this (the structural ones always run).
+    rtol:
+        Relative tolerance for numeric identity checks (reconstruction,
+        residual-history agreement).
+    plugins:
+        Extra callables ``plugin(check_name, payload_dict)`` invoked
+        after every built-in hook — the pluggable extension point for
+        experiment-specific assertions; a plugin raises
+        :class:`VerificationError` itself to fail the stage.
+    """
+
+    enabled = True
+
+    def __init__(self, *, dense_limit: int = 800, rtol: float = 1e-8,
+                 plugins: List[Callable] | None = None):
+        self.dense_limit = int(dense_limit)
+        self.rtol = float(rtol)
+        self.plugins = list(plugins or [])
+        self.checks_run: List[str] = []
+
+    # -- machinery --------------------------------------------------------
+
+    def _ran(self, check: str, payload: dict | None = None) -> None:
+        self.checks_run.append(check)
+        for plugin in self.plugins:
+            plugin(check, payload or {})
+
+    def _require(self, cond: bool, check: str, detail: str) -> None:
+        if not cond:
+            raise VerificationError(check, detail)
+
+    def check_permutation(self, perm: np.ndarray, n: int,
+                          check: str) -> None:
+        """``perm`` must be a bijection of ``range(n)``."""
+        perm = np.asarray(perm)
+        self._require(perm.shape == (n,), check,
+                      f"permutation has shape {perm.shape}, expected ({n},)")
+        seen = np.zeros(n, dtype=bool)
+        valid = (perm >= 0) & (perm < n)
+        self._require(bool(valid.all()), check,
+                      "permutation entries out of range")
+        seen[perm] = True
+        self._require(bool(seen.all()), check,
+                      "permutation is not a bijection (repeated entries)")
+        self._ran(check)
+
+    # -- partition stage --------------------------------------------------
+
+    def check_vertex_separator(self, adjacency: sp.spmatrix,
+                               part: np.ndarray, k: int) -> None:
+        """``part`` must be a complete vertex separator of the graph:
+        ids in ``{-1} U [0, k)`` and no edge joining two different
+        subdomains."""
+        part = np.asarray(part)
+        self._require(
+            bool(((part >= -1) & (part < k)).all()), "ngd.part-range",
+            "part ids outside {-1} U [0, k)")
+        Ac = sp.coo_matrix(adjacency)
+        pi, pj = part[Ac.row], part[Ac.col]
+        bad = (pi >= 0) & (pj >= 0) & (pi != pj)
+        self._require(not bool(np.any(bad)), "ngd.separator-complete",
+                      "an edge couples two different subdomains; the "
+                      "separator is incomplete")
+        self._ran("ngd.separator-complete", {"k": k})
+
+    def after_partition(self, A: sp.spmatrix, p: "DBBDPartition") -> None:
+        """DBBD invariants: the permutation is a bijection, part ids are
+        legal, and the D/E/F/C blocks tile the permuted matrix exactly
+        (no entry lost, duplicated or displaced)."""
+        n = A.shape[0]
+        self.check_permutation(p.perm, n, "partition.perm-bijection")
+        part = np.asarray(p.part)
+        self._require(bool(((part >= -1) & (part < p.k)).all()),
+                      "partition.part-range",
+                      "part ids outside {-1} U [0, k)")
+        p.validate()  # no direct subdomain-subdomain coupling
+        self._ran("partition.no-coupling")
+        if n <= self.dense_limit * 4:
+            try:
+                p.validate_exact()
+            except AssertionError as exc:
+                raise VerificationError("partition.dbbd-exact",
+                                        str(exc)) from exc
+            self._ran("partition.dbbd-exact", {"n": n, "k": p.k})
+
+    def after_interfaces(self, sub: "SubdomainInterfaces", ns: int) -> None:
+        """Interface maps must be injective (strictly increasing) into
+        the separator index range, and shapes must agree."""
+        for name, idx, dim in (("e_cols", sub.e_cols, sub.E_hat.shape[1]),
+                               ("f_rows", sub.f_rows, sub.F_hat.shape[0])):
+            check = f"interfaces.{name}-injective"
+            idx = np.asarray(idx)
+            self._require(idx.size == dim, check,
+                          f"{name} has {idx.size} entries for a "
+                          f"{dim}-sized block (subdomain {sub.ell})")
+            if idx.size:
+                self._require(bool(np.all(np.diff(idx) > 0)), check,
+                              f"{name} is not strictly increasing "
+                              f"(subdomain {sub.ell})")
+                self._require(0 <= int(idx[0]) and int(idx[-1]) < ns, check,
+                              f"{name} outside separator range "
+                              f"(subdomain {sub.ell})")
+            self._ran(check)
+
+    # -- LU stages --------------------------------------------------------
+
+    def after_subdomain_lu(self, ell: int, Dp: sp.spmatrix,
+                           factors: "LUFactors") -> None:
+        n = Dp.shape[0]
+        self.check_permutation(factors.perm_r, n, "lu.perm_r-bijection")
+        self.check_permutation(factors.perm_c, n, "lu.perm_c-bijection")
+        L, U = factors.L, factors.U
+        self._require(sp.tril(L, -1).nnz == L.nnz - n,
+                      "lu.L-unit-lower",
+                      f"L is not unit lower triangular (subdomain {ell})")
+        self._require(sp.triu(U).nnz == U.nnz, "lu.U-upper",
+                      f"U has entries below the diagonal (subdomain {ell})")
+        self._ran("lu.triangular-structure")
+        if n <= self.dense_limit:
+            err = lu_reconstruction_error(Dp, factors)
+            # static pivot perturbation legitimately changes the
+            # factored matrix, so reconstruction is bounded, not exact
+            self._require(err <= max(self.rtol, 1e-6),
+                          "lu.reconstruction",
+                          f"L U does not reconstruct D_{ell} "
+                          f"(rel err {err:.2e})")
+            self._ran("lu.reconstruction", {"ell": ell, "err": err})
+
+    def after_interface_solve(self, L_like: sp.spmatrix, B: sp.spmatrix,
+                              X: sp.spmatrix, drop_tol: float) -> None:
+        """The blocked solve's output must be finite; with no dropping
+        it must satisfy ``L X = B`` (checked densely under the limit)."""
+        self._require(bool(np.all(np.isfinite(X.data))),
+                      "trsolve.finite", "solution contains NaN/Inf")
+        self._ran("trsolve.finite")
+        n = L_like.shape[0]
+        if drop_tol == 0.0 and n <= self.dense_limit:
+            R = L_like @ X - B
+            R = sp.csr_matrix(R)
+            err = float(np.abs(R.data).max()) if R.nnz else 0.0
+            scale = float(np.abs(B.data).max()) if B.nnz else 1.0
+            self._require(err <= self.rtol * max(scale, 1.0),
+                          "trsolve.residual",
+                          f"L X != B (max residual {err:.2e})")
+            self._ran("trsolve.residual")
+
+    # -- Schur stage ------------------------------------------------------
+
+    def after_schur_assembly(self, C: sp.spmatrix, S_hat: sp.spmatrix,
+                             S_tilde: sp.spmatrix, drop_tol: float) -> None:
+        """S~'s pattern must be a subset of S^'s with values unchanged
+        on kept entries, diagonal always retained; at ``drop_tol = 0``
+        the two must be identical."""
+        S_hat = sp.csr_matrix(S_hat).copy()
+        S_hat.sum_duplicates()
+        S_tilde = sp.csr_matrix(S_tilde)
+        self._require(
+            bool(np.all(np.isfinite(S_tilde.data))), "schur.finite",
+            "S~ contains NaN/Inf")
+        if drop_tol <= 0.0:
+            diff = S_tilde - S_hat
+            err = float(np.abs(diff.data).max()) if diff.nnz else 0.0
+            self._require(err == 0.0, "schur.no-drop-identity",
+                          f"drop_tol=0 changed S^ (max diff {err:g})")
+            self._ran("schur.no-drop-identity")
+        else:
+            # every kept entry must exist in S^ with the same value;
+            # dropping must never *create* or alter entries. Restrict
+            # S^ to S~'s pattern before differencing so legitimately
+            # dropped entries stay out of the comparison.
+            mask = S_tilde.copy()
+            mask.data = np.ones_like(mask.data)
+            diff = S_hat.multiply(mask) - S_tilde
+            diff = sp.csr_matrix(diff)
+            err = float(np.abs(diff.data).max()) if diff.nnz else 0.0
+            self._require(err == 0.0, "schur.drop-subset",
+                          f"dropping created or altered entries of S^ "
+                          f"(max diff {err:g})")
+            d_hat = S_hat.diagonal()
+            d_til = S_tilde.diagonal()
+            self._require(bool(np.array_equal(d_hat, d_til)),
+                          "schur.diagonal-kept",
+                          "dropping altered the diagonal of S^")
+            self._ran("schur.drop-subset")
+        self._ran("schur.assembly")
+
+    # -- Krylov stage -----------------------------------------------------
+
+    def after_krylov(self, matvec, b: np.ndarray, res) -> None:
+        """The recorded residual history must end at the *true* residual
+        of the returned iterate — the invariant that catches silent
+        Arnoldi breakdown (estimated residual drifting away from
+        ``||b - S x||``)."""
+        b = np.asarray(b, dtype=np.float64)
+        true_r = float(np.linalg.norm(b - matvec(res.x)))
+        hist = res.residual_norms
+        self._require(len(hist) > 0, "krylov.history-nonempty",
+                      "no residual history recorded")
+        bnorm = max(float(np.linalg.norm(b)), 1e-300)
+        if res.converged:
+            gap = abs(hist[-1] - true_r) / bnorm
+            self._require(gap <= 1e-6,
+                          "krylov.true-residual",
+                          f"history end {hist[-1]:.3e} vs true residual "
+                          f"{true_r:.3e} (gap {gap:.2e})")
+        self._ran("krylov.true-residual", {"true_residual": true_r})
+
+    # -- partitioner weights ----------------------------------------------
+
+    def after_weights(self, H: "Hypergraph", scheme: str,
+                      weights: np.ndarray, global_row_nnz: np.ndarray, *,
+                      first_bisection: bool,
+                      net_internal: np.ndarray | None) -> None:
+        """Dynamic w1/w2 weights must match their Section III-C
+        definitions, recomputed per-vertex from the net lists."""
+        ref = vertex_weights_reference(
+            H, scheme, global_row_nnz, first_bisection=first_bisection,
+            net_internal=net_internal)
+        self._require(
+            np.array_equal(np.asarray(weights), ref), "weights.definition",
+            f"scheme {scheme!r} weights diverge from their definition "
+            f"(got shape {np.asarray(weights).shape}, "
+            f"ref shape {ref.shape})")
+        self._ran("weights.definition", {"scheme": scheme})
+
+    def after_rhb(self, H0: "Hypergraph", row_part: np.ndarray,
+                  col_part: np.ndarray, k: int, metric: str,
+                  total_cut_cost: int) -> None:
+        """End-of-RHB identities: the recursively accumulated cut cost
+        telescopes to the flat unit-cost metric on the final row
+        partition, and every interior column's rows all live in its
+        part (cut columns are separator)."""
+        row_part = np.asarray(row_part)
+        col_part = np.asarray(col_part)
+        ref = rhb_cut_cost_reference(H0, row_part, k, metric)
+        self._require(int(total_cut_cost) == int(ref),
+                      "rhb.cut-cost-identity",
+                      f"accumulated recursive {metric} cost "
+                      f"{total_cut_cost} != flat unit-cost metric {ref}")
+        self._ran("rhb.cut-cost-identity", {"metric": metric})
+        for j in range(H0.n_nets):
+            p = int(col_part[H0.net_ids[j]])
+            if p < 0:
+                continue
+            pins = H0.net_pins(j)
+            self._require(
+                pins.size == 0 or bool(np.all(row_part[pins] == p)),
+                "rhb.column-consistency",
+                f"interior column {int(H0.net_ids[j])} assigned to part "
+                f"{p} but its rows span parts "
+                f"{sorted(set(int(q) for q in row_part[pins]))}")
+        self._ran("rhb.column-consistency")
+
+    # -- end-to-end -------------------------------------------------------
+
+    def after_solve(self, A: sp.spmatrix, b: np.ndarray, x: np.ndarray,
+                    reported_residual: float) -> None:
+        """The result's reported residual norm must be the true relative
+        residual of the *original* system."""
+        r = float(np.linalg.norm(b - A @ x)
+                  / max(float(np.linalg.norm(b)), 1e-300))
+        self._require(abs(r - reported_residual) <= 1e-8 + 1e-6 * r,
+                      "solve.reported-residual",
+                      f"reported {reported_residual:.3e} vs recomputed "
+                      f"{r:.3e}")
+        self._ran("solve.reported-residual", {"residual": r})
+
+
+class NullVerifier(Verifier):
+    """All hooks no-op; the production default."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__()
+
+    def _noop(self, *a, **kw) -> None:
+        return None
+
+    check_permutation = _noop
+    check_vertex_separator = _noop
+    after_partition = _noop
+    after_interfaces = _noop
+    after_subdomain_lu = _noop
+    after_interface_solve = _noop
+    after_schur_assembly = _noop
+    after_krylov = _noop
+    after_weights = _noop
+    after_rhb = _noop
+    after_solve = _noop
+
+
+NULL_VERIFIER = NullVerifier()

@@ -1,0 +1,136 @@
+"""Failure shrinking and ``.npz`` reproducers for the fuzz harness.
+
+When a fuzz case fails, :func:`shrink_case` greedily reduces it —
+principal submatrices by halves then quarters, then smaller ``k`` —
+re-running the failing check after each reduction and keeping a
+candidate only when it fails in the *same category* (e.g. a
+``verify:schur.drop-subset`` failure must not "shrink" into an
+unrelated singular-matrix exception). The final minimal case is saved
+with :func:`save_reproducer` and replayed with
+``python -m repro.verify.fuzz --replay <file>``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Tuple
+
+import numpy as np
+import scipy.sparse as sp
+
+__all__ = ["FuzzCase", "run_case", "failure_category", "shrink_case",
+           "save_reproducer", "load_reproducer"]
+
+
+@dataclass(frozen=True)
+class FuzzCase:
+    """One differential-verification input: a system plus solver knobs."""
+
+    name: str
+    A: sp.csr_matrix
+    b: np.ndarray
+    k: int = 4
+    seed: int = 0
+
+    @property
+    def n(self) -> int:
+        return self.A.shape[0]
+
+
+def failure_category(exc: BaseException) -> str:
+    """Stable bucket for a failure, used to steer shrinking."""
+    from repro.verify.invariants import VerificationError
+    if isinstance(exc, VerificationError):
+        return f"verify:{exc.check}"
+    return f"exception:{type(exc).__name__}"
+
+
+def run_case(case: FuzzCase, *, rtol: float = 1e-6) -> Tuple[bool, str]:
+    """Run the differential check on one case.
+
+    Returns ``(ok, category)`` — ``category`` is ``""`` on success.
+    Any exception (a failed invariant, a crash in the pipeline) is a
+    failure; only genuinely unsolvable inputs are vacuously accepted
+    (the reference solver cannot adjudicate them, see
+    :func:`repro.verify.differential.differential_solve`).
+    """
+    from repro.verify.differential import differential_solve
+    try:
+        differential_solve(case.A, case.b, k=case.k, seed=case.seed,
+                           rtol=rtol)
+    except Exception as exc:  # noqa: BLE001 - every failure is a finding
+        return False, failure_category(exc)
+    return True, ""
+
+
+def _principal_submatrix(case: FuzzCase, keep: np.ndarray) -> FuzzCase:
+    A = case.A[keep][:, keep].tocsr()
+    return replace(case, A=A, b=case.b[keep],
+                   name=f"{case.name}:n{keep.size}")
+
+
+def shrink_case(case: FuzzCase, category: str, *,
+                rtol: float = 1e-6,
+                max_rounds: int = 12,
+                still_fails: Callable[[FuzzCase], Tuple[bool, str]]
+                | None = None) -> FuzzCase:
+    """Greedy shrink preserving the failure category.
+
+    ``still_fails`` (mainly for tests) overrides the case runner; it
+    must return ``(ok, category)`` like :func:`run_case`.
+    """
+    check = still_fails or (lambda c: run_case(c, rtol=rtol))
+
+    def fails_same(c: FuzzCase) -> bool:
+        ok, cat = check(c)
+        return (not ok) and cat == category
+
+    current = case
+    for _ in range(max_rounds):
+        improved = False
+        # 1. try dropping contiguous chunks of the index set
+        n = current.n
+        for n_chunks in (2, 4, 8):
+            if n < 2 * n_chunks or improved:
+                break
+            bounds = np.linspace(0, n, n_chunks + 1).astype(int)
+            for c0, c1 in zip(bounds[:-1], bounds[1:]):
+                keep = np.concatenate([np.arange(0, c0),
+                                       np.arange(c1, n)])
+                if keep.size < 2:
+                    continue
+                cand = _principal_submatrix(current, keep)
+                if fails_same(cand):
+                    current = cand
+                    improved = True
+                    break
+        # 2. try a smaller k
+        if current.k > 2:
+            cand = replace(current, k=current.k // 2)
+            if fails_same(cand):
+                current = cand
+                improved = True
+        if not improved:
+            break
+    return current
+
+
+def save_reproducer(case: FuzzCase, category: str, path: str) -> str:
+    """Persist a failing case as a self-contained ``.npz``."""
+    A = case.A.tocsr()
+    np.savez_compressed(
+        path, name=np.asarray(case.name), category=np.asarray(category),
+        n=np.asarray(A.shape[0]), k=np.asarray(case.k),
+        seed=np.asarray(case.seed), b=case.b,
+        data=A.data, indices=A.indices, indptr=A.indptr)
+    return path
+
+
+def load_reproducer(path: str) -> Tuple[FuzzCase, str]:
+    """Load a case saved by :func:`save_reproducer`."""
+    z = np.load(path, allow_pickle=False)
+    n = int(z["n"])
+    A = sp.csr_matrix((z["data"], z["indices"], z["indptr"]), shape=(n, n))
+    case = FuzzCase(name=str(z["name"]), A=A, b=np.asarray(z["b"]),
+                    k=int(z["k"]), seed=int(z["seed"]))
+    return case, str(z["category"])

@@ -56,10 +56,14 @@ class TestSimulatedMachine:
         m.processes[1].ops.add("s", 300)
         assert m.balance_ratio("s", use_flops=True) == pytest.approx(3.0)
 
-    def test_balance_ratio_zero_min_inf(self):
+    def test_balance_ratio_over_participating_only(self):
+        # a process that never entered the stage is not a worker of the
+        # stage: the ratio covers participants only (paper's metric)
         m = SimulatedMachine(2)
         m.processes[0].timer.add("s", 1.0)
-        assert m.balance_ratio("s") == float("inf")
+        assert m.balance_ratio("s") == pytest.approx(1.0)
+        m.processes[1].timer.add("s", 4.0)
+        assert m.balance_ratio("s") == pytest.approx(4.0)
 
     def test_process_out_of_range(self):
         m = SimulatedMachine(2)

@@ -90,3 +90,55 @@ class TestEtreeMethod:
         b = rng.standard_normal(A.shape[0])
         res = PDSLin(A, PDSLinConfig(k=4, seed=0)).solve(b)
         assert res.residual_norm < 1e-8
+
+
+class TestUnsymmetricFactorSuperset:
+    """Regression: the first-below-diagonal tree lacks the ancestor
+    property on general partial-pivoted LU factors, so the fill-path
+    closure under-approximated the exact reach (and numeric interface
+    solves silently dropped active rows, caught by the fuzz harness on
+    the matrix211 suite case). The Liu-style tree must dominate the
+    reach for *any* lower-triangular pattern."""
+
+    @pytest.fixture(scope="class")
+    def unsym_factors(self):
+        rng = np.random.default_rng(42)
+        n = 80
+        A = sp.random(n, n, density=0.06, random_state=rng, format="csc")
+        A = (A + sp.diags(np.ones(n) * 0.5)).tocsc()
+        f = spla.splu(A, permc_spec="COLAMD")
+        return f.L.tocsc(), f.U.T.tocsc()
+
+    def test_ancestor_property_both_factors(self, unsym_factors):
+        for L in unsym_factors:
+            par = factor_etree(L)
+            n = L.shape[0]
+            for j in range(n):
+                rows = L.indices[L.indptr[j]:L.indptr[j + 1]]
+                for i in rows[rows > j]:
+                    v = j
+                    while v != -1 and v != i:
+                        v = par[v]
+                    assert v == i, f"row {i} not an ancestor of col {j}"
+
+    def test_etree_pattern_dominates_reach(self, unsym_factors):
+        rng = np.random.default_rng(7)
+        B = sp.random(80, 10, density=0.05, random_state=rng, format="csc")
+        for L in unsym_factors:
+            Ge = solution_pattern(L, B, method="etree")
+            Gr = solution_pattern(L, B, method="reach")
+            missing = (Gr - Gr.multiply(Ge)).nnz
+            assert missing == 0
+
+    def test_reduces_to_first_below_diagonal_on_cholesky(self, factored):
+        """On a Cholesky-structure factor the Liu tree coincides with
+        the classical first-below-diagonal elimination tree."""
+        L = factored.L.tocsc()
+        n = L.shape[0]
+        expected = np.full(n, -1, dtype=np.int64)
+        for j in range(n):
+            rows = L.indices[L.indptr[j]:L.indptr[j + 1]]
+            below = rows[rows > j]
+            if below.size:
+                expected[j] = below.min()
+        assert np.array_equal(factor_etree(L), expected)

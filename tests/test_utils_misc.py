@@ -84,6 +84,77 @@ class TestStageTimer:
         st.add("mystage", 0.1)
         assert "mystage" in st.report()
 
+    def test_sibling_stages_attributed_separately(self):
+        """Each closing stage must read *its own* span record, not a
+        sibling's — two stages under the same parent must produce two
+        distinct path keys with one count each."""
+        st = StageTimer()
+        with st.stage("outer"):
+            with st.stage("a"):
+                pass
+            with st.stage("b"):
+                pass
+        assert st.counts["outer/a"] == 1
+        assert st.counts["outer/b"] == 1
+        assert st.counts["outer"] == 1
+
+    def test_deep_nesting_paths(self):
+        st = StageTimer()
+        with st.stage("lu"):
+            with st.stage("solve"):
+                with st.stage("scatter"):
+                    pass
+        assert "lu/solve/scatter" in st.totals
+        assert "lu/solve" in st.totals
+        # flat names accumulate too, for the per-stage view
+        assert {"lu", "solve", "scatter"} <= set(st.totals)
+
+    def test_repeated_stage_accumulates(self):
+        st = StageTimer()
+        for _ in range(3):
+            with st.stage("s"):
+                pass
+        assert st.counts["s"] == 3
+        assert st.get("s") >= 0.0
+
+    def test_nested_same_name_gets_both_keys(self):
+        st = StageTimer()
+        with st.stage("s"):
+            with st.stage("s"):
+                pass
+        assert st.counts["s/s"] == 1
+        assert st.counts["s"] == 2  # once flat from inner, once as outer
+
+    def test_merge_preserves_counts_and_spans(self):
+        a, b = StageTimer(), StageTimer()
+        with a.stage("x"):
+            pass
+        with b.stage("x"):
+            pass
+        with b.stage("y"):
+            pass
+        n_spans = len(a.tracer.spans) + len(b.tracer.spans)
+        a.merge(b)
+        assert a.counts["x"] == 2
+        assert a.counts["y"] == 1
+        assert len(a.tracer.spans) == n_spans
+        # totals stay consistent with the merged span records
+        from collections import defaultdict
+        by_path = defaultdict(float)
+        for rec in a.tracer.spans:
+            by_path[rec.path] += rec.wall_s
+        for path, tot in by_path.items():
+            assert a.totals[path] == pytest.approx(tot)
+
+    def test_merge_is_additive_not_destructive(self):
+        a, b = StageTimer(), StageTimer()
+        a.add("s", 1.0)
+        b.add("s", 2.0)
+        a.merge(b)
+        a.merge(StageTimer())  # merging an empty ledger changes nothing
+        assert a.get("s") == pytest.approx(3.0)
+        assert b.get("s") == pytest.approx(2.0)  # source untouched
+
 
 class TestFormatSeconds:
     def test_microseconds(self):

@@ -1,0 +1,148 @@
+"""Fuzz harness machinery: case generation determinism, differential
+run/shrink/reproducer cycle, and the CLI replay path."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+from tests.conftest import grid_laplacian
+
+from repro.verify.differential import check_stage_oracles, differential_solve
+from repro.verify.fuzz import build_suite_cases, main, random_case
+from repro.verify.invariants import VerificationError
+from repro.verify.shrink import (
+    FuzzCase,
+    failure_category,
+    load_reproducer,
+    run_case,
+    save_reproducer,
+    shrink_case,
+)
+
+
+@pytest.fixture(scope="module")
+def suite_cases():
+    return build_suite_cases(0)
+
+
+class TestCaseGeneration:
+    def test_suite_cases_cover_table1(self, suite_cases):
+        names = {c.name for c in suite_cases}
+        assert {"tdr190k", "dds.quad", "matrix211", "ASIC_680ks",
+                "G3_circuit"} <= names
+
+    def test_suite_cases_deterministic(self, suite_cases):
+        again = build_suite_cases(0)
+        for a, b in zip(suite_cases, again):
+            assert a.name == b.name
+            assert (a.A != b.A).nnz == 0
+            assert np.array_equal(a.b, b.b)
+
+    def test_random_case_deterministic(self, suite_cases):
+        c1 = random_case(np.random.default_rng(7), 3, suite_cases)
+        c2 = random_case(np.random.default_rng(7), 3, suite_cases)
+        assert c1.name == c2.name and c1.k == c2.k and c1.seed == c2.seed
+        assert (c1.A != c2.A).nnz == 0
+
+    def test_random_cases_vary(self, suite_cases):
+        rng = np.random.default_rng(0)
+        kinds = {random_case(rng, i, suite_cases).name.split(":")[0]
+                 for i in range(20)}
+        assert len(kinds) > 1
+
+
+class TestRunCase:
+    def test_good_case_passes(self, rng):
+        A = grid_laplacian(10, 10)
+        case = FuzzCase("grid", A, rng.standard_normal(A.shape[0]), k=2)
+        ok, cat = run_case(case)
+        assert ok and cat == ""
+
+    def test_broken_case_fails_with_category(self, rng):
+        n = 40
+        A = grid_laplacian(10, 4).tocsr()
+        b = rng.standard_normal(n)
+        b[0] = np.nan  # poisons the solve; must be reported, not hidden
+        ok, cat = run_case(FuzzCase("nan-b", A, b, k=2))
+        assert not ok
+        assert cat.startswith(("verify:", "exception:"))
+
+
+class TestFailureCategory:
+    def test_verification_error(self):
+        cat = failure_category(VerificationError("schur.drop-subset", "x"))
+        assert cat == "verify:schur.drop-subset"
+
+    def test_plain_exception(self):
+        assert failure_category(ValueError("x")) == "exception:ValueError"
+
+
+class TestShrink:
+    @staticmethod
+    def _case(n, k=4):
+        A = sp.eye(n, format="csr")
+        return FuzzCase("t", A, np.ones(n), k=k)
+
+    def test_shrinks_while_category_preserved(self):
+        # an injected failure that persists down to n >= 24
+        def still_fails(c):
+            return (c.n < 24, "" if c.n < 24 else "verify:synthetic")
+        small = shrink_case(self._case(200), "verify:synthetic",
+                            still_fails=still_fails)
+        assert 24 <= small.n < 200
+
+    def test_reduces_k(self):
+        def still_fails(c):
+            return (False, "verify:synthetic")
+        small = shrink_case(self._case(8, k=8), "verify:synthetic",
+                            still_fails=still_fails)
+        assert small.k == 2
+
+    def test_rejects_category_change(self):
+        # shrinking would flip the category; the original must survive
+        def still_fails(c):
+            if c.n < 100 or c.k < 4:
+                return (False, "exception:ZeroDivisionError")
+            return (False, "verify:synthetic")
+        small = shrink_case(self._case(100), "verify:synthetic",
+                            still_fails=still_fails)
+        assert small.n == 100 and small.k == 4
+
+
+class TestReproducers:
+    def test_roundtrip(self, tmp_path, rng):
+        A = grid_laplacian(6, 6)
+        case = FuzzCase("roundtrip", A, rng.standard_normal(A.shape[0]),
+                        k=2, seed=17)
+        p = save_reproducer(case, "verify:synthetic",
+                            str(tmp_path / "case.npz"))
+        loaded, cat = load_reproducer(p)
+        assert cat == "verify:synthetic"
+        assert loaded.name == "roundtrip"
+        assert loaded.k == 2 and loaded.seed == 17
+        assert (loaded.A != case.A).nnz == 0
+        assert np.array_equal(loaded.b, case.b)
+
+    def test_cli_replay_of_passing_case(self, tmp_path, rng, capsys):
+        A = grid_laplacian(8, 8)
+        case = FuzzCase("ok", A, rng.standard_normal(A.shape[0]), k=2)
+        p = save_reproducer(case, "verify:old", str(tmp_path / "ok.npz"))
+        assert main(["--replay", p]) == 0
+        assert "passes now" in capsys.readouterr().out
+
+
+class TestDifferential:
+    def test_differential_solve_report(self, rng):
+        A = grid_laplacian(12, 12)
+        rep = differential_solve(A, rng.standard_normal(A.shape[0]),
+                                 k=4, seed=0)
+        assert rep.backward_error < 1e-6
+        assert rep.oracle_backward_error < 1e-10
+        assert rep.converged
+        assert rep.n_checks > 0
+
+    def test_stage_oracles_three_way_agreement(self):
+        A = grid_laplacian(12, 12)
+        rep = check_stage_oracles(A, k=4, seed=0)
+        assert rep["dense_vs_implicit"] < 1e-10
+        assert rep["dense_vs_assembled"] < 1e-10
+        assert "schur.no-drop-identity" in rep["checks_run"]

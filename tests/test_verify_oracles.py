@@ -1,0 +1,180 @@
+"""Each oracle of :mod:`repro.verify.oracles` cross-checked against an
+independent computation (or against the production kernel it verifies)."""
+
+import numpy as np
+import pytest
+import scipy.sparse as sp
+import scipy.sparse.linalg as spla
+from tests.conftest import grid_laplacian, random_unsymmetric
+
+from repro.core.dbbd import build_dbbd
+from repro.core.rhb import rhb_partition
+from repro.core.weights import compute_vertex_weights
+from repro.hypergraph.hypergraph import Hypergraph
+from repro.hypergraph.metrics import cutsize
+from repro.lu import factorize, padded_zeros
+from repro.verify.oracles import (
+    cut_metrics_reference,
+    dense_exact_schur,
+    dense_triangular_solve_oracle,
+    lu_reconstruction_error,
+    materialize_operator,
+    normwise_backward_error,
+    padded_zeros_bruteforce,
+    rhb_cut_cost_reference,
+    soed_identity_gap,
+    splu_solve_oracle,
+    vertex_weights_reference,
+)
+
+
+@pytest.fixture(scope="module")
+def small_hg():
+    rng = np.random.default_rng(11)
+    M = sp.random(40, 30, density=0.15, random_state=rng, format="csr")
+    M.data[:] = 1.0
+    return Hypergraph.column_net_model(M)
+
+
+class TestDirectSolveOracles:
+    def test_splu_solve_oracle(self, grid8, rng):
+        b = rng.standard_normal(grid8.shape[0])
+        x = splu_solve_oracle(grid8, b)
+        assert np.linalg.norm(grid8 @ x - b) < 1e-10 * np.linalg.norm(b)
+
+    def test_dense_triangular_solve_oracle(self, rng):
+        n = 25
+        L = sp.tril(sp.random(n, n, 0.3, random_state=rng), -1) + sp.eye(n)
+        B = rng.standard_normal((n, 4))
+        X = dense_triangular_solve_oracle(L.tocsr(), B)
+        ref = spla.spsolve_triangular(L.tocsr(), B, lower=True)
+        assert np.allclose(X, ref)
+
+    def test_lu_reconstruction_error_small_for_good_factor(self, grid8):
+        f = factorize(grid8.tocsc())
+        assert lu_reconstruction_error(grid8, f) < 1e-12
+
+    def test_lu_reconstruction_error_detects_corruption(self, grid8):
+        f = factorize(grid8.tocsc())
+        U = f.U.copy()
+        U.data = U.data.copy()
+        U.data[0] *= 2.0
+        from dataclasses import replace
+        bad = replace(f, U=U)
+        assert lu_reconstruction_error(grid8, bad) > 1e-3
+
+
+class TestSchurOracles:
+    def test_dense_exact_schur_vs_block_elimination(self, grid16):
+        res = rhb_partition(grid16, 4, seed=0)
+        p = build_dbbd(grid16, res.col_part, 4)
+        S = dense_exact_schur(p)
+        Ad = p.permuted().toarray()
+        m = p.separator_size
+        ni = Ad.shape[0] - m
+        ref = Ad[ni:, ni:] - Ad[ni:, :ni] @ np.linalg.solve(
+            Ad[:ni, :ni], Ad[:ni, ni:])
+        assert np.allclose(S, ref, atol=1e-9)
+
+    def test_materialize_operator(self, rng):
+        M = rng.standard_normal((7, 7))
+        out = materialize_operator(lambda v: M @ v, 7)
+        assert np.array_equal(out, M)
+
+
+class TestPaddingOracle:
+    def test_bruteforce_matches_production(self, rng):
+        G = sp.random(30, 20, density=0.2, random_state=rng, format="csr")
+        parts = [np.arange(0, 7), np.arange(7, 15), np.arange(15, 20)]
+        ref = padded_zeros_bruteforce(G, parts)
+        got = padded_zeros(G, parts)
+        assert got.total_padded == ref.total_padded
+        assert got.total_block_entries == ref.total_block_entries
+        assert got.per_part_padded == ref.per_part_padded
+        assert got.per_part_entries == ref.per_part_entries
+
+    def test_counts_stored_zeros(self):
+        # explicit zero entries are stored pattern, not padding
+        G = sp.csr_matrix((np.array([0.0, 1.0]),
+                           (np.array([0, 1]), np.array([0, 1]))),
+                          shape=(2, 2))
+        st = padded_zeros_bruteforce(G, [np.array([0, 1])])
+        assert st.total_padded == 2  # (0,1) and (1,0) only
+
+
+class TestCutMetricOracles:
+    def test_reference_matches_vectorized(self, small_hg):
+        rng = np.random.default_rng(3)
+        part = rng.integers(0, 4, small_hg.n_vertices)
+        ref = cut_metrics_reference(small_hg, part, 4)
+        for metric in ("con1", "cnet", "soed"):
+            assert cutsize(small_hg, part, 4, metric) == ref[metric]
+
+    def test_cutsize_verify_flag_runs_clean(self, small_hg):
+        part = np.zeros(small_hg.n_vertices, dtype=np.int64)
+        part[::3] = 1
+        for metric in ("con1", "cnet", "soed"):
+            cutsize(small_hg, part, 2, metric, verify=True)
+
+    def test_soed_identity_gap_zero(self, small_hg):
+        rng = np.random.default_rng(4)
+        for k in (2, 3, 5):
+            part = rng.integers(0, k, small_hg.n_vertices)
+            assert soed_identity_gap(small_hg, part, k) == 0
+
+    def test_rhb_cut_cost_reference_uses_unit_costs(self, small_hg):
+        from dataclasses import replace
+        costly = replace(small_hg,
+                         net_costs=np.full(small_hg.n_nets, 7,
+                                           dtype=np.int64),
+                         _vtx_ptr=None, _vtx_nets=None, _net_of_pin=None)
+        part = np.arange(small_hg.n_vertices) % 2
+        for metric in ("con1", "cnet", "soed"):
+            assert (rhb_cut_cost_reference(costly, part, 2, metric)
+                    == cut_metrics_reference(small_hg, part, 2)[metric])
+
+    def test_rhb_identity_end_to_end(self, grid16):
+        """The recursively accumulated cut cost telescopes to the flat
+        unit-cost metric on the final row partition."""
+        from repro.sparse.structural import edge_incidence_factor
+        M = edge_incidence_factor(grid16)
+        H0 = Hypergraph.column_net_model(M)
+        for metric in ("con1", "cnet", "soed"):
+            res = rhb_partition(grid16, 4, M=M, metric=metric, seed=2)
+            assert (res.total_cut_cost
+                    == rhb_cut_cost_reference(H0, res.row_part, 4, metric))
+
+
+class TestWeightOracle:
+    def test_matches_production_all_schemes(self, small_hg):
+        rng = np.random.default_rng(9)
+        w2 = rng.integers(1, 12, small_hg.n_vertices)
+        internal = rng.random(small_hg.n_nets) < 0.7
+        for scheme in ("unit", "w1", "w2", "w1w2"):
+            for first in (True, False):
+                ref = vertex_weights_reference(
+                    small_hg, scheme, w2, first_bisection=first,
+                    net_internal=internal)
+                got = compute_vertex_weights(
+                    small_hg, scheme, w2, first_bisection=first,
+                    net_internal=internal)
+                assert np.array_equal(got, ref), (scheme, first)
+
+
+class TestBackwardError:
+    def test_exact_solution_tiny(self, grid8, rng):
+        b = rng.standard_normal(grid8.shape[0])
+        x = spla.spsolve(grid8.tocsc(), b)
+        assert normwise_backward_error(grid8, x, b) < 1e-14
+
+    def test_scale_invariant(self, rng):
+        A = random_unsymmetric(40, 0.1, seed=8)
+        b = rng.standard_normal(40)
+        x = rng.standard_normal(40)
+        e1 = normwise_backward_error(A, x, b)
+        e2 = normwise_backward_error(A * 1e6, x, b * 1e6)
+        assert e1 == pytest.approx(e2, rel=1e-12)
+
+    def test_wrong_solution_large(self, grid8):
+        b = np.ones(grid8.shape[0])
+        assert normwise_backward_error(grid8, np.zeros_like(b), b) > 0.1
