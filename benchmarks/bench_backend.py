@@ -1,0 +1,88 @@
+"""Bench: execution-backend speedup (serial vs process pool).
+
+Runs the Table-I suite through ``PDSLin`` on the serial backend and on
+the process backend at 1/2/4 workers, always asserting bit parity with
+serial, and reports the end-to-end speedup of the parallelizable setup
+phase. The ``>= 1.5x at 4 workers`` acceptance gate only applies on
+machines that actually have 4 cores; on smaller CI runners the numbers
+are still published but not asserted.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.matrices.suite import generate, suite_names
+from repro.parallel.exec import ProcessBackend
+from repro.solver import PDSLin, PDSLinConfig
+
+WORKER_COUNTS = (1, 2, 4)
+SPEEDUP_GATE = 1.5           # required at 4 workers...
+GATE_MIN_CPUS = 4            # ...but only on a machine with >= 4 cores
+
+
+def _solve(A, M, backend, *, k, seed=0):
+    b = np.random.default_rng(seed).standard_normal(A.shape[0])
+    solver = PDSLin(A, PDSLinConfig(k=k, seed=seed), M=M, backend=backend)
+    t0 = time.perf_counter()
+    res = solver.solve(b)
+    return res, time.perf_counter() - t0
+
+
+def test_backend_speedup(scale, results_dir):
+    k = 8 if scale != "tiny" else 4
+    systems = [generate(name, scale) for name in suite_names()]
+    backends = {w: ProcessBackend(workers=w) for w in WORKER_COUNTS}
+    try:
+        # warm the pools so fork cost is not billed to the first matrix
+        for b in backends.values():
+            b.map(_noop, range(b.workers))
+        rows, total = [], {0: 0.0, **{w: 0.0 for w in WORKER_COUNTS}}
+        for gm in systems:
+            ref, t_serial = _solve(gm.A, gm.M, "serial", k=k)
+            total[0] += t_serial
+            walls = {}
+            for w, backend in backends.items():
+                par, t_par = _solve(gm.A, gm.M, backend, k=k)
+                assert par.x.tobytes() == ref.x.tobytes(), \
+                    f"parity broken on {gm.name} at {w} workers"
+                walls[w] = t_par
+                total[w] += t_par
+            rows.append((gm.name, gm.A.shape[0], t_serial, walls))
+        lines = [f"Execution-backend speedup ({scale} scale, k={k}, "
+                 f"{os.cpu_count()} cpus)",
+                 f"{'matrix':<12} {'n':>7} {'serial':>9} "
+                 + " ".join(f"{f'proc:{w}':>9}" for w in WORKER_COUNTS)
+                 + " " + " ".join(f"{f'x{w}':>6}" for w in WORKER_COUNTS)]
+        for name, n, t_serial, walls in rows:
+            lines.append(
+                f"{name:<12} {n:>7} {t_serial:>8.3f}s "
+                + " ".join(f"{walls[w]:>8.3f}s" for w in WORKER_COUNTS)
+                + " " + " ".join(f"{t_serial / walls[w]:>6.2f}"
+                                 for w in WORKER_COUNTS))
+        speedups = {w: total[0] / total[w] for w in WORKER_COUNTS}
+        lines.append(
+            f"{'TOTAL':<12} {'':>7} {total[0]:>8.3f}s "
+            + " ".join(f"{total[w]:>8.3f}s" for w in WORKER_COUNTS)
+            + " " + " ".join(f"{speedups[w]:>6.2f}"
+                             for w in WORKER_COUNTS))
+        publish(results_dir, "backend_speedup", "\n".join(lines))
+        cpus = os.cpu_count() or 1
+        if cpus >= GATE_MIN_CPUS:
+            assert speedups[4] >= SPEEDUP_GATE, (
+                f"process backend at 4 workers reached only "
+                f"{speedups[4]:.2f}x over serial (gate {SPEEDUP_GATE}x)")
+        else:
+            print(f"\nspeedup gate skipped: only {cpus} cpus "
+                  f"(needs >= {GATE_MIN_CPUS})")
+    finally:
+        for b in backends.values():
+            b.close()
+
+
+def _noop(_):
+    return None

@@ -130,7 +130,8 @@ def rhb_partition(A: sp.spmatrix, k: int, *,
                   n_trials: int = 4,
                   fm_passes: int = 8,
                   tracer: Tracer = NULL_TRACER,
-                  verify=None) -> RHBResult:
+                  verify=None,
+                  backend=None) -> RHBResult:
     """Run RHB on ``A`` producing ``k`` subdomains plus separator.
 
     Parameters
@@ -215,7 +216,8 @@ def rhb_partition(A: sp.spmatrix, k: int, *,
             timer = Timer().start()
             res = bisect_hypergraph(Hw, epsilon=epsilon,
                                     target0=k_left / k_here, seed=rng,
-                                    n_trials=n_trials, fm_passes=fm_passes)
+                                    n_trials=n_trials, fm_passes=fm_passes,
+                                    backend=backend)
             split = split_by_side(H, res.side, metric)
             bis_seconds.append(timer.stop())
             tracer.count("cut_cost", split.cut_cost)

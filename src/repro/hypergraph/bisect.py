@@ -14,6 +14,7 @@ assignments), refine with FM during uncoarsening. Supports:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import List, Optional
 
 import numpy as np
 
@@ -25,6 +26,7 @@ from repro.hypergraph.refine import (
     fm_refine_hypergraph,
     hypergraph_gains,
 )
+from repro.resilience.errors import WorkerCrashError
 from repro.utils import SeedLike, fraction, rng_from, spawn
 
 __all__ = ["HBisectionResult", "bisect_hypergraph", "enforce_exact_quota"]
@@ -119,11 +121,51 @@ def enforce_exact_quota(H: Hypergraph, side: np.ndarray, quota0: int) -> np.ndar
     return side
 
 
+@dataclass
+class _TrialTask:
+    """One shippable bisection trial: the multilevel state plus a
+    pre-drawn child generator, so a trial is a pure function of its
+    payload and runs identically on any execution backend."""
+
+    H: Hypergraph
+    levels: List
+    caps: np.ndarray
+    target0: float
+    fm_passes: int
+    quota0: Optional[int]
+    rng: np.random.Generator
+
+
+def _run_trial(task: _TrialTask) -> HBisectionResult:
+    """One initial-bisection + uncoarsening-refinement trial."""
+    H, levels, caps = task.H, task.levels, task.caps
+    coarsest = levels[-1].hypergraph if levels else H
+    child = task.rng
+    if child.random() < 0.5 or coarsest.n_vertices < 4:
+        side = _grow_bfs(coarsest, task.target0, child)
+    else:
+        side = _random_balanced(coarsest, task.target0, child)
+    side, _ = fm_refine_hypergraph(coarsest, side, caps=caps,
+                                   max_passes=task.fm_passes)
+    for i in range(len(levels) - 1, -1, -1):
+        side = levels[i].project(side)
+        fine_H = H if i == 0 else levels[i - 1].hypergraph
+        side, _ = fm_refine_hypergraph(fine_H, side, caps=caps,
+                                       max_passes=task.fm_passes)
+    if task.quota0 is not None:
+        side = enforce_exact_quota(H, side, task.quota0)
+    cut = bisection_cut(H, side)
+    W = np.zeros((2, H.n_constraints), dtype=np.int64)
+    np.add.at(W, side, H.vertex_weights)
+    return HBisectionResult(side=side, cut=cut, part_weights=W)
+
+
 def bisect_hypergraph(H: Hypergraph, *, epsilon: float = 0.05,
                       target0: float = 0.5, seed: SeedLike = None,
                       n_trials: int = 4, coarsen_min: int = 96,
                       fm_passes: int = 8,
-                      quota0: int | None = None) -> HBisectionResult:
+                      quota0: int | None = None,
+                      backend=None) -> HBisectionResult:
     """Multilevel bisection of ``H``.
 
     Parameters
@@ -136,6 +178,11 @@ def bisect_hypergraph(H: Hypergraph, *, epsilon: float = 0.05,
     quota0:
         If given, side 0 must contain exactly this many vertices
         (unit-weight use case); enforced after refinement.
+    backend:
+        Optional :class:`repro.parallel.exec.Executor`; a non-inline
+        backend runs the trials concurrently. Each trial owns a
+        pre-drawn child generator and the winner is reduced in trial
+        order, so the result is bit-identical to the serial loop.
     """
     epsilon = fraction(epsilon, "epsilon")
     target0 = fraction(target0, "target0", lo=0.02, hi=0.98)
@@ -146,27 +193,26 @@ def bisect_hypergraph(H: Hypergraph, *, epsilon: float = 0.05,
     max_cw = np.maximum(1, np.ceil(caps.max(axis=0) / 8.0)).astype(np.int64)
     levels = coarsen_hypergraph(H, min_vertices=coarsen_min, seed=rng,
                                 max_weight=max_cw)
-    coarsest = levels[-1].hypergraph if levels else H
+
+    tasks = [_TrialTask(H=H, levels=levels, caps=caps, target0=target0,
+                        fm_passes=fm_passes, quota0=quota0, rng=child)
+             for child in spawn(rng, max(1, n_trials))]
+    if backend is not None and not backend.inline and len(tasks) > 1:
+        results = []
+        for task, out in zip(tasks, backend.map(_run_trial, tasks)):
+            if isinstance(out.error, WorkerCrashError):
+                # the shipped generator was a pickled copy, so the
+                # parent's is still pristine: rerun inline, bit-identical
+                results.append(_run_trial(task))
+            elif out.error is not None:
+                raise out.error
+            else:
+                results.append(out.value)
+    else:
+        results = [_run_trial(t) for t in tasks]
 
     best: HBisectionResult | None = None
-    for child in spawn(rng, max(1, n_trials)):
-        if child.random() < 0.5 or coarsest.n_vertices < 4:
-            side = _grow_bfs(coarsest, target0, child)
-        else:
-            side = _random_balanced(coarsest, target0, child)
-        side, _ = fm_refine_hypergraph(coarsest, side, caps=caps,
-                                       max_passes=fm_passes)
-        for i in range(len(levels) - 1, -1, -1):
-            side = levels[i].project(side)
-            fine_H = H if i == 0 else levels[i - 1].hypergraph
-            side, _ = fm_refine_hypergraph(fine_H, side, caps=caps,
-                                           max_passes=fm_passes)
-        if quota0 is not None:
-            side = enforce_exact_quota(H, side, quota0)
-        cut = bisection_cut(H, side)
-        W = np.zeros((2, H.n_constraints), dtype=np.int64)
-        np.add.at(W, side, H.vertex_weights)
-        cand = HBisectionResult(side=side, cut=cut, part_weights=W)
+    for cand in results:
         if best is None or _better(cand, best, caps):
             best = cand
     assert best is not None

@@ -2,9 +2,11 @@
 (reference Gilbert-Peierls + SuperLU bridge), supernode detection, and
 the blocked multi-RHS sparse triangular solver with padding."""
 
+from repro.lu.cache import SymbolicCache, pattern_fingerprint
 from repro.lu.numeric import (
     GilbertPeierlsLU,
     LUFactors,
+    attach_handle,
     factorize,
     lu_flop_count,
 )
@@ -30,6 +32,7 @@ from repro.lu.triangular import (
 __all__ = [
     "reach", "toposorted_reach", "solution_pattern", "factor_etree",
     "LUFactors", "GilbertPeierlsLU", "factorize", "lu_flop_count",
+    "attach_handle", "SymbolicCache", "pattern_fingerprint",
     "detect_supernodes", "relaxed_supernodes", "SupernodalLower",
     "PaddingStats", "BlockedSolveResult", "partition_columns",
     "blocked_triangular_solve", "padded_zeros",

@@ -32,7 +32,8 @@ from repro.utils import (
     check_permutation,
 )
 
-__all__ = ["LUFactors", "GilbertPeierlsLU", "factorize", "lu_flop_count"]
+__all__ = ["LUFactors", "GilbertPeierlsLU", "factorize", "lu_flop_count",
+           "attach_handle"]
 
 
 @dataclass
@@ -50,6 +51,14 @@ class LUFactors:
     perm_r: np.ndarray
     perm_c: np.ndarray
     handle: object | None = None  # SuperLU object for fast repeated solves
+
+    def __getstate__(self) -> dict:
+        """Pickle without the SuperLU handle (a C object that cannot
+        cross process boundaries). :func:`attach_handle` restores an
+        equivalent handle on the receiving side."""
+        state = self.__dict__.copy()
+        state["handle"] = None
+        return state
 
     @property
     def n(self) -> int:
@@ -316,6 +325,34 @@ def factorize(A: sp.spmatrix, *, col_perm: np.ndarray | None = None,
                        engine=engine, keep_handle=keep_handle)
         tracer.count("lu_fill_nnz", f.fill_nnz)
         tracer.count("lu_flops", lu_flop_count(f))
+    return f
+
+
+def attach_handle(f: LUFactors, A: sp.spmatrix, *,
+                  diag_pivot_thresh: float) -> LUFactors:
+    """Re-attach a SuperLU handle to factors that crossed a process
+    boundary (pickling strips it — see ``LUFactors.__getstate__``).
+
+    ``A`` must be the exact pre-permuted matrix the factors came from
+    and ``diag_pivot_thresh`` the threshold of the rung that produced
+    them; SuperLU is deterministic on identical input, so re-running it
+    yields a handle whose solves are bit-identical to the one the worker
+    held. The pivot orders are cross-checked and a mismatch raises —
+    silently attaching a different factorization would break the
+    bit-parity contract of the parallel backends.
+    """
+    lu = spla.splu(check_csc(A).astype(np.float64), permc_spec="NATURAL",
+                   diag_pivot_thresh=diag_pivot_thresh,
+                   options={"SymmetricMode": True})
+    pr = np.empty(f.n, dtype=np.int64)
+    pr[lu.perm_r] = np.arange(f.n)
+    if not (np.array_equal(pr, f.perm_r)
+            and np.array_equal(np.asarray(lu.perm_c, dtype=np.int64),
+                               f.perm_c)):
+        raise RuntimeError(
+            "attach_handle: refactorization pivot order differs from the "
+            "shipped factors; refusing to attach a mismatched handle")
+    f.handle = lu
     return f
 
 

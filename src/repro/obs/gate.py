@@ -5,20 +5,29 @@ Wall times are compared as ratios against ``time_tol`` (1.5 = allow
 baseline are too noisy to gate on and are skipped). Counters — op
 counts, padded zeros, iterations — are deterministic for a fixed seed,
 so they get the much tighter ``ops_tol``. A stage present in the
-baseline but absent from the fresh run fails the gate: the pipeline
-changed shape and the baseline must be re-recorded deliberately.
+baseline but absent from the fresh run fails the gate — and so does a
+stage present in the fresh run but absent from the baseline: either
+way the pipeline changed shape and the baseline must be re-recorded
+deliberately. Counters prefixed ``noise:`` (wall-clock/model skew
+recorded by :func:`repro.parallel.costmodel.record_model_skew`) are
+machine noise by construction and are never gated.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 __all__ = ["GateCheck", "GateReport", "compare_metrics",
-           "DEFAULT_TIME_TOL", "DEFAULT_OPS_TOL", "DEFAULT_MIN_TIME_S"]
+           "DEFAULT_TIME_TOL", "DEFAULT_OPS_TOL", "DEFAULT_MIN_TIME_S",
+           "NOISE_COUNTER_PREFIX"]
 
 DEFAULT_TIME_TOL = 1.5
 DEFAULT_OPS_TOL = 1.10
 DEFAULT_MIN_TIME_S = 0.005
+#: Counters whose names start with this prefix are measurement noise
+#: (real-vs-modeled wall-clock skew, etc.): excluded from gating and
+#: from baseline determinism checks.
+NOISE_COUNTER_PREFIX = "noise:"
 
 
 @dataclass(frozen=True)
@@ -53,10 +62,11 @@ class GateReport:
 
     checks: list[GateCheck]
     missing_stages: list[str]
+    extra_stages: list[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
-        return not self.missing_stages and \
+        return not self.missing_stages and not self.extra_stages and \
             not any(c.regressed for c in self.checks)
 
     @property
@@ -66,11 +76,27 @@ class GateReport:
     def describe(self) -> str:
         lines = [c.describe() for c in self.checks]
         lines.extend(f"[FAIL] stage {s!r} in baseline but not in current run"
-                     for s in self.missing_stages)
+                     " — pipeline lost a stage; re-record the baseline if"
+                     " intentional" for s in self.missing_stages)
+        lines.extend(f"[FAIL] stage {s!r} in current run but not in baseline"
+                     " — pipeline grew a stage; re-record the baseline if"
+                     " intentional" for s in self.extra_stages)
+        n_shape = len(self.missing_stages) + len(self.extra_stages)
         verdict = "PASS" if self.ok else \
-            f"FAIL ({len(self.regressions) + len(self.missing_stages)} regressions)"
+            f"FAIL ({len(self.regressions) + n_shape} regressions)"
         lines.append(f"perf gate: {verdict}")
         return "\n".join(lines)
+
+
+def _wall_s(name: str, st: dict, which: str) -> float:
+    """Extract a stage's wall time, failing with a clear message (not a
+    ``KeyError``) when a metrics file is malformed."""
+    try:
+        return float(st["wall_s"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(
+            f"malformed {which} metrics: stage {name!r} has no usable "
+            f"'wall_s' entry ({exc!r})") from exc
 
 
 def _check(stage: str, metric: str, base: float, cur: float,
@@ -93,22 +119,28 @@ def compare_metrics(current: dict, baseline: dict, *,
     checks: list[GateCheck] = []
     missing: list[str] = []
     cur_stages = current.get("stages", {})
-    for name, base_st in sorted(baseline.get("stages", {}).items()):
+    base_stages = baseline.get("stages", {})
+    for name, base_st in sorted(base_stages.items()):
         cur_st = cur_stages.get(name)
         if cur_st is None:
             missing.append(name)
             continue
-        checks.append(_check(name, "wall_s", float(base_st["wall_s"]),
-                             float(cur_st["wall_s"]), time_tol,
+        checks.append(_check(name, "wall_s",
+                             _wall_s(name, base_st, "baseline"),
+                             _wall_s(name, cur_st, "current"), time_tol,
                              floor=min_time_s))
         cur_counters = cur_st.get("counters", {})
         for cname, bval in sorted(base_st.get("counters", {}).items()):
+            if cname.startswith(NOISE_COUNTER_PREFIX):
+                continue
             checks.append(_check(name, cname, float(bval),
                                  float(cur_counters.get(cname, 0.0)),
                                  ops_tol))
+    extra = sorted(set(cur_stages) - set(base_stages))
     base_total = float(baseline.get("totals", {}).get("wall_s", 0.0))
     cur_total = float(current.get("totals", {}).get("wall_s", 0.0))
     if base_total > 0:
         checks.append(_check("TOTAL", "wall_s", base_total, cur_total,
                              time_tol, floor=min_time_s))
-    return GateReport(checks=checks, missing_stages=missing)
+    return GateReport(checks=checks, missing_stages=missing,
+                      extra_stages=extra)

@@ -100,6 +100,34 @@ class Tracer:
         """Number of currently open spans."""
         return len(self._stack)
 
+    def now(self) -> float:
+        """Seconds since this tracer's epoch (span-timestamp clock)."""
+        return time.perf_counter() - self._epoch
+
+    def merge(self, spans, counters, *, offset_s: float = 0.0,
+              track: str | None = None) -> None:
+        """Fold spans/counters recorded by another tracer into this one.
+
+        Used to merge the local tracers of worker processes back into
+        the parent trace: the child spans' timestamps (relative to the
+        child's epoch, which starts at task entry) are rebased by
+        ``offset_s`` — typically ``parent.now()`` at dispatch — and a
+        ``track`` attribute may be stamped on so each worker renders on
+        its own Chrome-trace track. Counters add into the *global*
+        totals only; they are not re-attached to any currently open
+        parent span (the child spans already carry them).
+        """
+        for rec in spans:
+            attrs = dict(rec.attrs)
+            if track is not None:
+                attrs.setdefault("track", track)
+            self.spans.append(SpanRecord(
+                name=rec.name, path=rec.path,
+                start_s=rec.start_s + offset_s, end_s=rec.end_s + offset_s,
+                depth=rec.depth, attrs=attrs, counters=dict(rec.counters)))
+        for name, value in counters.items():
+            self.counters[name] = self.counters.get(name, 0) + value
+
     def events(self) -> List[TraceEvent]:
         """The recorded spans as shared-model trace events.
 
@@ -149,6 +177,13 @@ class NullTracer:
         return _NULL_SPAN
 
     def count(self, name: str, value: float = 1) -> None:
+        return None
+
+    def now(self) -> float:
+        return 0.0
+
+    def merge(self, spans, counters, *, offset_s: float = 0.0,
+              track: str | None = None) -> None:
         return None
 
     @property

@@ -1,10 +1,23 @@
-"""Simulated distributed execution: per-process ledgers, stage
-makespans, balance ratios, and the two-level core-count projection."""
+"""Parallel execution layer: the simulated distributed machine
+(per-process ledgers, stage makespans, balance ratios, the two-level
+core-count projection) and the real execution backends
+(serial/thread/process) that run the per-subdomain work."""
 
 from repro.parallel.costmodel import (
     DEFAULT_STAGE_SCALING,
     StageScaling,
     TwoLevelModel,
+    record_model_skew,
+)
+from repro.parallel.exec import (
+    Executor,
+    ProcessBackend,
+    SerialBackend,
+    TaskOutcome,
+    ThreadBackend,
+    backend_names,
+    get_backend,
+    resolve_backend,
 )
 from repro.parallel.machine import RECOVER_STAGE, ProcessLedger, SimulatedMachine
 from repro.parallel.trace import (
@@ -16,5 +29,8 @@ from repro.parallel.trace import (
 __all__ = [
     "ProcessLedger", "SimulatedMachine", "RECOVER_STAGE",
     "StageScaling", "TwoLevelModel", "DEFAULT_STAGE_SCALING",
+    "record_model_skew",
+    "Executor", "SerialBackend", "ThreadBackend", "ProcessBackend",
+    "TaskOutcome", "resolve_backend", "get_backend", "backend_names",
     "export_chrome_trace", "machine_events", "STAGE_ORDER",
 ]

@@ -24,7 +24,23 @@ from typing import Dict
 from repro.parallel.machine import SimulatedMachine
 from repro.utils import fraction, positive_int
 
-__all__ = ["StageScaling", "TwoLevelModel", "DEFAULT_STAGE_SCALING"]
+__all__ = ["StageScaling", "TwoLevelModel", "DEFAULT_STAGE_SCALING",
+           "record_model_skew"]
+
+
+def record_model_skew(tracer, stage: str, *, model_s: float,
+                      measured_s: float) -> None:
+    """Record the real-minus-simulated wall-clock gap of a stage.
+
+    Reconciles the :class:`SimulatedMachine` cost model with measured
+    execution: when a real execution backend runs a stage, the gap
+    between its wall clock and the simulated makespan (worker-charged
+    stage seconds) lands in a ``noise:``-prefixed tracer counter —
+    visible in exported metrics for calibration, but excluded from perf
+    gating and baseline determinism checks, because it is machine noise
+    by construction.
+    """
+    tracer.count(f"noise:model_skew_{stage}", measured_s - model_s)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,343 @@
+"""Pluggable execution backends for the PDSLin pipeline.
+
+The paper's solver is *hierarchically parallel*: the per-subdomain
+stages (LU(D), the interface triangular solves and the local Schur
+updates of Comp(S)) are embarrassingly parallel across the DBBD
+diagonal blocks. :class:`SimulatedMachine` models that parallelism for
+the paper's accounting; this module *executes* it. Three backends sit
+behind one :class:`Executor` interface:
+
+- :class:`SerialBackend` — runs every task inline (the default; the
+  reference semantics every other backend must reproduce bit-for-bit);
+- :class:`ThreadBackend` — ``concurrent.futures.ThreadPoolExecutor``.
+  No pickling, shared address space; wins only where the work releases
+  the GIL (SuperLU factorization, BLAS-heavy blocked solves on large
+  subdomains);
+- :class:`ProcessBackend` — ``ProcessPoolExecutor`` with pickled CSR
+  block shipping. True multi-core execution; task payloads and results
+  cross process boundaries, so task functions must be module-level and
+  their arguments picklable.
+
+Determinism contract: ``map`` always returns outcomes in *submission
+order* regardless of completion order, so callers can reduce in a fixed
+order and obtain bit-identical results on every backend.
+
+Failure contract: a Python exception raised by a task comes back as
+``TaskOutcome.error`` (pickled across the process boundary — see
+``SolverError.__reduce__``). A worker *process death* (segfault,
+``os._exit``, OOM kill) surfaces as a :class:`WorkerCrashError`
+outcome, after which the broken pool is disposed so the next ``map``
+gets a fresh one. ``KeyboardInterrupt`` during a ``map`` cancels
+pending tasks, terminates worker processes and re-raises — no orphans.
+
+Selection: ``PDSLin(backend=...)`` takes an :class:`Executor`, a spec
+string (``"serial"``, ``"thread"``, ``"process"``, ``"process:4"``) or
+``None`` to consult the ``REPRO_BACKEND`` environment variable (worker
+count from ``REPRO_WORKERS``; ``REPRO_MP_START`` overrides the
+multiprocessing start method).
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import time
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.resilience.errors import WorkerCrashError
+
+__all__ = [
+    "TaskOutcome", "Executor", "SerialBackend", "ThreadBackend",
+    "ProcessBackend", "resolve_backend", "get_backend", "backend_names",
+    "in_worker",
+    "ENV_BACKEND", "ENV_WORKERS", "ENV_MP_START", "ENV_IN_WORKER",
+]
+
+ENV_BACKEND = "REPRO_BACKEND"
+ENV_WORKERS = "REPRO_WORKERS"
+ENV_MP_START = "REPRO_MP_START"
+#: Set to "1" in the environment of ProcessBackend workers (and only
+#: there): chaos hooks that hard-kill a "worker" must never fire in the
+#: parent process, where serial and thread backends run tasks.
+ENV_IN_WORKER = "_REPRO_IN_WORKER"
+
+
+def _mark_worker() -> None:
+    """Pool initializer: brand this process as a disposable worker."""
+    os.environ[ENV_IN_WORKER] = "1"
+
+
+def in_worker() -> bool:
+    """True inside a ProcessBackend worker process."""
+    return os.environ.get(ENV_IN_WORKER) == "1"
+
+
+@dataclass
+class TaskOutcome:
+    """Result slot for one task of a ``map`` call, in submission order.
+
+    Exactly one of ``value``/``error`` is meaningful: ``error`` is the
+    exception the task raised (or a :class:`WorkerCrashError` when the
+    worker process died before returning). ``wall_s`` is the task's own
+    wall time as measured where it ran; ``worker`` the executing
+    process id (useful to see how tasks spread over the pool).
+    """
+
+    index: int
+    value: Any = None
+    error: Optional[BaseException] = None
+    wall_s: float = 0.0
+    worker: Optional[int] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _invoke(fn: Callable, payload: Any) -> Tuple[Any, Optional[BaseException],
+                                                 float, int]:
+    """Run one task, capturing exceptions as values (uniform across
+    backends; also avoids raising through the future machinery)."""
+    t0 = time.perf_counter()
+    try:
+        value, error = fn(payload), None
+    except Exception as exc:            # noqa: BLE001 - captured on purpose
+        value, error = None, exc
+    return value, error, time.perf_counter() - t0, os.getpid()
+
+
+class Executor:
+    """One ``map`` with ordered results; see the module docstring for
+    the determinism and failure contracts."""
+
+    name = "abstract"
+    #: True when tasks run in the caller's process and may share state
+    #: with it (closures, live SuperLU handles). Parallel callers must
+    #: ship self-contained payloads when this is False.
+    inline = False
+
+    def __init__(self, workers: int = 1):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = int(workers)
+
+    def map(self, fn: Callable, payloads: Sequence[Any]) -> List[TaskOutcome]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pool resources (idempotent)."""
+
+    def __enter__(self) -> "Executor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class SerialBackend(Executor):
+    """Inline execution — the reference semantics."""
+
+    name = "serial"
+    inline = True
+
+    def __init__(self, workers: int = 1):
+        super().__init__(1)
+
+    def map(self, fn: Callable, payloads: Sequence[Any]) -> List[TaskOutcome]:
+        out = []
+        for i, p in enumerate(payloads):
+            value, error, wall, pid = _invoke(fn, p)
+            out.append(TaskOutcome(index=i, value=value, error=error,
+                                   wall_s=wall, worker=pid))
+        return out
+
+
+class ThreadBackend(Executor):
+    """Thread-pool execution: no pickling, shared address space."""
+
+    name = "thread"
+
+    def __init__(self, workers: int = 2):
+        super().__init__(workers)
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    def _ensure(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.workers,
+                thread_name_prefix="repro-exec")
+        return self._pool
+
+    def map(self, fn: Callable, payloads: Sequence[Any]) -> List[TaskOutcome]:
+        pool = self._ensure()
+        futures = [pool.submit(_invoke, fn, p) for p in payloads]
+        try:
+            out = []
+            for i, f in enumerate(futures):
+                value, error, wall, pid = f.result()
+                out.append(TaskOutcome(index=i, value=value, error=error,
+                                       wall_s=wall, worker=pid))
+            return out
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            raise
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True, cancel_futures=True)
+            self._pool = None
+
+
+def _default_start_method() -> str:
+    """``fork`` where available (cheap, inherits the parent's imported
+    modules), the platform default (``spawn``) elsewhere."""
+    override = os.environ.get(ENV_MP_START)
+    if override:
+        return override
+    import multiprocessing as mp
+    return "fork" if "fork" in mp.get_all_start_methods() else \
+        mp.get_start_method(allow_none=False)
+
+
+class ProcessBackend(Executor):
+    """Process-pool execution with pickled payload shipping.
+
+    The pool is created lazily on first ``map`` and rebuilt after a
+    worker crash. Task functions must be importable module-level
+    callables; payloads and results must pickle.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: int = 2, *, start_method: str | None = None):
+        super().__init__(workers)
+        self._start_method = start_method or _default_start_method()
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing as mp
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                mp_context=mp.get_context(self._start_method),
+                initializer=_mark_worker)
+        return self._pool
+
+    def map(self, fn: Callable, payloads: Sequence[Any]) -> List[TaskOutcome]:
+        pool = self._ensure()
+        futures: List[Future] = [pool.submit(_invoke, fn, p)
+                                 for p in payloads]
+        out: List[TaskOutcome] = []
+        broken = False
+        try:
+            for i, f in enumerate(futures):
+                try:
+                    value, error, wall, pid = f.result()
+                    out.append(TaskOutcome(index=i, value=value, error=error,
+                                           wall_s=wall, worker=pid))
+                except BrokenProcessPool as exc:
+                    broken = True
+                    out.append(TaskOutcome(index=i, error=WorkerCrashError(
+                        f"worker process died while running task {i}: {exc}",
+                        backend=self.name)))
+                except Exception as exc:  # e.g. result unpickling failure
+                    out.append(TaskOutcome(index=i, error=exc))
+        except BaseException:
+            # KeyboardInterrupt etc.: cancel what has not started,
+            # terminate the workers, leave no orphans behind
+            for f in futures:
+                f.cancel()
+            self._terminate()
+            raise
+        if broken:
+            self._terminate()  # a fresh pool is built on the next map
+        return out
+
+    def _terminate(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is None:
+            return
+        procs = list(getattr(pool, "_processes", {}).values())
+        pool.shutdown(wait=False, cancel_futures=True)
+        for p in procs:
+            if p.is_alive():
+                p.terminate()
+        for p in procs:
+            p.join(timeout=5)
+
+    def close(self) -> None:
+        self._terminate()
+
+
+_BACKENDS = {
+    "serial": SerialBackend,
+    "thread": ThreadBackend,
+    "process": ProcessBackend,
+}
+
+#: Shared instances keyed by (name, workers): repeated solver
+#: constructions reuse one warm pool instead of forking per solve.
+_shared: Dict[Tuple[str, int], Executor] = {}
+
+
+def backend_names() -> tuple:
+    """Names of the registered execution backends, sorted."""
+    return tuple(sorted(_BACKENDS))
+
+
+def _default_workers() -> int:
+    env = os.environ.get(ENV_WORKERS)
+    if env:
+        return max(1, int(env))
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+@atexit.register
+def _close_shared() -> None:  # pragma: no cover - interpreter teardown
+    for b in list(_shared.values()):
+        try:
+            b.close()
+        except Exception:
+            pass
+    _shared.clear()
+
+
+def get_backend(name: str, *, workers: int | None = None,
+                fresh: bool = False) -> Executor:
+    """Backend by spec string (``"process"`` / ``"process:4"``).
+
+    Shared instances are cached per (name, workers) and closed at
+    interpreter exit; pass ``fresh=True`` for a private instance the
+    caller owns (and must ``close()``).
+    """
+    base, _, count = name.partition(":")
+    if base not in _BACKENDS:
+        raise ValueError(f"unknown backend {base!r}; "
+                         f"expected one of {backend_names()}")
+    if count:
+        workers = int(count)
+    if workers is None:
+        workers = 1 if base == "serial" else _default_workers()
+    if fresh:
+        return _BACKENDS[base](workers)
+    key = (base, workers)
+    if key not in _shared:
+        _shared[key] = _BACKENDS[base](workers)
+    return _shared[key]
+
+
+def resolve_backend(spec: "Executor | str | None") -> Executor:
+    """The solver-facing resolution ladder: explicit instance > spec
+    string > ``REPRO_BACKEND`` environment variable > serial."""
+    if isinstance(spec, Executor):
+        return spec
+    if spec is None:
+        spec = os.environ.get(ENV_BACKEND, "") or "serial"
+    return get_backend(spec)

@@ -1,0 +1,86 @@
+"""Backend parity check: serial vs parallel, bit for bit.
+
+The execution backends of :mod:`repro.parallel.exec` promise *bit
+parity*: ``PDSLin`` must produce byte-identical solutions regardless of
+where the per-subdomain work ran. This module checks that promise over
+the Table-I matrix suite and is wired into CI as the ``backend-parity``
+job::
+
+    python -m repro.parallel.parity --scale tiny --workers 4
+
+For every suite matrix it runs one solve on the serial backend and one
+on the backend under test (fresh solver instances, same seed), then
+compares the solution bytes (``x.tobytes()``), iteration counts and
+residual norms. The exit status is the number of mismatching matrices,
+so CI fails loudly on the first parity break.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.matrices.suite import generate, suite_names
+from repro.parallel.exec import get_backend
+from repro.solver import PDSLin, PDSLinConfig
+
+
+def check_matrix(name: str, scale: str, backend, *, k: int = 4,
+                 seed: int = 0) -> dict:
+    """Solve one suite system serially and on ``backend``; compare."""
+    gm = generate(name, scale)
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(gm.A.shape[0])
+    cfg = dict(k=k, seed=seed)
+    ref = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M, backend="serial").solve(b)
+    par = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M, backend=backend).solve(b)
+    return {
+        "matrix": name,
+        "n": gm.A.shape[0],
+        "bit_identical": ref.x.tobytes() == par.x.tobytes(),
+        "iterations": (ref.iterations, par.iterations),
+        "residual": (ref.residual_norm, par.residual_norm),
+        "max_abs_diff": float(np.max(np.abs(ref.x - par.x)))
+        if ref.x.shape == par.x.shape else float("inf"),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="bit-parity check: serial vs parallel PDSLin backends")
+    ap.add_argument("--scale", default="tiny",
+                    choices=("tiny", "small", "medium"))
+    ap.add_argument("--backend", default="process",
+                    choices=("thread", "process"))
+    ap.add_argument("--workers", type=int, default=4)
+    ap.add_argument("--k", type=int, default=4,
+                    help="number of subdomains (default 4)")
+    ap.add_argument("--matrices", nargs="*", default=None,
+                    help="subset of suite matrices (default: all)")
+    args = ap.parse_args(argv)
+
+    names = args.matrices or suite_names()
+    backend = get_backend(args.backend, workers=args.workers)
+    failures = 0
+    for name in names:
+        r = check_matrix(name, args.scale, backend, k=args.k)
+        ok = r["bit_identical"] and r["iterations"][0] == r["iterations"][1]
+        failures += 0 if ok else 1
+        status = "OK " if ok else "FAIL"
+        print(f"[{status}] {r['matrix']:<12} n={r['n']:<7} "
+              f"iters={r['iterations'][0]}/{r['iterations'][1]} "
+              f"max|dx|={r['max_abs_diff']:.2e}")
+    tag = f"{backend.name}:{backend.workers}"
+    if failures:
+        print(f"parity FAILED on {failures}/{len(names)} matrices "
+              f"({tag} vs serial)")
+    else:
+        print(f"parity OK: {len(names)} matrices bit-identical "
+              f"({tag} vs serial)")
+    return failures
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    sys.exit(main())

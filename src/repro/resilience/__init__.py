@@ -24,6 +24,7 @@ from repro.resilience.errors import (
     SchurFactorizationError,
     SingularSubdomainError,
     SolverError,
+    WorkerCrashError,
 )
 from repro.resilience.faults import FaultPlan, FaultSpec, FiredFault
 from repro.resilience.recovery import factorize_resilient
@@ -38,6 +39,7 @@ from repro.resilience.retry import RetryPolicy, run_with_retry
 __all__ = [
     "SolverError", "SingularSubdomainError", "SchurFactorizationError",
     "KrylovBreakdownError", "RefinementStallError", "InjectedFault",
+    "WorkerCrashError",
     "FaultSpec", "FaultPlan", "FiredFault",
     "RetryPolicy", "run_with_retry",
     "RecoveryEvent", "RecoveryReport", "DEGRADING_ACTIONS", "emit_recovery",

@@ -7,6 +7,13 @@ exhausted — sees *where* the pipeline broke, not just a bare message.
 
 ``SolverError`` subclasses :class:`RuntimeError` so that pre-existing
 callers catching ``RuntimeError`` around factorizations keep working.
+
+Errors must survive a trip through the process-parallel execution
+backend (:mod:`repro.parallel.exec`): default ``BaseException`` pickling
+only keeps ``self.args``, losing the keyword-only context every subclass
+carries, so ``SolverError.__reduce__`` rebuilds instances from
+``(class, args, __dict__)`` — stage, subdomain, column, pivot and every
+other structured attribute round-trip intact.
 """
 
 from __future__ import annotations
@@ -18,7 +25,17 @@ __all__ = [
     "KrylovBreakdownError",
     "RefinementStallError",
     "InjectedFault",
+    "WorkerCrashError",
 ]
+
+
+def _rebuild_solver_error(cls, args, state):
+    """Unpickle helper: restore without re-running ``__init__`` (whose
+    keyword-only signatures vary by subclass)."""
+    err = cls.__new__(cls)
+    RuntimeError.__init__(err, *args)
+    err.__dict__.update(state)
+    return err
 
 
 class SolverError(RuntimeError):
@@ -34,6 +51,10 @@ class SolverError(RuntimeError):
         super().__init__(message)
         self.stage = stage
         self.subdomain = subdomain
+
+    def __reduce__(self):
+        return (_rebuild_solver_error,
+                (type(self), self.args, dict(self.__dict__)))
 
     def context(self) -> str:
         """Human-readable ``stage=... subdomain=...`` fragment."""
@@ -138,3 +159,19 @@ class InjectedFault(SolverError):
         """True when retrying the same stage on the same process is
         guaranteed to fail again."""
         return self.kind == "permanent"
+
+
+class WorkerCrashError(SolverError):
+    """A real worker process died mid-task (segfault, kill, hard exit).
+
+    Raised by the :class:`repro.parallel.exec.ProcessBackend` when the
+    pool reports a broken worker; the solver treats it like a permanent
+    process fault — the work fails over to the root process and the
+    solve is marked degraded. ``backend`` names the executor that
+    observed the crash.
+    """
+
+    def __init__(self, message: str, *, backend: str = "process",
+                 stage: str | None = None, subdomain: int | None = None):
+        super().__init__(message, stage=stage, subdomain=subdomain)
+        self.backend = backend

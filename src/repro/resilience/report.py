@@ -86,6 +86,15 @@ class RecoveryReport:
             self.degraded = True
         return ev
 
+    def absorb(self, other: "RecoveryReport") -> None:
+        """Fold another report into this one (used to merge the local
+        reports worker processes accumulate back into the solver's).
+        ``preconditioner_mode`` and ``accuracy`` are root-side state and
+        stay untouched."""
+        self.events.extend(other.events)
+        self.perturbed_pivots += other.perturbed_pivots
+        self.degraded = self.degraded or other.degraded
+
     @property
     def healthy(self) -> bool:
         """True when no recovery was needed at all."""

@@ -1,0 +1,327 @@
+"""Per-subdomain setup tasks, shared by every execution backend.
+
+The numeric bodies of the LU(D) and Comp(S) stages live here as
+module-level functions so that the serial path and the thread/process
+backends of :mod:`repro.parallel.exec` execute *the same code*:
+:class:`repro.solver.PDSLin` calls :func:`run_subdomain_lu` /
+:func:`run_subdomain_comp` inline on the serial backend, and ships a
+:class:`SubdomainTask` to :func:`run_subdomain_setup` (the picklable
+worker entry point) on the parallel ones. Same code + fixed-order
+reduction in the parent = bit-identical results on every backend.
+
+What crosses the process boundary:
+
+- inbound: the compressed interfaces (CSR blocks), the solver config,
+  the symbolic ordering (resolved parent-side so the shared
+  :class:`repro.lu.SymbolicCache` keeps working), and the drop
+  tolerance to use;
+- outbound: the factors (SuperLU handle stripped — the parent
+  re-attaches one via :func:`repro.lu.attach_handle` using the recorded
+  ``handle_thresh`` recipe), the interface solutions and local Schur
+  update, the condition estimate, per-stage wall seconds, and the
+  worker-local :class:`Tracer` spans/counters plus
+  :class:`RecoveryReport` events for the parent to merge.
+
+``REPRO_CHAOS_CRASH_SUBDOMAIN`` is a chaos hook: a worker asked to set
+up that subdomain hard-exits, exercising the crash-failover path end to
+end (used by the resilience tests and available for chaos drills).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.core.rhs_reorder import (
+    hypergraph_column_order,
+    natural_column_order,
+    postorder_column_order,
+)
+from repro.lu import (
+    LUFactors,
+    PaddingStats,
+    SupernodalLower,
+    blocked_triangular_solve,
+    lu_flop_count,
+    partition_columns,
+    solution_pattern,
+)
+from repro.numerics.condest import condest_from_factors
+from repro.obs.tracer import NULL_TRACER, SpanRecord, Tracer
+from repro.ordering import elimination_tree, minimum_degree, postorder
+from repro.parallel.exec import in_worker
+from repro.resilience import RecoveryReport, factorize_resilient
+from repro.solver.interfaces import SubdomainInterfaces
+from repro.sparse import symmetrized
+from repro.verify.invariants import NULL_VERIFIER
+
+__all__ = [
+    "SubdomainLU", "SubdomainComp", "SubdomainTask", "SubdomainSetupResult",
+    "order_subdomain", "run_subdomain_lu", "run_subdomain_comp",
+    "run_subdomain_setup", "replay_subdomain_verification",
+    "ENV_CRASH_SUBDOMAIN",
+]
+
+#: Chaos hook: when set to an integer ℓ, a worker process entering
+#: setup of subdomain ℓ dies with ``os._exit`` (no cleanup, simulating
+#: a segfault/OOM kill). Parent-side recovery must absorb it.
+ENV_CRASH_SUBDOMAIN = "REPRO_CHAOS_CRASH_SUBDOMAIN"
+
+
+def order_subdomain(D: sp.csr_matrix, *, method: str = "md",
+                    seed=0) -> np.ndarray:
+    """Fill-reducing ordering followed by e-tree postorder (the paper's
+    setting is minimum degree; 'nd'/'rcm' are ablations). A pure
+    function of the pattern (+ method/seed), hence cacheable."""
+    if method == "nd":
+        from repro.ordering import nested_dissection_ordering
+        base = nested_dissection_ordering(D, seed=seed)
+    elif method == "rcm":
+        from repro.ordering import reverse_cuthill_mckee
+        base = reverse_cuthill_mckee(D)
+    else:
+        base = minimum_degree(D)
+    Dm = D[base][:, base].tocsr()
+    parent = elimination_tree(symmetrized(Dm))
+    po = postorder(parent)
+    return base[po]
+
+
+@dataclass
+class SubdomainLU:
+    """LU(D) output for one subdomain.
+
+    ``handle_thresh`` is the handle recipe: the ``diag_pivot_thresh``
+    of the SuperLU rung that produced the factors, or ``None`` when the
+    static-pivoting rung (no handle in any backend) ran.
+    """
+
+    ell: int
+    perm: np.ndarray
+    factors: LUFactors
+    flops: int
+    cond: Optional[float] = None
+    handle_thresh: Optional[float] = None
+
+
+@dataclass
+class SubdomainComp:
+    """Comp(S) output for one subdomain."""
+
+    ell: int
+    G_tilde: sp.csc_matrix
+    WT_tilde: sp.csc_matrix
+    T_tilde: sp.csr_matrix
+    padding_G: PaddingStats
+    padding_W: PaddingStats
+    ops: int
+    drop_tol: float
+
+
+@dataclass
+class SubdomainTask:
+    """One shipped unit of setup work (always LU-then-Comp order).
+
+    ``lu`` carries a precomputed LU part for comp-only re-runs (the
+    speculative drop-tolerance round 2); ``run_comp`` is False when the
+    fault plan already failed Comp(S) over to the root.
+    """
+
+    ell: int
+    interfaces: SubdomainInterfaces
+    cfg: object                      # PDSLinConfig (picklable dataclass)
+    separator_size: int
+    drop_interface: float
+    perm: Optional[np.ndarray] = None
+    lu: Optional[SubdomainLU] = None
+    run_comp: bool = True
+    trace: bool = False
+
+
+@dataclass
+class SubdomainSetupResult:
+    """Worker return value: results plus the artifacts to merge."""
+
+    ell: int
+    lu: Optional[SubdomainLU] = None
+    comp: Optional[SubdomainComp] = None
+    events: list = field(default_factory=list)     # RecoveryEvent
+    perturbed_pivots: int = 0
+    lu_wall_s: float = 0.0
+    comp_wall_s: float = 0.0
+    lu_spans: List[SpanRecord] = field(default_factory=list)
+    lu_counters: dict = field(default_factory=dict)
+    comp_spans: List[SpanRecord] = field(default_factory=list)
+    comp_counters: dict = field(default_factory=dict)
+
+
+def run_subdomain_lu(sub: SubdomainInterfaces, cfg, *, ell: int,
+                     separator_size: int, perm: np.ndarray | None = None,
+                     report: RecoveryReport | None = None,
+                     tracer: Tracer = NULL_TRACER,
+                     verifier=NULL_VERIFIER) -> SubdomainLU:
+    """The LU(D) body: order, factor through the pivoting ladder,
+    estimate the condition number. Identical on every backend."""
+    if report is None:
+        report = RecoveryReport()
+    with tracer.span("factor_subdomain", l=ell):
+        verifier.after_interfaces(sub, separator_size)
+        if perm is None:
+            perm = order_subdomain(sub.D, method=cfg.subdomain_ordering,
+                                   seed=cfg.seed)
+        Dp = sub.D[perm][:, perm].tocsc()
+        # the pivoting ladder: threshold -> full -> static perturbation
+        # (records its own recovery events on `report`)
+        n_events = len(report.events)
+        factors, _ = factorize_resilient(
+            Dp, diag_pivot_thresh=cfg.diag_pivot_thresh,
+            stage="LU(D)", subdomain=ell, report=report, tracer=tracer)
+        handle_thresh: Optional[float] = cfg.diag_pivot_thresh
+        for ev in report.events[n_events:]:
+            if ev.action == "full-pivot":
+                handle_thresh = 1.0
+            elif ev.action == "static-pivot":
+                handle_thresh = None   # reference kernel: no handle exists
+        verifier.after_subdomain_lu(ell, Dp, factors)
+        flops = lu_flop_count(factors)
+        tracer.count("subdomain_dim", int(sub.D.shape[0]))
+        tracer.count("subdomain_nnz", int(sub.D.nnz))
+        cond = None
+        if cfg.condest:
+            cond = condest_from_factors(Dp, factors)
+            tracer.count("cond_est_subdomain", cond)
+    return SubdomainLU(ell=ell, perm=perm, factors=factors, flops=flops,
+                       cond=cond, handle_thresh=handle_thresh)
+
+
+def _column_order(cfg, E_rows_factored: sp.csr_matrix,
+                  G_pattern: sp.csr_matrix, tracer: Tracer) -> np.ndarray:
+    m = E_rows_factored.shape[1]
+    if cfg.rhs_ordering == "natural" or m <= cfg.block_size:
+        return natural_column_order(max(m, 1))[:m]
+    if cfg.rhs_ordering == "postorder":
+        return postorder_column_order(E_rows_factored)
+    res = hypergraph_column_order(G_pattern, cfg.block_size,
+                                  tau=cfg.quasi_dense_tau, seed=cfg.seed,
+                                  tracer=tracer)
+    return res.order
+
+
+def _repack(cfg, L_like: sp.csc_matrix, *,
+            unit_diagonal: bool) -> SupernodalLower:
+    """Supernodal repack, optionally amalgamated."""
+    snodes = None
+    if cfg.supernode_relax > 0.0:
+        from repro.lu import relaxed_supernodes
+        snodes = relaxed_supernodes(L_like, relax=cfg.supernode_relax)
+    return SupernodalLower.from_csc(L_like, unit_diagonal=unit_diagonal,
+                                    snodes=snodes)
+
+
+def _solve_interface(cfg, snl: SupernodalLower, B_sparse: sp.csr_matrix,
+                     L_like: sp.csc_matrix, drop_tol: float,
+                     tracer: Tracer):
+    """Blocked triangular solve of one interface block (already in
+    factored row positions). The symbolic pattern uses the e-tree
+    fill-path model (paper Section IV-A) — a safe superset of the exact
+    reach, far cheaper on large interfaces."""
+    Gpat = solution_pattern(L_like, B_sparse, method="etree")
+    order = _column_order(cfg, B_sparse, Gpat, tracer)
+    parts = partition_columns(order, cfg.block_size)
+    res = blocked_triangular_solve(snl, B_sparse, Gpat, parts,
+                                   drop_tol=drop_tol, tracer=tracer)
+    return res.X, res.padding
+
+
+def run_subdomain_comp(sub: SubdomainInterfaces, cfg, lu: SubdomainLU, *,
+                       drop_tol: float, tracer: Tracer = NULL_TRACER,
+                       verifier=NULL_VERIFIER) -> SubdomainComp:
+    """The Comp(S) body: blocked interface solves G = L^-1 P E^ and
+    W^T = U^-T (F^ P~)^T plus the local update T~ = W~^T G~."""
+    factors, perm = lu.factors, lu.perm
+    with tracer.span("interface_solve", l=lu.ell):
+        # G = L^{-1} P E^
+        Epp = factors.permute_rows(sub.E_hat[perm].tocsr())
+        snl_L = _repack(cfg, factors.L, unit_diagonal=True)
+        G_tilde, pad_G = _solve_interface(cfg, snl_L, Epp, factors.L,
+                                          drop_tol, tracer)
+        verifier.after_interface_solve(factors.L, Epp, G_tilde, drop_tol)
+        # W^T = U^{-T} (F^ P~)^T ; U^T is lower triangular, non-unit
+        Fc = sub.F_hat[:, perm].tocsr()[:, factors.perm_c].tocsr()
+        UT = factors.U.T.tocsc()
+        snl_U = _repack(cfg, UT, unit_diagonal=False)
+        WT_tilde, pad_W = _solve_interface(cfg, snl_U, Fc.T.tocsr(), UT,
+                                           drop_tol, tracer)
+        verifier.after_interface_solve(UT, Fc.T.tocsr(), WT_tilde, drop_tol)
+        T_tilde = (WT_tilde.T @ G_tilde).tocsr()
+        ops = pad_G.total_block_entries * 2 + pad_W.total_block_entries * 2
+    return SubdomainComp(ell=lu.ell, G_tilde=G_tilde, WT_tilde=WT_tilde,
+                         T_tilde=T_tilde, padding_G=pad_G, padding_W=pad_W,
+                         ops=ops, drop_tol=drop_tol)
+
+
+def run_subdomain_setup(task: SubdomainTask) -> SubdomainSetupResult:
+    """Worker entry point: LU (unless precomputed) then Comp, each
+    under a local tracer whose spans/counters ship back separately so
+    the parent can merge exactly the parts it accepts."""
+    crash = os.environ.get(ENV_CRASH_SUBDOMAIN)
+    if crash is not None and int(crash) == task.ell and in_worker():
+        os._exit(17)  # simulated hard crash (chaos hook)
+
+    out = SubdomainSetupResult(ell=task.ell)
+    report = RecoveryReport()
+    lu = task.lu
+    if lu is None:
+        tracer = Tracer() if task.trace else NULL_TRACER
+        t0 = time.perf_counter()
+        lu = run_subdomain_lu(task.interfaces, task.cfg, ell=task.ell,
+                              separator_size=task.separator_size,
+                              perm=task.perm, report=report, tracer=tracer)
+        out.lu_wall_s = time.perf_counter() - t0
+        out.lu = lu
+        if task.trace:
+            out.lu_spans = list(tracer.spans)
+            out.lu_counters = dict(tracer.counters)
+    if task.run_comp:
+        tracer = Tracer() if task.trace else NULL_TRACER
+        t0 = time.perf_counter()
+        comp = run_subdomain_comp(task.interfaces, task.cfg, lu,
+                                  drop_tol=task.drop_interface,
+                                  tracer=tracer)
+        out.comp_wall_s = time.perf_counter() - t0
+        out.comp = comp
+        if task.trace:
+            out.comp_spans = list(tracer.spans)
+            out.comp_counters = dict(tracer.counters)
+    out.events = list(report.events)
+    out.perturbed_pivots = report.perturbed_pivots
+    return out
+
+
+def replay_subdomain_verification(sub: SubdomainInterfaces, cfg,
+                                  lu: SubdomainLU,
+                                  comp: Optional[SubdomainComp], *,
+                                  verifier, separator_size: int) -> None:
+    """Run the ``verify=`` invariant hooks on a *reassembled* worker
+    result. Workers run with a null verifier (hooks are stateful and
+    root-owned); the parent replays them here over the shipped-back
+    matrices so parallel runs keep exactly the serial guarantees."""
+    if not verifier.enabled:
+        return
+    verifier.after_interfaces(sub, separator_size)
+    perm, factors = lu.perm, lu.factors
+    Dp = sub.D[perm][:, perm].tocsc()
+    verifier.after_subdomain_lu(lu.ell, Dp, factors)
+    if comp is not None:
+        Epp = factors.permute_rows(sub.E_hat[perm].tocsr())
+        verifier.after_interface_solve(factors.L, Epp, comp.G_tilde,
+                                       comp.drop_tol)
+        Fc = sub.F_hat[:, perm].tocsr()[:, factors.perm_c].tocsr()
+        UT = factors.U.T.tocsc()
+        verifier.after_interface_solve(UT, Fc.T.tocsr(), comp.WT_tilde,
+                                       comp.drop_tol)

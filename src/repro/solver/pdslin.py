@@ -21,6 +21,7 @@ yields the per-stage makespans and balance ratios the paper reports.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -29,22 +30,16 @@ import scipy.sparse as sp
 
 from repro.core import build_dbbd, rhb_partition
 from repro.core.dbbd import DBBDPartition
-from repro.core.rhs_reorder import (
-    hypergraph_column_order,
-    natural_column_order,
-    postorder_column_order,
-)
 from repro.core.weights import WeightScheme
 from repro.graphs import nested_dissection_partition
 from repro.hypergraph.metrics import CutMetric
 from repro.lu import (
     LUFactors,
     PaddingStats,
-    SupernodalLower,
-    blocked_triangular_solve,
+    SymbolicCache,
+    attach_handle,
     lu_flop_count,
-    partition_columns,
-    solution_pattern,
+    pattern_fingerprint,
 )
 from repro.numerics.condest import condest_from_factors
 from repro.numerics.pipeline import (
@@ -54,9 +49,12 @@ from repro.numerics.pipeline import (
 )
 from repro.numerics.refine import CertifiedAccuracy, refine
 from repro.obs.tracer import NULL_TRACER, Tracer
-from repro.ordering import elimination_tree, minimum_degree, postorder
+from repro.ordering import minimum_degree
 from repro.parallel import RECOVER_STAGE, SimulatedMachine
+from repro.parallel.costmodel import record_model_skew
+from repro.parallel.exec import Executor, resolve_backend
 from repro.resilience import (
+    DEGRADING_ACTIONS,
     FaultPlan,
     InjectedFault,
     KrylovBreakdownError,
@@ -64,16 +62,27 @@ from repro.resilience import (
     RefinementStallError,
     RetryPolicy,
     SchurFactorizationError,
+    WorkerCrashError,
     emit_recovery,
     factorize_resilient,
 )
 from repro.solver.gmres import GMRESResult, gmres
 from repro.solver.interfaces import SubdomainInterfaces, extract_interfaces
+from repro.solver.partasks import (
+    SubdomainComp,
+    SubdomainLU,
+    SubdomainSetupResult,
+    SubdomainTask,
+    order_subdomain,
+    replay_subdomain_verification,
+    run_subdomain_comp,
+    run_subdomain_lu,
+    run_subdomain_setup,
+)
 from repro.solver.schur import (
     assemble_approximate_schur,
     implicit_schur_matvec,
 )
-from repro.sparse import symmetrized
 from repro.verify.invariants import NULL_VERIFIER, Verifier
 from repro.utils import (
     SeedLike,
@@ -239,6 +248,17 @@ class PDSLin:
     factorization, interface solves, Schur assembly/factorization,
     Krylov solve); without one, instrumentation is a no-op.
 
+    Execution backends: ``backend`` selects where the per-subdomain
+    setup work (LU(D), Comp(S)) and the RHB bisection trials actually
+    run — ``"serial"`` (default), ``"thread"``, or ``"process"`` /
+    ``"process:4"`` (see :mod:`repro.parallel.exec`; ``None`` consults
+    ``REPRO_BACKEND``). Every backend reduces in a fixed order and is
+    bit-identical to serial; the :class:`SimulatedMachine` accounting is
+    fed from worker-measured wall times, and worker tracer spans merge
+    into the parent trace on per-process tracks. The solve phase stays
+    inline on every backend: its per-subdomain triangular solves are
+    millisecond-scale, far below process-shipping cost.
+
     Resilience: an optional :class:`repro.resilience.FaultPlan` arms
     seeded fault injection on the simulated machine, and the recovery
     ladder — bounded by ``retry_policy`` — retries transient faults
@@ -256,7 +276,8 @@ class PDSLin:
                  tracer: Tracer | None = None,
                  fault_plan: FaultPlan | None = None,
                  retry_policy: RetryPolicy | None = None,
-                 verify: bool | Verifier = False):
+                 verify: bool | Verifier = False,
+                 backend: Executor | str | None = None):
         self.A_input = check_csr(A)
         check_square(self.A_input, "A")
         check_finite(self.A_input, "A")
@@ -274,6 +295,11 @@ class PDSLin:
         else:
             self.verifier = Verifier() if verify else NULL_VERIFIER
         self.machine = SimulatedMachine(self.config.k, fault_plan=fault_plan)
+        self.backend = resolve_backend(backend)
+        # pattern-keyed memo for the symbolic analyses (subdomain
+        # ordering, Schur MD permutation): update_matrix() reruns the
+        # numeric phases on a fixed pattern, so these are pure replays
+        self.analysis_cache = SymbolicCache()
         self.retry_policy = retry_policy or RetryPolicy()
         self.recovery = RecoveryReport(
             preconditioner_mode=self.config.schur_factorization)
@@ -369,7 +395,8 @@ class PDSLin:
                                       seed=cfg.seed,
                                       n_trials=cfg.partition_trials,
                                       tracer=self.tracer,
-                                      verify=self.verifier)
+                                      verify=self.verifier,
+                                      backend=self.backend)
                     part = r.col_part
                 else:
                     r = nested_dissection_partition(
@@ -454,8 +481,11 @@ class PDSLin:
         self._drop_schur_eff = self.config.drop_schur
         self.cond_estimates = {"subdomains": {}, "schur": None}
         self.subdomains = []
-        for ell in range(self.config.k):
-            self._setup_subdomain(ell)
+        if self.backend.inline:
+            for ell in range(self.config.k):
+                self._setup_subdomain(ell)
+        else:
+            self._setup_subdomains_parallel()
         self._assemble_and_factor_schur()
         self._is_setup = True
 
@@ -494,121 +524,319 @@ class PDSLin:
         self._numeric_setup()
         return self
 
-    def _order_subdomain(self, D: sp.csr_matrix) -> np.ndarray:
-        """Fill-reducing ordering followed by e-tree postorder (the
-        paper's setting is minimum degree; 'nd'/'rcm' are ablations)."""
-        cfg = self.config
-        if cfg.subdomain_ordering == "nd":
-            from repro.ordering import nested_dissection_ordering
-            base = nested_dissection_ordering(D, seed=cfg.seed)
-        elif cfg.subdomain_ordering == "rcm":
-            from repro.ordering import reverse_cuthill_mckee
-            base = reverse_cuthill_mckee(D)
-        else:
-            base = minimum_degree(D)
-        Dm = D[base][:, base].tocsr()
-        parent = elimination_tree(symmetrized(Dm))
-        po = postorder(parent)
-        return base[po]
+    def _cached_analysis(self, key: str, compute: Callable):
+        """Memoized symbolic analysis with hit/miss tracer counters."""
+        hits = self.analysis_cache.hits
+        value = self.analysis_cache.get_or_compute(key, compute)
+        self.tracer.count("symbolic_cache_hit"
+                          if self.analysis_cache.hits > hits
+                          else "symbolic_cache_miss")
+        return value
 
-    def _column_order(self, E_rows_factored: sp.csr_matrix,
-                      G_pattern: sp.csr_matrix) -> np.ndarray:
+    def _cached_order(self, D: sp.csr_matrix) -> np.ndarray:
+        """Subdomain fill-reducing ordering (MD/ND/RCM + e-tree
+        postorder), memoized on the sparsity pattern."""
         cfg = self.config
-        m = E_rows_factored.shape[1]
-        if cfg.rhs_ordering == "natural" or m <= cfg.block_size:
-            return natural_column_order(max(m, 1))[:m]
-        if cfg.rhs_ordering == "postorder":
-            return postorder_column_order(E_rows_factored)
-        res = hypergraph_column_order(G_pattern, cfg.block_size,
-                                      tau=cfg.quasi_dense_tau, seed=cfg.seed,
-                                      tracer=self.tracer)
-        return res.order
+        key = pattern_fingerprint(D, "order", cfg.subdomain_ordering,
+                                  cfg.seed)
+        return self._cached_analysis(
+            key, lambda: order_subdomain(D, method=cfg.subdomain_ordering,
+                                         seed=cfg.seed))
 
-    def _repack(self, L_like: sp.csc_matrix, *,
-                unit_diagonal: bool) -> SupernodalLower:
-        """Supernodal repack, optionally amalgamated."""
-        relax = self.config.supernode_relax
-        snodes = None
-        if relax > 0.0:
-            from repro.lu import relaxed_supernodes
-            snodes = relaxed_supernodes(L_like, relax=relax)
-        return SupernodalLower.from_csc(L_like, unit_diagonal=unit_diagonal,
-                                        snodes=snodes)
-
-    def _solve_interface(self, snl: SupernodalLower, B_sparse: sp.csr_matrix,
-                         L_like: sp.csc_matrix) -> tuple[sp.csc_matrix, PaddingStats]:
-        """Blocked triangular solve of one interface block (already in
-        factored row positions). The symbolic pattern uses the e-tree
-        fill-path model (paper Section IV-A) — a safe superset of the
-        exact reach, far cheaper on large interfaces."""
+    def _note_subdomain_cond(self, ell: int, cond: float | None) -> None:
+        """Book a subdomain condition estimate and auto-tighten the
+        drop tolerances when it crosses the threshold."""
         cfg = self.config
-        Gpat = solution_pattern(L_like, B_sparse, method="etree")
-        order = self._column_order(B_sparse, Gpat)
-        parts = partition_columns(order, cfg.block_size)
-        res = blocked_triangular_solve(snl, B_sparse, Gpat, parts,
-                                       drop_tol=self._drop_interface_eff,
-                                       tracer=self.tracer)
-        return res.X, res.padding
+        if not cfg.condest or cond is None:
+            return
+        self.cond_estimates["subdomains"][ell] = cond
+        if np.isfinite(cond) and cond > cfg.cond_threshold:
+            self._tighten_drops(cond)
+
+    @staticmethod
+    def _pack_subdomain(sub: SubdomainInterfaces, lu: SubdomainLU,
+                        comp: SubdomainComp) -> SubdomainComputation:
+        return SubdomainComputation(
+            interfaces=sub, perm=lu.perm, factors=lu.factors,
+            G_tilde=comp.G_tilde, WT_tilde=comp.WT_tilde,
+            T_tilde=comp.T_tilde, padding_G=comp.padding_G,
+            padding_W=comp.padding_W, lu_flops=lu.flops)
 
     def _setup_subdomain(self, ell: int) -> None:
+        """Serial setup of one subdomain: the same task bodies the
+        parallel backends ship (:mod:`repro.solver.partasks`), run
+        inline under the simulated machine's fault ladder."""
         cfg = self.config
         assert self.partition is not None
+        sub = extract_interfaces(self.partition, ell)
+        perm = self._cached_order(sub.D)
+        sep = self.partition.separator_size
 
         def lu_body(ledger):
-            with self.tracer.span("factor_subdomain", l=ell):
-                sub = extract_interfaces(self.partition, ell)
-                self.verifier.after_interfaces(
-                    sub, self.partition.separator_size)
-                perm = self._order_subdomain(sub.D)
-                Dp = sub.D[perm][:, perm].tocsc()
-                # the pivoting ladder: threshold -> full -> static
-                # perturbation (records its own recovery events)
-                factors, _ = factorize_resilient(
-                    Dp, diag_pivot_thresh=cfg.diag_pivot_thresh,
-                    stage="LU(D)", subdomain=ell, report=self.recovery,
-                    tracer=self.tracer)
-                self.verifier.after_subdomain_lu(ell, Dp, factors)
-                flops = lu_flop_count(factors)
-                ledger.ops.add("LU(D)", flops)
-                self.tracer.count("subdomain_dim", int(sub.D.shape[0]))
-                self.tracer.count("subdomain_nnz", int(sub.D.nnz))
-                if cfg.condest:
-                    cond = condest_from_factors(Dp, factors)
-                    self.cond_estimates["subdomains"][ell] = cond
-                    self.tracer.count("cond_est_subdomain", cond)
-                    if np.isfinite(cond) and cond > cfg.cond_threshold:
-                        self._tighten_drops(cond)
-                return sub, perm, factors, flops
+            lu = run_subdomain_lu(sub, cfg, ell=ell, separator_size=sep,
+                                  perm=perm, report=self.recovery,
+                                  tracer=self.tracer,
+                                  verifier=self.verifier)
+            ledger.ops.add("LU(D)", lu.flops)
+            return lu
 
-        sub, perm, factors, flops = self._on_subdomain(ell, "LU(D)", lu_body)
+        lu = self._on_subdomain(ell, "LU(D)", lu_body)
+        self._note_subdomain_cond(ell, lu.cond)
 
         def comp_body(ledger):
-            with self.tracer.span("interface_solve", l=ell):
-                # G = L^{-1} P E^
-                Epp = factors.permute_rows(sub.E_hat[perm].tocsr())
-                snl_L = self._repack(factors.L, unit_diagonal=True)
-                G_tilde, pad_G = self._solve_interface(snl_L, Epp, factors.L)
-                self.verifier.after_interface_solve(
-                    factors.L, Epp, G_tilde, self._drop_interface_eff)
-                # W^T = U^{-T} (F^ P~)^T ; U^T is lower triangular, non-unit
-                Fc = sub.F_hat[:, perm].tocsr()[:, factors.perm_c].tocsr()
-                UT = factors.U.T.tocsc()
-                snl_U = self._repack(UT, unit_diagonal=False)
-                WT_tilde, pad_W = self._solve_interface(snl_U, Fc.T.tocsr(),
-                                                        UT)
-                self.verifier.after_interface_solve(
-                    UT, Fc.T.tocsr(), WT_tilde, self._drop_interface_eff)
-                T_tilde = (WT_tilde.T @ G_tilde).tocsr()
-                ledger.ops.add("Comp(S)", pad_G.total_block_entries * 2
-                               + pad_W.total_block_entries * 2)
-                return G_tilde, pad_G, WT_tilde, pad_W, T_tilde
+            comp = run_subdomain_comp(sub, cfg, lu,
+                                      drop_tol=self._drop_interface_eff,
+                                      tracer=self.tracer,
+                                      verifier=self.verifier)
+            ledger.ops.add("Comp(S)", comp.ops)
+            return comp
 
-        G_tilde, pad_G, WT_tilde, pad_W, T_tilde = \
-            self._on_subdomain(ell, "Comp(S)", comp_body)
-        self.subdomains.append(SubdomainComputation(
-            interfaces=sub, perm=perm, factors=factors,
-            G_tilde=G_tilde, WT_tilde=WT_tilde, T_tilde=T_tilde,
-            padding_G=pad_G, padding_W=pad_W, lu_flops=flops))
+        comp = self._on_subdomain(ell, "Comp(S)", comp_body)
+        self.subdomains.append(self._pack_subdomain(sub, lu, comp))
+
+    # -- parallel subdomain setup (repro.parallel.exec) --------------------
+
+    def _stage_fate(self, stage: str, ell: int) -> str:
+        """Pre-play the injected-fault retry ladder for ``(stage, ell)``
+        before shipping the work to a backend. Faults are raised at
+        stage *entry* (the body never runs), so the winning rung is
+        known at dispatch time; recovery events and simulated charges
+        are identical to the serial ladder. Returns ``"run"`` (ship to
+        a worker) or ``"failover"`` (execute on the root)."""
+        plan = self.machine.fault_plan
+        if plan is None:
+            return "run"
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                plan.before(stage, ell)
+                return "run"
+            except InjectedFault as fault:
+                self.machine.charge_recovery(
+                    ell, seconds=fault.recovery_cost_s)
+                if not fault.permanent and \
+                        attempt < self.retry_policy.max_attempts:
+                    self._record(stage, "retry", fault, subdomain=ell,
+                                 attempt=attempt)
+                    continue
+                self._record(stage, "failover-root", fault, subdomain=ell,
+                             attempt=attempt,
+                             detail="re-executing the work on root")
+                return "failover"
+
+    def _merge_worker_result(self, r: SubdomainSetupResult,
+                             offset_s: float) -> None:
+        """Fold a worker's recovery events and LU-stage trace back into
+        root state (comp-stage artifacts merge only on acceptance)."""
+        if r.lu_spans or r.lu_counters:
+            self.tracer.merge(r.lu_spans, r.lu_counters, offset_s=offset_s,
+                              track=f"proc{r.ell}")
+        if r.events or r.perturbed_pivots:
+            shipped = RecoveryReport(events=list(r.events),
+                                     perturbed_pivots=r.perturbed_pivots)
+            shipped.degraded = any(e.action in DEGRADING_ACTIONS
+                                   for e in r.events)
+            self.recovery.absorb(shipped)
+
+    def _charge_process_stage(self, ell: int, stage: str, wall_s: float,
+                              flops: int) -> None:
+        """Account worker-measured wall time (plus any straggler delay
+        from the fault plan) and flops to the simulated process."""
+        led = self.machine.processes[ell]
+        led.timer.add(stage, wall_s)
+        led.ops.add(stage, flops)
+        plan = self.machine.fault_plan
+        if plan is not None:
+            delay = plan.after(stage, ell)
+            if delay > 0.0:
+                led.timer.add(stage, delay)
+
+    def _run_lu_on_root(self, sub: SubdomainInterfaces, ell: int,
+                        perm: np.ndarray) -> SubdomainLU:
+        """Failover rung: LU(D) of one subdomain on the root process."""
+        with self.tracer.span("recover", stage="LU(D)",
+                              action="failover-root", l=ell), \
+                self.machine.on_root(RECOVER_STAGE) as ledger:
+            lu = run_subdomain_lu(
+                sub, self.config, ell=ell,
+                separator_size=self.partition.separator_size, perm=perm,
+                report=self.recovery, tracer=self.tracer,
+                verifier=self.verifier)
+            ledger.ops.add("LU(D)", lu.flops)
+        return lu
+
+    def _run_comp_on_root(self, sub: SubdomainInterfaces, lu: SubdomainLU,
+                          drop_tol: float) -> SubdomainComp:
+        """Failover rung: Comp(S) of one subdomain on the root process."""
+        with self.tracer.span("recover", stage="Comp(S)",
+                              action="failover-root", l=lu.ell), \
+                self.machine.on_root(RECOVER_STAGE) as ledger:
+            comp = run_subdomain_comp(sub, self.config, lu,
+                                      drop_tol=drop_tol, tracer=self.tracer,
+                                      verifier=self.verifier)
+            ledger.ops.add("Comp(S)", comp.ops)
+        return comp
+
+    def _setup_subdomains_parallel(self) -> None:
+        """Fan the per-subdomain setup out over ``self.backend``.
+
+        Bit-parity with serial is preserved by construction: the same
+        task bodies run (:mod:`repro.solver.partasks`), the fault ladder
+        is pre-played in serial order at dispatch, and the reduction —
+        condition-estimate booking, drop-tolerance tightening, Schur
+        inputs — happens in ascending subdomain order. The one
+        speculative piece is the interface drop tolerance: workers run
+        Comp(S) at the tolerance current at dispatch, and any subdomain
+        whose serial-semantics tolerance ends up tighter (a later
+        condition estimate crossed the threshold) has its Comp(S) redone
+        at the correct tolerance in a second round.
+        """
+        cfg = self.config
+        assert self.partition is not None
+        sep = self.partition.separator_size
+        trace = bool(self.tracer.enabled)
+        t0 = time.perf_counter()
+        offset = self.tracer.now()
+
+        def charged(ell: int) -> float:
+            return (self.machine.processes[ell].timer.get("LU(D)")
+                    + self.machine.processes[ell].timer.get("Comp(S)"))
+
+        base_charged = [charged(ell) for ell in range(cfg.k)]
+
+        subs, perms = [], []
+        for ell in range(cfg.k):
+            sub = extract_interfaces(self.partition, ell)
+            subs.append(sub)
+            perms.append(self._cached_order(sub.D))
+
+        # pre-play the fault ladder in serial event order (LU(D) then
+        # Comp(S), subdomains ascending)
+        lu_fate, comp_fate = [], []
+        for ell in range(cfg.k):
+            lu_fate.append(self._stage_fate("LU(D)", ell))
+            comp_fate.append(self._stage_fate("Comp(S)", ell))
+
+        tol0 = self._drop_interface_eff
+        tasks, task_ell = [], []
+        for ell in range(cfg.k):
+            if lu_fate[ell] != "run":
+                continue
+            tasks.append(SubdomainTask(
+                ell=ell, interfaces=subs[ell], cfg=cfg, separator_size=sep,
+                drop_interface=tol0, perm=perms[ell],
+                run_comp=(comp_fate[ell] == "run"), trace=trace))
+            task_ell.append(ell)
+
+        with self.tracer.span("subdomain_fanout", backend=self.backend.name,
+                              workers=self.backend.workers,
+                              tasks=len(tasks)):
+            outcomes = self.backend.map(run_subdomain_setup, tasks)
+        by_ell = dict(zip(task_ell, outcomes))
+
+        lus: dict[int, SubdomainLU] = {}
+        comps: dict[int, SubdomainComp] = {}
+        worker_comp: dict[int, SubdomainComp | None] = {}
+        redo: list[tuple[int, float]] = []
+        for ell in range(cfg.k):
+            sub, out = subs[ell], by_ell.get(ell)
+            crashed = out is not None and \
+                isinstance(out.error, WorkerCrashError)
+            if out is not None and out.error is not None and not crashed:
+                raise out.error  # real numerical error: propagate as serial
+            r = out.value if (out is not None and not crashed) else None
+            # ---- LU(D)
+            if r is not None:
+                self._merge_worker_result(r, offset)
+                lu = r.lu
+                self._charge_process_stage(ell, "LU(D)", r.lu_wall_s,
+                                           lu.flops)
+                if lu.factors.handle is None and \
+                        lu.handle_thresh is not None:
+                    Dp = sub.D[lu.perm][:, lu.perm].tocsc()
+                    attach_handle(lu.factors, Dp,
+                                  diag_pivot_thresh=lu.handle_thresh)
+                worker_comp.setdefault(ell, None)
+            else:
+                if crashed:
+                    self._record("LU(D)", "failover-root", out.error,
+                                 subdomain=ell,
+                                 detail="worker process died; re-executing "
+                                        "the work on root")
+                lu = self._run_lu_on_root(sub, ell, perms[ell])
+            lus[ell] = lu
+            self._note_subdomain_cond(ell, lu.cond)
+            # ---- Comp(S): the serial-semantics tolerance for this
+            # subdomain is the effective tolerance *now*, after the
+            # tightenings of subdomains 0..ell
+            tol_ell = self._drop_interface_eff
+            if comp_fate[ell] != "run":
+                comps[ell] = self._run_comp_on_root(sub, lu, tol_ell)
+            elif r is not None and r.comp is not None \
+                    and r.comp.drop_tol == tol_ell:
+                comps[ell] = r.comp
+                worker_comp[ell] = r.comp
+                if r.comp_spans or r.comp_counters:
+                    self.tracer.merge(r.comp_spans, r.comp_counters,
+                                      offset_s=offset + r.lu_wall_s,
+                                      track=f"proc{ell}")
+                self._charge_process_stage(ell, "Comp(S)", r.comp_wall_s,
+                                           r.comp.ops)
+            else:
+                if r is not None and r.comp is not None:
+                    self.tracer.count("comp_tol_redo")
+                redo.append((ell, tol_ell))
+
+        if redo:
+            tasks2 = [SubdomainTask(
+                ell=ell, interfaces=subs[ell], cfg=cfg, separator_size=sep,
+                drop_interface=tol, perm=perms[ell], lu=lus[ell],
+                run_comp=True, trace=trace) for ell, tol in redo]
+            with self.tracer.span("subdomain_fanout_redo",
+                                  backend=self.backend.name,
+                                  tasks=len(tasks2)):
+                outcomes2 = self.backend.map(run_subdomain_setup, tasks2)
+            for (ell, tol), out in zip(redo, outcomes2):
+                crashed = isinstance(out.error, WorkerCrashError)
+                if out.error is not None and not crashed:
+                    raise out.error
+                if crashed:
+                    self._record("Comp(S)", "failover-root", out.error,
+                                 subdomain=ell,
+                                 detail="worker process died; re-executing "
+                                        "the work on root")
+                    comps[ell] = self._run_comp_on_root(subs[ell], lus[ell],
+                                                        tol)
+                    continue
+                r = out.value
+                comps[ell] = r.comp
+                worker_comp[ell] = r.comp
+                if r.comp_spans or r.comp_counters:
+                    self.tracer.merge(r.comp_spans, r.comp_counters,
+                                      offset_s=offset, track=f"proc{ell}")
+                self._charge_process_stage(ell, "Comp(S)", r.comp_wall_s,
+                                           r.comp.ops)
+
+        # invariant hooks are root-owned state: replay them over every
+        # reassembled worker result (inline failovers already fired them)
+        if self.verifier.enabled:
+            for ell in sorted(worker_comp):
+                replay_subdomain_verification(
+                    subs[ell], cfg, lus[ell], worker_comp[ell],
+                    verifier=self.verifier, separator_size=sep)
+
+        for ell in range(cfg.k):
+            self.subdomains.append(
+                self._pack_subdomain(subs[ell], lus[ell], comps[ell]))
+
+        # cost-model reconciliation: simulated makespan of this fan-out
+        # vs the real wall clock it took (a noise: counter — excluded
+        # from perf gating, visible in exported metrics)
+        model_s = max((charged(ell) - base_charged[ell]
+                       for ell in range(cfg.k)), default=0.0)
+        record_model_skew(self.tracer, "subdomain_setup", model_s=model_s,
+                          measured_s=time.perf_counter() - t0)
 
     def _assemble_and_factor_schur(self) -> None:
         cfg = self.config
@@ -681,7 +909,9 @@ class PDSLin:
         the LU path escalates through the pivoting ladder itself."""
         cfg = self.config
         with self.tracer.span("factor_schur", method=mode):
-            sp_perm = minimum_degree(self.S_tilde)
+            sp_perm = self._cached_analysis(
+                pattern_fingerprint(self.S_tilde, "schur-md"),
+                lambda: minimum_degree(self.S_tilde))
             Sp = self.S_tilde[sp_perm][:, sp_perm].tocsc()
             if mode == "ilu":
                 # incomplete factorization of S~ — an even cheaper (and

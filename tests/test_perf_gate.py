@@ -78,11 +78,36 @@ class TestCompareMetrics:
         assert report.missing_stages == ["stage_b"]
         assert "stage_b" in report.describe()
 
-    def test_extra_current_stage_is_ignored(self):
+    def test_extra_current_stage_fails(self):
+        # a stage the baseline has never seen means the pipeline changed
+        # shape: fail until the baseline is re-recorded deliberately
         cur = metrics()
         cur["stages"]["new_stage"] = {"wall_s": 9.9, "calls": 1,
                                       "counters": {}}
-        assert compare_metrics(cur, metrics()).ok
+        report = compare_metrics(cur, metrics())
+        assert not report.ok
+        assert report.extra_stages == ["new_stage"]
+        assert "new_stage" in report.describe()
+        assert "not in baseline" in report.describe()
+
+    def test_noise_counters_are_not_gated(self):
+        base = metrics()
+        base["stages"]["stage_a"]["counters"]["noise:model_skew_x"] = 0.001
+        cur = metrics()
+        cur["stages"]["stage_a"]["counters"]["noise:model_skew_x"] = 42.0
+        report = compare_metrics(cur, base)
+        assert report.ok
+        assert not any(c.metric.startswith("noise:") for c in report.checks)
+
+    def test_malformed_stage_raises_clear_error(self):
+        cur = metrics()
+        del cur["stages"]["stage_a"]["wall_s"]
+        with pytest.raises(ValueError, match="stage 'stage_a'.*wall_s"):
+            compare_metrics(cur, metrics())
+        base = metrics()
+        base["stages"]["stage_b"]["wall_s"] = None
+        with pytest.raises(ValueError, match="baseline"):
+            compare_metrics(metrics(), base)
 
     def test_bad_tolerance_rejected(self):
         with pytest.raises(ValueError):

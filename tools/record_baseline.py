@@ -25,10 +25,18 @@ if __package__ in (None, ""):
     # allow running as a plain script: put src/ on the path
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
+from repro.obs.gate import NOISE_COUNTER_PREFIX
 from repro.obs.smoke import run_smoke
 
 DEFAULT_OUT = Path(__file__).resolve().parent.parent / \
     "benchmarks" / "baselines" / "smoke.json"
+
+
+def _deterministic(counters: dict) -> dict:
+    """Drop ``noise:``-prefixed counters: they carry wall-clock skew and
+    legitimately differ across identical runs."""
+    return {name: v for name, v in counters.items()
+            if not name.startswith(NOISE_COUNTER_PREFIX)}
 
 
 def record(runs: int, *, scale: str, k: int, seed: int) -> dict:
@@ -38,8 +46,9 @@ def record(runs: int, *, scale: str, k: int, seed: int) -> dict:
     samples = [run_smoke(scale=scale, k=k, seed=seed).metrics
                for _ in range(runs)]
     base = samples[0]
+    base_counters = _deterministic(base["totals"]["counters"])
     for other in samples[1:]:
-        if other["totals"]["counters"] != base["totals"]["counters"]:
+        if _deterministic(other["totals"]["counters"]) != base_counters:
             raise RuntimeError(
                 "op counters differ across identical runs; the smoke "
                 "scenario is not deterministic — refusing to record")
@@ -50,12 +59,12 @@ def record(runs: int, *, scale: str, k: int, seed: int) -> dict:
         out["stages"][name] = {
             "wall_s": round(statistics.median(walls), 9),
             "calls": st["calls"],
-            "counters": st["counters"],
+            "counters": _deterministic(st["counters"]),
         }
     out["totals"] = {
         "wall_s": round(statistics.median(
             s["totals"]["wall_s"] for s in samples), 9),
-        "counters": base["totals"]["counters"],
+        "counters": base_counters,
     }
     out["meta"] = dict(base.get("meta", {}), baseline_runs=runs)
     return out
