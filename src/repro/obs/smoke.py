@@ -47,13 +47,20 @@ class SmokeRun:
 
 def run_smoke(*, name: str = SMOKE_MATRIX, scale: str = SMOKE_SCALE,
               k: int = 4, seed: int = 0,
-              rhs_ordering: str = "hypergraph") -> SmokeRun:
+              rhs_ordering: str = "hypergraph",
+              checkpoint: bool = True) -> SmokeRun:
     """Solve the smoke system once under a fresh tracer.
 
     Deterministic given ``seed``: the matrix, right-hand side and every
     op-count metric are reproducible; only wall times vary run to run.
+    The solve checkpoints into a throwaway directory by default so the
+    checkpoint-write path (shard packing, blake2b digests, the manifest)
+    is part of the gated perf surface; its shard/snapshot counters are
+    deterministic, its byte counter rides under the ``noise:`` prefix.
     """
     # imported here so `repro.obs` stays free of solver dependencies
+    import tempfile
+
     from repro.matrices import generate
     from repro.solver import PDSLin, PDSLinConfig
 
@@ -64,8 +71,13 @@ def run_smoke(*, name: str = SMOKE_MATRIX, scale: str = SMOKE_SCALE,
     tracer = Tracer()
     cfg = PDSLinConfig(k=k, seed=seed, rhs_ordering=rhs_ordering,
                        block_size=32)
-    solver = PDSLin(A, cfg, tracer=tracer)
-    result = solver.solve(b)
+    if checkpoint:
+        with tempfile.TemporaryDirectory(prefix="repro-smoke-ckpt-") as d:
+            solver = PDSLin(A, cfg, tracer=tracer, checkpoint=d)
+            result = solver.solve(b)
+    else:
+        solver = PDSLin(A, cfg, tracer=tracer)
+        result = solver.solve(b)
     metrics = stage_metrics(tracer)
     metrics["meta"] = {
         "scenario": "smoke", "matrix": name, "scale": scale, "k": k,

@@ -128,6 +128,12 @@ class Tracer:
         for name, value in counters.items():
             self.counters[name] = self.counters.get(name, 0) + value
 
+    def span_count(self, name: str) -> int:
+        """Number of closed spans named ``name``, merged worker spans
+        included. The restart/parity checks use this to prove a resumed
+        run redid only the unfinished subdomains."""
+        return sum(1 for s in self.spans if s.name == name)
+
     def events(self) -> List[TraceEvent]:
         """The recorded spans as shared-model trace events.
 
@@ -185,6 +191,9 @@ class NullTracer:
     def merge(self, spans, counters, *, offset_s: float = 0.0,
               track: str | None = None) -> None:
         return None
+
+    def span_count(self, name: str) -> int:
+        return 0
 
     @property
     def depth(self) -> int:

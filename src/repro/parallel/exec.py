@@ -30,11 +30,22 @@ outcome, after which the broken pool is disposed so the next ``map``
 gets a fresh one. ``KeyboardInterrupt`` during a ``map`` cancels
 pending tasks, terminates worker processes and re-raises — no orphans.
 
+Deadlines and stragglers: ``map`` takes an optional per-batch
+``deadline_s`` — tasks still outstanding when it expires come back as
+``TaskOutcome.timed_out`` with a :class:`TaskDeadlineError`, their
+futures cancelled and (on the process backend) their workers killed so
+nothing is orphaned — and an optional :class:`SpeculationPolicy` that
+duplicates outstanding tasks once they run longer than a quantile of
+the completed ones. The first copy to finish wins; ties break toward
+the primary submission, deterministically, so backend bit-parity holds.
+
 Selection: ``PDSLin(backend=...)`` takes an :class:`Executor`, a spec
 string (``"serial"``, ``"thread"``, ``"process"``, ``"process:4"``) or
 ``None`` to consult the ``REPRO_BACKEND`` environment variable (worker
 count from ``REPRO_WORKERS``; ``REPRO_MP_START`` overrides the
-multiprocessing start method).
+multiprocessing start method). Environment values are validated up
+front: a bad value raises a ``ValueError`` naming the variable instead
+of failing deep inside pool construction.
 """
 
 from __future__ import annotations
@@ -42,17 +53,23 @@ from __future__ import annotations
 import atexit
 import os
 import time
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+    wait,
+)
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.resilience.errors import WorkerCrashError
+from repro.resilience.errors import TaskDeadlineError, WorkerCrashError
 
 __all__ = [
-    "TaskOutcome", "Executor", "SerialBackend", "ThreadBackend",
-    "ProcessBackend", "resolve_backend", "get_backend", "backend_names",
-    "in_worker",
+    "TaskOutcome", "SpeculationPolicy", "Executor", "SerialBackend",
+    "ThreadBackend", "ProcessBackend", "resolve_backend", "get_backend",
+    "backend_names", "in_worker",
     "ENV_BACKEND", "ENV_WORKERS", "ENV_MP_START", "ENV_IN_WORKER",
 ]
 
@@ -81,9 +98,14 @@ class TaskOutcome:
 
     Exactly one of ``value``/``error`` is meaningful: ``error`` is the
     exception the task raised (or a :class:`WorkerCrashError` when the
-    worker process died before returning). ``wall_s`` is the task's own
-    wall time as measured where it ran; ``worker`` the executing
-    process id (useful to see how tasks spread over the pool).
+    worker process died before returning, or a
+    :class:`TaskDeadlineError` when the batch deadline expired first —
+    then ``timed_out`` is also set). ``wall_s`` is the task's own wall
+    time as measured where it ran; ``worker`` the executing process id
+    (useful to see how tasks spread over the pool). ``speculated`` marks
+    a result delivered by a speculative duplicate rather than the
+    primary submission; ``duplicates`` counts how many duplicates were
+    launched for this slot.
     """
 
     index: int
@@ -91,10 +113,59 @@ class TaskOutcome:
     error: Optional[BaseException] = None
     wall_s: float = 0.0
     worker: Optional[int] = None
+    timed_out: bool = False
+    speculated: bool = False
+    duplicates: int = 0
 
     @property
     def ok(self) -> bool:
         return self.error is None
+
+
+@dataclass(frozen=True)
+class SpeculationPolicy:
+    """When and how to duplicate straggling tasks.
+
+    Once at least ``min_completed`` tasks of the batch have finished,
+    the straggler threshold is ``max(min_threshold_s, factor *
+    quantile(completed walls, quantile))``; any task still outstanding
+    past it gets up to ``max_duplicates`` speculative copies. The first
+    copy to return wins; completed duplicates of an already-settled
+    slot are discarded, with the primary preferred on simultaneous
+    completion — the accepted value is produced by the same task body
+    either way, so determinism of the *result* never depends on the
+    race. ``poll_s`` bounds how often the dispatcher wakes to check.
+    """
+
+    quantile: float = 0.5
+    factor: float = 3.0
+    min_completed: int = 2
+    max_duplicates: int = 1
+    min_threshold_s: float = 0.05
+    poll_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if not (0.0 <= self.quantile <= 1.0):
+            raise ValueError("quantile must be in [0, 1]")
+        if self.factor < 1.0:
+            raise ValueError("factor must be >= 1")
+        if self.min_completed < 1:
+            raise ValueError("min_completed must be >= 1")
+        if self.max_duplicates < 1:
+            raise ValueError("max_duplicates must be >= 1")
+        if self.min_threshold_s < 0.0 or self.poll_s <= 0.0:
+            raise ValueError("min_threshold_s must be >= 0 and "
+                             "poll_s > 0")
+
+    def threshold_s(self, completed_walls: Sequence[float]) -> Optional[float]:
+        """Straggler threshold given the batch walls seen so far, or
+        ``None`` while too few tasks have completed to estimate one."""
+        if len(completed_walls) < self.min_completed:
+            return None
+        walls = sorted(completed_walls)
+        idx = min(len(walls) - 1,
+                  max(0, int(self.quantile * len(walls))))
+        return max(self.min_threshold_s, self.factor * walls[idx])
 
 
 def _invoke(fn: Callable, payload: Any) -> Tuple[Any, Optional[BaseException],
@@ -124,7 +195,10 @@ class Executor:
             raise ValueError("workers must be >= 1")
         self.workers = int(workers)
 
-    def map(self, fn: Callable, payloads: Sequence[Any]) -> List[TaskOutcome]:
+    def map(self, fn: Callable, payloads: Sequence[Any], *,
+            deadline_s: float | None = None,
+            speculation: SpeculationPolicy | None = None,
+            ) -> List[TaskOutcome]:
         raise NotImplementedError
 
     def close(self) -> None:
@@ -141,7 +215,12 @@ class Executor:
 
 
 class SerialBackend(Executor):
-    """Inline execution — the reference semantics."""
+    """Inline execution — the reference semantics.
+
+    ``deadline_s`` and ``speculation`` are accepted and ignored: inline
+    tasks cannot be preempted or duplicated, and the serial result is
+    by definition the reference every mitigated run must match.
+    """
 
     name = "serial"
     inline = True
@@ -149,7 +228,10 @@ class SerialBackend(Executor):
     def __init__(self, workers: int = 1):
         super().__init__(1)
 
-    def map(self, fn: Callable, payloads: Sequence[Any]) -> List[TaskOutcome]:
+    def map(self, fn: Callable, payloads: Sequence[Any], *,
+            deadline_s: float | None = None,
+            speculation: SpeculationPolicy | None = None,
+            ) -> List[TaskOutcome]:
         out = []
         for i, p in enumerate(payloads):
             value, error, wall, pid = _invoke(fn, p)
@@ -158,8 +240,175 @@ class SerialBackend(Executor):
         return out
 
 
-class ThreadBackend(Executor):
-    """Thread-pool execution: no pickling, shared address space."""
+class _PooledBackend(Executor):
+    """Shared dispatch loop of the thread and process backends.
+
+    Subclasses provide ``_ensure()`` (a live ``concurrent.futures``
+    pool), ``_broken_exc`` (exception types meaning "a worker died" —
+    empty for threads) and ``_reap()`` (dispose of a pool whose tasks
+    were abandoned, killing workers if the backend has any).
+    """
+
+    _broken_exc: tuple = ()
+
+    def _ensure(self):
+        raise NotImplementedError
+
+    def _reap(self) -> None:
+        """Dispose of the current pool after a crash/timeout so the
+        next ``map`` starts clean and nothing is orphaned."""
+
+    def map(self, fn: Callable, payloads: Sequence[Any], *,
+            deadline_s: float | None = None,
+            speculation: SpeculationPolicy | None = None,
+            ) -> List[TaskOutcome]:
+        pool = self._ensure()
+        futures: List[Future] = [pool.submit(_invoke, fn, p)
+                                 for p in payloads]
+        if deadline_s is None and speculation is None:
+            return self._map_ordered(futures)
+        return self._map_mitigated(pool, fn, payloads, futures,
+                                   deadline_s, speculation)
+
+    def _settle(self, f: Future, index: int, *, speculated: bool = False,
+                duplicates: int = 0) -> Tuple[TaskOutcome, bool]:
+        """One future -> one outcome; second element flags pool death."""
+        try:
+            value, error, wall, pid = f.result()
+            return TaskOutcome(index=index, value=value, error=error,
+                               wall_s=wall, worker=pid,
+                               speculated=speculated,
+                               duplicates=duplicates), False
+        except self._broken_exc as exc:
+            return TaskOutcome(index=index, error=WorkerCrashError(
+                f"worker process died while running task {index}: {exc}",
+                backend=self.name), duplicates=duplicates), True
+        except Exception as exc:  # e.g. result unpickling failure
+            return TaskOutcome(index=index, error=exc,
+                               duplicates=duplicates), False
+
+    def _map_ordered(self, futures: List[Future]) -> List[TaskOutcome]:
+        """The plain path: collect in submission order, no mitigation."""
+        out: List[TaskOutcome] = []
+        broken = False
+        try:
+            for i, f in enumerate(futures):
+                outcome, died = self._settle(f, i)
+                out.append(outcome)
+                broken = broken or died
+        except BaseException:
+            # KeyboardInterrupt etc.: cancel what has not started,
+            # kill any workers, leave no orphans behind
+            for f in futures:
+                f.cancel()
+            self._reap()
+            raise
+        if broken:
+            self._reap()  # a fresh pool is built on the next map
+        return out
+
+    def _map_mitigated(self, pool, fn: Callable, payloads: Sequence[Any],
+                       futures: List[Future], deadline_s: float | None,
+                       speculation: SpeculationPolicy | None,
+                       ) -> List[TaskOutcome]:
+        """Completion-order loop with a batch deadline and speculative
+        duplicates. The deadline is measured from batch submission and
+        covers the whole ``map`` (queueing included): everything not
+        finished when it expires times out together."""
+        t0 = time.monotonic()
+        info: Dict[Future, Tuple[int, bool]] = {
+            f: (i, False) for i, f in enumerate(futures)}
+        pending = set(futures)
+        outcomes: List[Optional[TaskOutcome]] = [None] * len(payloads)
+        duplicates = [0] * len(payloads)
+        walls: List[float] = []
+        broken = False
+        try:
+            while pending and not broken:
+                budget = None
+                if deadline_s is not None:
+                    budget = deadline_s - (time.monotonic() - t0)
+                    if budget <= 0:
+                        break
+                if speculation is not None:
+                    budget = speculation.poll_s if budget is None \
+                        else min(budget, speculation.poll_s)
+                done, _ = wait(pending, timeout=budget,
+                               return_when=FIRST_COMPLETED)
+                # deterministic tie-break: settle by (index, duplicate)
+                # so a primary finishing alongside its duplicate wins
+                for f in sorted(done, key=lambda f: info[f]):
+                    pending.discard(f)
+                    index, is_dup = info[f]
+                    if outcomes[index] is not None:
+                        continue  # slot already settled: discard loser
+                    outcome, died = self._settle(
+                        f, index, speculated=is_dup,
+                        duplicates=duplicates[index])
+                    outcomes[index] = outcome
+                    broken = broken or died
+                    walls.append(time.monotonic() - t0)
+                    for g, (j, _) in info.items():
+                        if j == index and g in pending:
+                            g.cancel()
+                            pending.discard(g)
+                            break
+                if broken:
+                    # the pool is dead: every remaining future fails
+                    # with the same broken-pool error immediately
+                    for f in list(pending):
+                        pending.discard(f)
+                        index, is_dup = info[f]
+                        if outcomes[index] is None:
+                            outcomes[index], _ = self._settle(
+                                f, index, speculated=is_dup,
+                                duplicates=duplicates[index])
+                    break
+                if speculation is not None and pending:
+                    thr = speculation.threshold_s(walls)
+                    if thr is not None and time.monotonic() - t0 > thr:
+                        for index in range(len(payloads)):
+                            if outcomes[index] is None and \
+                                    duplicates[index] < \
+                                    speculation.max_duplicates:
+                                duplicates[index] += 1
+                                dup = pool.submit(_invoke, fn,
+                                                  payloads[index])
+                                info[dup] = (index, True)
+                                pending.add(dup)
+        except BaseException:
+            for f in futures:
+                f.cancel()
+            self._reap()
+            raise
+        timed_out = False
+        for index in range(len(payloads)):
+            if outcomes[index] is None:
+                timed_out = True
+                outcomes[index] = TaskOutcome(
+                    index=index, timed_out=True,
+                    duplicates=duplicates[index],
+                    error=TaskDeadlineError(
+                        f"task {index} still outstanding after the "
+                        f"{deadline_s}s batch deadline",
+                        deadline_s=deadline_s or 0.0))
+        if timed_out:
+            for f in pending:
+                f.cancel()
+        if broken or timed_out:
+            # abandoned tasks may still be running: dispose of the pool
+            # (killing worker processes) so nothing is orphaned
+            self._reap()
+        return [o for o in outcomes if o is not None]
+
+
+class ThreadBackend(_PooledBackend):
+    """Thread-pool execution: no pickling, shared address space.
+
+    A timed-out task's *thread* cannot be killed — the future is
+    cancelled and the pool replaced, so the stale thread finishes into
+    the void; its result is discarded.
+    """
 
     name = "thread"
 
@@ -174,20 +423,10 @@ class ThreadBackend(Executor):
                 thread_name_prefix="repro-exec")
         return self._pool
 
-    def map(self, fn: Callable, payloads: Sequence[Any]) -> List[TaskOutcome]:
-        pool = self._ensure()
-        futures = [pool.submit(_invoke, fn, p) for p in payloads]
-        try:
-            out = []
-            for i, f in enumerate(futures):
-                value, error, wall, pid = f.result()
-                out.append(TaskOutcome(index=i, value=value, error=error,
-                                       wall_s=wall, worker=pid))
-            return out
-        except BaseException:
-            for f in futures:
-                f.cancel()
-            raise
+    def _reap(self) -> None:
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=False, cancel_futures=True)
 
     def close(self) -> None:
         if self._pool is not None:
@@ -197,24 +436,35 @@ class ThreadBackend(Executor):
 
 def _default_start_method() -> str:
     """``fork`` where available (cheap, inherits the parent's imported
-    modules), the platform default (``spawn``) elsewhere."""
+    modules), the platform default (``spawn``) elsewhere. A
+    ``REPRO_MP_START`` override is validated against the platform's
+    available start methods."""
     override = os.environ.get(ENV_MP_START)
-    if override:
-        return override
     import multiprocessing as mp
+    if override:
+        valid = mp.get_all_start_methods()
+        if override not in valid:
+            raise ValueError(
+                f"{ENV_MP_START} must be one of {sorted(valid)}, "
+                f"got {override!r}")
+        return override
     return "fork" if "fork" in mp.get_all_start_methods() else \
         mp.get_start_method(allow_none=False)
 
 
-class ProcessBackend(Executor):
+class ProcessBackend(_PooledBackend):
     """Process-pool execution with pickled payload shipping.
 
     The pool is created lazily on first ``map`` and rebuilt after a
-    worker crash. Task functions must be importable module-level
-    callables; payloads and results must pickle.
+    worker crash or a batch timeout. Task functions must be importable
+    module-level callables; payloads and results must pickle.
     """
 
     name = "process"
+    _broken_exc = (BrokenProcessPool,)
+    #: Grace given to a worker after SIGTERM before escalating to
+    #: SIGKILL (tests shorten it to exercise the escalation quickly).
+    _join_grace_s = 5.0
 
     def __init__(self, workers: int = 2, *, start_method: str | None = None):
         super().__init__(workers)
@@ -230,35 +480,8 @@ class ProcessBackend(Executor):
                 initializer=_mark_worker)
         return self._pool
 
-    def map(self, fn: Callable, payloads: Sequence[Any]) -> List[TaskOutcome]:
-        pool = self._ensure()
-        futures: List[Future] = [pool.submit(_invoke, fn, p)
-                                 for p in payloads]
-        out: List[TaskOutcome] = []
-        broken = False
-        try:
-            for i, f in enumerate(futures):
-                try:
-                    value, error, wall, pid = f.result()
-                    out.append(TaskOutcome(index=i, value=value, error=error,
-                                           wall_s=wall, worker=pid))
-                except BrokenProcessPool as exc:
-                    broken = True
-                    out.append(TaskOutcome(index=i, error=WorkerCrashError(
-                        f"worker process died while running task {i}: {exc}",
-                        backend=self.name)))
-                except Exception as exc:  # e.g. result unpickling failure
-                    out.append(TaskOutcome(index=i, error=exc))
-        except BaseException:
-            # KeyboardInterrupt etc.: cancel what has not started,
-            # terminate the workers, leave no orphans behind
-            for f in futures:
-                f.cancel()
-            self._terminate()
-            raise
-        if broken:
-            self._terminate()  # a fresh pool is built on the next map
-        return out
+    def _reap(self) -> None:
+        self._terminate()
 
     def _terminate(self) -> None:
         pool, self._pool = self._pool, None
@@ -270,7 +493,15 @@ class ProcessBackend(Executor):
             if p.is_alive():
                 p.terminate()
         for p in procs:
-            p.join(timeout=5)
+            p.join(timeout=self._join_grace_s)
+        # a worker that ignores/blocks SIGTERM (wedged in C code, or a
+        # chaos drill masking signals) would otherwise survive and hang
+        # interpreter exit on the atexit close of shared backends:
+        # escalate to SIGKILL and reap again
+        for p in procs:
+            if p.is_alive():
+                p.kill()
+                p.join(timeout=self._join_grace_s)
 
     def close(self) -> None:
         self._terminate()
@@ -295,7 +526,15 @@ def backend_names() -> tuple:
 def _default_workers() -> int:
     env = os.environ.get(ENV_WORKERS)
     if env:
-        return max(1, int(env))
+        try:
+            value = int(env)
+        except ValueError:
+            raise ValueError(f"{ENV_WORKERS} must be a positive integer, "
+                             f"got {env!r}") from None
+        if value < 1:
+            raise ValueError(f"{ENV_WORKERS} must be a positive integer, "
+                             f"got {env!r}")
+        return value
     return max(1, min(4, os.cpu_count() or 1))
 
 
@@ -322,7 +561,15 @@ def get_backend(name: str, *, workers: int | None = None,
         raise ValueError(f"unknown backend {base!r}; "
                          f"expected one of {backend_names()}")
     if count:
-        workers = int(count)
+        try:
+            workers = int(count)
+        except ValueError:
+            raise ValueError(f"bad worker count in backend spec "
+                             f"{name!r}: {count!r} is not an integer"
+                             ) from None
+        if workers < 1:
+            raise ValueError(f"bad worker count in backend spec "
+                             f"{name!r}: must be >= 1")
     if workers is None:
         workers = 1 if base == "serial" else _default_workers()
     if fresh:
@@ -339,5 +586,11 @@ def resolve_backend(spec: "Executor | str | None") -> Executor:
     if isinstance(spec, Executor):
         return spec
     if spec is None:
-        spec = os.environ.get(ENV_BACKEND, "") or "serial"
+        env = os.environ.get(ENV_BACKEND, "")
+        if env:
+            try:
+                return get_backend(env)
+            except ValueError as exc:
+                raise ValueError(f"{ENV_BACKEND}: {exc}") from None
+        spec = "serial"
     return get_backend(spec)

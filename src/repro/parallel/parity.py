@@ -13,12 +13,20 @@ on the backend under test (fresh solver instances, same seed), then
 compares the solution bytes (``x.tobytes()``), iteration counts and
 residual norms. The exit status is the number of mismatching matrices,
 so CI fails loudly on the first parity break.
+
+``--resume`` switches to *checkpoint-resume* parity: a checkpointed
+solve is truncated to half its completed subdomains
+(:func:`repro.resilience.checkpoint.truncate_checkpoint` fabricates the
+interrupted run), resumed on the backend under test, and must be
+byte-identical to the uninterrupted serial run — while provably
+refactoring only the unfinished subdomains (tracer span counts).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import tempfile
 
 import numpy as np
 
@@ -47,6 +55,42 @@ def check_matrix(name: str, scale: str, backend, *, k: int = 4,
     }
 
 
+def check_resume(name: str, scale: str, backend, *, k: int = 4,
+                 seed: int = 0) -> dict:
+    """Resume parity: a checkpointed solve truncated to ``k // 2``
+    completed subdomains and resumed on ``backend`` must be
+    byte-identical to an uninterrupted serial run."""
+    from repro.obs.tracer import Tracer
+    from repro.resilience.checkpoint import truncate_checkpoint
+
+    gm = generate(name, scale)
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(gm.A.shape[0])
+    cfg = dict(k=k, seed=seed)
+    ref = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M, backend="serial").solve(b)
+    keep = max(1, k // 2)
+    with tempfile.TemporaryDirectory(prefix="repro-parity-") as d:
+        PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M, backend=backend,
+               checkpoint=d).solve(b)
+        truncate_checkpoint(d, keep)
+        tracer = Tracer()
+        res = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M, backend=backend,
+                     resume=d, checkpoint=d, tracer=tracer).solve(b)
+        restored = int(tracer.counters.get("checkpoint_subdomains_restored",
+                                           0))
+        refactored = tracer.span_count("factor_subdomain")
+    return {
+        "matrix": name,
+        "n": gm.A.shape[0],
+        "bit_identical": ref.x.tobytes() == res.x.tobytes()
+        and restored == keep and refactored == k - keep,
+        "iterations": (ref.iterations, res.iterations),
+        "residual": (ref.residual_norm, res.residual_norm),
+        "max_abs_diff": float(np.max(np.abs(ref.x - res.x)))
+        if ref.x.shape == res.x.shape else float("inf"),
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(
         description="bit-parity check: serial vs parallel PDSLin backends")
@@ -59,20 +103,27 @@ def main(argv: list[str] | None = None) -> int:
                     help="number of subdomains (default 4)")
     ap.add_argument("--matrices", nargs="*", default=None,
                     help="subset of suite matrices (default: all)")
+    ap.add_argument("--resume", action="store_true",
+                    help="check checkpoint-resume parity instead: a "
+                         "truncated checkpoint resumed on the backend "
+                         "must be byte-identical to an uninterrupted "
+                         "serial run")
     args = ap.parse_args(argv)
 
     names = args.matrices or suite_names()
     backend = get_backend(args.backend, workers=args.workers)
+    check = check_resume if args.resume else check_matrix
+    mode = "resume" if args.resume else "parallel"
     failures = 0
     for name in names:
-        r = check_matrix(name, args.scale, backend, k=args.k)
+        r = check(name, args.scale, backend, k=args.k)
         ok = r["bit_identical"] and r["iterations"][0] == r["iterations"][1]
         failures += 0 if ok else 1
         status = "OK " if ok else "FAIL"
         print(f"[{status}] {r['matrix']:<12} n={r['n']:<7} "
               f"iters={r['iterations'][0]}/{r['iterations'][1]} "
               f"max|dx|={r['max_abs_diff']:.2e}")
-    tag = f"{backend.name}:{backend.workers}"
+    tag = f"{backend.name}:{backend.workers} {mode}"
     if failures:
         print(f"parity FAILED on {failures}/{len(names)} matrices "
               f"({tag} vs serial)")

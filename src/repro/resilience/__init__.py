@@ -13,17 +13,30 @@ pipeline must *recover* rather than abort:
   degraded-mode accounting attached to every solve result;
 - :mod:`repro.resilience.recovery` — numerical ladders
   (:func:`factorize_resilient`: threshold -> full -> static pivoting);
+- :mod:`repro.resilience.checkpoint` — integrity-checked on-disk
+  snapshots (:class:`CheckpointManager`) for kill-and-resume solves;
 - :mod:`repro.resilience.chaos` — the seeded chaos-smoke scenario run
-  by CI (imported explicitly; it pulls in the solver stack).
+  by CI (imported explicitly; it pulls in the solver stack);
+- :mod:`repro.resilience.restart_smoke` — the kill-and-resume smoke
+  CLI (imported explicitly; it pulls in the solver stack).
 """
 
+from repro.resilience.checkpoint import (
+    CheckpointManager,
+    CheckpointPolicy,
+    CheckpointState,
+    load_checkpoint,
+    truncate_checkpoint,
+)
 from repro.resilience.errors import (
+    CheckpointError,
     InjectedFault,
     KrylovBreakdownError,
     RefinementStallError,
     SchurFactorizationError,
     SingularSubdomainError,
     SolverError,
+    TaskDeadlineError,
     WorkerCrashError,
 )
 from repro.resilience.faults import FaultPlan, FaultSpec, FiredFault
@@ -39,9 +52,11 @@ from repro.resilience.retry import RetryPolicy, run_with_retry
 __all__ = [
     "SolverError", "SingularSubdomainError", "SchurFactorizationError",
     "KrylovBreakdownError", "RefinementStallError", "InjectedFault",
-    "WorkerCrashError",
+    "WorkerCrashError", "TaskDeadlineError", "CheckpointError",
     "FaultSpec", "FaultPlan", "FiredFault",
     "RetryPolicy", "run_with_retry",
     "RecoveryEvent", "RecoveryReport", "DEGRADING_ACTIONS", "emit_recovery",
     "factorize_resilient",
+    "CheckpointManager", "CheckpointPolicy", "CheckpointState",
+    "load_checkpoint", "truncate_checkpoint",
 ]

@@ -9,14 +9,24 @@ still converge, report a non-empty :class:`RecoveryReport`, show a
 ``Recover`` stage in the machine breakdown, and the tracer's recovery
 counters must match the report — otherwise the process exits non-zero.
 
+``--scenario stragglers`` runs the deadline/speculation drill instead:
+the same smoke solve on a parallel backend with the
+``REPRO_CHAOS_STRAGGLE_SUBDOMAIN`` seam making one subdomain sleep. A
+per-task deadline must cancel the straggler and fail it over to the
+root (a recorded, degrading ``deadline-failover``), a speculation
+policy must launch duplicate tasks — and both runs must stay
+*byte-identical* to the unmitigated serial solve.
+
 Run directly::
 
     PYTHONPATH=src python -m repro.resilience.chaos --seed 0 --k 4
+    PYTHONPATH=src python -m repro.resilience.chaos --scenario stragglers
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 from dataclasses import dataclass
 
 import numpy as np
@@ -25,7 +35,8 @@ from repro.obs.tracer import Tracer
 from repro.resilience.faults import FaultPlan, FaultSpec
 from repro.resilience.report import RecoveryReport
 
-__all__ = ["ChaosRun", "standard_fault_plan", "run_chaos_smoke"]
+__all__ = ["ChaosRun", "standard_fault_plan", "run_chaos_smoke",
+           "run_straggler_smoke"]
 
 
 def standard_fault_plan(*, k: int = 4, seed: int = 0,
@@ -113,13 +124,93 @@ def run_chaos_smoke(*, k: int = 4, seed: int = 0,
                     checks=checks)
 
 
+def run_straggler_smoke(*, k: int = 4, seed: int = 0,
+                        backend: str = "thread:2",
+                        straggle_subdomain: int = 1,
+                        straggle_s: float = 0.6,
+                        deadline_s: float = 0.3) -> ChaosRun:
+    """The deadline/speculation drill: the smoke solve on a parallel
+    backend with one subdomain forced to straggle.
+
+    Two mitigated runs execute under the straggler seam — one with a
+    per-task ``deadline_s`` (the straggler must time out and fail over
+    to the root, degrading the solve honestly) and one with the default
+    :class:`repro.parallel.exec.SpeculationPolicy` (duplicates must
+    launch) — plus one clean serial reference. Checks:
+
+    - ``converged`` — both mitigated solves converged;
+    - ``deadline_fired`` — the deadline run recorded ≥1 timeout and a
+      ``deadline-failover`` recovery action;
+    - ``deadline_degraded`` — that run is flagged degraded;
+    - ``speculation_launched`` — the speculation run launched ≥1
+      duplicate task;
+    - ``bit_identical`` — both mitigated solves match the clean serial
+      reference byte for byte (mitigation never changes the answer).
+    """
+    from repro.matrices import generate
+    from repro.obs.smoke import SMOKE_MATRIX, SMOKE_SCALE
+    from repro.solver import PDSLin, PDSLinConfig
+    from repro.solver.partasks import ENV_STRAGGLE_S, ENV_STRAGGLE_SUBDOMAIN
+
+    gm = generate(SMOKE_MATRIX, SMOKE_SCALE)
+    A = gm.A.tocsr()
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(A.shape[0])
+    cfg = dict(k=k, seed=seed, rhs_ordering="hypergraph", block_size=32)
+    ref = PDSLin(A, PDSLinConfig(**cfg), backend="serial").solve(b)
+
+    saved = {name: os.environ.get(name)
+             for name in (ENV_STRAGGLE_SUBDOMAIN, ENV_STRAGGLE_S)}
+    os.environ[ENV_STRAGGLE_SUBDOMAIN] = str(straggle_subdomain)
+    os.environ[ENV_STRAGGLE_S] = str(straggle_s)
+    try:
+        t_dead = Tracer()
+        r_dead = PDSLin(A, PDSLinConfig(**cfg), backend=backend,
+                        task_deadline_s=deadline_s,
+                        tracer=t_dead).solve(b)
+        t_spec = Tracer()
+        r_spec = PDSLin(A, PDSLinConfig(**cfg), backend=backend,
+                        speculation=True, tracer=t_spec).solve(b)
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+
+    actions = {e.action for e in r_dead.recovery.events}
+    checks = {
+        "converged": bool(r_dead.converged and r_spec.converged),
+        "deadline_fired": t_dead.counters.get("deadline_timeouts", 0) >= 1
+                          and "deadline-failover" in actions,
+        "deadline_degraded": bool(r_dead.degraded),
+        "speculation_launched": t_spec.counters.get(
+            "speculation_launched", 0) >= 1,
+        "bit_identical": ref.x.tobytes() == r_dead.x.tobytes()
+                         and ref.x.tobytes() == r_spec.x.tobytes(),
+    }
+    return ChaosRun(tracer=t_dead, recovery=r_dead.recovery,
+                    breakdown=r_dead.breakdown(),
+                    converged=bool(r_dead.converged),
+                    degraded=bool(r_dead.degraded),
+                    residual_norm=float(r_dead.residual_norm),
+                    checks=checks)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI: run the chaos smoke and exit non-zero on any failed check."""
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--k", type=int, default=4)
+    ap.add_argument("--scenario", default="faults",
+                    choices=("faults", "stragglers"),
+                    help="faults: injected-fault recovery drill; "
+                         "stragglers: deadline/speculation drill")
     args = ap.parse_args(argv)
-    run = run_chaos_smoke(k=args.k, seed=args.seed)
+    if args.scenario == "stragglers":
+        run = run_straggler_smoke(k=args.k, seed=args.seed)
+    else:
+        run = run_chaos_smoke(k=args.k, seed=args.seed)
     print(run.recovery.summary())
     for stage, t in sorted(run.breakdown.items()):
         print(f"  {stage:<12} {t * 1e3:8.2f} ms")

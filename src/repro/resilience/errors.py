@@ -26,6 +26,8 @@ __all__ = [
     "RefinementStallError",
     "InjectedFault",
     "WorkerCrashError",
+    "TaskDeadlineError",
+    "CheckpointError",
 ]
 
 
@@ -175,3 +177,35 @@ class WorkerCrashError(SolverError):
                  stage: str | None = None, subdomain: int | None = None):
         super().__init__(message, stage=stage, subdomain=subdomain)
         self.backend = backend
+
+
+class TaskDeadlineError(SolverError):
+    """A shipped task blew its per-``map`` deadline and was cancelled.
+
+    Surfaces as ``TaskOutcome.error`` (with ``TaskOutcome.timed_out``
+    set) rather than being raised: the solver treats a timed-out
+    subdomain like a crashed worker and fails the work over to the root
+    process. ``deadline_s`` is the budget that was exceeded.
+    """
+
+    def __init__(self, message: str, *, deadline_s: float = 0.0,
+                 stage: str | None = None, subdomain: int | None = None):
+        super().__init__(message, stage=stage, subdomain=subdomain)
+        self.deadline_s = float(deadline_s)
+
+
+class CheckpointError(SolverError):
+    """A checkpoint could not be written, read, or trusted.
+
+    Raised on a missing/truncated manifest, a shard whose blake2b
+    digest no longer matches the manifest entry (bit rot, torn write,
+    tampering), a version the reader does not understand, or an
+    identity mismatch (the checkpoint belongs to a different matrix or
+    solver configuration). ``path`` names the offending file when one
+    is known.
+    """
+
+    def __init__(self, message: str, *, path: str | None = None,
+                 stage: str = "Checkpoint"):
+        super().__init__(message, stage=stage)
+        self.path = path

@@ -22,8 +22,8 @@ __all__ = ["RecoveryEvent", "RecoveryReport", "DEGRADING_ACTIONS",
 # rebuilt preconditioners, switched Krylov methods, refinement that
 # gave up before certifying the answer.
 DEGRADING_ACTIONS = frozenset({
-    "static-pivot", "failover-root", "precond-refresh", "krylov-fallback",
-    "refine-stall",
+    "static-pivot", "failover-root", "deadline-failover",
+    "precond-refresh", "krylov-fallback", "refine-stall",
 })
 
 

@@ -1,0 +1,193 @@
+"""Kill-and-resume smoke: prove checkpoint/restart end to end.
+
+The drill this module automates::
+
+    python -m repro.resilience.restart_smoke --backend process:2
+
+1. A **child process** starts a checkpointed PDSLin solve with the
+   ``REPRO_CHECKPOINT_KILL_AFTER_SUBDOMAIN`` chaos seam armed: right
+   after the chosen subdomain registers with the checkpoint manager,
+   the child SIGTERMs itself. The armed handler flushes pending shards
+   and re-delivers the signal, so the child dies *by SIGTERM* with a
+   consistent checkpoint on disk — exactly what an external kill (a
+   batch scheduler preemption, an OOM-adjacent eviction) looks like.
+2. The parent **resumes** from that directory and solves to completion.
+3. The parent also runs one **uninterrupted reference** solve and
+   asserts the resumed result is *byte-identical* (``x.tobytes()`` and
+   the full :class:`CertifiedAccuracy` block), and — via tracer span
+   counts — that the resumed run refactored **only** the subdomains the
+   child had not finished.
+
+Exit status 0 = all assertions held; anything else is a real failure.
+CI runs this as the ``restart-smoke`` job on every backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+
+import numpy as np
+
+from repro.resilience.checkpoint import ENV_KILL_AFTER, load_checkpoint
+
+__all__ = ["run_restart_smoke", "main"]
+
+DEFAULT_MATRIX = "tdr190k"
+
+
+def _accuracy_dict(result) -> dict | None:
+    return result.accuracy.to_dict() if result.accuracy is not None else None
+
+
+def _dicts_equal(a: dict | None, b: dict | None) -> bool:
+    """Exact equality, except NaN == NaN (berr/cond fields may be NaN
+    by design, e.g. with condest off)."""
+    if a is None or b is None:
+        return a is b
+    if a.keys() != b.keys():
+        return False
+    for key, va in a.items():
+        vb = b[key]
+        if isinstance(va, float) and isinstance(vb, float) \
+                and math.isnan(va) and math.isnan(vb):
+            continue
+        if va != vb:
+            return False
+    return True
+
+
+def _solve(matrix: str, scale: str, k: int, seed: int, backend: str, *,
+           checkpoint: str | None = None, resume: str | None = None,
+           tracer=None):
+    from repro.matrices.suite import generate
+    from repro.solver import PDSLin, PDSLinConfig
+
+    gm = generate(matrix, scale)
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(gm.A.shape[0])
+    solver = PDSLin(gm.A, PDSLinConfig(k=k, seed=seed), M=gm.M,
+                    backend=backend, checkpoint=checkpoint, resume=resume,
+                    tracer=tracer)
+    return solver.solve(b)
+
+
+def _child_main(args) -> int:
+    """Run the to-be-killed solve. Reaching the end means the kill seam
+    never fired — report that distinctly."""
+    _solve(args.matrix, args.scale, args.k, args.seed, args.backend,
+           checkpoint=args.dir)
+    print("restart_smoke child: solve finished — kill seam did not fire",
+          file=sys.stderr)
+    return 3
+
+
+def run_restart_smoke(*, matrix: str = DEFAULT_MATRIX, scale: str = "tiny",
+                      k: int = 4, seed: int = 0, backend: str = "serial",
+                      kill_after: int = 1, directory: str | None = None,
+                      timeout_s: float = 300.0) -> dict:
+    """The full drill; returns the result record (``"ok"`` key)."""
+    from repro.obs.tracer import Tracer
+
+    tmp = None
+    if directory is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-restart-")
+        directory = tmp.name
+    try:
+        env = dict(os.environ)
+        env[ENV_KILL_AFTER] = str(kill_after)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in [os.path.dirname(os.path.dirname(
+                os.path.dirname(os.path.abspath(__file__)))),
+                env.get("PYTHONPATH")] if p)
+        cmd = [sys.executable, "-m", "repro.resilience.restart_smoke",
+               "--child", "--matrix", matrix, "--scale", scale,
+               "--k", str(k), "--seed", str(seed), "--backend", backend,
+               "--dir", directory]
+        proc = subprocess.run(cmd, env=env, timeout=timeout_s)
+        died_by_sigterm = proc.returncode == -signal.SIGTERM
+        state = load_checkpoint(directory)
+        done_at_kill = list(state.subdomains_done)
+
+        tracer = Tracer()
+        resumed = _solve(matrix, scale, k, seed, backend,
+                         checkpoint=directory, resume=directory,
+                         tracer=tracer)
+        restored = int(tracer.counters.get(
+            "checkpoint_subdomains_restored", 0))
+        refactored = tracer.span_count("factor_subdomain")
+
+        reference = _solve(matrix, scale, k, seed, backend)
+
+        record = {
+            "matrix": matrix, "scale": scale, "k": k, "seed": seed,
+            "backend": backend, "kill_after": kill_after,
+            "child_died_by_sigterm": died_by_sigterm,
+            "child_exit": proc.returncode,
+            "subdomains_done_at_kill": done_at_kill,
+            "subdomains_restored": restored,
+            "subdomains_refactored": refactored,
+            "bit_identical": (reference.x.tobytes()
+                              == resumed.x.tobytes()),
+            "accuracy_identical": _dicts_equal(_accuracy_dict(reference),
+                                               _accuracy_dict(resumed)),
+            "only_unfinished_redone": (restored == len(done_at_kill)
+                                       and refactored == k - restored),
+            "residual_norm": resumed.residual_norm,
+        }
+        record["ok"] = bool(
+            died_by_sigterm and done_at_kill
+            and record["bit_identical"] and record["accuracy_identical"]
+            and record["only_unfinished_redone"])
+        return record
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(
+        description="kill a checkpointed PDSLin solve mid-flight, resume "
+                    "it, and assert byte-identity with an uninterrupted run")
+    ap.add_argument("--matrix", default=DEFAULT_MATRIX)
+    ap.add_argument("--scale", default="tiny",
+                    choices=("tiny", "small", "medium"))
+    ap.add_argument("--k", type=int, default=4)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--backend", default="serial",
+                    help="execution backend for every run "
+                         "(serial/thread/process[:N])")
+    ap.add_argument("--kill-after", type=int, default=1,
+                    help="SIGTERM the child right after this subdomain "
+                         "registers (default 1)")
+    ap.add_argument("--dir", default=None,
+                    help="checkpoint directory (default: a temp dir)")
+    ap.add_argument("--child", action="store_true", help=argparse.SUPPRESS)
+    args = ap.parse_args(argv)
+
+    if args.child:
+        return _child_main(args)
+
+    record = run_restart_smoke(
+        matrix=args.matrix, scale=args.scale, k=args.k, seed=args.seed,
+        backend=args.backend, kill_after=args.kill_after,
+        directory=args.dir)
+    print(json.dumps(record, indent=2))
+    if not record["ok"]:
+        print("RESTART SMOKE FAILED", file=sys.stderr)
+        return 1
+    print(f"restart smoke ok: killed after subdomain "
+          f"{args.kill_after}, restored "
+          f"{record['subdomains_restored']}/{args.k}, refactored only "
+          f"{record['subdomains_refactored']}, byte-identical result")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

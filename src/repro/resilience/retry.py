@@ -5,12 +5,23 @@ share one notion of "how hard to try": a :class:`RetryPolicy` bounds the
 attempts per unit of work and names the escalation rungs taken when
 plain retries are exhausted (e.g. threshold pivoting -> full pivoting ->
 static pivot perturbation for a singular subdomain LU).
+
+Retries against *external* contention (a wedged worker pool, a file
+lock, a transient resource) should not hammer in lockstep, so the
+policy carries an optional exponential backoff with *seeded* jitter:
+``backoff_s(attempt)`` is a pure function of ``(seed, attempt)`` —
+deterministic for reproducibility, decorrelated across solvers with
+different seeds. The default (``backoff_base_s=0``) sleeps not at all,
+preserving the historical behavior of the simulated-fault ladder.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterator, Tuple, TypeVar
+
+import numpy as np
 
 __all__ = ["RetryPolicy", "run_with_retry"]
 
@@ -24,24 +35,61 @@ class RetryPolicy:
     ``max_attempts`` counts the *total* tries of the primary action
     (first attempt included); once exhausted, recovery escalates through
     ``escalation`` (informational rung names, outermost first) or fails.
+
+    Backoff: before re-attempt ``n`` (n >= 2), sleep
+    ``min(backoff_base_s * backoff_factor**(n-2), backoff_max_s)``
+    scaled by a jitter factor drawn uniformly from
+    ``[1 - backoff_jitter, 1]`` with a generator seeded by
+    ``(seed, n)`` — same policy, same attempt, same sleep, always.
+    ``backoff_base_s = 0`` (the default) disables sleeping entirely.
     """
 
     max_attempts: int = 3
     escalation: Tuple[str, ...] = ()
+    backoff_base_s: float = 0.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 30.0
+    backoff_jitter: float = 0.5
+    seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
             raise ValueError("max_attempts must be >= 1")
+        if self.backoff_base_s < 0.0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.backoff_max_s < 0.0:
+            raise ValueError("backoff_max_s must be >= 0")
+        if not (0.0 <= self.backoff_jitter <= 1.0):
+            raise ValueError("backoff_jitter must be in [0, 1]")
 
     def attempts(self) -> Iterator[int]:
         """Iterate attempt numbers ``1..max_attempts``."""
         return iter(range(1, self.max_attempts + 1))
+
+    def backoff_s(self, attempt: int) -> float:
+        """Seconds to sleep before re-attempt ``attempt`` (>= 2).
+
+        Deterministic in ``(seed, attempt)``; 0.0 when backoff is
+        disabled or for the first attempt.
+        """
+        if self.backoff_base_s <= 0.0 or attempt < 2:
+            return 0.0
+        base = min(self.backoff_base_s
+                   * self.backoff_factor ** (attempt - 2),
+                   self.backoff_max_s)
+        if self.backoff_jitter == 0.0:
+            return base
+        rng = np.random.default_rng((int(self.seed), int(attempt)))
+        return base * (1.0 - self.backoff_jitter * rng.random())
 
 
 def run_with_retry(fn: Callable[[int], T], *,
                    policy: RetryPolicy | None = None,
                    retry_on: tuple[type[BaseException], ...] = (RuntimeError,),
                    on_retry: Callable[[int, BaseException], None] | None = None,
+                   sleep: Callable[[float], None] = time.sleep,
                    ) -> Tuple[T, int]:
     """Call ``fn(attempt)`` until it succeeds or attempts run out.
 
@@ -49,7 +97,8 @@ def run_with_retry(fn: Callable[[int], T], *,
     propagate immediately; the last retryable exception propagates once
     ``policy.max_attempts`` is exhausted. ``on_retry(attempt, exc)``
     runs before each re-attempt (charge simulated recovery time, log an
-    event, ...).
+    event, ...), then the policy's (possibly zero) backoff is slept via
+    ``sleep`` — injectable for tests.
     """
     policy = policy or RetryPolicy()
     for attempt in policy.attempts():
@@ -60,4 +109,7 @@ def run_with_retry(fn: Callable[[int], T], *,
                 raise
             if on_retry is not None:
                 on_retry(attempt, exc)
+            pause = policy.backoff_s(attempt + 1)
+            if pause > 0.0:
+                sleep(pause)
     raise AssertionError("unreachable")  # pragma: no cover

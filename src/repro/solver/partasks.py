@@ -25,6 +25,11 @@ What crosses the process boundary:
 ``REPRO_CHAOS_CRASH_SUBDOMAIN`` is a chaos hook: a worker asked to set
 up that subdomain hard-exits, exercising the crash-failover path end to
 end (used by the resilience tests and available for chaos drills).
+``REPRO_CHAOS_STRAGGLE_SUBDOMAIN`` is its slow sibling: setup of that
+subdomain sleeps ``REPRO_CHAOS_STRAGGLE_S`` seconds (default 0.25)
+before running, exercising the deadline/speculation mitigation of
+:mod:`repro.parallel.exec` on any backend. Both are validated up front:
+a malformed value raises a ``ValueError`` naming the variable.
 """
 
 from __future__ import annotations
@@ -64,13 +69,57 @@ __all__ = [
     "SubdomainLU", "SubdomainComp", "SubdomainTask", "SubdomainSetupResult",
     "order_subdomain", "run_subdomain_lu", "run_subdomain_comp",
     "run_subdomain_setup", "replay_subdomain_verification",
-    "ENV_CRASH_SUBDOMAIN",
+    "pack_subdomain_state", "unpack_subdomain_state", "validate_chaos_env",
+    "ENV_CRASH_SUBDOMAIN", "ENV_STRAGGLE_SUBDOMAIN", "ENV_STRAGGLE_S",
 ]
 
 #: Chaos hook: when set to an integer ℓ, a worker process entering
 #: setup of subdomain ℓ dies with ``os._exit`` (no cleanup, simulating
 #: a segfault/OOM kill). Parent-side recovery must absorb it.
 ENV_CRASH_SUBDOMAIN = "REPRO_CHAOS_CRASH_SUBDOMAIN"
+#: Chaos hook: setup of subdomain ℓ sleeps before doing any work —
+#: a deterministic straggler for deadline/speculation drills.
+ENV_STRAGGLE_SUBDOMAIN = "REPRO_CHAOS_STRAGGLE_SUBDOMAIN"
+#: Straggler sleep in seconds (default 0.25).
+ENV_STRAGGLE_S = "REPRO_CHAOS_STRAGGLE_S"
+
+
+def _env_subdomain(name: str) -> Optional[int]:
+    """A chaos env var holding a subdomain index, validated."""
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return None
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ValueError(f"{name} must be an integer subdomain index, "
+                         f"got {raw!r}") from None
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {raw!r}")
+    return value
+
+
+def _env_straggle_s() -> float:
+    raw = os.environ.get(ENV_STRAGGLE_S)
+    if raw is None or raw == "":
+        return 0.25
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ValueError(f"{ENV_STRAGGLE_S} must be a number of seconds, "
+                         f"got {raw!r}") from None
+    if value < 0.0:
+        raise ValueError(f"{ENV_STRAGGLE_S} must be >= 0, got {raw!r}")
+    return value
+
+
+def validate_chaos_env() -> None:
+    """Fail fast on malformed chaos env values — called parent-side
+    before work is shipped, so a typo'd variable raises one clear
+    ``ValueError`` instead of k opaque task failures."""
+    _env_subdomain(ENV_CRASH_SUBDOMAIN)
+    _env_subdomain(ENV_STRAGGLE_SUBDOMAIN)
+    _env_straggle_s()
 
 
 def order_subdomain(D: sp.csr_matrix, *, method: str = "md",
@@ -269,9 +318,12 @@ def run_subdomain_setup(task: SubdomainTask) -> SubdomainSetupResult:
     """Worker entry point: LU (unless precomputed) then Comp, each
     under a local tracer whose spans/counters ship back separately so
     the parent can merge exactly the parts it accepts."""
-    crash = os.environ.get(ENV_CRASH_SUBDOMAIN)
-    if crash is not None and int(crash) == task.ell and in_worker():
+    crash = _env_subdomain(ENV_CRASH_SUBDOMAIN)
+    if crash == task.ell and in_worker():
         os._exit(17)  # simulated hard crash (chaos hook)
+    straggle = _env_subdomain(ENV_STRAGGLE_SUBDOMAIN)
+    if straggle == task.ell:
+        time.sleep(_env_straggle_s())  # simulated straggler (chaos hook)
 
     out = SubdomainSetupResult(ell=task.ell)
     report = RecoveryReport()
@@ -325,3 +377,87 @@ def replay_subdomain_verification(sub: SubdomainInterfaces, cfg,
         UT = factors.U.T.tocsc()
         verifier.after_interface_solve(UT, Fc.T.tocsr(), comp.WT_tilde,
                                        comp.drop_tol)
+
+
+# -- checkpoint (de)serialization ------------------------------------------
+#
+# One completed subdomain -> one flat dict of numpy arrays (an npz
+# shard of repro.resilience.checkpoint). Everything round-trips
+# bit-exactly: the arrays are stored raw, optional scalars carry an
+# explicit presence flag, and the SuperLU handle is (as across process
+# boundaries) not stored — the parent re-attaches one deterministically
+# via attach_handle using the recorded handle_thresh recipe.
+
+def _pack_padding(out: dict, name: str, pad: PaddingStats) -> None:
+    out[f"{name}:totals"] = np.asarray(
+        [pad.total_padded, pad.total_block_entries], dtype=np.int64)
+    out[f"{name}:per_part_padded"] = np.asarray(pad.per_part_padded,
+                                                dtype=np.int64)
+    out[f"{name}:per_part_entries"] = np.asarray(pad.per_part_entries,
+                                                 dtype=np.int64)
+
+
+def _unpack_padding(z, name: str) -> PaddingStats:
+    totals = z[f"{name}:totals"]
+    return PaddingStats(
+        total_padded=int(totals[0]), total_block_entries=int(totals[1]),
+        per_part_padded=tuple(int(v) for v in
+                              z[f"{name}:per_part_padded"]),
+        per_part_entries=tuple(int(v) for v in
+                               z[f"{name}:per_part_entries"]))
+
+
+def pack_subdomain_state(lu: SubdomainLU, comp: SubdomainComp) -> dict:
+    """Flatten one accepted (LU, Comp) pair into npz-ready arrays."""
+    from repro.resilience.checkpoint import pack_sparse
+    out: dict = {
+        "ell": np.int64(lu.ell),
+        "perm": np.asarray(lu.perm, dtype=np.int64),
+        "flops": np.int64(lu.flops),
+        "has_cond": np.int64(lu.cond is not None),
+        "cond": np.float64(lu.cond if lu.cond is not None else 0.0),
+        "has_handle_thresh": np.int64(lu.handle_thresh is not None),
+        "handle_thresh": np.float64(
+            lu.handle_thresh if lu.handle_thresh is not None else 0.0),
+        "perm_r": np.asarray(lu.factors.perm_r, dtype=np.int64),
+        "perm_c": np.asarray(lu.factors.perm_c, dtype=np.int64),
+        "ops": np.int64(comp.ops),
+        "drop_tol": np.float64(comp.drop_tol),
+    }
+    pack_sparse(out, "L", lu.factors.L)
+    pack_sparse(out, "U", lu.factors.U)
+    pack_sparse(out, "G_tilde", comp.G_tilde)
+    pack_sparse(out, "WT_tilde", comp.WT_tilde)
+    pack_sparse(out, "T_tilde", comp.T_tilde)
+    _pack_padding(out, "padding_G", comp.padding_G)
+    _pack_padding(out, "padding_W", comp.padding_W)
+    return out
+
+
+def unpack_subdomain_state(z) -> tuple[SubdomainLU, SubdomainComp]:
+    """Rebuild the (LU, Comp) pair from a shard written by
+    :func:`pack_subdomain_state`. The factors come back without a
+    SuperLU handle (``handle_thresh`` says how to re-attach one)."""
+    from repro.resilience.checkpoint import unpack_sparse
+    ell = int(z["ell"])
+    factors = LUFactors(
+        L=unpack_sparse(z, "L").tocsc(),
+        U=unpack_sparse(z, "U").tocsc(),
+        perm_r=np.asarray(z["perm_r"], dtype=np.int64),
+        perm_c=np.asarray(z["perm_c"], dtype=np.int64),
+        handle=None)
+    lu = SubdomainLU(
+        ell=ell, perm=np.asarray(z["perm"], dtype=np.int64),
+        factors=factors, flops=int(z["flops"]),
+        cond=float(z["cond"]) if int(z["has_cond"]) else None,
+        handle_thresh=(float(z["handle_thresh"])
+                       if int(z["has_handle_thresh"]) else None))
+    comp = SubdomainComp(
+        ell=ell,
+        G_tilde=unpack_sparse(z, "G_tilde").tocsc(),
+        WT_tilde=unpack_sparse(z, "WT_tilde").tocsc(),
+        T_tilde=unpack_sparse(z, "T_tilde").tocsr(),
+        padding_G=_unpack_padding(z, "padding_G"),
+        padding_W=_unpack_padding(z, "padding_W"),
+        ops=int(z["ops"]), drop_tol=float(z["drop_tol"]))
+    return lu, comp

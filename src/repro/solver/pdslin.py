@@ -52,9 +52,11 @@ from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ordering import minimum_degree
 from repro.parallel import RECOVER_STAGE, SimulatedMachine
 from repro.parallel.costmodel import record_model_skew
-from repro.parallel.exec import Executor, resolve_backend
+from repro.parallel.exec import Executor, SpeculationPolicy, resolve_backend
 from repro.resilience import (
     DEGRADING_ACTIONS,
+    CheckpointManager,
+    CheckpointPolicy,
     FaultPlan,
     InjectedFault,
     KrylovBreakdownError,
@@ -65,6 +67,14 @@ from repro.resilience import (
     WorkerCrashError,
     emit_recovery,
     factorize_resilient,
+    load_checkpoint,
+)
+from repro.resilience.checkpoint import (
+    config_fingerprint,
+    matrix_fingerprint,
+    pack_sparse,
+    subdomain_shard_name,
+    unpack_sparse,
 )
 from repro.solver.gmres import GMRESResult, gmres
 from repro.solver.interfaces import SubdomainInterfaces, extract_interfaces
@@ -74,10 +84,13 @@ from repro.solver.partasks import (
     SubdomainSetupResult,
     SubdomainTask,
     order_subdomain,
+    pack_subdomain_state,
     replay_subdomain_verification,
     run_subdomain_comp,
     run_subdomain_lu,
     run_subdomain_setup,
+    unpack_subdomain_state,
+    validate_chaos_env,
 )
 from repro.solver.schur import (
     assemble_approximate_schur,
@@ -269,6 +282,23 @@ class PDSLin:
     Schur preconditioner once on GMRES stagnation, and falls back
     BiCGSTAB->GMRES on breakdown. Everything that happened is on
     ``self.recovery`` (also attached to every result).
+
+    Checkpoint/restart: ``checkpoint=`` (a directory or a
+    :class:`repro.resilience.CheckpointManager`) snapshots solver state
+    at stage boundaries — the partition, each accepted subdomain, the
+    assembled Schur complement — per ``checkpoint_policy`` (default:
+    after every subdomain, plus on SIGTERM). ``resume=`` points at such
+    a directory: completed work is restored bit-exactly and skipped,
+    and the resumed solve is byte-identical to an uninterrupted run.
+    Both may name the same directory (kill-and-resume in place).
+
+    Stragglers: ``task_deadline_s`` bounds each parallel setup fan-out;
+    work still outstanding at the deadline is cancelled (workers killed,
+    never orphaned) and redone on the root, recorded as a degrading
+    ``deadline-failover``. ``speculation`` (a
+    :class:`repro.parallel.exec.SpeculationPolicy`, or ``True`` for the
+    defaults) duplicates straggling tasks instead; first result wins
+    with a deterministic tie-break, so bit-parity holds either way.
     """
 
     def __init__(self, A: sp.spmatrix, config: PDSLinConfig | None = None, *,
@@ -277,7 +307,12 @@ class PDSLin:
                  fault_plan: FaultPlan | None = None,
                  retry_policy: RetryPolicy | None = None,
                  verify: bool | Verifier = False,
-                 backend: Executor | str | None = None):
+                 backend: Executor | str | None = None,
+                 checkpoint: "CheckpointManager | str | None" = None,
+                 checkpoint_policy: CheckpointPolicy | None = None,
+                 resume: str | None = None,
+                 task_deadline_s: float | None = None,
+                 speculation: "SpeculationPolicy | bool | None" = None):
         self.A_input = check_csr(A)
         check_square(self.A_input, "A")
         check_finite(self.A_input, "A")
@@ -316,6 +351,28 @@ class PDSLin:
         self._drop_schur_eff = self.config.drop_schur
         self._schur_drop_used = self.config.drop_schur
         self.cond_estimates: dict = {"subdomains": {}, "schur": None}
+        # -- checkpoint/restart + straggler mitigation
+        if task_deadline_s is not None and task_deadline_s <= 0.0:
+            raise ValueError("task_deadline_s must be positive")
+        self.task_deadline_s = task_deadline_s
+        if speculation is True:
+            speculation = SpeculationPolicy()
+        elif speculation is False:
+            speculation = None
+        self.speculation: SpeculationPolicy | None = speculation
+        if isinstance(checkpoint, CheckpointManager):
+            self._ckpt: CheckpointManager | None = checkpoint
+            if self._ckpt.tracer is NULL_TRACER:
+                self._ckpt.tracer = self.tracer
+        elif checkpoint is not None:
+            self._ckpt = CheckpointManager(
+                checkpoint, policy=checkpoint_policy, tracer=self.tracer)
+        else:
+            self._ckpt = None
+        self._resume_dir = resume
+        self._resume = None       # CheckpointState once loaded
+        self._restored_subs: dict[int, tuple] = {}
+        self._restored_schur: dict | None = None
 
     # -- resilient execution ----------------------------------------------
 
@@ -383,6 +440,7 @@ class PDSLin:
     def setup(self) -> "PDSLin":
         cfg = self.config
         self._prepare_numerics()
+        self._init_checkpoint()
 
         def partition_body(ledger):
             with self.tracer.span("partition", partitioner=cfg.partitioner,
@@ -411,9 +469,115 @@ class PDSLin:
                 self.tracer.count("separator_size",
                                   int(self.partition.separator_vertices.size))
 
-        self._on_root_stage("Partition", partition_body)
-        self._numeric_setup()
+        if self._resume is not None and self._resume.partition_done:
+            # the combinatorial phase is pure state: rebuilding DBBD
+            # from the stored part vector reproduces it bit-exactly
+            with self.tracer.span("checkpoint_restore", stage="partition"):
+                part = np.asarray(
+                    self._resume.load_shard("partition")["part"],
+                    dtype=np.int64)
+                self.partition = build_dbbd(self.A, part, cfg.k,
+                                            validate=False)
+                self.verifier.after_partition(self.A, self.partition)
+                self.tracer.count("checkpoint_partition_restored")
+                self.tracer.count("separator_size",
+                                  int(self.partition.separator_vertices.size))
+        else:
+            self._on_root_stage("Partition", partition_body)
+        if self._ckpt is not None:
+            self._ckpt.register_partition(self.partition.part)
+            self._ckpt.arm()
+        try:
+            self._numeric_setup()
+        finally:
+            if self._ckpt is not None:
+                self._ckpt.disarm()
         return self
+
+    # -- checkpoint/restart (repro.resilience.checkpoint) ------------------
+
+    def _init_checkpoint(self) -> None:
+        """Bind the checkpoint writer to this (matrix, config) identity
+        and load + integrity-check the resume state, if any. A resume
+        directory that does not hold a valid checkpoint for exactly
+        this problem raises :class:`CheckpointError` up front."""
+        if self._ckpt is None and self._resume_dir is None:
+            return
+        mfp = matrix_fingerprint(self.A_input)
+        cfp = config_fingerprint(self.config)
+        if self._resume_dir is not None and self._resume is None:
+            with self.tracer.span("checkpoint_restore", stage="load"):
+                self._resume = load_checkpoint(
+                    self._resume_dir, matrix_fp=mfp, config_fp=cfp,
+                    k=self.config.k)
+                self._restored_subs = {
+                    ell: unpack_subdomain_state(
+                        self._resume.load_shard(subdomain_shard_name(ell)))
+                    for ell in self._resume.subdomains_done}
+                if self._resume.schur_done and \
+                        len(self._restored_subs) == self.config.k:
+                    z = self._resume.load_shard("schur")
+                    self._restored_schur = {
+                        "S_tilde": unpack_sparse(z, "S_tilde").tocsr(),
+                        "drop_used": float(z["drop_used"]),
+                        "drop_eff": float(z["drop_eff"]),
+                        "mode": str(self._resume.state.get(
+                            "preconditioner_mode", "lu")),
+                    }
+        if self._ckpt is not None:
+            self._ckpt.bind(matrix_fp=mfp, config_fp=cfp,
+                            k=self.config.k, seed=self.config.seed)
+
+    def _restore_subdomain(self, ell: int,
+                           sub: SubdomainInterfaces,
+                           ) -> tuple[SubdomainLU, SubdomainComp]:
+        """Reconstruct one checkpointed subdomain bit-exactly: re-attach
+        the SuperLU handle (the PR-5 cross-process machinery), replay
+        the condition-estimate booking (so the drop-tolerance
+        tightening sequence matches the uninterrupted run) and the
+        verification hooks."""
+        lu, comp = self._restored_subs[ell]
+        with self.tracer.span("checkpoint_restore", l=ell):
+            if lu.factors.handle is None and lu.handle_thresh is not None:
+                Dp = sub.D[lu.perm][:, lu.perm].tocsc()
+                attach_handle(lu.factors, Dp,
+                              diag_pivot_thresh=lu.handle_thresh)
+            self.tracer.count("checkpoint_subdomains_restored")
+        self._note_subdomain_cond(ell, lu.cond)
+        if comp.drop_tol != self._drop_interface_eff:
+            # defensive: under a matching config fingerprint the
+            # replayed tolerance sequence always matches the stored
+            # one; if it somehow does not, recompute at the serial-
+            # semantics tolerance rather than break bit-parity
+            self.tracer.count("checkpoint_tol_redo")
+            comp = run_subdomain_comp(sub, self.config, lu,
+                                      drop_tol=self._drop_interface_eff,
+                                      tracer=self.tracer)
+        replay_subdomain_verification(
+            sub, self.config, lu, comp, verifier=self.verifier,
+            separator_size=self.partition.separator_size)
+        return lu, comp
+
+    def _register_subdomain_checkpoint(self, ell: int, lu: SubdomainLU,
+                                       comp: SubdomainComp) -> None:
+        """Queue one accepted subdomain with the checkpoint writer
+        (lazy: shards already on disk never re-pack)."""
+        if self._ckpt is not None:
+            self._ckpt.register_subdomain(
+                ell, lambda: pack_subdomain_state(lu, comp))
+
+    def _register_schur_checkpoint(self) -> None:
+        if self._ckpt is None or self.S_tilde is None:
+            return
+
+        def arrays():
+            out = {"drop_used": np.float64(self._schur_drop_used),
+                   "drop_eff": np.float64(self._drop_schur_eff)}
+            pack_sparse(out, "S_tilde", self.S_tilde.tocsr())
+            return out
+
+        self._ckpt.register_schur(arrays, state={
+            "preconditioner_mode": self.recovery.preconditioner_mode})
 
     # -- numerics pre-pass (repro.numerics) --------------------------------
 
@@ -483,10 +647,20 @@ class PDSLin:
         self.subdomains = []
         if self.backend.inline:
             for ell in range(self.config.k):
-                self._setup_subdomain(ell)
+                if ell in self._restored_subs:
+                    sub = extract_interfaces(self.partition, ell)
+                    lu, comp = self._restore_subdomain(ell, sub)
+                    self.subdomains.append(
+                        self._pack_subdomain(sub, lu, comp))
+                    self._register_subdomain_checkpoint(ell, lu, comp)
+                else:
+                    self._setup_subdomain(ell)
         else:
             self._setup_subdomains_parallel()
         self._assemble_and_factor_schur()
+        # restored state is single-use: update_matrix() invalidates it
+        self._restored_subs = {}
+        self._restored_schur = None
         self._is_setup = True
 
     def update_matrix(self, A_new: sp.spmatrix) -> "PDSLin":
@@ -521,7 +695,23 @@ class PDSLin:
             self.A = A_new
         self.partition = build_dbbd(self.A, self.partition.part,
                                     self.config.k, validate=False)
-        self._numeric_setup()
+        # fresh numeric values = a fresh checkpoint identity: restored
+        # state from the old matrix no longer applies, and the writer
+        # re-binds so old shards are never mixed with new ones
+        self._resume = None
+        self._restored_subs = {}
+        self._restored_schur = None
+        if self._ckpt is not None:
+            self._ckpt.bind(matrix_fp=matrix_fingerprint(self.A_input),
+                            config_fp=config_fingerprint(self.config),
+                            k=self.config.k, seed=self.config.seed)
+            self._ckpt.register_partition(self.partition.part)
+            self._ckpt.arm()
+        try:
+            self._numeric_setup()
+        finally:
+            if self._ckpt is not None:
+                self._ckpt.disarm()
         return self
 
     def _cached_analysis(self, key: str, compute: Callable):
@@ -593,6 +783,7 @@ class PDSLin:
 
         comp = self._on_subdomain(ell, "Comp(S)", comp_body)
         self.subdomains.append(self._pack_subdomain(sub, lu, comp))
+        self._register_subdomain_checkpoint(ell, lu, comp)
 
     # -- parallel subdomain setup (repro.parallel.exec) --------------------
 
@@ -624,6 +815,14 @@ class PDSLin:
                              attempt=attempt,
                              detail="re-executing the work on root")
                 return "failover"
+
+    def _count_speculation(self, outcomes) -> None:
+        """Book speculative-duplicate launches/wins from a fan-out."""
+        for out in outcomes:
+            if out.duplicates:
+                self.tracer.count("speculation_launched", out.duplicates)
+            if out.speculated:
+                self.tracer.count("speculation_wins")
 
     def _merge_worker_result(self, r: SubdomainSetupResult,
                              offset_s: float) -> None:
@@ -694,6 +893,7 @@ class PDSLin:
         """
         cfg = self.config
         assert self.partition is not None
+        validate_chaos_env()
         sep = self.partition.separator_size
         trace = bool(self.tracer.enabled)
         t0 = time.perf_counter()
@@ -705,16 +905,24 @@ class PDSLin:
 
         base_charged = [charged(ell) for ell in range(cfg.k)]
 
+        restored = set(self._restored_subs)
         subs, perms = [], []
         for ell in range(cfg.k):
             sub = extract_interfaces(self.partition, ell)
             subs.append(sub)
-            perms.append(self._cached_order(sub.D))
+            perms.append(self._restored_subs[ell][0].perm
+                         if ell in restored else self._cached_order(sub.D))
 
         # pre-play the fault ladder in serial event order (LU(D) then
-        # Comp(S), subdomains ascending)
+        # Comp(S), subdomains ascending); restored subdomains never ran
+        # in the uninterrupted run's fault window twice, so they are
+        # excluded from the ladder as well as the fan-out
         lu_fate, comp_fate = [], []
         for ell in range(cfg.k):
+            if ell in restored:
+                lu_fate.append("restored")
+                comp_fate.append("restored")
+                continue
             lu_fate.append(self._stage_fate("LU(D)", ell))
             comp_fate.append(self._stage_fate("Comp(S)", ell))
 
@@ -732,20 +940,30 @@ class PDSLin:
         with self.tracer.span("subdomain_fanout", backend=self.backend.name,
                               workers=self.backend.workers,
                               tasks=len(tasks)):
-            outcomes = self.backend.map(run_subdomain_setup, tasks)
+            outcomes = self.backend.map(run_subdomain_setup, tasks,
+                                        deadline_s=self.task_deadline_s,
+                                        speculation=self.speculation)
         by_ell = dict(zip(task_ell, outcomes))
+        self._count_speculation(outcomes)
 
         lus: dict[int, SubdomainLU] = {}
         comps: dict[int, SubdomainComp] = {}
         worker_comp: dict[int, SubdomainComp | None] = {}
         redo: list[tuple[int, float]] = []
         for ell in range(cfg.k):
+            if ell in restored:
+                lu, comp = self._restore_subdomain(ell, subs[ell])
+                lus[ell], comps[ell] = lu, comp
+                continue
             sub, out = subs[ell], by_ell.get(ell)
             crashed = out is not None and \
                 isinstance(out.error, WorkerCrashError)
-            if out is not None and out.error is not None and not crashed:
+            timed = out is not None and out.timed_out
+            if out is not None and out.error is not None \
+                    and not crashed and not timed:
                 raise out.error  # real numerical error: propagate as serial
-            r = out.value if (out is not None and not crashed) else None
+            r = out.value if (out is not None and not crashed
+                              and not timed) else None
             # ---- LU(D)
             if r is not None:
                 self._merge_worker_result(r, offset)
@@ -764,6 +982,12 @@ class PDSLin:
                                  subdomain=ell,
                                  detail="worker process died; re-executing "
                                         "the work on root")
+                elif timed:
+                    self.tracer.count("deadline_timeouts")
+                    self._record("LU(D)", "deadline-failover", out.error,
+                                 subdomain=ell,
+                                 detail="task deadline expired; re-executing "
+                                        "the work on root")
                 lu = self._run_lu_on_root(sub, ell, perms[ell])
             lus[ell] = lu
             self._note_subdomain_cond(ell, lu.cond)
@@ -771,7 +995,9 @@ class PDSLin:
             # subdomain is the effective tolerance *now*, after the
             # tightenings of subdomains 0..ell
             tol_ell = self._drop_interface_eff
-            if comp_fate[ell] != "run":
+            if comp_fate[ell] != "run" or timed:
+                # a timed-out subdomain stays on the root for Comp(S)
+                # too: re-shipping it would hit the same straggler
                 comps[ell] = self._run_comp_on_root(sub, lu, tol_ell)
             elif r is not None and r.comp is not None \
                     and r.comp.drop_tol == tol_ell:
@@ -796,16 +1022,26 @@ class PDSLin:
             with self.tracer.span("subdomain_fanout_redo",
                                   backend=self.backend.name,
                                   tasks=len(tasks2)):
-                outcomes2 = self.backend.map(run_subdomain_setup, tasks2)
+                outcomes2 = self.backend.map(run_subdomain_setup, tasks2,
+                                             deadline_s=self.task_deadline_s,
+                                             speculation=self.speculation)
+            self._count_speculation(outcomes2)
             for (ell, tol), out in zip(redo, outcomes2):
                 crashed = isinstance(out.error, WorkerCrashError)
-                if out.error is not None and not crashed:
+                if out.error is not None and not crashed and not out.timed_out:
                     raise out.error
-                if crashed:
-                    self._record("Comp(S)", "failover-root", out.error,
-                                 subdomain=ell,
-                                 detail="worker process died; re-executing "
-                                        "the work on root")
+                if crashed or out.timed_out:
+                    if out.timed_out:
+                        self.tracer.count("deadline_timeouts")
+                    self._record(
+                        "Comp(S)",
+                        "deadline-failover" if out.timed_out
+                        else "failover-root",
+                        out.error, subdomain=ell,
+                        detail=("task deadline expired"
+                                if out.timed_out
+                                else "worker process died")
+                        + "; re-executing the work on root")
                     comps[ell] = self._run_comp_on_root(subs[ell], lus[ell],
                                                         tol)
                     continue
@@ -829,6 +1065,7 @@ class PDSLin:
         for ell in range(cfg.k):
             self.subdomains.append(
                 self._pack_subdomain(subs[ell], lus[ell], comps[ell]))
+            self._register_subdomain_checkpoint(ell, lus[ell], comps[ell])
 
         # cost-model reconciliation: simulated makespan of this fan-out
         # vs the real wall clock it took (a noise: counter — excluded
@@ -845,6 +1082,7 @@ class PDSLin:
         ns = C.shape[0]
         if ns == 0:
             self.S_tilde = C
+            self._register_schur_checkpoint()
             return
 
         def asm_body(ledger):
@@ -860,28 +1098,46 @@ class PDSLin:
                 self.verifier.after_schur_assembly(
                     C, S_hat, self.S_tilde, self._drop_schur_eff)
 
-        self._on_root_stage("Comp(S)", asm_body)
-        mode = cfg.schur_factorization
-        try:
+        if self._restored_schur is not None:
+            # the assembled S~ (post any cond-driven rebuild of the
+            # original run) comes off disk; only LU(S) — cheap next to
+            # Comp(S) and deliberately not serialized (SuperLU handles
+            # do not round-trip) — is redone, on the *final* matrix, so
+            # its factors match the uninterrupted run's bit-for-bit
+            rs = self._restored_schur
+            with self.tracer.span("checkpoint_restore", stage="schur"):
+                self.S_tilde = rs["S_tilde"]
+                self._schur_drop_used = rs["drop_used"]
+                self._drop_schur_eff = rs["drop_eff"]
+                self.tracer.count("checkpoint_schur_restored")
+            base = "ilu" if rs["mode"] == "ilu" else "lu"
             self._on_root_stage("LU(S)",
-                                lambda ledger: self._factor_schur(mode,
+                                lambda ledger: self._factor_schur(base,
                                                                   ledger))
-            self.recovery.preconditioner_mode = mode
-        except SchurFactorizationError as err:
-            if mode != "ilu":
-                raise
-            # ILU of S~ broke down: fall back to the full LU — a
-            # *stronger* preconditioner, so robustness costs memory,
-            # not convergence
-            self._record("LU(S)", "ilu-to-lu", err,
-                         detail="ILU breakdown; falling back to full LU "
-                                "of S~")
-            with self.tracer.span("recover", stage="LU(S)",
-                                  action="ilu-to-lu"):
+            self.recovery.preconditioner_mode = rs["mode"]
+        else:
+            self._on_root_stage("Comp(S)", asm_body)
+            mode = cfg.schur_factorization
+            try:
                 self._on_root_stage(
-                    RECOVER_STAGE,
-                    lambda ledger: self._factor_schur("lu", ledger))
-            self.recovery.preconditioner_mode = "lu(from-ilu)"
+                    "LU(S)",
+                    lambda ledger: self._factor_schur(mode, ledger))
+                self.recovery.preconditioner_mode = mode
+            except SchurFactorizationError as err:
+                if mode != "ilu":
+                    raise
+                # ILU of S~ broke down: fall back to the full LU — a
+                # *stronger* preconditioner, so robustness costs memory,
+                # not convergence
+                self._record("LU(S)", "ilu-to-lu", err,
+                             detail="ILU breakdown; falling back to full LU "
+                                    "of S~")
+                with self.tracer.span("recover", stage="LU(S)",
+                                      action="ilu-to-lu"):
+                    self._on_root_stage(
+                        RECOVER_STAGE,
+                        lambda ledger: self._factor_schur("lu", ledger))
+                self.recovery.preconditioner_mode = "lu(from-ilu)"
         # proactive (non-degrading) robustness move: a badly conditioned
         # Schur factor makes a dropped S~ a poor preconditioner, so
         # reassemble keeping every entry before GMRES ever runs
@@ -902,6 +1158,7 @@ class PDSLin:
             self._on_root_stage("LU(S)", rebuild_body)
             self._schur_drop_used = 0.0
             self._drop_schur_eff = 0.0
+        self._register_schur_checkpoint()
 
     def _factor_schur(self, mode: str, ledger) -> None:
         """Factor ``S~`` as the preconditioner, in ``mode`` ("lu" or
