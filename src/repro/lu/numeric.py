@@ -51,6 +51,9 @@ class LUFactors:
     perm_r: np.ndarray
     perm_c: np.ndarray
     handle: object | None = None  # SuperLU object for fast repeated solves
+    # ABFT record (repro.resilience.abft.FactorChecksums) — plain
+    # arrays, so unlike the handle it pickles along with the factors
+    checksums: object | None = None
 
     def __getstate__(self) -> dict:
         """Pickle without the SuperLU handle (a C object that cannot
@@ -84,12 +87,18 @@ class LUFactors:
         """
         b = np.asarray(b, dtype=np.float64)
         if self.handle is not None:
-            return self.handle.solve(b)  # type: ignore[attr-defined]
-        y = spla.spsolve_triangular(self.L, b[self.perm_r], lower=True,
-                                    unit_diagonal=True)
-        z = spla.spsolve_triangular(self.U, y, lower=False)
-        x = np.empty_like(z)
-        x[self.perm_c] = z
+            x = self.handle.solve(b)  # type: ignore[attr-defined]
+        else:
+            y = spla.spsolve_triangular(self.L, b[self.perm_r], lower=True,
+                                        unit_diagonal=True)
+            z = spla.spsolve_triangular(self.U, y, lower=False)
+            x = np.empty_like(z)
+            x[self.perm_c] = z
+        if self.checksums is not None:
+            # passive ABFT audit (1^T A x = 1^T b): counts checks and
+            # violations on the record; the solver sweeps them after
+            # the stage. Identical for handle and explicit paths.
+            self.checksums.audit_solve(self, b, x)
         return x
 
     def solve_transpose(self, b: np.ndarray) -> np.ndarray:

@@ -11,6 +11,13 @@ way the pipeline changed shape and the baseline must be re-recorded
 deliberately. Counters prefixed ``noise:`` (wall-clock/model skew
 recorded by :func:`repro.parallel.costmodel.record_model_skew`) are
 machine noise by construction and are never gated.
+
+The ABFT checksum audits (``abft_verify`` spans) additionally gate on
+an *absolute* budget: their summed wall time in the fresh run must stay
+under ``abft_budget`` (default 10%) of the run's total — integrity
+checking is supposed to be cheap insurance, and this bound keeps a
+future "verify everything twice" regression from hiding inside the
+ordinary 1.5x wall-time slack.
 """
 
 from __future__ import annotations
@@ -19,11 +26,16 @@ from dataclasses import dataclass, field
 
 __all__ = ["GateCheck", "GateReport", "compare_metrics",
            "DEFAULT_TIME_TOL", "DEFAULT_OPS_TOL", "DEFAULT_MIN_TIME_S",
-           "NOISE_COUNTER_PREFIX"]
+           "DEFAULT_ABFT_BUDGET", "ABFT_STAGE", "NOISE_COUNTER_PREFIX"]
 
 DEFAULT_TIME_TOL = 1.5
 DEFAULT_OPS_TOL = 1.10
 DEFAULT_MIN_TIME_S = 0.005
+#: Ceiling on the fraction of total wall time the ABFT integrity
+#: audits may consume in the fresh run.
+DEFAULT_ABFT_BUDGET = 0.10
+#: Stage name the solver's checksum audits report under.
+ABFT_STAGE = "abft_verify"
 #: Counters whose names start with this prefix are measurement noise
 #: (real-vs-modeled wall-clock skew, etc.): excluded from gating and
 #: from baseline determinism checks.
@@ -111,11 +123,19 @@ def _check(stage: str, metric: str, base: float, cur: float,
 def compare_metrics(current: dict, baseline: dict, *,
                     time_tol: float = DEFAULT_TIME_TOL,
                     ops_tol: float = DEFAULT_OPS_TOL,
-                    min_time_s: float = DEFAULT_MIN_TIME_S) -> GateReport:
+                    min_time_s: float = DEFAULT_MIN_TIME_S,
+                    abft_budget: float = DEFAULT_ABFT_BUDGET) -> GateReport:
     """Gate ``current`` metrics against ``baseline`` (both are
-    :func:`repro.obs.export.stage_metrics`-shaped dicts)."""
+    :func:`repro.obs.export.stage_metrics`-shaped dicts).
+
+    ``abft_budget`` bounds the fresh run's ``abft_verify`` wall time as
+    a fraction of its total wall time (see the module docstring); pass
+    0 to disable the bound.
+    """
     if time_tol <= 0 or ops_tol <= 0:
         raise ValueError("tolerances must be positive ratios")
+    if abft_budget < 0:
+        raise ValueError("abft_budget must be >= 0")
     checks: list[GateCheck] = []
     missing: list[str] = []
     cur_stages = current.get("stages", {})
@@ -142,5 +162,12 @@ def compare_metrics(current: dict, baseline: dict, *,
     if base_total > 0:
         checks.append(_check("TOTAL", "wall_s", base_total, cur_total,
                              time_tol, floor=min_time_s))
+    abft_wall = float(cur_stages.get(ABFT_STAGE, {}).get("wall_s", 0.0))
+    if abft_budget > 0 and cur_total > 0 and ABFT_STAGE in cur_stages:
+        frac = abft_wall / cur_total
+        checks.append(GateCheck(ABFT_STAGE, "overhead_frac",
+                                baseline=abft_budget,
+                                current=round(frac, 6), tolerance=1.0,
+                                regressed=frac > abft_budget))
     return GateReport(checks=checks, missing_stages=missing,
                       extra_stages=extra)

@@ -51,7 +51,9 @@ of failing deep inside pool construction.
 from __future__ import annotations
 
 import atexit
+import hashlib
 import os
+import pickle
 import time
 from concurrent.futures import (
     FIRST_COMPLETED,
@@ -64,18 +66,27 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
-from repro.resilience.errors import TaskDeadlineError, WorkerCrashError
+from repro.resilience.errors import (
+    TaskDeadlineError,
+    TransportChecksumError,
+    WorkerCrashError,
+)
 
 __all__ = [
     "TaskOutcome", "SpeculationPolicy", "Executor", "SerialBackend",
     "ThreadBackend", "ProcessBackend", "resolve_backend", "get_backend",
-    "backend_names", "in_worker",
+    "backend_names", "in_worker", "transport_checksum_enabled",
     "ENV_BACKEND", "ENV_WORKERS", "ENV_MP_START", "ENV_IN_WORKER",
+    "ENV_TRANSPORT_CHECKSUM",
 ]
 
 ENV_BACKEND = "REPRO_BACKEND"
 ENV_WORKERS = "REPRO_WORKERS"
 ENV_MP_START = "REPRO_MP_START"
+#: "0" disables the blake2b transport checksum on sealed task results
+#: (default on for the process backend). Exists so the chaos drills can
+#: demonstrate what *silent* transport corruption does.
+ENV_TRANSPORT_CHECKSUM = "REPRO_TRANSPORT_CHECKSUM"
 #: Set to "1" in the environment of ProcessBackend workers (and only
 #: there): chaos hooks that hard-kill a "worker" must never fire in the
 #: parent process, where serial and thread backends run tasks.
@@ -92,6 +103,20 @@ def in_worker() -> bool:
     return os.environ.get(ENV_IN_WORKER) == "1"
 
 
+def transport_checksum_enabled() -> bool:
+    """Whether sealed task results carry a verified blake2b digest
+    (default yes). ``REPRO_TRANSPORT_CHECKSUM=0`` disables verification;
+    any other value than 0/1 raises a ``ValueError`` naming the
+    variable."""
+    raw = os.environ.get(ENV_TRANSPORT_CHECKSUM)
+    if raw is None or raw in ("", "1"):
+        return True
+    if raw == "0":
+        return False
+    raise ValueError(f"{ENV_TRANSPORT_CHECKSUM} must be '0' or '1', "
+                     f"got {raw!r}")
+
+
 @dataclass
 class TaskOutcome:
     """Result slot for one task of a ``map`` call, in submission order.
@@ -105,7 +130,10 @@ class TaskOutcome:
     (useful to see how tasks spread over the pool). ``speculated`` marks
     a result delivered by a speculative duplicate rather than the
     primary submission; ``duplicates`` counts how many duplicates were
-    launched for this slot.
+    launched for this slot. ``transport_retries`` counts resubmissions
+    after the result's blake2b transport digest failed to verify — a
+    surviving :class:`TransportChecksumError` in ``error`` means the
+    retry failed too.
     """
 
     index: int
@@ -116,6 +144,7 @@ class TaskOutcome:
     timed_out: bool = False
     speculated: bool = False
     duplicates: int = 0
+    transport_retries: int = 0
 
     @property
     def ok(self) -> bool:
@@ -180,6 +209,88 @@ def _invoke(fn: Callable, payload: Any) -> Tuple[Any, Optional[BaseException],
     return value, error, time.perf_counter() - t0, os.getpid()
 
 
+# -- sealed transport -------------------------------------------------------
+#
+# The process backend ships results as (pickle blob, blake2b digest)
+# pairs sealed where the task ran, verified where the result is used:
+# a bit flipped in the bytes between the two — pickle buffers, pipes,
+# shared memory — no longer deserializes into silently-wrong numbers
+# but into a TransportChecksumError, and the task is resubmitted once.
+
+@dataclass
+class _SealedValue:
+    """A task result as shipped: its pickle and the digest of the bytes
+    the worker actually produced."""
+
+    blob: bytes
+    digest: str
+
+
+def _digest(blob: bytes) -> str:
+    return hashlib.blake2b(blob, digest_size=16).hexdigest()
+
+
+def _seal(value: Any, payload: Any, *, chaos: bool) -> _SealedValue:
+    """Seal a result worker-side. With ``chaos``, the transport bit-flip
+    seam may swap in a corrupted copy of the payload *after* the digest
+    is taken — the model of corruption in flight."""
+    blob = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+    digest = _digest(blob)
+    if chaos:
+        from repro.resilience import abft
+        corrupted = abft.maybe_corrupt_transport(
+            value, subdomain=getattr(payload, "ell", None))
+        if corrupted is not None:
+            blob = pickle.dumps(corrupted,
+                                protocol=pickle.HIGHEST_PROTOCOL)
+    return _SealedValue(blob=blob, digest=digest)
+
+
+def _invoke_sealed(fn: Callable, payload: Any):
+    """`_invoke`, but successful values ship sealed (chaos seam live)."""
+    value, error, wall, pid = _invoke(fn, payload)
+    if error is None:
+        value = _seal(value, payload, chaos=True)
+    return value, error, wall, pid
+
+
+def _invoke_sealed_clean(fn: Callable, payload: Any):
+    """Sealed invoke for transport retries: the chaos seam is bypassed
+    (a re-ship of the same result would not hit the same random flip),
+    the digest is still verified."""
+    value, error, wall, pid = _invoke(fn, payload)
+    if error is None:
+        value = _seal(value, payload, chaos=False)
+    return value, error, wall, pid
+
+
+def _unseal(value: Any, *, verify: bool,
+            backend: str) -> Tuple[Any, Optional[BaseException]]:
+    """Open a sealed value: verify the digest (unless disabled) and
+    unpickle. Pass non-sealed values through untouched."""
+    if not isinstance(value, _SealedValue):
+        return value, None
+    if verify and _digest(value.blob) != value.digest:
+        return None, TransportChecksumError(
+            "task result failed its blake2b transport digest: the bytes "
+            "that arrived are not the bytes the worker hashed",
+            backend=backend)
+    try:
+        return pickle.loads(value.blob), None
+    except Exception as exc:  # corrupt blob that also breaks the pickle
+        return None, TransportChecksumError(
+            f"sealed task result failed to deserialize: {exc}",
+            backend=backend)
+
+
+def _transport_seam_armed() -> bool:
+    """True when the ``REPRO_CHAOS_BITFLIP_TARGET=transport`` seam is
+    set (regardless of one-shot state)."""
+    from repro.resilience import abft
+    seam = abft.bitflip_seam()
+    return seam is not None and seam.target == "transport"
+
+
 class Executor:
     """One ``map`` with ordered results; see the module docstring for
     the determinism and failure contracts."""
@@ -210,6 +321,13 @@ class Executor:
     def __exit__(self, *exc) -> None:
         self.close()
 
+    def _seal_tasks(self) -> bool:
+        """Whether this ``map`` should ship sealed results. Inline
+        backends have no transport, so they seal only when the
+        transport chaos seam is armed (the drills must be able to
+        exercise detection on every backend)."""
+        return _transport_seam_armed()
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return f"{type(self).__name__}(workers={self.workers})"
 
@@ -232,9 +350,24 @@ class SerialBackend(Executor):
             deadline_s: float | None = None,
             speculation: SpeculationPolicy | None = None,
             ) -> List[TaskOutcome]:
+        sealed = self._seal_tasks()
+        verify = transport_checksum_enabled()
+        invoke = _invoke_sealed if sealed else _invoke
         out = []
         for i, p in enumerate(payloads):
-            value, error, wall, pid = _invoke(fn, p)
+            value, error, wall, pid = invoke(fn, p)
+            if error is None:
+                value, error = _unseal(value, verify=verify,
+                                       backend=self.name)
+            if isinstance(error, TransportChecksumError):
+                value, error, wall, pid = _invoke_sealed_clean(fn, p)
+                if error is None:
+                    value, error = _unseal(value, verify=verify,
+                                           backend=self.name)
+                out.append(TaskOutcome(index=i, value=value, error=error,
+                                       wall_s=wall, worker=pid,
+                                       transport_retries=1))
+                continue
             out.append(TaskOutcome(index=i, value=value, error=error,
                                    wall_s=wall, worker=pid))
         return out
@@ -263,18 +396,45 @@ class _PooledBackend(Executor):
             speculation: SpeculationPolicy | None = None,
             ) -> List[TaskOutcome]:
         pool = self._ensure()
-        futures: List[Future] = [pool.submit(_invoke, fn, p)
+        invoke = _invoke_sealed if self._seal_tasks() else _invoke
+        futures: List[Future] = [pool.submit(invoke, fn, p)
                                  for p in payloads]
         if deadline_s is None and speculation is None:
-            return self._map_ordered(futures)
-        return self._map_mitigated(pool, fn, payloads, futures,
-                                   deadline_s, speculation)
+            out = self._map_ordered(futures)
+        else:
+            out = self._map_mitigated(pool, invoke, fn, payloads, futures,
+                                      deadline_s, speculation)
+        return self._retry_transport(fn, payloads, out)
+
+    def _retry_transport(self, fn: Callable, payloads: Sequence[Any],
+                         outcomes: List[TaskOutcome]) -> List[TaskOutcome]:
+        """Resubmit (once, chaos seam bypassed) every task whose result
+        failed its transport digest. A second failure keeps the
+        :class:`TransportChecksumError` for the caller to handle."""
+        bad = [o for o in outcomes
+               if isinstance(o.error, TransportChecksumError)
+               and not o.timed_out]
+        for o in bad:
+            pool = self._ensure()
+            f = pool.submit(_invoke_sealed_clean, fn, payloads[o.index])
+            retry, died = self._settle(f, o.index,
+                                       duplicates=o.duplicates)
+            retry.transport_retries = o.transport_retries + 1
+            outcomes[o.index] = retry
+            if died:
+                self._reap()
+        return outcomes
 
     def _settle(self, f: Future, index: int, *, speculated: bool = False,
                 duplicates: int = 0) -> Tuple[TaskOutcome, bool]:
-        """One future -> one outcome; second element flags pool death."""
+        """One future -> one outcome; second element flags pool death.
+        Sealed values are digest-verified and unpickled here."""
         try:
             value, error, wall, pid = f.result()
+            if error is None:
+                value, error = _unseal(
+                    value, verify=transport_checksum_enabled(),
+                    backend=self.name)
             return TaskOutcome(index=index, value=value, error=error,
                                wall_s=wall, worker=pid,
                                speculated=speculated,
@@ -307,7 +467,8 @@ class _PooledBackend(Executor):
             self._reap()  # a fresh pool is built on the next map
         return out
 
-    def _map_mitigated(self, pool, fn: Callable, payloads: Sequence[Any],
+    def _map_mitigated(self, pool, invoke: Callable, fn: Callable,
+                       payloads: Sequence[Any],
                        futures: List[Future], deadline_s: float | None,
                        speculation: SpeculationPolicy | None,
                        ) -> List[TaskOutcome]:
@@ -372,7 +533,7 @@ class _PooledBackend(Executor):
                                     duplicates[index] < \
                                     speculation.max_duplicates:
                                 duplicates[index] += 1
-                                dup = pool.submit(_invoke, fn,
+                                dup = pool.submit(invoke, fn,
                                                   payloads[index])
                                 info[dup] = (index, True)
                                 pending.add(dup)
@@ -462,6 +623,14 @@ class ProcessBackend(_PooledBackend):
 
     name = "process"
     _broken_exc = (BrokenProcessPool,)
+
+    def _seal_tasks(self) -> bool:
+        """Process results really cross a transport; seal them whenever
+        digest verification is on (the default) — and also when the
+        chaos seam is armed with verification off, so the drills can
+        show what silent acceptance looks like."""
+        return transport_checksum_enabled() or _transport_seam_armed()
+
     #: Grace given to a worker after SIGTERM before escalating to
     #: SIGKILL (tests shorten it to exercise the escalation quickly).
     _join_grace_s = 5.0

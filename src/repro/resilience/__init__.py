@@ -13,6 +13,9 @@ pipeline must *recover* rather than abort:
   degraded-mode accounting attached to every solve result;
 - :mod:`repro.resilience.recovery` — numerical ladders
   (:func:`factorize_resilient`: threshold -> full -> static pivoting);
+- :mod:`repro.resilience.abft` — algorithm-based fault tolerance:
+  checksummed LU factors and Schur updates, Krylov drift audits, and
+  the seeded ``REPRO_CHAOS_BITFLIP_*`` bit-flip injector;
 - :mod:`repro.resilience.checkpoint` — integrity-checked on-disk
   snapshots (:class:`CheckpointManager`) for kill-and-resume solves;
 - :mod:`repro.resilience.chaos` — the seeded chaos-smoke scenario run
@@ -21,6 +24,18 @@ pipeline must *recover* rather than abort:
   CLI (imported explicitly; it pulls in the solver stack).
 """
 
+from repro.resilience.abft import (
+    ABFT_MODES,
+    AuditResult,
+    FactorChecksums,
+    attach_factor_checksums,
+    bitflip_seam,
+    checksum_matrix,
+    maybe_bitflip,
+    reset_bitflip_state,
+    verify_factors,
+    verify_matrix_checksum,
+)
 from repro.resilience.checkpoint import (
     CheckpointManager,
     CheckpointPolicy,
@@ -34,9 +49,11 @@ from repro.resilience.errors import (
     KrylovBreakdownError,
     RefinementStallError,
     SchurFactorizationError,
+    SdcDetectedError,
     SingularSubdomainError,
     SolverError,
     TaskDeadlineError,
+    TransportChecksumError,
     WorkerCrashError,
 )
 from repro.resilience.faults import FaultPlan, FaultSpec, FiredFault
@@ -53,10 +70,15 @@ __all__ = [
     "SolverError", "SingularSubdomainError", "SchurFactorizationError",
     "KrylovBreakdownError", "RefinementStallError", "InjectedFault",
     "WorkerCrashError", "TaskDeadlineError", "CheckpointError",
+    "SdcDetectedError", "TransportChecksumError",
     "FaultSpec", "FaultPlan", "FiredFault",
     "RetryPolicy", "run_with_retry",
     "RecoveryEvent", "RecoveryReport", "DEGRADING_ACTIONS", "emit_recovery",
     "factorize_resilient",
+    "ABFT_MODES", "AuditResult", "FactorChecksums",
+    "attach_factor_checksums", "verify_factors", "checksum_matrix",
+    "verify_matrix_checksum", "bitflip_seam", "maybe_bitflip",
+    "reset_bitflip_state",
     "CheckpointManager", "CheckpointPolicy", "CheckpointState",
     "load_checkpoint", "truncate_checkpoint",
 ]

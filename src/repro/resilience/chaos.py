@@ -17,10 +17,21 @@ root (a recorded, degrading ``deadline-failover``), a speculation
 policy must launch duplicate tasks — and both runs must stay
 *byte-identical* to the unmitigated serial solve.
 
+``--scenario bitflip`` runs the silent-data-corruption drill: for each
+injection target (``lu``, ``schur``, ``krylov``, ``transport``) and
+each backend (serial, process), the ``REPRO_CHAOS_BITFLIP_*`` seam
+flips one exponent bit mid-pipeline. The defended leg
+(``abft="detect+recover"``) must detect the flip, recover per the
+integrity ladder, and certify the same answer as a fault-free
+reference; the undefended leg (``abft="off"``) must produce a
+*different* answer while reporting nothing — proving the corruption is
+real and silent without the checksums.
+
 Run directly::
 
     PYTHONPATH=src python -m repro.resilience.chaos --seed 0 --k 4
     PYTHONPATH=src python -m repro.resilience.chaos --scenario stragglers
+    PYTHONPATH=src python -m repro.resilience.chaos --scenario bitflip
 """
 
 from __future__ import annotations
@@ -36,7 +47,7 @@ from repro.resilience.faults import FaultPlan, FaultSpec
 from repro.resilience.report import RecoveryReport
 
 __all__ = ["ChaosRun", "standard_fault_plan", "run_chaos_smoke",
-           "run_straggler_smoke"]
+           "run_straggler_smoke", "run_bitflip_smoke"]
 
 
 def standard_fault_plan(*, k: int = 4, seed: int = 0,
@@ -197,18 +208,148 @@ def run_straggler_smoke(*, k: int = 4, seed: int = 0,
                     checks=checks)
 
 
+def run_bitflip_smoke(*, k: int = 4, seed: int = 0,
+                      targets: tuple[str, ...] = ("lu", "schur", "krylov",
+                                                  "transport"),
+                      backends: tuple[str, ...] = ("serial", "process:2"),
+                      ) -> ChaosRun:
+    """The silent-data-corruption drill: seeded bit flips at every
+    injection site, on every backend, with and without ABFT.
+
+    For each ``target x backend`` pair two legs run against one
+    fault-free reference solve:
+
+    - *defended* (``abft="detect+recover"``): the flip must be detected
+      (``sdc-detected`` event, ``sdc_detected`` counter) and repaired
+      per the ladder (``sdc-recovered``, never ``sdc-unrecoverable``),
+      the solve must converge non-degraded, and the answer must meet
+      the same certified-accuracy bar as the reference —
+      byte-identical for ``lu``/``schur``/``transport`` (recovery
+      reconstructs the exact corrupted object), within certification
+      tolerance for ``krylov`` (a warm restart is a different, equally
+      certified iterate);
+    - *undefended* (``abft="off"``, and for ``transport`` also
+      ``REPRO_TRANSPORT_CHECKSUM=0``): the same flip must change the
+      answer bytes while the run reports *zero* SDC events or counters
+      — the corruption is real, and silent without the checksums.
+
+    ``condest`` is disabled in the drill config: the condition-driven
+    Schur rebuild would otherwise reassemble S after the injection
+    point and silently heal the ``schur`` flip in both legs.
+
+    One check per leg lands in ``ChaosRun.checks`` under
+    ``{target}/{backend}/defended`` and ``{target}/{backend}/silent``.
+    """
+    from repro.matrices import generate
+    from repro.obs.smoke import SMOKE_MATRIX, SMOKE_SCALE
+    from repro.parallel.exec import ENV_TRANSPORT_CHECKSUM
+    from repro.resilience import abft
+    from repro.solver import PDSLin, PDSLinConfig
+
+    gm = generate(SMOKE_MATRIX, SMOKE_SCALE)
+    A = gm.A.tocsr()
+    rng = np.random.default_rng(seed)
+    b = rng.standard_normal(A.shape[0])
+    cfg = dict(k=k, seed=seed, rhs_ordering="hypergraph", block_size=32,
+               condest=False)
+
+    seam_vars = (abft.ENV_BITFLIP_TARGET, abft.ENV_BITFLIP_SEED,
+                 abft.ENV_BITFLIP_SUBDOMAIN, abft.ENV_BITFLIP_COUNT,
+                 ENV_TRANSPORT_CHECKSUM)
+    saved = {name: os.environ.get(name) for name in seam_vars}
+
+    def leg(mode: str, backend: str, env: dict[str, str]):
+        # the seam reaches pool workers through the environment they
+        # inherit at fork, so arm it before the solver (and its
+        # backend) exists, and re-arm the one-shot injector state
+        for name in seam_vars:
+            os.environ.pop(name, None)
+        os.environ.update(env)
+        abft.reset_bitflip_state()
+        tracer = Tracer()
+        solver = PDSLin(A, PDSLinConfig(abft=mode, **cfg), tracer=tracer,
+                        backend=backend)
+        try:
+            result = solver.solve(b)
+        finally:
+            if hasattr(solver.backend, "close"):
+                solver.backend.close()
+        return result, tracer
+
+    checks: dict[str, bool] = {}
+    try:
+        ref, _ = leg("detect+recover", "serial", {})
+        last = None
+        for target in targets:
+            for backend in backends:
+                env = {abft.ENV_BITFLIP_TARGET: target,
+                       abft.ENV_BITFLIP_SEED: "7",
+                       abft.ENV_BITFLIP_SUBDOMAIN: "1"}
+                res, tr = leg("detect+recover", backend, env)
+                last = (res, tr)
+                actions = [e.action for e in res.recovery.events]
+                exact = target != "krylov"
+                checks[f"{target}/{backend}/defended"] = bool(
+                    res.converged and res.certified and not res.degraded
+                    and tr.counters.get("sdc_detected", 0) >= 1
+                    and tr.counters.get("sdc_recovered", 0) >= 1
+                    and "sdc-detected" in actions
+                    and "sdc-recovered" in actions
+                    and "sdc-unrecoverable" not in actions
+                    and (np.array_equal(res.x, ref.x) if exact
+                         else np.allclose(res.x, ref.x,
+                                          rtol=1e-8, atol=1e-10)))
+
+                # seed 2 for transport: the victim array is drawn from
+                # the seed, and some draws land on shipped metadata
+                # (e.g. the checksum vector itself) that never feeds x
+                env = {abft.ENV_BITFLIP_TARGET: target,
+                       abft.ENV_BITFLIP_SEED: "2" if target == "transport"
+                                              else "8",
+                       abft.ENV_BITFLIP_SUBDOMAIN: "1"}
+                if target == "transport":
+                    env[ENV_TRANSPORT_CHECKSUM] = "0"
+                res, tr = leg("off", backend, env)
+                silent = bool(
+                    tr.counters.get("sdc_checks", 0) == 0
+                    and tr.counters.get("sdc_detected", 0) == 0
+                    and tr.counters.get("sdc_recovered", 0) == 0
+                    and not any(e.action.startswith("sdc-")
+                                for e in res.recovery.events))
+                wrong = res.x.tobytes() != ref.x.tobytes()
+                checks[f"{target}/{backend}/silent"] = silent and wrong
+    finally:
+        for name, value in saved.items():
+            if value is None:
+                os.environ.pop(name, None)
+            else:
+                os.environ[name] = value
+        abft.reset_bitflip_state()
+
+    res, tr = last if last is not None else (ref, Tracer())
+    return ChaosRun(tracer=tr, recovery=res.recovery,
+                    breakdown=res.breakdown(),
+                    converged=bool(res.converged),
+                    degraded=bool(res.degraded),
+                    residual_norm=float(res.residual_norm),
+                    checks=checks)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI: run the chaos smoke and exit non-zero on any failed check."""
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--seed", type=int, default=0)
     ap.add_argument("--k", type=int, default=4)
     ap.add_argument("--scenario", default="faults",
-                    choices=("faults", "stragglers"),
+                    choices=("faults", "stragglers", "bitflip"),
                     help="faults: injected-fault recovery drill; "
-                         "stragglers: deadline/speculation drill")
+                         "stragglers: deadline/speculation drill; "
+                         "bitflip: silent-data-corruption/ABFT drill")
     args = ap.parse_args(argv)
     if args.scenario == "stragglers":
         run = run_straggler_smoke(k=args.k, seed=args.seed)
+    elif args.scenario == "bitflip":
+        run = run_bitflip_smoke(k=args.k, seed=args.seed)
     else:
         run = run_chaos_smoke(k=args.k, seed=args.seed)
     print(run.recovery.summary())

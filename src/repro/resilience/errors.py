@@ -28,6 +28,8 @@ __all__ = [
     "WorkerCrashError",
     "TaskDeadlineError",
     "CheckpointError",
+    "SdcDetectedError",
+    "TransportChecksumError",
 ]
 
 
@@ -209,3 +211,38 @@ class CheckpointError(SolverError):
                  stage: str = "Checkpoint"):
         super().__init__(message, stage=stage)
         self.path = path
+
+
+class SdcDetectedError(SolverError):
+    """An ABFT checksum caught silent data corruption.
+
+    ``site`` names the detector that fired (``"lu"``, ``"comp"``,
+    ``"schur"``, ``"krylov"``, ``"solve"``) and ``rel`` the relative
+    checksum discrepancy normalized to the detector's tolerance
+    (``rel > 1`` means violated). Raised only when recovery is
+    exhausted or disabled; otherwise recorded as the cause of
+    ``sdc-detected`` recovery events.
+    """
+
+    def __init__(self, message: str, *, site: str = "lu",
+                 rel: float = float("nan"), stage: str | None = None,
+                 subdomain: int | None = None):
+        super().__init__(message, stage=stage, subdomain=subdomain)
+        self.site = site
+        self.rel = float(rel)
+
+
+class TransportChecksumError(SolverError):
+    """A task result's blake2b transport digest did not match its
+    payload — the bytes that arrived are not the bytes the worker
+    hashed (IPC/pickle-level corruption).
+
+    Surfaces as ``TaskOutcome.error`` after the executor's single
+    resubmission also fails; the solver treats it like a crashed
+    worker and fails the task over to the root process.
+    """
+
+    def __init__(self, message: str, *, backend: str = "process",
+                 stage: str | None = None, subdomain: int | None = None):
+        super().__init__(message, stage=stage, subdomain=subdomain)
+        self.backend = backend

@@ -22,7 +22,17 @@ from repro.resilience.errors import InjectedFault
 
 __all__ = ["FaultSpec", "FiredFault", "FaultPlan"]
 
-FAULT_KINDS = ("transient", "permanent", "straggler")
+FAULT_KINDS = ("transient", "permanent", "straggler", "bitflip")
+
+#: Machine stage -> bit-flip injection target (see
+#: :mod:`repro.resilience.abft`). Used when rendering ``bitflip``
+#: specs to their ``REPRO_CHAOS_BITFLIP_*`` env seam.
+BITFLIP_STAGE_TARGETS = {
+    "LU(D)": "lu",
+    "LU(S)": "schur",
+    "Solve": "krylov",
+    "Transport": "transport",
+}
 
 
 @dataclass(frozen=True)
@@ -38,7 +48,12 @@ class FaultSpec:
     - ``"permanent"`` — raises on *every* entry (the work must fail
       over to another process);
     - ``"straggler"`` — never raises, but adds ``delay_s`` of simulated
-      time to the stage on every entry.
+      time to the stage on every entry;
+    - ``"bitflip"`` — never raises and adds no delay: silent data
+      corruption does not announce itself. The spec is rendered to the
+      ``REPRO_CHAOS_BITFLIP_*`` env seam (:meth:`FaultPlan.bitflip_env`)
+      which makes the actual numeric arrays of the matching pipeline
+      stage corrupt themselves (``trips`` is the flip count).
 
     ``recovery_cost_s`` is carried on the raised fault: the simulated
     cost a recovery action charges to the ``Recover`` stage.
@@ -124,7 +139,7 @@ class FaultPlan:
         :class:`InjectedFault` for this ``(stage, process)``."""
         for i in self._specs_for(stage, process):
             spec = self.specs[i]
-            if spec.kind == "straggler":
+            if spec.kind in ("straggler", "bitflip"):
                 continue
             attempt = self._attempts.get(i, 0) + 1
             self._attempts[i] = attempt
@@ -153,6 +168,38 @@ class FaultPlan:
                                          kind="straggler", attempt=attempt))
             delay += spec.delay_s
         return delay
+
+    def bitflip_specs(self) -> Tuple[FaultSpec, ...]:
+        """The ``bitflip`` entries of the plan, in schedule order."""
+        return tuple(s for s in self.specs if s.kind == "bitflip")
+
+    def bitflip_env(self, spec: FaultSpec | None = None) -> Dict[str, str]:
+        """Render a ``bitflip`` spec to its ``REPRO_CHAOS_BITFLIP_*``
+        environment seam (the mechanism that actually corrupts the
+        arrays — see :mod:`repro.resilience.abft`). Defaults to the
+        plan's first bitflip spec; raises ``ValueError`` when the spec's
+        stage has no injection target or the plan has no bitflip specs.
+        """
+        from repro.resilience import abft
+
+        if spec is None:
+            specs = self.bitflip_specs()
+            if not specs:
+                raise ValueError("plan has no bitflip specs")
+            spec = specs[0]
+        target = BITFLIP_STAGE_TARGETS.get(spec.stage)
+        if target is None:
+            raise ValueError(
+                f"no bit-flip target for stage {spec.stage!r}; known "
+                f"stages: {sorted(BITFLIP_STAGE_TARGETS)}")
+        env = {
+            abft.ENV_BITFLIP_TARGET: target,
+            abft.ENV_BITFLIP_COUNT: str(spec.trips),
+            abft.ENV_BITFLIP_SEED: str(self.seed),
+        }
+        if spec.process is not None:
+            env[abft.ENV_BITFLIP_SUBDOMAIN] = str(spec.process)
+        return env
 
     def fired_summary(self) -> Dict[str, int]:
         """Counts of fired faults per kind."""

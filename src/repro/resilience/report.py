@@ -20,10 +20,12 @@ __all__ = ["RecoveryEvent", "RecoveryReport", "DEGRADING_ACTIONS",
 # Actions after which the solve no longer reflects the requested
 # configuration at full health: perturbed factors, lost processes,
 # rebuilt preconditioners, switched Krylov methods, refinement that
-# gave up before certifying the answer.
+# gave up before certifying the answer, detected-but-unrepaired
+# silent data corruption.
 DEGRADING_ACTIONS = frozenset({
     "static-pivot", "failover-root", "deadline-failover",
     "precond-refresh", "krylov-fallback", "refine-stall",
+    "sdc-unrecoverable",
 })
 
 

@@ -29,6 +29,13 @@ class BiCGSTABResult:
     ``restarts`` counts rho-breakdown restarts of the recurrence (fresh
     shadow residual); ``breakdown`` is set when the iteration had to
     stop making progress entirely.
+
+    ``drift_checks``/``drift_detected`` are the ABFT audit enabled by
+    ``audit_every``: the recursive residual of the short recurrence is
+    periodically compared against a recomputed true residual
+    ``||b - A x||``. A large gap means silent data corruption (or a
+    derailed recurrence); the iteration stops immediately rather than
+    "converge" on a residual that no longer describes the iterate.
     """
 
     x: np.ndarray
@@ -37,6 +44,8 @@ class BiCGSTABResult:
     residual_norms: list[float] = field(default_factory=list)
     breakdown: bool = False
     restarts: int = 0
+    drift_checks: int = 0
+    drift_detected: bool = False
 
     @property
     def final_residual(self) -> float:
@@ -48,8 +57,14 @@ def bicgstab(matvec: Operator, b: np.ndarray, *,
              x0: Optional[np.ndarray] = None,
              tol: float = 1e-10,
              maxiter: int = 1000,
+             audit_every: int = 0,
              tracer: Tracer = NULL_TRACER) -> BiCGSTABResult:
     """Solve ``A x = b``; right preconditioning, true-residual test.
+
+    ``audit_every > 0`` enables the ABFT drift audit: every that many
+    iterations the true residual is recomputed (one extra matvec) and
+    compared with the recursive one; on a gap > 100x the iteration
+    stops with ``drift_detected`` set.
 
     ``tracer`` records one ``bicgstab`` span with iteration counters.
 
@@ -61,11 +76,13 @@ def bicgstab(matvec: Operator, b: np.ndarray, *,
         check_finite(np.asarray(x0, dtype=np.float64), "x0")
     with tracer.span("bicgstab"):
         res = _bicgstab(matvec, b, preconditioner=preconditioner, x0=x0,
-                        tol=tol, maxiter=maxiter)
+                        tol=tol, maxiter=maxiter, audit_every=audit_every)
         tracer.count("bicgstab_iterations", res.iterations)
         tracer.count("bicgstab_converged", int(res.converged))
         tracer.count("bicgstab_restarts", res.restarts)
         tracer.count("bicgstab_breakdown", int(res.breakdown))
+        tracer.count("bicgstab_drift_checks", res.drift_checks)
+        tracer.count("bicgstab_drift_detected", int(res.drift_detected))
     return res
 
 
@@ -73,7 +90,8 @@ def _bicgstab(matvec: Operator, b: np.ndarray, *,
               preconditioner: Optional[Operator] = None,
               x0: Optional[np.ndarray] = None,
               tol: float = 1e-10,
-              maxiter: int = 1000) -> BiCGSTABResult:
+              maxiter: int = 1000,
+              audit_every: int = 0) -> BiCGSTABResult:
     b = np.asarray(b, dtype=np.float64)
     n = b.size
     if maxiter <= 0:
@@ -96,6 +114,7 @@ def _bicgstab(matvec: Operator, b: np.ndarray, *,
     eps = np.finfo(np.float64).eps
 
     restarts = 0
+    drift_checks = 0
     for it in range(1, maxiter + 1):
         rho = float(r_hat @ r)
         rnorm_now = float(np.linalg.norm(r))
@@ -105,13 +124,15 @@ def _bicgstab(matvec: Operator, b: np.ndarray, *,
             if rnorm_now <= tol * bnorm:
                 return BiCGSTABResult(x=x, converged=True, iterations=it - 1,
                                       residual_norms=history,
-                                      restarts=restarts)
+                                      restarts=restarts,
+                                      drift_checks=drift_checks)
             restarts += 1
             if restarts > 5:
                 return BiCGSTABResult(x=x, converged=False,
                                       iterations=it - 1,
                                       residual_norms=history, breakdown=True,
-                                      restarts=restarts)
+                                      restarts=restarts,
+                                      drift_checks=drift_checks)
             r_hat = r.copy()
             rho_old = alpha = omega = 1.0
             v[:] = 0.0
@@ -127,7 +148,8 @@ def _bicgstab(matvec: Operator, b: np.ndarray, *,
             done = float(np.linalg.norm(r)) <= tol * bnorm
             return BiCGSTABResult(x=x, converged=done, iterations=it - 1,
                                   residual_norms=history, breakdown=not done,
-                                  restarts=restarts)
+                                  restarts=restarts,
+                                  drift_checks=drift_checks)
         alpha = rho / denom
         s = r - alpha * v
         x = x + alpha * np.asarray(phat, dtype=np.float64)
@@ -135,7 +157,8 @@ def _bicgstab(matvec: Operator, b: np.ndarray, *,
         history.append(snorm)
         if snorm <= tol * bnorm:
             return BiCGSTABResult(x=x, converged=True, iterations=it,
-                                  residual_norms=history, restarts=restarts)
+                                  residual_norms=history, restarts=restarts,
+                                  drift_checks=drift_checks)
         shat = M(s)
         t = np.asarray(matvec(shat), dtype=np.float64)
         tt = float(t @ t)
@@ -145,19 +168,34 @@ def _bicgstab(matvec: Operator, b: np.ndarray, *,
             done = snorm <= tol * bnorm
             return BiCGSTABResult(x=x, converged=done, iterations=it,
                                   residual_norms=history, breakdown=not done,
-                                  restarts=restarts)
+                                  restarts=restarts,
+                                  drift_checks=drift_checks)
         omega = float(t @ s) / tt
         x = x + omega * np.asarray(shat, dtype=np.float64)
         r = s - omega * t
         rnorm = float(np.linalg.norm(r))
         history.append(rnorm)
+        if audit_every > 0 and it % audit_every == 0:
+            # ABFT drift audit: recompute the true residual and compare
+            # with the recursive one before trusting it for convergence.
+            drift_checks += 1
+            rtrue = float(np.linalg.norm(b - matvec(x)))
+            if rtrue > 100.0 * max(rnorm, tol * bnorm):
+                return BiCGSTABResult(x=x, converged=False, iterations=it,
+                                      residual_norms=history + [rtrue],
+                                      restarts=restarts,
+                                      drift_checks=drift_checks,
+                                      drift_detected=True)
         if rnorm <= tol * bnorm:
             return BiCGSTABResult(x=x, converged=True, iterations=it,
-                                  residual_norms=history, restarts=restarts)
+                                  residual_norms=history, restarts=restarts,
+                                  drift_checks=drift_checks)
         if abs(omega) < eps:
             return BiCGSTABResult(x=x, converged=False, iterations=it,
                                   residual_norms=history, breakdown=True,
-                                  restarts=restarts)
+                                  restarts=restarts,
+                                  drift_checks=drift_checks)
         rho_old = rho
     return BiCGSTABResult(x=x, converged=False, iterations=maxiter,
-                          residual_norms=history, restarts=restarts)
+                          residual_norms=history, restarts=restarts,
+                          drift_checks=drift_checks)

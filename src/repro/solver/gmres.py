@@ -29,6 +29,14 @@ class GMRESResult:
     cycle reduced the residual by less than 10% — the signal the
     recovery ladder uses to refresh the preconditioner rather than
     simply run more iterations.
+
+    ``drift_checks``/``drift_detected`` are the ABFT audit: at every
+    restart boundary the true residual ``||b - A x||`` is recomputed
+    anyway, so we compare it against the recursive Givens estimate for
+    free. A large gap means the Krylov state no longer describes the
+    iterate — the signature of silent data corruption (or severe loss
+    of orthogonality), and the solver-level recovery ladder treats it
+    as suspected SDC.
     """
 
     x: np.ndarray
@@ -36,6 +44,8 @@ class GMRESResult:
     iterations: int
     residual_norms: list[float] = field(default_factory=list)
     stagnated: bool = False
+    drift_checks: int = 0
+    drift_detected: bool = False
 
     @property
     def final_residual(self) -> float:
@@ -76,6 +86,8 @@ def gmres(matvec: Operator, b: np.ndarray, *,
                      flexible=flexible)
         tracer.count("gmres_iterations", res.iterations)
         tracer.count("gmres_converged", int(res.converged))
+        tracer.count("gmres_drift_checks", res.drift_checks)
+        tracer.count("gmres_drift_detected", int(res.drift_detected))
     return res
 
 
@@ -99,6 +111,8 @@ def _gmres(matvec: Operator, b: np.ndarray, *,
     history: list[float] = []
     total_iters = 0
     last_cycle_reduction = 1.0
+    drift_checks = 0
+    drift_detected = False
 
     while total_iters < maxiter:
         r = b - matvec(x)
@@ -106,7 +120,9 @@ def _gmres(matvec: Operator, b: np.ndarray, *,
         history.append(float(beta))
         if beta <= tol * bnorm:
             return GMRESResult(x=x, converged=True, iterations=total_iters,
-                               residual_norms=history)
+                               residual_norms=history,
+                               drift_checks=drift_checks,
+                               drift_detected=drift_detected)
         m = min(restart, maxiter - total_iters)
         V = np.zeros((n, m + 1))
         Z = np.zeros((n, m)) if flexible else None
@@ -175,17 +191,31 @@ def _gmres(matvec: Operator, b: np.ndarray, *,
                 x = x + M(V[:, :j_done] @ y)
         r = b - matvec(x)
         rnorm = float(np.linalg.norm(r))
+        # ABFT drift audit: the recursive estimate |g[j_done]| claims
+        # what the residual should be; the freshly recomputed rnorm is
+        # what it actually is. A two-orders-of-magnitude gap cannot come
+        # from rounding in a sane cycle.
+        estimate = float(abs(g[j_done])) if j_done > 0 else float(beta)
+        drift_checks += 1
+        if rnorm > 100.0 * max(estimate, tol * bnorm):
+            drift_detected = True
         if rnorm <= tol * bnorm:
             return GMRESResult(x=x, converged=True, iterations=total_iters,
-                               residual_norms=history + [rnorm])
+                               residual_norms=history + [rnorm],
+                               drift_checks=drift_checks,
+                               drift_detected=drift_detected)
         if breakdown and rnorm >= beta * (1.0 - 1e-12):
             # breakdown without progress: the residual lies in a
             # direction the operator cannot reach, so restarting from
             # the same r would break down identically forever
             return GMRESResult(x=x, converged=False, iterations=total_iters,
                                residual_norms=history + [rnorm],
-                               stagnated=True)
+                               stagnated=True,
+                               drift_checks=drift_checks,
+                               drift_detected=drift_detected)
         last_cycle_reduction = rnorm / beta if beta > 0 else 1.0
     return GMRESResult(x=x, converged=False, iterations=total_iters,
                        residual_norms=history,
-                       stagnated=bool(last_cycle_reduction > 0.9))
+                       stagnated=bool(last_cycle_reduction > 0.9),
+                       drift_checks=drift_checks,
+                       drift_detected=drift_detected)

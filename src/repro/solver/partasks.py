@@ -28,8 +28,13 @@ end (used by the resilience tests and available for chaos drills).
 ``REPRO_CHAOS_STRAGGLE_SUBDOMAIN`` is its slow sibling: setup of that
 subdomain sleeps ``REPRO_CHAOS_STRAGGLE_S`` seconds (default 0.25)
 before running, exercising the deadline/speculation mitigation of
-:mod:`repro.parallel.exec` on any backend. Both are validated up front:
-a malformed value raises a ``ValueError`` naming the variable.
+:mod:`repro.parallel.exec` on any backend. The
+``REPRO_CHAOS_BITFLIP_*`` seam (:mod:`repro.resilience.abft`) with
+``target=lu`` corrupts the factor data of its victim subdomain right
+after factorization — silently, so only the ABFT checksum audit
+(when ``cfg.abft`` enables it) can catch it before results ship. All
+seams are validated up front: a malformed value raises a
+``ValueError`` naming the variable.
 """
 
 from __future__ import annotations
@@ -59,8 +64,11 @@ from repro.lu import (
 from repro.numerics.condest import condest_from_factors
 from repro.obs.tracer import NULL_TRACER, SpanRecord, Tracer
 from repro.ordering import elimination_tree, minimum_degree, postorder
-from repro.parallel.exec import in_worker
+from repro.parallel.exec import in_worker, transport_checksum_enabled
 from repro.resilience import RecoveryReport, factorize_resilient
+from repro.resilience import abft
+from repro.resilience.errors import SdcDetectedError
+from repro.resilience.report import emit_recovery
 from repro.solver.interfaces import SubdomainInterfaces
 from repro.sparse import symmetrized
 from repro.verify.invariants import NULL_VERIFIER
@@ -120,6 +128,8 @@ def validate_chaos_env() -> None:
     _env_subdomain(ENV_CRASH_SUBDOMAIN)
     _env_subdomain(ENV_STRAGGLE_SUBDOMAIN)
     _env_straggle_s()
+    abft.validate_bitflip_env()
+    transport_checksum_enabled()
 
 
 def order_subdomain(D: sp.csr_matrix, *, method: str = "md",
@@ -160,7 +170,13 @@ class SubdomainLU:
 
 @dataclass
 class SubdomainComp:
-    """Comp(S) output for one subdomain."""
+    """Comp(S) output for one subdomain.
+
+    ``t_colsum`` is the ABFT column-sum checksum of ``T_tilde``
+    recorded at creation (None with ``abft=off``); the parent verifies
+    it before assembling S̃, catching corruption of the local Schur
+    update anywhere between the worker and assembly.
+    """
 
     ell: int
     G_tilde: sp.csc_matrix
@@ -170,6 +186,7 @@ class SubdomainComp:
     padding_W: PaddingStats
     ops: int
     drop_tol: float
+    t_colsum: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -237,6 +254,17 @@ def run_subdomain_lu(sub: SubdomainInterfaces, cfg, *, ell: int,
             elif ev.action == "static-pivot":
                 handle_thresh = None   # reference kernel: no handle exists
         verifier.after_subdomain_lu(ell, Dp, factors)
+        mode = getattr(cfg, "abft", "off")
+        if abft.abft_detect(mode):
+            abft.attach_factor_checksums(factors, Dp)
+        # chaos seam fires regardless of the abft mode — corruption
+        # does not care whether the defenses are on
+        abft.maybe_bitflip("lu", (factors.L.data, factors.U.data),
+                           subdomain=ell)
+        if abft.abft_detect(mode):
+            factors, handle_thresh = _audit_subdomain_factors(
+                Dp, factors, cfg, mode, ell=ell,
+                handle_thresh=handle_thresh, report=report, tracer=tracer)
         flops = lu_flop_count(factors)
         tracer.count("subdomain_dim", int(sub.D.shape[0]))
         tracer.count("subdomain_nnz", int(sub.D.nnz))
@@ -246,6 +274,60 @@ def run_subdomain_lu(sub: SubdomainInterfaces, cfg, *, ell: int,
             tracer.count("cond_est_subdomain", cond)
     return SubdomainLU(ell=ell, perm=perm, factors=factors, flops=flops,
                        cond=cond, handle_thresh=handle_thresh)
+
+
+def _audit_subdomain_factors(Dp, factors, cfg, mode, *, ell, handle_thresh,
+                             report, tracer):
+    """The worker-side ABFT audit of freshly produced factors, run
+    before results ship (and on the serial path, before they are
+    used). On a checksum violation: record ``sdc-detected``; in
+    ``detect+recover`` mode refactorize *this subdomain only* from the
+    pristine ``Dp`` and re-verify; otherwise record the corruption as
+    ``sdc-unrecoverable`` (degrading) and keep going honestly."""
+    with tracer.span("abft_verify", stage="LU(D)", l=ell):
+        tracer.count("sdc_checks")
+        audit = abft.verify_factors(factors)
+        if audit.ok:
+            return factors, handle_thresh
+        tracer.count("sdc_detected")
+        err = SdcDetectedError(
+            f"subdomain LU factor checksum violated: {audit.detail}",
+            site="lu", rel=audit.rel, stage="LU(D)", subdomain=ell)
+        emit_recovery(tracer, report, "LU(D)", "sdc-detected", err,
+                      detail=audit.detail, subdomain=ell)
+        if not abft.abft_recover(mode):
+            emit_recovery(tracer, report, "LU(D)", "sdc-unrecoverable", err,
+                          detail="abft=detect: corruption reported but not "
+                                 "repaired; factors may be corrupt",
+                          subdomain=ell)
+            return factors, handle_thresh
+        with tracer.span("recover", stage="LU(D)", action="sdc-refactorize"):
+            n_events = len(report.events)
+            fresh, _ = factorize_resilient(
+                Dp, diag_pivot_thresh=cfg.diag_pivot_thresh,
+                stage="LU(D)", subdomain=ell, report=report, tracer=tracer)
+            new_thresh: Optional[float] = cfg.diag_pivot_thresh
+            for ev in report.events[n_events:]:
+                if ev.action == "full-pivot":
+                    new_thresh = 1.0
+                elif ev.action == "static-pivot":
+                    new_thresh = None
+            abft.attach_factor_checksums(fresh, Dp)
+            tracer.count("sdc_checks")
+            again = abft.verify_factors(fresh)
+        if not again.ok:
+            emit_recovery(tracer, report, "LU(D)", "sdc-unrecoverable", err,
+                          detail="refactorized subdomain still fails "
+                                 "verification", subdomain=ell)
+            raise SdcDetectedError(
+                f"subdomain {ell} fails factor verification even after "
+                f"refactorization: {again.detail}",
+                site="lu", rel=again.rel, stage="LU(D)", subdomain=ell)
+        tracer.count("sdc_recovered")
+        emit_recovery(tracer, report, "LU(D)", "sdc-recovered", err,
+                      detail="subdomain refactorized in place from its "
+                             "pristine interface matrix", subdomain=ell)
+        return fresh, new_thresh
 
 
 def _column_order(cfg, E_rows_factored: sp.csr_matrix,
@@ -309,9 +391,14 @@ def run_subdomain_comp(sub: SubdomainInterfaces, cfg, lu: SubdomainLU, *,
         verifier.after_interface_solve(UT, Fc.T.tocsr(), WT_tilde, drop_tol)
         T_tilde = (WT_tilde.T @ G_tilde).tocsr()
         ops = pad_G.total_block_entries * 2 + pad_W.total_block_entries * 2
+        t_colsum = None
+        if abft.abft_detect(getattr(cfg, "abft", "off")):
+            # contribution checksum, verified parent-side before S̃
+            # assembly (catches corruption between here and there)
+            t_colsum = abft.checksum_matrix(T_tilde)
     return SubdomainComp(ell=lu.ell, G_tilde=G_tilde, WT_tilde=WT_tilde,
                          T_tilde=T_tilde, padding_G=pad_G, padding_W=pad_W,
-                         ops=ops, drop_tol=drop_tol)
+                         ops=ops, drop_tol=drop_tol, t_colsum=t_colsum)
 
 
 def run_subdomain_setup(task: SubdomainTask) -> SubdomainSetupResult:
@@ -423,6 +510,9 @@ def pack_subdomain_state(lu: SubdomainLU, comp: SubdomainComp) -> dict:
         "perm_c": np.asarray(lu.factors.perm_c, dtype=np.int64),
         "ops": np.int64(comp.ops),
         "drop_tol": np.float64(comp.drop_tol),
+        "t_colsum": (np.asarray(comp.t_colsum, dtype=np.float64)
+                     if comp.t_colsum is not None
+                     else np.empty(0, dtype=np.float64)),
     }
     pack_sparse(out, "L", lu.factors.L)
     pack_sparse(out, "U", lu.factors.U)
@@ -459,5 +549,7 @@ def unpack_subdomain_state(z) -> tuple[SubdomainLU, SubdomainComp]:
         T_tilde=unpack_sparse(z, "T_tilde").tocsr(),
         padding_G=_unpack_padding(z, "padding_G"),
         padding_W=_unpack_padding(z, "padding_W"),
-        ops=int(z["ops"]), drop_tol=float(z["drop_tol"]))
+        ops=int(z["ops"]), drop_tol=float(z["drop_tol"]),
+        t_colsum=(np.asarray(z["t_colsum"], dtype=np.float64)
+                  if "t_colsum" in z and z["t_colsum"].size else None))
     return lu, comp

@@ -64,11 +64,14 @@ from repro.resilience import (
     RefinementStallError,
     RetryPolicy,
     SchurFactorizationError,
+    SdcDetectedError,
+    TransportChecksumError,
     WorkerCrashError,
     emit_recovery,
     factorize_resilient,
     load_checkpoint,
 )
+from repro.resilience import abft
 from repro.resilience.checkpoint import (
     config_fingerprint,
     matrix_fingerprint,
@@ -149,6 +152,8 @@ class PDSLinConfig:
     refine_maxiter: int = 4             # post-solve iterative refinement
     refine_tol: float = 1e-14           # target componentwise backward error
     certify_tol: float = 1e-12          # berr needed for certified=True
+    # -- silent-data-corruption defense (repro.resilience.abft) --
+    abft: str = "detect"                # "off" | "detect" | "detect+recover"
 
     def __post_init__(self) -> None:
         self.k = positive_int(self.k, "k")
@@ -188,11 +193,17 @@ class PDSLinConfig:
             raise ValueError("refine_maxiter must be >= 0")
         if self.refine_tol <= 0.0 or self.certify_tol <= 0.0:
             raise ValueError("refine_tol and certify_tol must be positive")
+        abft.check_abft_mode(self.abft)
 
 
 @dataclass
 class SubdomainComputation:
-    """Everything computed for one subdomain during setup."""
+    """Everything computed for one subdomain during setup.
+
+    ``t_colsum`` is the ABFT column-sum checksum of ``T_tilde`` recorded
+    where it was computed; the root re-verifies it before assembling
+    ``S~`` (None with ``abft=off``).
+    """
 
     interfaces: SubdomainInterfaces
     perm: np.ndarray                 # MD + postorder permutation of D
@@ -203,6 +214,7 @@ class SubdomainComputation:
     padding_G: PaddingStats
     padding_W: PaddingStats
     lu_flops: int
+    t_colsum: Optional[np.ndarray] = None
 
 
 @dataclass
@@ -341,6 +353,7 @@ class PDSLin:
         self.partition: DBBDPartition | None = None
         self.subdomains: list[SubdomainComputation] = []
         self.S_tilde: sp.csr_matrix | None = None
+        self._s_colsum: np.ndarray | None = None   # ABFT checksum of S~
         self._schur_perm: np.ndarray | None = None
         self._schur_factors: LUFactors | None = None
         self._is_setup = False
@@ -435,6 +448,146 @@ class PDSLin:
                     raise
                 self._record(stage, "retry", fault, attempt=attempt)
 
+    # -- ABFT / silent-data-corruption defense (repro.resilience.abft) ----
+
+    def _abft_on(self) -> bool:
+        """True when checksum verification is armed (detect or
+        detect+recover)."""
+        return abft.abft_detect(self.config.abft)
+
+    def _verify_comp_contributions(self) -> None:
+        """Checksum audit of every subdomain's local Schur update
+        ``T~`` right before it is consumed by assembly — the detector
+        for corruption anywhere between the worker that computed it and
+        the root. Recovery recomputes the Comp(S) stage on the root
+        from the (separately checksummed) subdomain factors."""
+        if not self._abft_on():
+            return
+        for s in self.subdomains:
+            if s.t_colsum is None:
+                continue
+            ell = s.interfaces.ell
+            with self.tracer.span("abft_verify", stage="Comp(S)", l=ell):
+                self.tracer.count("sdc_checks")
+                audit = abft.verify_matrix_checksum(s.T_tilde, s.t_colsum)
+            if audit.ok:
+                continue
+            err = SdcDetectedError(
+                f"T~ checksum violated for subdomain {ell}: {audit.detail}",
+                site="comp", rel=audit.rel, stage="Comp(S)", subdomain=ell)
+            self.tracer.count("sdc_detected")
+            self._record("Comp(S)", "sdc-detected", err, subdomain=ell,
+                         detail=audit.detail)
+            if not abft.abft_recover(self.config.abft):
+                self._record("Comp(S)", "sdc-unrecoverable", err,
+                             subdomain=ell,
+                             detail="abft=detect: corruption reported but "
+                                    "not repaired; S~ may be corrupt")
+                continue
+            with self.tracer.span("recover", stage="Comp(S)",
+                                  action="sdc-recompute", l=ell):
+                lu = SubdomainLU(ell=ell, perm=s.perm, factors=s.factors,
+                                 flops=s.lu_flops)
+                comp = run_subdomain_comp(
+                    s.interfaces, self.config, lu,
+                    drop_tol=self._drop_interface_eff, tracer=self.tracer)
+            s.G_tilde, s.WT_tilde = comp.G_tilde, comp.WT_tilde
+            s.T_tilde, s.t_colsum = comp.T_tilde, comp.t_colsum
+            self.tracer.count("sdc_recovered")
+            self._record("Comp(S)", "sdc-recovered", err, subdomain=ell,
+                         detail="Comp(S) recomputed on root from the "
+                                "subdomain factors")
+
+    def _seal_schur(self) -> None:
+        """Record the column-sum checksum of the assembled ``S~``."""
+        if self._abft_on() and self.S_tilde is not None \
+                and self.S_tilde.shape[0] > 0:
+            self._s_colsum = abft.checksum_matrix(self.S_tilde)
+        else:
+            self._s_colsum = None
+
+    def _reassemble_schur(self) -> None:
+        """Rebuild ``S~`` bit-exactly from the cached per-subdomain
+        updates (assembly is deterministic given the same inputs)."""
+        updates = [(s.interfaces, s.T_tilde) for s in self.subdomains]
+        self.S_tilde = assemble_approximate_schur(
+            self.partition.C(), updates, drop_tol=self._schur_drop_used,
+            tracer=self.tracer)
+
+    def _audit_schur(self, *, where: str, recover: bool = True) -> None:
+        """Verify ``S~`` against its recorded checksum; this is also
+        the ``schur`` bit-flip injection seam (injection runs even with
+        ``abft=off`` — corruption does not care whether defenses are
+        on). Recovery reassembles from the cached updates."""
+        if self.S_tilde is None or self.S_tilde.shape[0] == 0:
+            return
+        abft.maybe_bitflip("schur", (self.S_tilde.data,))
+        if self._s_colsum is None:
+            return
+        with self.tracer.span("abft_verify", stage="LU(S)", where=where):
+            self.tracer.count("sdc_checks")
+            audit = abft.verify_matrix_checksum(self.S_tilde,
+                                                self._s_colsum)
+        if audit.ok:
+            return
+        err = SdcDetectedError(
+            f"S~ checksum violated ({where}): {audit.detail}",
+            site="schur", rel=audit.rel, stage="LU(S)")
+        self.tracer.count("sdc_detected")
+        self._record("LU(S)", "sdc-detected", err, detail=audit.detail)
+        if not (recover and abft.abft_recover(self.config.abft)):
+            self._record("LU(S)", "sdc-unrecoverable", err,
+                         detail="abft=detect: corruption reported but not "
+                                "repaired; the S~ preconditioner may be "
+                                "corrupt")
+            return
+        with self.tracer.span("recover", stage="LU(S)",
+                              action="sdc-reassemble"):
+            self._reassemble_schur()
+            self._seal_schur()
+        self.tracer.count("sdc_recovered")
+        self._record("LU(S)", "sdc-recovered", err,
+                     detail="S~ reassembled from the cached per-subdomain "
+                            "updates")
+
+    def _sweep_factor_audits(self) -> list[tuple[int, str]]:
+        """Collect (and reset) the passive solve-audit verdicts that
+        accumulated on each subdomain's factor checksums during a solve
+        pass. Returns the violated subdomains."""
+        bad: list[tuple[int, str]] = []
+        for s in self.subdomains:
+            cs = s.factors.checksums
+            if cs is None or cs.checks == 0:
+                continue
+            self.tracer.count("sdc_checks", cs.checks)
+            if cs.violations:
+                bad.append((s.interfaces.ell, cs.last_detail))
+            cs.reset_counters()
+        return bad
+
+    def _book_transport(self, ells, outcomes) -> None:
+        """Book transport-checksum catches from a fan-out: a digest
+        mismatch that a clean resubmission repaired is a detected and
+        recovered SDC on the wire; one that survived the retry is
+        detected here and failed over to the root by the caller."""
+        for ell, out in zip(ells, outcomes):
+            if out is None or not out.transport_retries:
+                continue
+            err = TransportChecksumError(
+                "result payload failed its transport checksum",
+                backend=self.backend.name, stage="Transport",
+                subdomain=ell)
+            self.tracer.count("sdc_detected")
+            self._record("Transport", "sdc-detected", err, subdomain=ell,
+                         detail="blake2b digest mismatch on the shipped "
+                                "result payload")
+            if out.error is None:
+                self.tracer.count("sdc_recovered")
+                self._record("Transport", "sdc-recovered", err,
+                             subdomain=ell,
+                             detail="task resubmitted once; clean payload "
+                                    "accepted")
+
     # -- setup ------------------------------------------------------------
 
     def setup(self) -> "PDSLin":
@@ -521,6 +674,10 @@ class PDSLin:
                         "S_tilde": unpack_sparse(z, "S_tilde").tocsr(),
                         "drop_used": float(z["drop_used"]),
                         "drop_eff": float(z["drop_eff"]),
+                        "s_colsum": (np.asarray(z["s_colsum"],
+                                                dtype=np.float64)
+                                     if "s_colsum" in z
+                                     and z["s_colsum"].size else None),
                         "mode": str(self._resume.state.get(
                             "preconditioner_mode", "lu")),
                     }
@@ -538,10 +695,17 @@ class PDSLin:
         verification hooks."""
         lu, comp = self._restored_subs[ell]
         with self.tracer.span("checkpoint_restore", l=ell):
+            Dp = None
             if lu.factors.handle is None and lu.handle_thresh is not None:
                 Dp = sub.D[lu.perm][:, lu.perm].tocsc()
                 attach_handle(lu.factors, Dp,
                               diag_pivot_thresh=lu.handle_thresh)
+            if self._abft_on() and lu.factors.checksums is None:
+                # checkpoint shards carry bare factors; re-arm the
+                # checksums so solve-phase audits cover restored state
+                if Dp is None:
+                    Dp = sub.D[lu.perm][:, lu.perm].tocsc()
+                abft.attach_factor_checksums(lu.factors, Dp)
             self.tracer.count("checkpoint_subdomains_restored")
         self._note_subdomain_cond(ell, lu.cond)
         if comp.drop_tol != self._drop_interface_eff:
@@ -572,7 +736,10 @@ class PDSLin:
 
         def arrays():
             out = {"drop_used": np.float64(self._schur_drop_used),
-                   "drop_eff": np.float64(self._drop_schur_eff)}
+                   "drop_eff": np.float64(self._drop_schur_eff),
+                   "s_colsum": (np.asarray(self._s_colsum, dtype=np.float64)
+                                if self._s_colsum is not None
+                                else np.empty(0, dtype=np.float64))}
             pack_sparse(out, "S_tilde", self.S_tilde.tocsr())
             return out
 
@@ -645,7 +812,13 @@ class PDSLin:
         self._drop_schur_eff = self.config.drop_schur
         self.cond_estimates = {"subdomains": {}, "schur": None}
         self.subdomains = []
-        if self.backend.inline:
+        # the transport bit-flip drill needs the sealed map path, which
+        # inline backends normally skip; route through the fan-out so
+        # the serial drill exercises the same checksum machinery
+        seam = abft.bitflip_seam()
+        inline = self.backend.inline and not (
+            seam is not None and seam.target == "transport")
+        if inline:
             for ell in range(self.config.k):
                 if ell in self._restored_subs:
                     sub = extract_interfaces(self.partition, ell)
@@ -750,7 +923,8 @@ class PDSLin:
             interfaces=sub, perm=lu.perm, factors=lu.factors,
             G_tilde=comp.G_tilde, WT_tilde=comp.WT_tilde,
             T_tilde=comp.T_tilde, padding_G=comp.padding_G,
-            padding_W=comp.padding_W, lu_flops=lu.flops)
+            padding_W=comp.padding_W, lu_flops=lu.flops,
+            t_colsum=comp.t_colsum)
 
     def _setup_subdomain(self, ell: int) -> None:
         """Serial setup of one subdomain: the same task bodies the
@@ -945,6 +1119,7 @@ class PDSLin:
                                         speculation=self.speculation)
         by_ell = dict(zip(task_ell, outcomes))
         self._count_speculation(outcomes)
+        self._book_transport(task_ell, outcomes)
 
         lus: dict[int, SubdomainLU] = {}
         comps: dict[int, SubdomainComp] = {}
@@ -956,8 +1131,12 @@ class PDSLin:
                 lus[ell], comps[ell] = lu, comp
                 continue
             sub, out = subs[ell], by_ell.get(ell)
+            # a transport digest mismatch that survived its resubmission
+            # means the payload cannot be trusted: same failover as a
+            # dead worker (the detection event is already booked)
             crashed = out is not None and \
-                isinstance(out.error, WorkerCrashError)
+                isinstance(out.error,
+                           (WorkerCrashError, TransportChecksumError))
             timed = out is not None and out.timed_out
             if out is not None and out.error is not None \
                     and not crashed and not timed:
@@ -980,8 +1159,12 @@ class PDSLin:
                 if crashed:
                     self._record("LU(D)", "failover-root", out.error,
                                  subdomain=ell,
-                                 detail="worker process died; re-executing "
-                                        "the work on root")
+                                 detail=("untrusted result payload"
+                                         if isinstance(
+                                             out.error,
+                                             TransportChecksumError)
+                                         else "worker process died")
+                                 + "; re-executing the work on root")
                 elif timed:
                     self.tracer.count("deadline_timeouts")
                     self._record("LU(D)", "deadline-failover", out.error,
@@ -1026,8 +1209,10 @@ class PDSLin:
                                              deadline_s=self.task_deadline_s,
                                              speculation=self.speculation)
             self._count_speculation(outcomes2)
+            self._book_transport([ell for ell, _ in redo], outcomes2)
             for (ell, tol), out in zip(redo, outcomes2):
-                crashed = isinstance(out.error, WorkerCrashError)
+                crashed = isinstance(
+                    out.error, (WorkerCrashError, TransportChecksumError))
                 if out.error is not None and not crashed and not out.timed_out:
                     raise out.error
                 if crashed or out.timed_out:
@@ -1082,10 +1267,12 @@ class PDSLin:
         ns = C.shape[0]
         if ns == 0:
             self.S_tilde = C
+            self._s_colsum = None
             self._register_schur_checkpoint()
             return
 
         def asm_body(ledger):
+            self._verify_comp_contributions()
             updates = [(s.interfaces, s.T_tilde) for s in self.subdomains]
             self.S_tilde = assemble_approximate_schur(
                 C, updates, drop_tol=self._drop_schur_eff,
@@ -1110,6 +1297,12 @@ class PDSLin:
                 self._schur_drop_used = rs["drop_used"]
                 self._drop_schur_eff = rs["drop_eff"]
                 self.tracer.count("checkpoint_schur_restored")
+            # recheck integrity against the checksum stored in the
+            # shard (sealing fresh when the shard predates ABFT)
+            self._s_colsum = rs.get("s_colsum")
+            if self._s_colsum is None:
+                self._seal_schur()
+            self._audit_schur(where="resume")
             base = "ilu" if rs["mode"] == "ilu" else "lu"
             self._on_root_stage("LU(S)",
                                 lambda ledger: self._factor_schur(base,
@@ -1117,6 +1310,8 @@ class PDSLin:
             self.recovery.preconditioner_mode = rs["mode"]
         else:
             self._on_root_stage("Comp(S)", asm_body)
+            self._seal_schur()
+            self._audit_schur(where="assembly")
             mode = cfg.schur_factorization
             try:
                 self._on_root_stage(
@@ -1152,6 +1347,7 @@ class PDSLin:
                            for s in self.subdomains]
                 self.S_tilde = assemble_approximate_schur(
                     C, updates, drop_tol=0.0, tracer=self.tracer)
+                self._seal_schur()
                 self._factor_schur("lu", ledger)
 
             self.tracer.count("schur_cond_rebuilds")
@@ -1221,6 +1417,7 @@ class PDSLin:
             self.S_tilde = assemble_approximate_schur(
                 self.partition.C(), updates, drop_tol=0.0,
                 tracer=self.tracer)
+            self._seal_schur()
             self._factor_schur("lu", ledger)
 
         self._on_root_stage(RECOVER_STAGE, body)
@@ -1357,6 +1554,7 @@ class PDSLin:
                                 preconditioner=self._precondition,
                                 tol=cfg.gmres_tol,
                                 maxiter=cfg.gmres_maxiter,
+                                audit_every=25 if self._abft_on() else 0,
                                 tracer=self.tracer)
             res = self._on_root_stage("Solve", body)
             if res.converged:
@@ -1386,9 +1584,127 @@ class PDSLin:
                                   action="precond-refresh"):
                 self._refresh_schur_preconditioner()
             res = run_gmres(x0=res.x)
-        return res
+        return self._audit_krylov(matvec, g, res, run_gmres)
+
+    def _krylov_drift(self, matvec, g, res, *,
+                      trust_flag: bool = True) -> tuple[bool, str]:
+        """One drift audit of a Krylov result: recompute the true
+        residual and compare with what the solver claims (plus any
+        drift flag the solver raised internally). ``trust_flag=False``
+        judges by the final true residual alone — a warm restart from a
+        far-off iterate legitimately loses orthogonality mid-run, so
+        its advisory in-run flag is not evidence of corruption."""
+        cfg = self.config
+        with self.tracer.span("abft_verify", stage="Solve"):
+            self.tracer.count("sdc_checks")
+            true_r = float(np.linalg.norm(g - matvec(res.x)))
+            claimed = float(res.final_residual)
+            if not np.isfinite(claimed):
+                claimed = 0.0
+            gnorm = float(np.linalg.norm(g))
+            suspected = (trust_flag
+                         and bool(getattr(res, "drift_detected", False))) or \
+                true_r > 100.0 * max(claimed, cfg.gmres_tol * gnorm)
+        return suspected, (f"true residual {true_r:.3e} vs claimed "
+                           f"{claimed:.3e}")
+
+    def _audit_krylov(self, matvec, g, res, run_gmres):
+        """Krylov drift audit + the ``krylov`` bit-flip injection seam
+        (injection runs even with ``abft=off``). A flagged iterate is
+        suspected SDC in the Krylov state; recovery discards that state
+        and warm-restarts GMRES from the flagged iterate, preserving
+        the preconditioner."""
+        abft.maybe_bitflip("krylov", (res.x,))
+        if not self._abft_on() or res.x.size == 0:
+            return res
+        suspected, detail = self._krylov_drift(matvec, g, res)
+        if not suspected:
+            return res
+        err = SdcDetectedError(
+            f"Krylov residual drift: {detail}", site="krylov",
+            stage="Solve")
+        self.tracer.count("sdc_detected")
+        self._record("Solve", "sdc-detected", err, detail=detail)
+        if not abft.abft_recover(self.config.abft):
+            self._record("Solve", "sdc-unrecoverable", err,
+                         detail="abft=detect: corruption reported but not "
+                                "repaired; the returned iterate may be "
+                                "corrupt")
+            return res
+        with self.tracer.span("recover", stage="Solve",
+                              action="sdc-krylov-restart"):
+            fresh = run_gmres(x0=res.x)
+        suspected2, detail2 = self._krylov_drift(matvec, g, fresh,
+                                                 trust_flag=False)
+        if suspected2 or not fresh.converged:
+            self._record("Solve", "sdc-unrecoverable", err,
+                         detail="warm restart did not clear the drift: "
+                                + detail2)
+            return fresh
+        self.tracer.count("sdc_recovered")
+        self._record("Solve", "sdc-recovered", err,
+                     detail="corrupt Krylov state discarded; GMRES "
+                            "warm-restarted from the flagged iterate")
+        return fresh
 
     def _solve(self, b: np.ndarray) -> PDSLinResult:
+        """One hybrid solve in the working system, wrapped in the
+        solve-phase ABFT sweep: every triangular solve through the
+        subdomain factors ran a passive checksum audit; violations
+        accumulated on the factors are collected here. Recovery
+        refactorizes the flagged subdomains from their pristine
+        interface matrices and redoes the solve pass once."""
+        res = self._solve_once(b)
+        if not self._abft_on():
+            return res
+        bad = self._sweep_factor_audits()
+        if not bad:
+            return res
+        errs = []
+        for ell, detail in bad:
+            err = SdcDetectedError(
+                f"solve-phase checksum violated for subdomain {ell}: "
+                f"{detail}", site="solve", stage="Solve", subdomain=ell)
+            errs.append(err)
+            self.tracer.count("sdc_detected")
+            self._record("Solve", "sdc-detected", err, subdomain=ell,
+                         detail=detail)
+        if not abft.abft_recover(self.config.abft):
+            for (ell, _), err in zip(bad, errs):
+                self._record("Solve", "sdc-unrecoverable", err,
+                             subdomain=ell,
+                             detail="abft=detect: corruption reported but "
+                                    "not repaired; the solution may be "
+                                    "corrupt")
+            return res
+        with self.tracer.span("recover", stage="Solve",
+                              action="sdc-refactorize"):
+            for (ell, _), err in zip(bad, errs):
+                s = self.subdomains[ell]
+                Dp = s.interfaces.D[s.perm][:, s.perm].tocsc()
+                factors, _ = factorize_resilient(
+                    Dp, diag_pivot_thresh=self.config.diag_pivot_thresh,
+                    stage="Solve", subdomain=ell, report=self.recovery,
+                    tracer=self.tracer)
+                abft.attach_factor_checksums(factors, Dp)
+                s.factors = factors
+        res = self._solve_once(b)
+        bad2 = self._sweep_factor_audits()
+        if bad2:
+            for ell, detail in bad2:
+                self._record(
+                    "Solve", "sdc-unrecoverable", errs[0], subdomain=ell,
+                    detail="checksum still violated after refactorization: "
+                           + detail)
+            return res
+        for (ell, _), err in zip(bad, errs):
+            self.tracer.count("sdc_recovered")
+            self._record("Solve", "sdc-recovered", err, subdomain=ell,
+                         detail="subdomain refactorized from its pristine "
+                                "interface matrix; solve pass redone")
+        return res
+
+    def _solve_once(self, b: np.ndarray) -> PDSLinResult:
         cfg = self.config
         assert self.partition is not None
         b = np.asarray(b, dtype=np.float64)

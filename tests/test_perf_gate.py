@@ -114,6 +114,52 @@ class TestCompareMetrics:
             compare_metrics(metrics(), metrics(), time_tol=0)
 
 
+class TestAbftBudget:
+    def _with_abft(self, m, wall):
+        m = copy.deepcopy(m)
+        m["stages"]["abft_verify"] = {"wall_s": wall, "calls": 3,
+                                      "counters": {"sdc_checks": 3}}
+        return m
+
+    def test_under_budget_passes(self):
+        cur = self._with_abft(metrics(), 0.02)   # 6.7% of 0.30
+        base = self._with_abft(metrics(), 0.02)
+        report = compare_metrics(cur, base)
+        checks = {(c.stage, c.metric): c for c in report.checks}
+        assert ("abft_verify", "overhead_frac") in checks
+        assert report.ok
+
+    def test_over_budget_fails(self):
+        cur = self._with_abft(metrics(), 0.06)   # 20% of 0.30
+        base = self._with_abft(metrics(), 0.06)
+        report = compare_metrics(cur, base)
+        bad = [c for c in report.regressions
+               if (c.stage, c.metric) == ("abft_verify", "overhead_frac")]
+        assert bad and not report.ok
+
+    def test_budget_zero_disables_bound(self):
+        cur = self._with_abft(metrics(), 0.06)
+        base = self._with_abft(metrics(), 0.06)
+        assert compare_metrics(cur, base, abft_budget=0.0).ok
+
+    def test_no_abft_stage_no_check(self):
+        report = compare_metrics(metrics(), metrics())
+        assert not any(c.metric == "overhead_frac" for c in report.checks)
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            compare_metrics(metrics(), metrics(), abft_budget=-0.1)
+
+    def test_cli_abft_budget_flag(self, tmp_path):
+        cur = self._with_abft(metrics(), 0.06)
+        base = self._with_abft(metrics(), 0.06)
+        cli = TestPerfGateCli()
+        proc = cli._run(tmp_path, cur, base)
+        assert proc.returncode == 1
+        proc = cli._run(tmp_path, cur, base, "--abft-budget", "0.5")
+        assert proc.returncode == 0, proc.stdout
+
+
 class TestPerfGateCli:
     def _run(self, tmp_path, cur, base, *extra):
         cur_p = tmp_path / "current.json"
@@ -147,7 +193,8 @@ def test_committed_baseline_is_well_formed():
     base = json.loads(path.read_text())
     assert base["schema_version"] == 1
     for required in ("partition", "factor_subdomain", "interface_solve",
-                     "schur_assemble", "factor_schur", "gmres", "solve"):
+                     "schur_assemble", "factor_schur", "gmres", "solve",
+                     "abft_verify"):
         assert required in base["stages"], required
     for st in base["stages"].values():
         assert st["wall_s"] >= 0 and st["calls"] >= 1

@@ -27,6 +27,7 @@ if __package__ in (None, ""):
 
 from repro.obs.export import load_metrics
 from repro.obs.gate import (
+    DEFAULT_ABFT_BUDGET,
     DEFAULT_MIN_TIME_S,
     DEFAULT_OPS_TOL,
     DEFAULT_TIME_TOL,
@@ -47,6 +48,10 @@ def main(argv: list[str] | None = None) -> int:
     ap.add_argument("--min-time", type=float, default=DEFAULT_MIN_TIME_S,
                     help="baseline stages shorter than this many seconds "
                          "are not gated on wall time (default %(default)s)")
+    ap.add_argument("--abft-budget", type=float, default=DEFAULT_ABFT_BUDGET,
+                    help="max fraction of total wall time the abft_verify "
+                         "integrity audits may take in the fresh run; 0 "
+                         "disables the bound (default %(default)s)")
     args = ap.parse_args(argv)
     try:
         current = load_metrics(args.current)
@@ -56,7 +61,8 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     report = compare_metrics(current, baseline,
                              time_tol=args.time_tol, ops_tol=args.ops_tol,
-                             min_time_s=args.min_time)
+                             min_time_s=args.min_time,
+                             abft_budget=args.abft_budget)
     print(report.describe())
     return 0 if report.ok else 1
 
