@@ -1,0 +1,145 @@
+"""Bench: batched multi-RHS throughput (solve_block vs per-column).
+
+Measures the smoke matrix at nrhs=16 through three paths — the old
+per-column loop (one full ``solve()`` per column, what ``solve_multiple``
+used to do), the batched ``solve_block`` with column-to-column Krylov
+seeding (the default), and ``solve_block`` with ``block_gmres=True`` —
+and reports RHS/s against the block size. Acceptance gates: block-GMRES
+``solve_block`` must beat the per-column loop by >= 3x and the default
+seeded path by >= 1.5x, with the parity contract checked in the same run
+(bit-identical solutions with seeding off, equal certification with it
+on).
+
+Run directly (``PYTHONPATH=src python -m benchmarks.bench_multirhs
+--metrics m.json``) to produce the multirhs ``metrics.json`` the CI
+``multirhs-bench`` job feeds to ``tools/perf_gate.py``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import time
+from pathlib import Path
+
+import numpy as np
+
+from benchmarks.conftest import publish
+from repro.matrices import generate
+from repro.obs.smoke import MULTIRHS_NRHS, SMOKE_MATRIX, run_multirhs_smoke
+from repro.solver import PDSLin, PDSLinConfig
+
+NRHS = MULTIRHS_NRHS
+BLOCK_SIZES = (1, 4, 16, 64)
+GATE_BLOCK_GMRES = 3.0   # block-GMRES solve_block vs per-column loop
+GATE_SEEDED = 1.5        # default seeded solve_block vs per-column loop
+REPS = 3
+
+
+def _setup(A, *, k, seed=0, **kw):
+    solver = PDSLin(A.copy(), PDSLinConfig(
+        k=k, seed=seed, rhs_ordering="hypergraph", block_size=32, **kw))
+    solver.setup()
+    return solver
+
+
+def _best_of(fn, reps=REPS):
+    walls = []
+    for _ in range(reps):
+        t0 = time.perf_counter()
+        fn()
+        walls.append(time.perf_counter() - t0)
+    return min(walls)
+
+
+def test_multirhs_throughput(scale, results_dir):
+    k = 4
+    gm = generate(SMOKE_MATRIX, scale)
+    A = gm.A.tocsr()
+    rng = np.random.default_rng(0)
+    B = rng.standard_normal((A.shape[0], NRHS))
+
+    old = _setup(A, k=k)
+    t_old = _best_of(lambda: [old.solve(B[:, j]) for j in range(NRHS)])
+    cols = [old.solve(B[:, j]) for j in range(NRHS)]
+
+    seeded = _setup(A, k=k)
+    t_seeded = _best_of(lambda: seeded.solve_block(B))
+    res_seeded = seeded.solve_block(B)
+
+    blockg = _setup(A, k=k, block_gmres=True)
+    t_blockg = _best_of(lambda: blockg.solve_block(B))
+    res_blockg = blockg.solve_block(B)
+
+    # parity contract: seeding off -> bit-identical to per-column solve
+    unseeded = _setup(A, k=k, krylov_seed=False)
+    res_unseeded = unseeded.solve_block(B)
+    for j in range(NRHS):
+        assert res_unseeded[j].x.tobytes() == cols[j].x.tobytes(), \
+            f"unseeded solve_block broke bit parity on column {j}"
+    # ... and the seeded/block paths stay equally certified
+    for res in (res_seeded, res_blockg):
+        for j in range(NRHS):
+            assert res[j].converged
+            assert res[j].certified == cols[j].certified, \
+                f"certification parity broken on column {j}"
+
+    # RHS/s against the block size, batched vs per-column
+    rows = []
+    rng2 = np.random.default_rng(1)
+    for p in BLOCK_SIZES:
+        Bp = rng2.standard_normal((A.shape[0], p))
+        t_col = _best_of(lambda: [old.solve(Bp[:, j]) for j in range(p)])
+        t_blk = _best_of(lambda: seeded.solve_block(Bp))
+        rows.append((p, p / t_col, p / t_blk, t_col / t_blk))
+
+    lines = [f"Multi-RHS throughput ({SMOKE_MATRIX} {scale}, k={k}, "
+             f"nrhs={NRHS}, serial backend, best of {REPS})",
+             f"per-column loop   {t_old * 1e3:8.1f} ms   "
+             f"{NRHS / t_old:8.1f} RHS/s",
+             f"solve_block       {t_seeded * 1e3:8.1f} ms   "
+             f"{NRHS / t_seeded:8.1f} RHS/s   "
+             f"{t_old / t_seeded:5.2f}x",
+             f"  + block_gmres   {t_blockg * 1e3:8.1f} ms   "
+             f"{NRHS / t_blockg:8.1f} RHS/s   "
+             f"{t_old / t_blockg:5.2f}x",
+             "",
+             f"{'nrhs':>6} {'per-col RHS/s':>14} {'block RHS/s':>12} "
+             f"{'speedup':>8}"]
+    for p, r_col, r_blk, sp in rows:
+        lines.append(f"{p:>6} {r_col:>14.1f} {r_blk:>12.1f} {sp:>7.2f}x")
+    publish(results_dir, "multirhs_throughput", "\n".join(lines))
+
+    assert t_old / t_blockg >= GATE_BLOCK_GMRES, (
+        f"block-GMRES solve_block reached only {t_old / t_blockg:.2f}x "
+        f"over the per-column loop (gate {GATE_BLOCK_GMRES}x)")
+    assert t_old / t_seeded >= GATE_SEEDED, (
+        f"seeded solve_block reached only {t_old / t_seeded:.2f}x "
+        f"over the per-column loop (gate {GATE_SEEDED}x)")
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI: run the multirhs scenario and write the perf-gate metrics."""
+    from repro.obs.export import format_stage_summary, write_metrics
+
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--metrics", default="multirhs-metrics.json")
+    ap.add_argument("--scale", default="tiny")
+    ap.add_argument("--k", type=int, default=4)
+    ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--nrhs", type=int, default=NRHS)
+    args = ap.parse_args(argv)
+    run = run_multirhs_smoke(scale=args.scale, k=args.k, seed=args.seed,
+                             nrhs=args.nrhs)
+    Path(args.metrics).parent.mkdir(parents=True, exist_ok=True)
+    write_metrics(run.tracer, args.metrics, meta=run.meta)
+    print(format_stage_summary(run.tracer))
+    rate = run.tracer.counters.get("noise:rhs_per_s", 0.0)
+    print(f"converged={run.converged} iterations={run.iterations} "
+          f"worst_residual={run.residual_norm:.2e} "
+          f"throughput={rate:.1f} RHS/s")
+    print(f"wrote {args.metrics}")
+    return 0 if run.converged else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

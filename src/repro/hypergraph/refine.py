@@ -22,17 +22,15 @@ __all__ = ["fm_refine_hypergraph", "bisection_cut", "hypergraph_gains"]
 
 
 def bisection_cut(H: Hypergraph, side: np.ndarray) -> int:
-    """Total cost of nets with pins on both sides."""
+    """Total cost of nets with pins on both sides.
+
+    One vectorized reduction over the per-net side counts: a net is cut
+    exactly when it has pins on side 0 *and* side 1 (empty nets have
+    neither, so they contribute nothing).
+    """
     side = as_int_array(side, "side")
-    cut = 0
-    for j in range(H.n_nets):
-        p = H.net_pins(j)
-        if p.size == 0:
-            continue
-        s = side[p]
-        if s.min() != s.max():
-            cut += int(H.net_costs[j])
-    return cut
+    sigma = _side_counts(H, side)
+    return int(H.net_costs[(sigma[0] > 0) & (sigma[1] > 0)].sum())
 
 
 def hypergraph_gains(H: Hypergraph, side: np.ndarray,
@@ -54,8 +52,11 @@ def hypergraph_gains(H: Hypergraph, side: np.ndarray,
     c = H.net_costs[nop]
     contrib = np.where((sig_own == 1) & (sig_other > 0), c, 0) \
         - np.where((sig_other == 0) & (sig_own > 1), c, 0)
-    return np.bincount(H.pins, weights=contrib,
-                       minlength=n).astype(np.int64)
+    # accumulate in int64: np.bincount(weights=...) sums in float64,
+    # which silently rounds once net costs exceed 2^53
+    gains = np.zeros(n, dtype=np.int64)
+    np.add.at(gains, H.pins, contrib.astype(np.int64, copy=False))
+    return gains
 
 
 def _side_counts(H: Hypergraph, side: np.ndarray) -> np.ndarray:

@@ -57,13 +57,20 @@ class SystemTransform:
              or bool(np.array_equal(self.row_perm, np.arange(n))))
 
     def scale_rhs(self, b: np.ndarray) -> np.ndarray:
-        """``P R b`` — the working right-hand side."""
-        return (self.row_scale * np.asarray(b,
-                                            dtype=np.float64))[self.row_perm]
+        """``P R b`` — the working right-hand side. Accepts a 1-D
+        vector or a 2-D block (one column per right-hand side); the
+        transform is diagonal + row permutation, so each block column
+        is bit-identical to scaling it alone."""
+        b = np.asarray(b, dtype=np.float64)
+        scale = self.row_scale[:, None] if b.ndim == 2 else self.row_scale
+        return (scale * b)[self.row_perm]
 
     def unscale_solution(self, y: np.ndarray) -> np.ndarray:
-        """``C y`` — map a working-system solution back to ``A x = b``."""
-        return self.col_scale * np.asarray(y, dtype=np.float64)
+        """``C y`` — map a working-system solution back to ``A x = b``
+        (columnwise on a 2-D block)."""
+        y = np.asarray(y, dtype=np.float64)
+        scale = self.col_scale[:, None] if y.ndim == 2 else self.col_scale
+        return scale * y
 
     def transform_matrix(self, A: sp.spmatrix) -> sp.csr_matrix:
         """``P R A C`` for a matrix with the same pattern (refreshed

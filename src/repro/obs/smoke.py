@@ -24,10 +24,12 @@ from repro.obs.export import (
 )
 from repro.obs.tracer import Tracer
 
-__all__ = ["SmokeRun", "run_smoke", "SMOKE_MATRIX", "SMOKE_SCALE"]
+__all__ = ["SmokeRun", "run_smoke", "run_multirhs_smoke",
+           "SMOKE_MATRIX", "SMOKE_SCALE", "MULTIRHS_NRHS"]
 
 SMOKE_MATRIX = "tdr190k"
 SMOKE_SCALE = "tiny"
+MULTIRHS_NRHS = 16
 
 
 @dataclass
@@ -92,20 +94,69 @@ def run_smoke(*, name: str = SMOKE_MATRIX, scale: str = SMOKE_SCALE,
                     residual_norm=float(result.residual_norm))
 
 
+def run_multirhs_smoke(*, name: str = SMOKE_MATRIX,
+                       scale: str = SMOKE_SCALE, k: int = 4, seed: int = 0,
+                       nrhs: int = MULTIRHS_NRHS,
+                       rhs_ordering: str = "hypergraph") -> SmokeRun:
+    """The multi-RHS smoke scenario: one setup, one batched
+    ``solve_block`` over ``nrhs`` columns, under a fresh tracer.
+
+    This is what the CI ``multirhs-bench`` job gates: the per-stage
+    wall times of the batched path (``solve_block``, ``solve_fanout``,
+    ``refine_block``) plus its deterministic op counters. The block
+    throughput counter rides under the ``noise:`` prefix
+    (``noise:rhs_per_s``) so it is exported but not gated."""
+    from repro.matrices import generate
+    from repro.solver import PDSLin, PDSLinConfig
+
+    gm = generate(name, scale)
+    A = gm.A.tocsr()
+    rng = np.random.default_rng(seed)
+    B = rng.standard_normal((A.shape[0], nrhs))
+    tracer = Tracer()
+    cfg = PDSLinConfig(k=k, seed=seed, rhs_ordering=rhs_ordering,
+                       block_size=32)
+    solver = PDSLin(A, cfg, tracer=tracer)
+    solver.setup()
+    results = solver.solve_block(B)
+    converged = bool(all(r.converged for r in results))
+    metrics = stage_metrics(tracer)
+    metrics["meta"] = {
+        "scenario": "multirhs", "matrix": name, "scale": scale, "k": k,
+        "seed": seed, "nrhs": nrhs, "rhs_ordering": rhs_ordering,
+        "n": int(A.shape[0]), "nnz": int(A.nnz),
+        "converged": converged,
+        "iterations": int(max(r.iterations for r in results)),
+    }
+    return SmokeRun(tracer=tracer, metrics=metrics,
+                    converged=converged,
+                    iterations=int(max(r.iterations for r in results)),
+                    residual_norm=float(max(r.residual_norm
+                                            for r in results)))
+
+
 def main(argv: list[str] | None = None) -> int:
-    """CLI: run the smoke scenario and write the perf artifacts."""
+    """CLI: run a smoke scenario and write the perf artifacts."""
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--metrics", default="metrics.json",
                     help="output path for metrics.json")
     ap.add_argument("--trace", default=None,
                     help="optional output path for the Chrome-trace JSON")
+    ap.add_argument("--scenario", choices=("smoke", "multirhs"),
+                    default="smoke")
     ap.add_argument("--scale", default=SMOKE_SCALE)
     ap.add_argument("--matrix", default=SMOKE_MATRIX)
     ap.add_argument("--k", type=int, default=4)
     ap.add_argument("--seed", type=int, default=0)
+    ap.add_argument("--nrhs", type=int, default=MULTIRHS_NRHS,
+                    help="columns in the multirhs scenario")
     args = ap.parse_args(argv)
-    run = run_smoke(name=args.matrix, scale=args.scale, k=args.k,
-                    seed=args.seed)
+    if args.scenario == "multirhs":
+        run = run_multirhs_smoke(name=args.matrix, scale=args.scale,
+                                 k=args.k, seed=args.seed, nrhs=args.nrhs)
+    else:
+        run = run_smoke(name=args.matrix, scale=args.scale, k=args.k,
+                        seed=args.seed)
     for out in (args.metrics, args.trace):
         if out:
             Path(out).parent.mkdir(parents=True, exist_ok=True)

@@ -112,12 +112,21 @@ def bandwidth(A: sp.spmatrix) -> int:
 
 def envelope_size(A: sp.spmatrix) -> int:
     """Sum over rows of (i - min column index in row i), the profile of
-    the lower triangle."""
+    the lower triangle. Rows with no entry on or below the diagonal
+    contribute nothing."""
     A = check_csr(A)
-    total = 0
-    for i in range(A.shape[0]):
-        row = A.indices[A.indptr[i]:A.indptr[i + 1]]
-        row = row[row <= i]
-        if row.size:
-            total += i - int(row.min())
-    return total
+    n = A.shape[0]
+    if A.nnz == 0:
+        return 0
+    rows = np.repeat(np.arange(n, dtype=np.int64), np.diff(A.indptr))
+    keep = A.indices <= rows
+    cols = A.indices[keep].astype(np.int64, copy=False)
+    counts = np.bincount(rows[keep], minlength=n)
+    nonempty = counts > 0
+    if not nonempty.any():
+        return 0
+    # rows[keep] is nondecreasing (CSR row order), so reduceat over the
+    # per-row segment starts yields each nonempty row's column minimum
+    starts = np.concatenate(([0], np.cumsum(counts[nonempty])[:-1]))
+    mins = np.minimum.reduceat(cols, starts)
+    return int((np.flatnonzero(nonempty) - mins).sum())

@@ -397,8 +397,27 @@ class _PooledBackend(Executor):
             ) -> List[TaskOutcome]:
         pool = self._ensure()
         invoke = _invoke_sealed if self._seal_tasks() else _invoke
-        futures: List[Future] = [pool.submit(invoke, fn, p)
-                                 for p in payloads]
+        futures: List[Future] = []
+        submit_crash = None
+        for p in payloads:
+            try:
+                futures.append(pool.submit(invoke, fn, p))
+            except self._broken_exc as exc:
+                # a worker died while the fan-out was still being
+                # dispatched (the chaos crash seam can fire that fast):
+                # settle what got in and book the unsubmitted tail as
+                # worker crashes, so callers take the normal failover
+                # path instead of seeing a raw BrokenProcessPool
+                submit_crash = exc
+                break
+        if submit_crash is not None:
+            out = [self._settle(f, i)[0] for i, f in enumerate(futures)]
+            out.extend(TaskOutcome(index=i, error=WorkerCrashError(
+                f"worker process died before task {i} was submitted: "
+                f"{submit_crash}", backend=self.name))
+                for i in range(len(futures), len(payloads)))
+            self._reap()
+            return self._retry_transport(fn, payloads, out)
         if deadline_s is None and speculation is None:
             out = self._map_ordered(futures)
         else:

@@ -158,15 +158,28 @@ class FactorChecksums:
         """Passive end-to-end check ``1^T A x = 1^T b`` after one
         triangular-solve pair. Works identically for the SuperLU-handle
         and explicit-factor paths; violations are counted here and
-        swept by the solver after the stage completes."""
-        if not self.armed or x.ndim != 1:
+        swept by the solver after the stage completes.
+
+        A 2-D ``x`` (one column per right-hand side) is audited as one
+        vectorized check ``1^T A X = 1^T B`` — a single ``checks``
+        increment per block, with the worst column's discrepancy
+        recorded."""
+        if not self.armed or x.ndim > 2:
             return
         xp = x[factors.perm_c]
-        lhs = float(self.colsum_A @ xp)
-        rhs = float(b.sum())
-        den = float(self.abs_colsum_A @ np.abs(xp)) + float(
-            np.abs(b).sum()) + 1e-300
-        rel = abs(lhs - rhs) / den / SOLVE_TOL
+        if x.ndim == 2:
+            lhs = self.colsum_A @ xp
+            rhs = b.sum(axis=0)
+            den = self.abs_colsum_A @ np.abs(xp) + np.abs(b).sum(
+                axis=0) + 1e-300
+            rel = float(np.max(np.abs(lhs - rhs) / den)) / SOLVE_TOL \
+                if x.shape[1] else 0.0
+        else:
+            lhs = float(self.colsum_A @ xp)
+            rhs = float(b.sum())
+            den = float(self.abs_colsum_A @ np.abs(xp)) + float(
+                np.abs(b).sum()) + 1e-300
+            rel = abs(lhs - rhs) / den / SOLVE_TOL
         self.checks += 1
         if rel > 1.0:
             self.violations += 1

@@ -100,12 +100,23 @@ def matrix_fingerprint(A: sp.spmatrix) -> str:
     return h.hexdigest()
 
 
+#: Config fields that only steer the *solve* phase of an already-set-up
+#: solver (multi-RHS Krylov seeding / block-GMRES mode). Checkpoints
+#: capture setup state only, so these are excluded from the identity:
+#: a checkpoint written under one solve mode resumes bit-exactly under
+#: any other, and configs predating the fields keep their fingerprints.
+SOLVE_PHASE_FIELDS = frozenset({"krylov_seed", "block_gmres"})
+
+
 def config_fingerprint(cfg) -> str:
     """blake2b over the sorted field/value repr of a config dataclass.
     Any knob change (drop tolerances, ordering, k, seed, ...) changes
-    the fingerprint and invalidates old checkpoints."""
+    the fingerprint and invalidates old checkpoints — except the
+    solve-phase-only fields of :data:`SOLVE_PHASE_FIELDS`, which do not
+    touch checkpointed state."""
     import dataclasses
-    items = sorted(dataclasses.asdict(cfg).items())
+    items = sorted((k, v) for k, v in dataclasses.asdict(cfg).items()
+                   if k not in SOLVE_PHASE_FIELDS)
     h = hashlib.blake2b(digest_size=_DIGEST_SIZE)
     h.update(repr(items).encode())
     return h.hexdigest()

@@ -16,7 +16,7 @@ import numpy as np
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.utils import check_finite
 
-__all__ = ["GMRESResult", "gmres"]
+__all__ = ["GMRESResult", "gmres", "BlockGMRESResult", "gmres_block"]
 
 Operator = Callable[[np.ndarray], np.ndarray]
 
@@ -219,3 +219,152 @@ def _gmres(matvec: Operator, b: np.ndarray, *,
                        stagnated=bool(last_cycle_reduction > 0.9),
                        drift_checks=drift_checks,
                        drift_detected=drift_detected)
+
+
+@dataclass
+class BlockGMRESResult:
+    """Per-column convergence state of one block solve.
+
+    ``iterations`` counts *block* iterations — each advances every
+    column by one Krylov direction at the cost of one block matvec.
+    ``residual_norms`` are the final true residuals ``||b_j - A x_j||``
+    per column.
+    """
+
+    x: np.ndarray
+    converged: np.ndarray
+    iterations: int
+    residual_norms: np.ndarray
+    stagnated: bool = False
+
+    @property
+    def all_converged(self) -> bool:
+        return bool(self.converged.all())
+
+
+def gmres_block(matvec: Operator, B: np.ndarray, *,
+                preconditioner: Optional[Operator] = None,
+                X0: Optional[np.ndarray] = None,
+                tol: float = 1e-10,
+                restart: int = 50,
+                maxiter: int = 500,
+                tracer: Tracer = NULL_TRACER) -> BlockGMRESResult:
+    """Restarted block GMRES on ``A X = B`` for an ``(n, p)`` block.
+
+    ``matvec`` and ``preconditioner`` must accept ``(n, p)`` blocks
+    (columnwise application). Right preconditioning, block Arnoldi with
+    block modified Gram-Schmidt and thin-QR normalization, and a
+    least-squares solve of the banded block Hessenberg per cycle.
+    Convergence is per column against ``tol * ||b_j||``, verified with
+    true residuals at every restart boundary; columns the block space
+    cannot close are reported unconverged for the caller's per-column
+    fallback ladder.
+    """
+    B = np.asarray(B, dtype=np.float64)
+    check_finite(B, "B")
+    if X0 is not None:
+        check_finite(np.asarray(X0, dtype=np.float64), "X0")
+    with tracer.span("gmres_block", restart=restart, nrhs=B.shape[1]):
+        res = _gmres_block(matvec, B, preconditioner=preconditioner,
+                           X0=X0, tol=tol, restart=restart,
+                           maxiter=maxiter)
+        tracer.count("gmres_block_iterations", res.iterations)
+        tracer.count("gmres_block_converged_cols",
+                     int(res.converged.sum()))
+    return res
+
+
+def _gmres_block(matvec: Operator, B: np.ndarray, *,
+                 preconditioner: Optional[Operator] = None,
+                 X0: Optional[np.ndarray] = None,
+                 tol: float = 1e-10,
+                 restart: int = 50,
+                 maxiter: int = 500) -> BlockGMRESResult:
+    n, p = B.shape
+    if restart <= 0 or maxiter <= 0:
+        raise ValueError("restart and maxiter must be positive")
+    M = preconditioner if preconditioner is not None else (lambda v: v)
+    X = np.zeros((n, p)) if X0 is None \
+        else np.asarray(X0, dtype=np.float64).copy()
+    bnorms = np.linalg.norm(B, axis=0)
+    targets = tol * bnorms
+    if p == 0 or not bnorms.any():
+        return BlockGMRESResult(x=np.zeros((n, p)),
+                                converged=np.ones(p, dtype=bool),
+                                iterations=0,
+                                residual_norms=np.zeros(p))
+    total_iters = 0
+    last_cycle_reduction = 1.0
+    rnorms = np.full(p, np.inf)
+    converged = np.zeros(p, dtype=bool)
+    while total_iters < maxiter:
+        R = B - matvec(X)
+        rnorms = np.linalg.norm(R, axis=0)
+        converged = rnorms <= targets
+        if converged.all():
+            return BlockGMRESResult(x=X, converged=converged,
+                                    iterations=total_iters,
+                                    residual_norms=rnorms)
+        m = min(restart, maxiter - total_iters)
+        V = np.zeros((n, (m + 1) * p))
+        Hbar = np.zeros(((m + 1) * p, m * p))
+        G = np.zeros(((m + 1) * p, p))
+        Q0, S = np.linalg.qr(R)
+        V[:, :p] = Q0
+        G[:p] = S
+        j_done = 0
+        breakdown = False
+        for j in range(m):
+            Z = np.asarray(M(V[:, j * p:(j + 1) * p]), dtype=np.float64)
+            W = np.array(matvec(Z), dtype=np.float64, copy=True)
+            for i in range(j + 1):
+                Vi = V[:, i * p:(i + 1) * p]
+                Hij = Vi.T @ W
+                Hbar[i * p:(i + 1) * p, j * p:(j + 1) * p] = Hij
+                W = W - Vi @ Hij
+            Qj, Rj = np.linalg.qr(W)
+            Hbar[(j + 1) * p:(j + 2) * p, j * p:(j + 1) * p] = Rj
+            total_iters += 1
+            j_done = j + 1
+            if float(np.linalg.norm(Rj)) <= 1e-300:
+                # the block Krylov space is invariant (happy breakdown
+                # for every column the space can reach)
+                breakdown = True
+                break
+            V[:, (j + 1) * p:(j + 2) * p] = Qj
+            rows = (j + 2) * p
+            cols = (j + 1) * p
+            Y, *_ = np.linalg.lstsq(Hbar[:rows, :cols], G[:rows],
+                                    rcond=None)
+            est = np.linalg.norm(G[:rows] - Hbar[:rows, :cols] @ Y,
+                                 axis=0)
+            if np.all(est <= targets):
+                break
+        k = j_done * p
+        if k > 0:
+            Y, *_ = np.linalg.lstsq(Hbar[:k + p, :k], G[:k + p],
+                                    rcond=None)
+            X = X + np.asarray(M(V[:, :k] @ Y), dtype=np.float64)
+        Rnew = B - matvec(X)
+        rn = np.linalg.norm(Rnew, axis=0)
+        converged = rn <= targets
+        if converged.all():
+            return BlockGMRESResult(x=X, converged=converged,
+                                    iterations=total_iters,
+                                    residual_norms=rn)
+        worst_before = float(rnorms[~converged].max(initial=0.0))
+        worst_after = float(rn[~converged].max(initial=0.0))
+        last_cycle_reduction = (worst_after / worst_before
+                                if worst_before > 0 else 1.0)
+        if breakdown and worst_after >= worst_before * (1.0 - 1e-12):
+            # breakdown without progress on the open columns: further
+            # restarts from the same residual block change nothing
+            return BlockGMRESResult(x=X, converged=converged,
+                                    iterations=total_iters,
+                                    residual_norms=rn,
+                                    stagnated=True)
+        rnorms = rn
+    return BlockGMRESResult(x=X, converged=converged,
+                            iterations=total_iters,
+                            residual_norms=rnorms,
+                            stagnated=bool(last_cycle_reduction > 0.9))

@@ -56,6 +56,7 @@ from repro.lu import (
     LUFactors,
     PaddingStats,
     SupernodalLower,
+    attach_handle,
     blocked_triangular_solve,
     lu_flop_count,
     partition_columns,
@@ -75,6 +76,8 @@ from repro.verify.invariants import NULL_VERIFIER
 
 __all__ = [
     "SubdomainLU", "SubdomainComp", "SubdomainTask", "SubdomainSetupResult",
+    "BlockSolveTask", "BlockSolveResult", "run_block_solve",
+    "factors_token",
     "order_subdomain", "run_subdomain_lu", "run_subdomain_comp",
     "run_subdomain_setup", "replay_subdomain_verification",
     "pack_subdomain_state", "unpack_subdomain_state", "validate_chaos_env",
@@ -439,6 +442,136 @@ def run_subdomain_setup(task: SubdomainTask) -> SubdomainSetupResult:
             out.comp_counters = dict(tracer.counters)
     out.events = list(report.events)
     out.perturbed_pivots = report.perturbed_pivots
+    return out
+
+
+# -- batched multi-RHS solve tasks ------------------------------------------
+#
+# The solve phase of PDSLin.solve_block ships ONE task per subdomain
+# carrying the whole (n_l, nrhs) right-hand-side block: pickling, the
+# sealed-transport digest, and the worker round trip amortize over the
+# block instead of being paid per column. The worker runs the exact
+# solve primitive the serial path runs (LUFactors.solve on a 2-D
+# block, columnwise bit-identical to per-column solves), so bit-parity
+# across backends holds by the same argument as for setup tasks.
+
+@dataclass
+class BlockSolveTask:
+    """One shipped unit of batched triangular-solve work.
+
+    ``rhs`` is the (n_l, nrhs) block already in factored (permuted)
+    row order. ``Dp``/``handle_thresh`` are the SuperLU handle recipe:
+    factors pickle handle-less, so the worker re-attaches one via
+    :func:`repro.lu.attach_handle` (bit-identical by its pivot
+    cross-check contract), memoized process-wide under ``token`` so
+    repeated fan-outs against the same factors skip the refactorization.
+    ``handle_thresh=None`` means the static-pivot rung produced the
+    factors — no handle exists on any backend and the explicit
+    triangular-solve path runs everywhere.
+    """
+
+    ell: int
+    rhs: np.ndarray
+    factors: LUFactors
+    Dp: Optional[sp.csc_matrix] = None
+    handle_thresh: Optional[float] = None
+    token: str = ""
+
+
+@dataclass
+class BlockSolveResult:
+    """Worker return value: the solution block plus the worker-local
+    ABFT solve-audit counters for the parent to fold into the factor
+    checksums (shipped explicitly — on the process backend the worker's
+    checksum object is a pickled copy the parent never sees)."""
+
+    ell: int
+    X: np.ndarray
+    wall_s: float = 0.0
+    audit_checks: int = 0
+    audit_violations: int = 0
+    audit_worst_rel: float = 0.0
+    audit_detail: str = ""
+
+
+def factors_token(factors: LUFactors) -> str:
+    """Identity of a factor pair for the worker-side handle cache:
+    blake2b over the factor values and permutations. Any refactorization
+    (SDC recovery, update_matrix) changes the token and misses the
+    cache."""
+    import hashlib
+    h = hashlib.blake2b(digest_size=16)
+    h.update(np.ascontiguousarray(factors.L.data).tobytes())
+    h.update(np.ascontiguousarray(factors.U.data).tobytes())
+    h.update(np.ascontiguousarray(factors.perm_r).tobytes())
+    h.update(np.ascontiguousarray(factors.perm_c).tobytes())
+    return h.hexdigest()
+
+
+#: Worker-process handle cache: token -> SuperLU handle. Bounded FIFO;
+#: entries outlive one ``map`` call, so the repeated solve-phase
+#: fan-outs of a block solve (forward, backward, refinement sweeps)
+#: attach each subdomain's handle once per worker instead of once per
+#: fan-out.
+_HANDLE_CACHE: dict = {}
+_HANDLE_CACHE_MAX = 64
+
+
+def _cached_handle(task: BlockSolveTask):
+    handle = _HANDLE_CACHE.get(task.token)
+    if handle is not None:
+        return handle
+    if task.Dp is None:
+        return None
+    attach_handle(task.factors, task.Dp,
+                  diag_pivot_thresh=task.handle_thresh)
+    handle = task.factors.handle
+    if len(_HANDLE_CACHE) >= _HANDLE_CACHE_MAX:
+        _HANDLE_CACHE.pop(next(iter(_HANDLE_CACHE)))
+    _HANDLE_CACHE[task.token] = handle
+    return handle
+
+
+def run_block_solve(task: BlockSolveTask) -> BlockSolveResult:
+    """Worker entry point for one subdomain's batched triangular solve
+    (both the forward ``D^{-1} f`` and backward ``D^{-1} E y`` passes
+    ship through here). Honors the same chaos crash/straggle hooks as
+    setup tasks."""
+    crash = _env_subdomain(ENV_CRASH_SUBDOMAIN)
+    if crash == task.ell and in_worker():
+        os._exit(17)  # simulated hard crash (chaos hook)
+    straggle = _env_subdomain(ENV_STRAGGLE_SUBDOMAIN)
+    if straggle == task.ell:
+        time.sleep(_env_straggle_s())  # simulated straggler (chaos hook)
+
+    factors = task.factors
+    if factors.handle is None and task.handle_thresh is not None:
+        factors.handle = _cached_handle(task)
+    # swap in a fresh audit-counter view sharing the checksum arrays:
+    # on the thread backend `factors.checksums` IS the parent's object,
+    # and the parent folds the shipped counters afterwards — auditing
+    # onto the shared object directly would double-count
+    orig = factors.checksums
+    local = None
+    if orig is not None:
+        local = abft.FactorChecksums(
+            colsum_L=orig.colsum_L, colsum_U=orig.colsum_U,
+            colsum_A=orig.colsum_A, abs_colsum_A=orig.abs_colsum_A,
+            identity_den=orig.identity_den,
+            base_identity_rel=orig.base_identity_rel, armed=orig.armed)
+        factors.checksums = local
+    t0 = time.perf_counter()
+    try:
+        X = factors.solve(task.rhs)
+    finally:
+        factors.checksums = orig
+    wall = time.perf_counter() - t0
+    out = BlockSolveResult(ell=task.ell, X=X, wall_s=wall)
+    if local is not None:
+        out.audit_checks = local.checks
+        out.audit_violations = local.violations
+        out.audit_worst_rel = local.worst_rel
+        out.audit_detail = local.last_detail
     return out
 
 

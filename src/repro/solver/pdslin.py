@@ -47,7 +47,7 @@ from repro.numerics.pipeline import (
     prepare_system,
     retarget_system,
 )
-from repro.numerics.refine import CertifiedAccuracy, refine
+from repro.numerics.refine import CertifiedAccuracy, refine, refine_block
 from repro.obs.tracer import NULL_TRACER, Tracer
 from repro.ordering import minimum_degree
 from repro.parallel import RECOVER_STAGE, SimulatedMachine
@@ -79,14 +79,17 @@ from repro.resilience.checkpoint import (
     subdomain_shard_name,
     unpack_sparse,
 )
-from repro.solver.gmres import GMRESResult, gmres
+from repro.solver.gmres import GMRESResult, gmres, gmres_block
 from repro.solver.interfaces import SubdomainInterfaces, extract_interfaces
 from repro.solver.partasks import (
+    BlockSolveTask,
     SubdomainComp,
     SubdomainLU,
     SubdomainSetupResult,
     SubdomainTask,
+    factors_token,
     order_subdomain,
+    run_block_solve,
     pack_subdomain_state,
     replay_subdomain_verification,
     run_subdomain_comp,
@@ -154,6 +157,13 @@ class PDSLinConfig:
     certify_tol: float = 1e-12          # berr needed for certified=True
     # -- silent-data-corruption defense (repro.resilience.abft) --
     abft: str = "detect"                # "off" | "detect" | "detect+recover"
+    # -- multi-RHS solve phase (solve_block; excluded from the
+    #    checkpoint identity — see checkpoint.SOLVE_PHASE_FIELDS) --
+    krylov_seed: bool = True            # seed each Schur solve with the
+    #                                     previous column's solution
+    block_gmres: bool = False           # solve the Schur block with one
+    #                                     block-GMRES run instead of
+    #                                     per-column (seeded) GMRES
 
     def __post_init__(self) -> None:
         self.k = positive_int(self.k, "k")
@@ -215,6 +225,10 @@ class SubdomainComputation:
     padding_W: PaddingStats
     lu_flops: int
     t_colsum: Optional[np.ndarray] = None
+    #: SuperLU handle recipe of ``factors`` (None = static-pivot rung,
+    #: no handle anywhere) — what a solve-phase worker needs to
+    #: re-attach a bit-identical handle on its side of the pickle.
+    handle_thresh: Optional[float] = None
 
 
 @dataclass
@@ -259,6 +273,17 @@ class PDSLinResult:
         return self.machine.breakdown()
 
 
+@dataclass
+class _BlockSolve:
+    """Working-system result of one batched hybrid pass: the solution
+    block plus the per-column Krylov results (synthesized trivial ones
+    on the no-separator direct path)."""
+
+    X: np.ndarray
+    gmres: list[GMRESResult]
+    schur_size: int
+
+
 class PDSLin:
     """Hybrid Schur-complement solver over a simulated parallel machine.
 
@@ -280,9 +305,12 @@ class PDSLin:
     ``REPRO_BACKEND``). Every backend reduces in a fixed order and is
     bit-identical to serial; the :class:`SimulatedMachine` accounting is
     fed from worker-measured wall times, and worker tracer spans merge
-    into the parent trace on per-process tracks. The solve phase stays
-    inline on every backend: its per-subdomain triangular solves are
-    millisecond-scale, far below process-shipping cost.
+    into the parent trace on per-process tracks. Single-RHS
+    :meth:`solve` stays inline on every backend (its per-subdomain
+    triangular solves are millisecond-scale, far below process-shipping
+    cost); :meth:`solve_block` amortizes one fan-out per solve stage
+    over the whole right-hand-side block, so pooled backends ship each
+    subdomain's factors once per stage instead of once per column.
 
     Resilience: an optional :class:`repro.resilience.FaultPlan` arms
     seeded fault injection on the simulated machine, and the recovery
@@ -924,7 +952,7 @@ class PDSLin:
             G_tilde=comp.G_tilde, WT_tilde=comp.WT_tilde,
             T_tilde=comp.T_tilde, padding_G=comp.padding_G,
             padding_W=comp.padding_W, lu_flops=lu.flops,
-            t_colsum=comp.t_colsum)
+            t_colsum=comp.t_colsum, handle_thresh=lu.handle_thresh)
 
     def _setup_subdomain(self, ell: int) -> None:
         """Serial setup of one subdomain: the same task bodies the
@@ -1527,13 +1555,18 @@ class PDSLin:
                                   / max(np.linalg.norm(b), 1e-300))
         return res
 
-    def _solve_schur_system(self, matvec, g: np.ndarray):
+    def _solve_schur_system(self, matvec, g: np.ndarray, *,
+                            x0: np.ndarray | None = None):
         """One Krylov attempt on the Schur system, then the recovery
         ladder: BiCGSTAB breakdown falls back to GMRES; GMRES
         stagnation/non-convergence gets one retry with a refreshed
         (no-dropping) Schur preconditioner, warm-started from the
         failed iterate. Retried solves run under fresh ``Solve``
-        stages; the preconditioner rebuild is charged to ``Recover``."""
+        stages; the preconditioner rebuild is charged to ``Recover``.
+
+        ``x0`` seeds the first attempt (the multi-RHS path passes the
+        previous column's solution); recovery retries keep their own
+        warm starts."""
         cfg = self.config
 
         def run_gmres(x0=None):
@@ -1552,6 +1585,7 @@ class PDSLin:
             def body(ledger):
                 return bicgstab(matvec, g,
                                 preconditioner=self._precondition,
+                                x0=x0,
                                 tol=cfg.gmres_tol,
                                 maxiter=cfg.gmres_maxiter,
                                 audit_every=25 if self._abft_on() else 0,
@@ -1569,7 +1603,7 @@ class PDSLin:
                                   action="krylov-fallback"):
                 res = run_gmres(x0=res.x)
         else:
-            res = run_gmres()
+            res = run_gmres(x0=x0)
 
         if not res.converged:
             err = KrylovBreakdownError(
@@ -1649,12 +1683,17 @@ class PDSLin:
 
     def _solve(self, b: np.ndarray) -> PDSLinResult:
         """One hybrid solve in the working system, wrapped in the
-        solve-phase ABFT sweep: every triangular solve through the
-        subdomain factors ran a passive checksum audit; violations
-        accumulated on the factors are collected here. Recovery
-        refactorizes the flagged subdomains from their pristine
-        interface matrices and redoes the solve pass once."""
-        res = self._solve_once(b)
+        solve-phase ABFT sweep (see :meth:`_run_with_factor_sweep`)."""
+        return self._run_with_factor_sweep(lambda: self._solve_once(b))
+
+    def _run_with_factor_sweep(self, run_once: Callable):
+        """Run one solve pass under the solve-phase ABFT sweep: every
+        triangular solve through the subdomain factors ran a passive
+        checksum audit; violations accumulated on the factors are
+        collected here. Recovery refactorizes the flagged subdomains
+        from their pristine interface matrices and redoes the solve
+        pass once."""
+        res = run_once()
         if not self._abft_on():
             return res
         bad = self._sweep_factor_audits()
@@ -1682,13 +1721,22 @@ class PDSLin:
             for (ell, _), err in zip(bad, errs):
                 s = self.subdomains[ell]
                 Dp = s.interfaces.D[s.perm][:, s.perm].tocsc()
+                n_events = len(self.recovery.events)
                 factors, _ = factorize_resilient(
                     Dp, diag_pivot_thresh=self.config.diag_pivot_thresh,
                     stage="Solve", subdomain=ell, report=self.recovery,
                     tracer=self.tracer)
+                # keep the handle recipe current for solve-phase
+                # fan-outs against the fresh factors
+                s.handle_thresh = self.config.diag_pivot_thresh
+                for ev in self.recovery.events[n_events:]:
+                    if ev.action == "full-pivot":
+                        s.handle_thresh = 1.0
+                    elif ev.action == "static-pivot":
+                        s.handle_thresh = None
                 abft.attach_factor_checksums(factors, Dp)
                 s.factors = factors
-        res = self._solve_once(b)
+        res = run_once()
         bad2 = self._sweep_factor_audits()
         if bad2:
             for ell, detail in bad2:
@@ -1780,14 +1828,398 @@ class PDSLin:
                             machine=self.machine, gmres=g_res,
                             recovery=self.recovery)
 
+    # -- batched multi-RHS solve ------------------------------------------
+
+    def _block_subdomain_solves(
+            self, rhs_blocks: list[np.ndarray]) -> list[np.ndarray]:
+        """Batched triangular solves ``D_l^{-1} R_l`` across all
+        subdomains — ONE backend fan-out for the whole right-hand-side
+        block (the forward and backward substitution passes of
+        :meth:`solve_block` both ship through here). Inline backends
+        run each subdomain under the usual injected-fault ladder;
+        pooled backends ship :class:`BlockSolveTask` units and keep the
+        setup fan-out's failover semantics (crash / transport-checksum
+        / deadline -> redo on root). SuperLU batched solves are
+        columnwise bit-identical to single-column solves, so column
+        ``j`` here matches ``solve(B[:, j])`` bit for bit."""
+        if self.backend.inline:
+            outs = []
+            for s, rhs in zip(self.subdomains, rhs_blocks):
+                def body(ledger, s=s, rhs=rhs):
+                    return s.factors.solve(rhs)
+                outs.append(self._on_subdomain(s.interfaces.ell, "Solve",
+                                               body))
+            return outs
+
+        validate_chaos_env()
+        fates = [self._stage_fate("Solve", s.interfaces.ell)
+                 for s in self.subdomains]
+        tasks, task_ell = [], []
+        for s, rhs, fate in zip(self.subdomains, rhs_blocks, fates):
+            if fate != "run":
+                continue
+            Dp = None
+            if s.factors.handle is not None and s.handle_thresh is not None:
+                # the factors pickle handle-less; ship the permuted
+                # interface matrix so the worker can re-attach one
+                Dp = s.interfaces.D[s.perm][:, s.perm].tocsc()
+            tasks.append(BlockSolveTask(
+                ell=s.interfaces.ell, rhs=rhs, factors=s.factors,
+                Dp=Dp, handle_thresh=s.handle_thresh,
+                token=factors_token(s.factors)))
+            task_ell.append(s.interfaces.ell)
+
+        with self.tracer.span("solve_fanout", backend=self.backend.name,
+                              workers=self.backend.workers,
+                              tasks=len(tasks)):
+            outcomes = self.backend.map(run_block_solve, tasks,
+                                        deadline_s=self.task_deadline_s,
+                                        speculation=self.speculation)
+        self._count_speculation(outcomes)
+        self._book_transport(task_ell, outcomes)
+        by_ell = dict(zip(task_ell, outcomes))
+
+        outs = []
+        for s, rhs, fate in zip(self.subdomains, rhs_blocks, fates):
+            ell = s.interfaces.ell
+            out = by_ell.get(ell)
+            crashed = out is not None and \
+                isinstance(out.error,
+                           (WorkerCrashError, TransportChecksumError))
+            timed = out is not None and out.timed_out
+            if out is not None and out.error is not None \
+                    and not crashed and not timed:
+                raise out.error  # real numerical error: propagate as serial
+            if fate != "run" or crashed or timed:
+                if crashed:
+                    self._record("Solve", "failover-root", out.error,
+                                 subdomain=ell,
+                                 detail=("untrusted result payload"
+                                         if isinstance(
+                                             out.error,
+                                             TransportChecksumError)
+                                         else "worker process died")
+                                 + "; re-executing the work on root")
+                elif timed:
+                    self.tracer.count("deadline_timeouts")
+                    self._record("Solve", "deadline-failover", out.error,
+                                 subdomain=ell,
+                                 detail="task deadline expired; "
+                                        "re-executing the work on root")
+                with self.tracer.span("recover", stage="Solve",
+                                      action="failover-root", l=ell), \
+                        self.machine.on_root(RECOVER_STAGE):
+                    outs.append(s.factors.solve(rhs))
+                continue
+            r = out.value
+            # fold the worker-local solve-audit counters back into the
+            # parent's factor checksums, where _sweep_factor_audits
+            # collects them (the worker audited a pickled copy)
+            cs = s.factors.checksums
+            if cs is not None and r.audit_checks:
+                cs.checks += r.audit_checks
+                cs.violations += r.audit_violations
+                if r.audit_worst_rel > cs.worst_rel:
+                    cs.worst_rel = r.audit_worst_rel
+                if r.audit_violations and r.audit_detail:
+                    cs.last_detail = r.audit_detail
+            self._charge_process_stage(ell, "Solve", r.wall_s, 0)
+            outs.append(r.X)
+        return outs
+
+    def _solve_schur_block(self, matvec,
+                           G: np.ndarray) -> tuple[list[GMRESResult],
+                                                   np.ndarray]:
+        """Krylov solves for every column of the Schur system ``S Y =
+        G``. Default mode runs the full per-column recovery ladder
+        (:meth:`_solve_schur_system`), seeding each column with the
+        previous column's solution when ``krylov_seed`` is on — related
+        right-hand sides start near the solution manifold and converge
+        in fewer iterations, while an unrelated seed costs nothing (the
+        initial residual check discards it). ``block_gmres=True``
+        solves all columns in one block-Krylov run sharing a search
+        space; columns it leaves unconverged fall back to the
+        per-column ladder, so every column ends equally certified."""
+        cfg = self.config
+        p = G.shape[1]
+        if cfg.block_gmres and p > 1 and cfg.krylov in ("gmres", "fgmres"):
+            def body(ledger):
+                return gmres_block(matvec, G,
+                                   preconditioner=self._precondition,
+                                   tol=cfg.gmres_tol,
+                                   restart=cfg.gmres_restart,
+                                   maxiter=cfg.gmres_maxiter,
+                                   tracer=self.tracer)
+            blk = self._on_root_stage("Solve", body)
+            results, Y = self._audit_krylov_block(matvec, G, blk)
+            for j in range(p):
+                if results[j].converged:
+                    continue
+                # unconverged column: the full per-column ladder
+                # (preconditioner refresh + audit), warm-started from
+                # the block iterate
+                res_j = self._solve_schur_system(matvec, G[:, j],
+                                                 x0=results[j].x)
+                results[j] = res_j
+                Y[:, j] = res_j.x
+            return results, Y
+        results = []
+        Y = np.empty_like(G)
+        seed = None
+        for j in range(p):
+            res_j = self._solve_schur_system(matvec, G[:, j], x0=seed)
+            results.append(res_j)
+            Y[:, j] = res_j.x
+            seed = res_j.x if cfg.krylov_seed else None
+        return results, Y
+
+    def _audit_krylov_block(self, matvec, G: np.ndarray, blk):
+        """Block-mode counterpart of :meth:`_audit_krylov`: the
+        ``krylov`` bit-flip seam lands in the solution block, and ONE
+        block matvec audits every column at once instead of one audit
+        matvec per column. Suspected columns are warm-restarted
+        individually (per-column GMRES, preserving the preconditioner)
+        and re-audited by the final true residual alone."""
+        cfg = self.config
+        p = G.shape[1]
+        Y = blk.x
+        abft.maybe_bitflip("krylov", (Y,))
+        results = [GMRESResult(x=Y[:, j].copy(),
+                               converged=bool(blk.converged[j]),
+                               iterations=int(blk.iterations),
+                               residual_norms=[float(blk.residual_norms[j])],
+                               stagnated=bool(blk.stagnated))
+                   for j in range(p)]
+        if not self._abft_on() or Y.size == 0:
+            return results, Y
+        with self.tracer.span("abft_verify", stage="Solve"):
+            self.tracer.count("sdc_checks")
+            true_r = np.linalg.norm(G - matvec(Y), axis=0)
+            gnorm = np.linalg.norm(G, axis=0)
+
+        def run_gmres_col(j, x0):
+            def body(ledger):
+                return gmres(matvec, G[:, j],
+                             preconditioner=self._precondition, x0=x0,
+                             tol=cfg.gmres_tol,
+                             restart=cfg.gmres_restart,
+                             maxiter=cfg.gmres_maxiter,
+                             flexible=(cfg.krylov == "fgmres"),
+                             tracer=self.tracer)
+            return self._on_root_stage("Solve", body)
+
+        for j in range(p):
+            claimed = float(results[j].final_residual)
+            if not np.isfinite(claimed):
+                claimed = 0.0
+            # block results carry no in-run drift flag; judge by the
+            # true residual, as a warm restart re-audit would
+            suspected = float(true_r[j]) > 100.0 * max(
+                claimed, cfg.gmres_tol * float(gnorm[j]))
+            if not suspected:
+                continue
+            detail = (f"true residual {float(true_r[j]):.3e} vs claimed "
+                      f"{claimed:.3e} (column {j})")
+            err = SdcDetectedError(
+                f"Krylov residual drift: {detail}", site="krylov",
+                stage="Solve")
+            self.tracer.count("sdc_detected")
+            self._record("Solve", "sdc-detected", err, detail=detail)
+            if not abft.abft_recover(cfg.abft):
+                self._record("Solve", "sdc-unrecoverable", err,
+                             detail="abft=detect: corruption reported but "
+                                    "not repaired; the returned iterate "
+                                    "may be corrupt")
+                continue
+            with self.tracer.span("recover", stage="Solve",
+                                  action="sdc-krylov-restart"):
+                fresh = run_gmres_col(j, results[j].x)
+            suspected2, detail2 = self._krylov_drift(matvec, G[:, j], fresh,
+                                                     trust_flag=False)
+            results[j] = fresh
+            Y[:, j] = fresh.x
+            if suspected2 or not fresh.converged:
+                self._record("Solve", "sdc-unrecoverable", err,
+                             detail="warm restart did not clear the "
+                                    "drift: " + detail2)
+                continue
+            self.tracer.count("sdc_recovered")
+            self._record("Solve", "sdc-recovered", err,
+                         detail="corrupt Krylov state discarded; GMRES "
+                                "warm-restarted from the flagged iterate")
+        return results, Y
+
+    def _solve_block_once(self, B: np.ndarray) -> _BlockSolve:
+        """One batched hybrid pass in the working system — the block
+        mirror of :meth:`_solve_once`: batched forward substitution
+        through the subdomain factors, per-column (or block) Krylov on
+        the Schur system, batched back substitution."""
+        cfg = self.config
+        assert self.partition is not None
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim != 2 or B.shape[0] != self.A.shape[0]:
+            raise ValueError(f"B must be ({self.A.shape[0]}, nrhs)")
+        p = self.partition
+        sep = p.separator_vertices
+        nrhs = B.shape[1]
+        X = np.zeros_like(B)
+
+        if sep.size == 0:
+            # no separator: decoupled batched subdomain solves
+            rhs_blocks = [B[s.interfaces.vertices][s.perm]
+                          for s in self.subdomains]
+            for s, ul in zip(self.subdomains,
+                             self._block_subdomain_solves(rhs_blocks)):
+                X[s.interfaces.vertices[s.perm]] = ul
+            gres = [GMRESResult(x=np.empty(0), converged=True, iterations=0)
+                    for _ in range(nrhs)]
+            return _BlockSolve(X=X, gmres=gres, schur_size=0)
+
+        G = B[sep].copy()
+        # G^ = G - sum F_l D_l^{-1} f_l : one fan-out for all columns
+        rhs_blocks = [B[s.interfaces.vertices][s.perm]
+                      for s in self.subdomains]
+        d_solutions = self._block_subdomain_solves(rhs_blocks)
+        with self.machine.on_root("Solve"):
+            for s, UL in zip(self.subdomains, d_solutions):
+                Fp = s.interfaces.F_hat[:, s.perm].tocsr()
+                G[s.interfaces.f_rows] -= Fp @ UL
+            subs = [s.interfaces for s in self.subdomains]
+            facs = [s.factors for s in self.subdomains]
+            perms = [s.perm for s in self.subdomains]
+            matvec = implicit_schur_matvec(p.C(), subs, facs, perms)
+        results, Y = self._solve_schur_block(matvec, G)
+        for j in range(nrhs):
+            self.verifier.after_krylov(matvec, G[:, j], results[j])
+        X[sep] = Y
+
+        # back substitution: U_l = D^{-1}(F_l - E_l Y), again batched
+        with self.machine.on_root("Solve"):
+            rhs2 = [s.interfaces.E_hat[s.perm].tocsr()
+                    @ Y[s.interfaces.e_cols] for s in self.subdomains]
+        corrections = self._block_subdomain_solves(rhs2)
+        for s, UL0, DL in zip(self.subdomains, d_solutions, corrections):
+            X[s.interfaces.vertices[s.perm]] = UL0 - DL
+        return _BlockSolve(X=X, gmres=results, schur_size=int(sep.size))
+
+    def _solve_block(self, B: np.ndarray) -> _BlockSolve:
+        """One batched hybrid solve in the working system, under the
+        same solve-phase ABFT sweep as :meth:`_solve`."""
+        return self._run_with_factor_sweep(
+            lambda: self._solve_block_once(B))
+
+    def _correction_solve_block(self, R: np.ndarray) -> np.ndarray:
+        """Block counterpart of :meth:`_correction_solve`: approximate
+        ``A D = R`` columnwise with one batched hybrid pass — the inner
+        solver of blockwise iterative refinement."""
+        blk = self._solve_block(self._to_working_rhs(R))
+        return self._from_working_solution(blk.X)
+
+    def _finalize_block(self, B: np.ndarray, X: np.ndarray):
+        """Post-solve certification for a block — columnwise
+        :meth:`_finalize` semantics off a single residual matrix:
+        blockwise iterative refinement (one batched correction solve
+        per sweep instead of one solve per column), per-column
+        CertifiedAccuracy, and the true per-column residual norms of
+        ``A_input X = B``."""
+        cfg = self.config
+        accs: list[CertifiedAccuracy] | None = None
+        if cfg.refine_maxiter > 0 or cfg.condest:
+            with self.tracer.span("refine_block", nrhs=B.shape[1]):
+                X, accs = refine_block(
+                    self.A_input, B, X, self._correction_solve_block,
+                    tol=cfg.refine_tol, certify_tol=cfg.certify_tol,
+                    maxiter=cfg.refine_maxiter,
+                    cond_est=self._cond_for_bound(),
+                    on_stall=self._on_refine_stall)
+                for acc in accs:
+                    self.tracer.count("refine_steps", acc.refine_steps)
+                    self.tracer.count("refine_certified",
+                                      int(acc.certified))
+            for j, acc in enumerate(accs):
+                if acc.stagnated and not acc.certified:
+                    self._record(
+                        "Refine", "refine-stall",
+                        RefinementStallError("refinement stagnated "
+                                             "uncertified", berr=acc.berr),
+                        detail=f"berr={acc.berr:.2e} after "
+                               f"{acc.refine_steps} steps "
+                               f"({acc.escalations} escalations; "
+                               f"column {j})")
+            if accs:
+                # last column wins, matching sequential per-column solves
+                self.recovery.accuracy = accs[-1].to_dict()
+        R = B - self.A_input @ X
+        res_norms = [float(np.linalg.norm(R[:, j])
+                           / max(np.linalg.norm(B[:, j]), 1e-300))
+                     for j in range(B.shape[1])]
+        return X, accs, res_norms
+
+    def solve_block(self, B: np.ndarray) -> list[PDSLinResult]:
+        """Solve ``A X = B`` for a block of right-hand sides in one
+        batched pass (setup() is run on demand). Rejects ``B``
+        containing NaN/Inf.
+
+        Where :meth:`solve` dispatches, substitutes, and refines one
+        column at a time, this path amortizes every stage over the
+        block: one backend fan-out per substitution pass carrying all
+        columns (factors ship once, not once per column), Schur solves
+        seeded column-to-column (``krylov_seed``; or one block-GMRES
+        run with ``block_gmres=True``), blockwise iterative refinement
+        off a single residual matrix, and one vectorized ABFT audit
+        ``1^T A X = 1^T B`` per triangular-solve block.
+
+        Parity contract: column ``j`` of the returned solutions is
+        bit-identical to ``solve(B[:, j])`` on direct paths (batched
+        triangular solves and the numerics transform are columnwise
+        bit-exact), and equally certified — same CertifiedAccuracy
+        machinery, same tolerances — on seeded-Krylov paths, where the
+        warm start changes the iterate trajectory but not the
+        convergence contract."""
+        B = np.asarray(B, dtype=np.float64)
+        if B.ndim != 2:
+            raise ValueError("B must be a 2-D (n, nrhs) array")
+        check_finite(B, "B")
+        if not self._is_setup:
+            self.setup()
+        if B.shape[0] != self.A_input.shape[0]:
+            raise ValueError(f"B must be ({self.A_input.shape[0]}, nrhs)")
+        nrhs = B.shape[1]
+        if nrhs == 0:
+            return []
+        t0 = time.perf_counter()
+        with self.tracer.span("solve_block", nrhs=nrhs):
+            blk = self._solve_block(self._to_working_rhs(B))
+            X = self._from_working_solution(blk.X)
+            X, accs, res_norms = self._finalize_block(B, X)
+            out = []
+            for j in range(nrhs):
+                res = PDSLinResult(
+                    x=X[:, j].copy(), converged=blk.gmres[j].converged,
+                    iterations=blk.gmres[j].iterations,
+                    residual_norm=res_norms[j],
+                    schur_size=blk.schur_size, machine=self.machine,
+                    gmres=blk.gmres[j], recovery=self.recovery)
+                if accs is not None:
+                    res.accuracy = accs[j]
+                self.verifier.after_solve(self.A_input, B[:, j], X[:, j],
+                                          res_norms[j])
+                out.append(res)
+        wall = time.perf_counter() - t0
+        if wall > 0.0:
+            self.tracer.count("noise:rhs_per_s", nrhs / wall)
+        return out
+
     def solve_multiple(self, B: np.ndarray) -> list[PDSLinResult]:
         """Solve ``A x_j = B[:, j]`` for every column, reusing the setup
         (the factorizations amortize across right-hand sides). Rejects
-        ``B`` containing NaN/Inf."""
+        ``B`` containing NaN/Inf.
+
+        Delegates to the batched :meth:`solve_block` path: one fan-out
+        per substitution stage carrying all columns instead of one full
+        :meth:`solve` per column."""
         B = np.asarray(B, dtype=np.float64)
         if B.ndim != 2 or B.shape[0] != self.A.shape[0]:
             raise ValueError(f"B must be ({self.A.shape[0]}, nrhs)")
         check_finite(B, "B")
-        if not self._is_setup:
-            self.setup()
-        return [self.solve(B[:, j]) for j in range(B.shape[1])]
+        return self.solve_block(B)

@@ -18,7 +18,7 @@ import numpy as np
 from repro.obs.export import stage_metrics
 from repro.solver.pdslin import PDSLin, PDSLinResult
 
-__all__ = ["run_report", "format_report", "save_report"]
+__all__ = ["run_report", "block_report", "format_report", "save_report"]
 
 
 def _jsonable(v: Any) -> Any:
@@ -87,6 +87,32 @@ def run_report(solver: PDSLin, result: PDSLinResult) -> dict:
     }
 
 
+def block_report(solver: PDSLin, results: list[PDSLinResult]) -> dict:
+    """Summarize a completed :meth:`PDSLin.solve_block` run: the usual
+    :func:`run_report` (off the last column, whose accuracy block is
+    the one the recovery report carries) plus per-column convergence
+    and the block throughput counter (``noise:rhs_per_s``, present
+    when a tracer ran)."""
+    if not results:
+        raise ValueError("block_report needs at least one column result")
+    rep = run_report(solver, results[-1])
+    rhs_per_s = None
+    if solver.tracer.enabled:
+        v = solver.tracer.counters.get("noise:rhs_per_s")
+        if v is not None:
+            rhs_per_s = float(v)
+    rep["solve_block"] = {
+        "nrhs": len(results),
+        "all_converged": bool(all(r.converged for r in results)),
+        "all_certified": bool(all(r.certified for r in results)),
+        "iterations": [int(r.iterations) for r in results],
+        "residual_norms": [float(r.residual_norm) for r in results],
+        "worst_residual": float(max(r.residual_norm for r in results)),
+        "rhs_per_s": rhs_per_s,
+    }
+    return rep
+
+
 def format_report(report: dict) -> str:
     """Readable multi-line rendering of :func:`run_report`'s output."""
     lines = [
@@ -113,6 +139,15 @@ def format_report(report: dict) -> str:
                      f"nberr={acc['nberr']:.2e} "
                      f"cond~{acc['cond_est']:.2e} "
                      f"refine_steps={acc['refine_steps']}")
+    blk = report.get("solve_block")
+    if blk:
+        tput = (f" {blk['rhs_per_s']:.1f} RHS/s"
+                if blk.get("rhs_per_s") else "")
+        lines.append(
+            f"block: nrhs={blk['nrhs']} "
+            f"worst_residual={blk['worst_residual']:.2e} "
+            f"all_converged={blk['all_converged']}"
+            + tput)
     obs = report.get("obs")
     if obs:
         lines.append("traced stages (wall): " + "  ".join(

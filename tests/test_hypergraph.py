@@ -316,3 +316,64 @@ class TestNetOps:
         side = np.array([0, 0, 1, 1])
         spl = split_by_side(H, side, "con1")
         assert 1 in spl.children[0].net_ids  # fragment keeps original id
+
+
+class TestVectorizedKernels:
+    """Regressions for the vectorized cut/gain kernels against slow
+    per-net reference loops."""
+
+    @staticmethod
+    def _random_h(rng, n_vertices=30, n_nets=20):
+        nets = [rng.choice(n_vertices, size=int(rng.integers(0, 6)),
+                           replace=False) for _ in range(n_nets)]
+        net_ptr = np.concatenate(
+            ([0], np.cumsum([len(net) for net in nets]))).astype(np.int64)
+        pins = (np.concatenate(nets) if net_ptr[-1]
+                else np.empty(0, dtype=np.int64))
+        costs = rng.integers(1, 50, n_nets)
+        return Hypergraph.from_arrays(net_ptr, pins, n_vertices,
+                                      net_costs=costs)
+
+    @staticmethod
+    def _cut_reference(H, side):
+        total = 0
+        for j in range(H.n_nets):
+            sides = {int(side[p]) for p in H.net_pins(j)}
+            if len(sides) == 2:
+                total += int(H.net_costs[j])
+        return total
+
+    def test_bisection_cut_fuzz_vs_reference(self):
+        # empty nets, single-pin nets, and weighted nets all in play
+        rng = np.random.default_rng(0)
+        for _trial in range(20):
+            H = self._random_h(rng)
+            side = rng.integers(0, 2, H.n_vertices)
+            assert bisection_cut(H, side) == self._cut_reference(H, side)
+
+    def test_bisection_cut_all_one_side(self):
+        rng = np.random.default_rng(1)
+        H = self._random_h(rng)
+        assert bisection_cut(H, np.zeros(H.n_vertices, dtype=int)) == 0
+        assert bisection_cut(H, np.ones(H.n_vertices, dtype=int)) == 0
+
+    def test_gains_exact_past_float53(self):
+        # net costs beyond 2^53: a float64 accumulator (the old
+        # np.bincount(weights=...) path) rounds the +3 away; the int64
+        # np.add.at path must stay exact
+        big = 2 ** 53
+        H = Hypergraph.from_arrays(
+            net_ptr=[0, 2, 4], pins=[0, 1, 0, 2], n_vertices=3,
+            net_costs=[big, 3])
+        side = np.array([0, 1, 1])
+        sigma = np.zeros((2, H.n_nets), dtype=np.int64)
+        for j in range(H.n_nets):
+            for p in H.net_pins(j):
+                sigma[side[p], j] += 1
+        gains = hypergraph_gains(H, side, sigma)
+        assert gains.dtype == np.int64
+        # both nets are cut with vertex 0 their sole side-0 pin: moving
+        # it uncuts both, for an exactly representable gain of 2^53 + 3
+        assert gains[0] == big + 3
+        assert float(big) + 3.0 != big + 3  # the float64 rounding trap
+        assert gains[1] == big and gains[2] == 3

@@ -26,10 +26,12 @@ if __package__ in (None, ""):
     sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.obs.gate import NOISE_COUNTER_PREFIX
-from repro.obs.smoke import run_smoke
+from repro.obs.smoke import MULTIRHS_NRHS, run_multirhs_smoke, run_smoke
 
-DEFAULT_OUT = Path(__file__).resolve().parent.parent / \
-    "benchmarks" / "baselines" / "smoke.json"
+BASELINE_DIR = Path(__file__).resolve().parent.parent / \
+    "benchmarks" / "baselines"
+DEFAULT_OUTS = {"smoke": BASELINE_DIR / "smoke.json",
+                "multirhs": BASELINE_DIR / "multirhs.json"}
 
 
 def _deterministic(counters: dict) -> dict:
@@ -39,19 +41,27 @@ def _deterministic(counters: dict) -> dict:
             if not name.startswith(NOISE_COUNTER_PREFIX)}
 
 
-def record(runs: int, *, scale: str, k: int, seed: int) -> dict:
-    """Median-of-N smoke metrics (see module docstring)."""
+def record(runs: int, *, scale: str, k: int, seed: int,
+           scenario: str = "smoke",
+           nrhs: int = MULTIRHS_NRHS) -> dict:
+    """Median-of-N scenario metrics (see module docstring)."""
     if runs <= 0:
         raise ValueError("runs must be positive")
-    samples = [run_smoke(scale=scale, k=k, seed=seed).metrics
-               for _ in range(runs)]
+    if scenario == "multirhs":
+        samples = [run_multirhs_smoke(scale=scale, k=k, seed=seed,
+                                      nrhs=nrhs).metrics
+                   for _ in range(runs)]
+    else:
+        samples = [run_smoke(scale=scale, k=k, seed=seed).metrics
+                   for _ in range(runs)]
     base = samples[0]
     base_counters = _deterministic(base["totals"]["counters"])
     for other in samples[1:]:
         if _deterministic(other["totals"]["counters"]) != base_counters:
             raise RuntimeError(
-                "op counters differ across identical runs; the smoke "
-                "scenario is not deterministic — refusing to record")
+                f"op counters differ across identical runs; the "
+                f"{scenario} scenario is not deterministic — refusing "
+                f"to record")
     out = {k_: v for k_, v in base.items() if k_ != "stages"}
     out["stages"] = {}
     for name, st in base["stages"].items():
@@ -74,13 +84,19 @@ def main(argv: list[str] | None = None) -> int:
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("--runs", type=int, default=5,
                     help="number of smoke runs to take the median over")
+    ap.add_argument("--scenario", choices=("smoke", "multirhs"),
+                    default="smoke")
     ap.add_argument("--scale", default="tiny")
     ap.add_argument("--k", type=int, default=4)
     ap.add_argument("--seed", type=int, default=0)
-    ap.add_argument("--out", default=str(DEFAULT_OUT))
+    ap.add_argument("--nrhs", type=int, default=MULTIRHS_NRHS)
+    ap.add_argument("--out", default=None,
+                    help="output path (default: benchmarks/baselines/"
+                         "<scenario>.json)")
     args = ap.parse_args(argv)
-    baseline = record(args.runs, scale=args.scale, k=args.k, seed=args.seed)
-    out = Path(args.out)
+    baseline = record(args.runs, scale=args.scale, k=args.k, seed=args.seed,
+                      scenario=args.scenario, nrhs=args.nrhs)
+    out = Path(args.out) if args.out else DEFAULT_OUTS[args.scenario]
     out.parent.mkdir(parents=True, exist_ok=True)
     with open(out, "w") as f:
         json.dump(baseline, f, indent=2, sort_keys=True)
