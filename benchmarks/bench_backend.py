@@ -18,7 +18,7 @@ import numpy as np
 from benchmarks.conftest import publish
 from repro.matrices.suite import generate, suite_names
 from repro.parallel.exec import ProcessBackend
-from repro.solver import PDSLin, PDSLinConfig
+from repro.solver import PDSLin, PDSLinConfig, RuntimeOptions
 
 WORKER_COUNTS = (1, 2, 4)
 SPEEDUP_GATE = 1.5           # required at 4 workers...
@@ -27,7 +27,8 @@ GATE_MIN_CPUS = 4            # ...but only on a machine with >= 4 cores
 
 def _solve(A, M, backend, *, k, seed=0):
     b = np.random.default_rng(seed).standard_normal(A.shape[0])
-    solver = PDSLin(A, PDSLinConfig(k=k, seed=seed), M=M, backend=backend)
+    solver = PDSLin(A, PDSLinConfig(k=k, seed=seed), M=M,
+                    runtime=RuntimeOptions(backend=backend))
     t0 = time.perf_counter()
     res = solver.solve(b)
     return res, time.perf_counter() - t0

@@ -10,17 +10,18 @@ runs at different scales can be archived side by side.
 
 from __future__ import annotations
 
-import os
 from pathlib import Path
 
 import pytest
 
-RESULTS_DIR = Path(os.environ.get(
-    "REPRO_BENCH_RESULTS_DIR", Path(__file__).parent / "results"))
+from repro import envcfg
+
+RESULTS_DIR = Path(envcfg.get("REPRO_BENCH_RESULTS_DIR")
+                   or Path(__file__).parent / "results")
 
 
 def _bench_opted_in(config) -> bool:
-    if os.environ.get("REPRO_RUN_BENCH"):
+    if envcfg.get("REPRO_RUN_BENCH"):
         return True
     try:
         return bool(config.getoption("--benchmark-only"))
@@ -48,7 +49,7 @@ def pytest_collection_modifyitems(config, items):
 
 
 def bench_scale(default: str = "small") -> str:
-    return os.environ.get("REPRO_BENCH_SCALE", default)
+    return envcfg.get("REPRO_BENCH_SCALE") or default
 
 
 @pytest.fixture(scope="session")

@@ -22,6 +22,7 @@ import sys
 import numpy as np
 
 from repro import FaultPlan, FaultSpec, PDSLin, PDSLinConfig, generate
+from repro.solver import RuntimeOptions
 
 
 def banner(title: str) -> None:
@@ -44,7 +45,7 @@ def main() -> None:
         FaultSpec(stage="Comp(S)", process=2, kind="straggler",
                   delay_s=0.25),
     ], seed=seed)
-    solver = PDSLin(gm.A, cfg, fault_plan=plan)
+    solver = PDSLin(gm.A, cfg, runtime=RuntimeOptions(fault_plan=plan))
     result = solver.solve(b)
     print(f"converged={result.converged} degraded={result.degraded} "
           f"residual={result.residual_norm:.2e}")

@@ -13,9 +13,16 @@ Public surface (see README for the architecture overview):
 - :mod:`repro.resilience` — fault injection and breakdown recovery;
 - :mod:`repro.numerics` — equilibration, static-pivot matching,
   condition estimation, certified iterative refinement;
+- :mod:`repro.service` — long-lived serving layer (session cache,
+  micro-batched request queue) — start one with :func:`repro.serve`;
 - :mod:`repro.experiments` — per-table/figure harnesses.
+
+One-shot solves need no class API at all: :func:`repro.solve` routes
+keyword options to :class:`PDSLinConfig` / :class:`RuntimeOptions` by
+field name and runs the whole pipeline.
 """
 
+from repro.api import serve, solve
 from repro.core import DBBDPartition, RHBResult, build_dbbd, rhb_partition
 from repro.graphs import nested_dissection_partition
 from repro.matrices import (
@@ -26,13 +33,21 @@ from repro.matrices import (
 )
 from repro.numerics import CertifiedAccuracy, backward_errors
 from repro.resilience import FaultPlan, FaultSpec, RecoveryReport, RetryPolicy
-from repro.solver import PDSLin, PDSLinConfig, PDSLinResult
+from repro.solver import (
+    BlockResult,
+    PDSLin,
+    PDSLinConfig,
+    PDSLinResult,
+    RuntimeOptions,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "solve", "serve",
     "rhb_partition", "build_dbbd", "DBBDPartition", "RHBResult",
-    "PDSLin", "PDSLinConfig", "PDSLinResult",
+    "PDSLin", "PDSLinConfig", "PDSLinResult", "BlockResult",
+    "RuntimeOptions",
     "FaultPlan", "FaultSpec", "RecoveryReport", "RetryPolicy",
     "CertifiedAccuracy", "backward_errors",
     "nested_dissection_partition",

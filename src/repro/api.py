@@ -1,0 +1,101 @@
+"""Top-level convenience entry points: :func:`repro.solve` and
+:func:`repro.serve`.
+
+``solve`` is the one-shot path — build, set up, and run a
+:class:`~repro.solver.PDSLin` for a single system (or block of
+right-hand sides) without touching the class API::
+
+    import repro
+    result = repro.solve(A, b, k=8, partitioner="rhb", backend="process:2")
+
+Keyword options are routed by name: fields of
+:class:`~repro.solver.PDSLinConfig` (``k``, ``drop_schur``,
+``partitioner``, ...) configure the numerics; fields of
+:class:`~repro.solver.RuntimeOptions` (``backend``, ``tracer``,
+``checkpoint``, ...) configure the run. An explicit ``config=`` /
+``runtime=`` object wins over loose keywords for the same field —
+mixing both raises.
+
+``serve`` is the long-lived path: it starts a
+:class:`repro.service.SolverService` (session cache + micro-batching
+request queue) and returns it::
+
+    with repro.serve(backend="process:4") as svc:
+        fut = svc.submit(A, b)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import TYPE_CHECKING, Optional, Union
+
+import numpy as np
+import scipy.sparse as sp
+
+from repro.solver import (
+    BlockResult,
+    PDSLin,
+    PDSLinConfig,
+    PDSLinResult,
+    RuntimeOptions,
+)
+
+if TYPE_CHECKING:
+    from repro.service import SolverService
+
+__all__ = ["solve", "serve"]
+
+_CONFIG_FIELDS = frozenset(f.name for f in dataclasses.fields(PDSLinConfig))
+_RUNTIME_FIELDS = frozenset(RuntimeOptions.field_names())
+
+
+def _route_options(config: Optional[PDSLinConfig],
+                   runtime: Optional[RuntimeOptions],
+                   options: dict) -> tuple[PDSLinConfig, RuntimeOptions]:
+    """Split loose keywords into config/runtime fields by name."""
+    cfg_kw = {k: v for k, v in options.items() if k in _CONFIG_FIELDS}
+    rt_kw = {k: v for k, v in options.items() if k in _RUNTIME_FIELDS}
+    unknown = set(options) - _CONFIG_FIELDS - _RUNTIME_FIELDS
+    if unknown:
+        raise TypeError(
+            f"unknown option(s) {sorted(unknown)}; valid names are the "
+            f"fields of PDSLinConfig and RuntimeOptions")
+    if config is not None and cfg_kw:
+        raise TypeError(
+            f"pass {sorted(cfg_kw)} inside config=, not alongside it")
+    if runtime is not None and rt_kw:
+        raise TypeError(
+            f"pass {sorted(rt_kw)} inside runtime=, not alongside it")
+    cfg = config if config is not None else PDSLinConfig(**cfg_kw)
+    rt = runtime if runtime is not None else RuntimeOptions(**rt_kw)
+    return cfg, rt
+
+
+def solve(A: sp.spmatrix, b: np.ndarray, *,
+          M: Optional[sp.spmatrix] = None,
+          config: Optional[PDSLinConfig] = None,
+          runtime: Optional[RuntimeOptions] = None,
+          **options) -> Union[PDSLinResult, BlockResult]:
+    """Solve ``A x = b`` with the full hybrid pipeline in one call.
+
+    A 1-D ``b`` returns a :class:`~repro.solver.PDSLinResult`; a 2-D
+    ``(n, nrhs)`` block returns a :class:`~repro.solver.BlockResult`
+    via the batched multi-RHS path. See the module docstring for how
+    ``**options`` are routed.
+    """
+    cfg, rt = _route_options(config, runtime, options)
+    solver = PDSLin(A, cfg, M=M, runtime=rt)
+    b = np.asarray(b, dtype=np.float64)
+    if b.ndim == 2:
+        return solver.solve_block(b)
+    return solver.solve(b)
+
+
+def serve(**kwargs) -> "SolverService":
+    """Start a :class:`repro.service.SolverService` — the long-lived,
+    session-cached, micro-batching front end. All keywords are
+    forwarded (``config=``, ``backend=``, ``cache_bytes=``,
+    ``batch_window_s=``, ``max_pending=``, ``tracer=``, ...)."""
+    from repro.service import SolverService
+
+    return SolverService(**kwargs)

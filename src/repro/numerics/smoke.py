@@ -60,7 +60,7 @@ def run_numerics_smoke(*, k: int = 4, seed: int = 0,
     # imported here so `repro.numerics` stays importable without
     # pulling in the whole solver stack
     from repro.matrices import generate_robust, robust_suite_names
-    from repro.solver import PDSLin, PDSLinConfig
+    from repro.solver import PDSLin, PDSLinConfig, RuntimeOptions
 
     tracer = Tracer()
     run = NumericsRun(tracer=tracer)
@@ -69,7 +69,7 @@ def run_numerics_smoke(*, k: int = 4, seed: int = 0,
         gm = generate_robust(name, scale)
         b = gm.A @ rng.standard_normal(gm.n)
         res = PDSLin(gm.A, PDSLinConfig(k=k, seed=seed),
-                     tracer=tracer).solve(b)
+                     runtime=RuntimeOptions(tracer=tracer)).solve(b)
         acc = res.accuracy
         entry = {
             "n": gm.n,

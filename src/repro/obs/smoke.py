@@ -64,7 +64,7 @@ def run_smoke(*, name: str = SMOKE_MATRIX, scale: str = SMOKE_SCALE,
     import tempfile
 
     from repro.matrices import generate
-    from repro.solver import PDSLin, PDSLinConfig
+    from repro.solver import PDSLin, PDSLinConfig, RuntimeOptions
 
     gm = generate(name, scale)
     A = gm.A.tocsr()
@@ -75,10 +75,11 @@ def run_smoke(*, name: str = SMOKE_MATRIX, scale: str = SMOKE_SCALE,
                        block_size=32)
     if checkpoint:
         with tempfile.TemporaryDirectory(prefix="repro-smoke-ckpt-") as d:
-            solver = PDSLin(A, cfg, tracer=tracer, checkpoint=d)
+            solver = PDSLin(A, cfg, runtime=RuntimeOptions(
+                tracer=tracer, checkpoint=d))
             result = solver.solve(b)
     else:
-        solver = PDSLin(A, cfg, tracer=tracer)
+        solver = PDSLin(A, cfg, runtime=RuntimeOptions(tracer=tracer))
         result = solver.solve(b)
     metrics = stage_metrics(tracer)
     metrics["meta"] = {
@@ -107,7 +108,7 @@ def run_multirhs_smoke(*, name: str = SMOKE_MATRIX,
     throughput counter rides under the ``noise:`` prefix
     (``noise:rhs_per_s``) so it is exported but not gated."""
     from repro.matrices import generate
-    from repro.solver import PDSLin, PDSLinConfig
+    from repro.solver import PDSLin, PDSLinConfig, RuntimeOptions
 
     gm = generate(name, scale)
     A = gm.A.tocsr()
@@ -116,7 +117,7 @@ def run_multirhs_smoke(*, name: str = SMOKE_MATRIX,
     tracer = Tracer()
     cfg = PDSLinConfig(k=k, seed=seed, rhs_ordering=rhs_ordering,
                        block_size=32)
-    solver = PDSLin(A, cfg, tracer=tracer)
+    solver = PDSLin(A, cfg, runtime=RuntimeOptions(tracer=tracer))
     solver.setup()
     results = solver.solve_block(B)
     converged = bool(all(r.converged for r in results))

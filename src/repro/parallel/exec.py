@@ -66,6 +66,7 @@ from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import envcfg
 from repro.resilience.errors import (
     TaskDeadlineError,
     TransportChecksumError,
@@ -107,14 +108,8 @@ def transport_checksum_enabled() -> bool:
     """Whether sealed task results carry a verified blake2b digest
     (default yes). ``REPRO_TRANSPORT_CHECKSUM=0`` disables verification;
     any other value than 0/1 raises a ``ValueError`` naming the
-    variable."""
-    raw = os.environ.get(ENV_TRANSPORT_CHECKSUM)
-    if raw is None or raw in ("", "1"):
-        return True
-    if raw == "0":
-        return False
-    raise ValueError(f"{ENV_TRANSPORT_CHECKSUM} must be '0' or '1', "
-                     f"got {raw!r}")
+    variable (parsed through :mod:`repro.envcfg`)."""
+    return envcfg.get(ENV_TRANSPORT_CHECKSUM)
 
 
 @dataclass
@@ -619,14 +614,9 @@ def _default_start_method() -> str:
     modules), the platform default (``spawn``) elsewhere. A
     ``REPRO_MP_START`` override is validated against the platform's
     available start methods."""
-    override = os.environ.get(ENV_MP_START)
+    override = envcfg.get(ENV_MP_START)
     import multiprocessing as mp
     if override:
-        valid = mp.get_all_start_methods()
-        if override not in valid:
-            raise ValueError(
-                f"{ENV_MP_START} must be one of {sorted(valid)}, "
-                f"got {override!r}")
         return override
     return "fork" if "fork" in mp.get_all_start_methods() else \
         mp.get_start_method(allow_none=False)
@@ -712,16 +702,8 @@ def backend_names() -> tuple:
 
 
 def _default_workers() -> int:
-    env = os.environ.get(ENV_WORKERS)
-    if env:
-        try:
-            value = int(env)
-        except ValueError:
-            raise ValueError(f"{ENV_WORKERS} must be a positive integer, "
-                             f"got {env!r}") from None
-        if value < 1:
-            raise ValueError(f"{ENV_WORKERS} must be a positive integer, "
-                             f"got {env!r}")
+    value = envcfg.get(ENV_WORKERS)
+    if value is not None:
         return value
     return max(1, min(4, os.cpu_count() or 1))
 
@@ -774,7 +756,7 @@ def resolve_backend(spec: "Executor | str | None") -> Executor:
     if isinstance(spec, Executor):
         return spec
     if spec is None:
-        env = os.environ.get(ENV_BACKEND, "")
+        env = envcfg.get_raw(ENV_BACKEND) or ""
         if env:
             try:
                 return get_backend(env)

@@ -32,7 +32,7 @@ import numpy as np
 
 from repro.matrices.suite import generate, suite_names
 from repro.parallel.exec import get_backend
-from repro.solver import PDSLin, PDSLinConfig
+from repro.solver import PDSLin, PDSLinConfig, RuntimeOptions
 
 
 def check_matrix(name: str, scale: str, backend, *, k: int = 4,
@@ -42,8 +42,10 @@ def check_matrix(name: str, scale: str, backend, *, k: int = 4,
     rng = np.random.default_rng(seed)
     b = rng.standard_normal(gm.A.shape[0])
     cfg = dict(k=k, seed=seed)
-    ref = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M, backend="serial").solve(b)
-    par = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M, backend=backend).solve(b)
+    ref = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M,
+                 runtime=RuntimeOptions(backend="serial")).solve(b)
+    par = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M,
+                 runtime=RuntimeOptions(backend=backend)).solve(b)
     return {
         "matrix": name,
         "n": gm.A.shape[0],
@@ -67,15 +69,18 @@ def check_resume(name: str, scale: str, backend, *, k: int = 4,
     rng = np.random.default_rng(seed)
     b = rng.standard_normal(gm.A.shape[0])
     cfg = dict(k=k, seed=seed)
-    ref = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M, backend="serial").solve(b)
+    ref = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M,
+                 runtime=RuntimeOptions(backend="serial")).solve(b)
     keep = max(1, k // 2)
     with tempfile.TemporaryDirectory(prefix="repro-parity-") as d:
-        PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M, backend=backend,
-               checkpoint=d).solve(b)
+        PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M,
+               runtime=RuntimeOptions(backend=backend, checkpoint=d)).solve(b)
         truncate_checkpoint(d, keep)
         tracer = Tracer()
-        res = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M, backend=backend,
-                     resume=d, checkpoint=d, tracer=tracer).solve(b)
+        res = PDSLin(gm.A, PDSLinConfig(**cfg), M=gm.M,
+                     runtime=RuntimeOptions(backend=backend, resume=d,
+                                            checkpoint=d,
+                                            tracer=tracer)).solve(b)
         restored = int(tracer.counters.get("checkpoint_subdomains_restored",
                                            0))
         refactored = tracer.span_count("factor_subdomain")

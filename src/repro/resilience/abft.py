@@ -39,6 +39,9 @@ from dataclasses import dataclass, field
 import numpy as np
 import scipy.sparse as sp
 
+from repro import envcfg
+from repro.envcfg import BITFLIP_TARGETS
+
 __all__ = [
     "ABFT_MODES", "check_abft_mode", "abft_detect", "abft_recover",
     "FactorChecksums", "attach_factor_checksums", "verify_factors",
@@ -274,8 +277,6 @@ ENV_BITFLIP_SEED = "REPRO_CHAOS_BITFLIP_SEED"
 #: default 0.
 ENV_BITFLIP_SUBDOMAIN = "REPRO_CHAOS_BITFLIP_SUBDOMAIN"
 
-BITFLIP_TARGETS = ("lu", "schur", "krylov", "transport")
-
 # one-shot registry: (target, subdomain, seed, count) that already fired
 # in this process. Workers in a shared pool keep their copy — chaos
 # drills vary the seed per leg to re-arm them.
@@ -300,34 +301,18 @@ class BitflipSeam:
         return (self.target, subdomain, self.seed, self.count)
 
 
-def _env_int(name: str, default: int, *, minimum: int = 0) -> int:
-    raw = os.environ.get(name)
-    if raw is None or raw == "":
-        return default
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(f"{name} must be an integer, got {raw!r}") from None
-    if value < minimum:
-        raise ValueError(f"{name} must be >= {minimum}, got {raw!r}")
-    return value
-
-
 def bitflip_seam() -> BitflipSeam | None:
     """Parse the bit-flip seam from the environment (None when unset).
-    Malformed values raise a ``ValueError`` naming the variable."""
-    target = os.environ.get(ENV_BITFLIP_TARGET)
-    if target is None or target == "":
+    Malformed values raise a ``ValueError`` naming the variable
+    (parsed through the :mod:`repro.envcfg` registry)."""
+    target = envcfg.get(ENV_BITFLIP_TARGET)
+    if target is None:
         return None
-    if target not in BITFLIP_TARGETS:
-        raise ValueError(
-            f"{ENV_BITFLIP_TARGET} must be one of {BITFLIP_TARGETS}, "
-            f"got {target!r}")
     return BitflipSeam(
         target=target,
-        count=_env_int(ENV_BITFLIP_COUNT, 1, minimum=1),
-        seed=_env_int(ENV_BITFLIP_SEED, 0),
-        subdomain=_env_int(ENV_BITFLIP_SUBDOMAIN, 0))
+        count=envcfg.get(ENV_BITFLIP_COUNT),
+        seed=envcfg.get(ENV_BITFLIP_SEED),
+        subdomain=envcfg.get(ENV_BITFLIP_SUBDOMAIN))
 
 
 def validate_bitflip_env() -> None:

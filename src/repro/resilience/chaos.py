@@ -105,7 +105,7 @@ def run_chaos_smoke(*, k: int = 4, seed: int = 0,
     # solver stack (repro.lu imports our error types at module level)
     from repro.matrices import generate
     from repro.obs.smoke import SMOKE_MATRIX, SMOKE_SCALE
-    from repro.solver import PDSLin, PDSLinConfig
+    from repro.solver import PDSLin, PDSLinConfig, RuntimeOptions
 
     if plan is None:
         plan = standard_fault_plan(k=k, seed=seed)
@@ -116,7 +116,8 @@ def run_chaos_smoke(*, k: int = 4, seed: int = 0,
     tracer = Tracer()
     cfg = PDSLinConfig(k=k, seed=seed, rhs_ordering="hypergraph",
                        block_size=32)
-    solver = PDSLin(A, cfg, tracer=tracer, fault_plan=plan)
+    solver = PDSLin(A, cfg, runtime=RuntimeOptions(tracer=tracer,
+                                                   fault_plan=plan))
     result = solver.solve(b)
     bd = result.breakdown()
     rep = result.recovery
@@ -160,7 +161,7 @@ def run_straggler_smoke(*, k: int = 4, seed: int = 0,
     """
     from repro.matrices import generate
     from repro.obs.smoke import SMOKE_MATRIX, SMOKE_SCALE
-    from repro.solver import PDSLin, PDSLinConfig
+    from repro.solver import PDSLin, PDSLinConfig, RuntimeOptions
     from repro.solver.partasks import ENV_STRAGGLE_S, ENV_STRAGGLE_SUBDOMAIN
 
     gm = generate(SMOKE_MATRIX, SMOKE_SCALE)
@@ -168,7 +169,8 @@ def run_straggler_smoke(*, k: int = 4, seed: int = 0,
     rng = np.random.default_rng(seed)
     b = rng.standard_normal(A.shape[0])
     cfg = dict(k=k, seed=seed, rhs_ordering="hypergraph", block_size=32)
-    ref = PDSLin(A, PDSLinConfig(**cfg), backend="serial").solve(b)
+    ref = PDSLin(A, PDSLinConfig(**cfg),
+                 runtime=RuntimeOptions(backend="serial")).solve(b)
 
     saved = {name: os.environ.get(name)
              for name in (ENV_STRAGGLE_SUBDOMAIN, ENV_STRAGGLE_S)}
@@ -176,12 +178,12 @@ def run_straggler_smoke(*, k: int = 4, seed: int = 0,
     os.environ[ENV_STRAGGLE_S] = str(straggle_s)
     try:
         t_dead = Tracer()
-        r_dead = PDSLin(A, PDSLinConfig(**cfg), backend=backend,
-                        task_deadline_s=deadline_s,
-                        tracer=t_dead).solve(b)
+        r_dead = PDSLin(A, PDSLinConfig(**cfg), runtime=RuntimeOptions(
+            backend=backend, task_deadline_s=deadline_s,
+            tracer=t_dead)).solve(b)
         t_spec = Tracer()
-        r_spec = PDSLin(A, PDSLinConfig(**cfg), backend=backend,
-                        speculation=True, tracer=t_spec).solve(b)
+        r_spec = PDSLin(A, PDSLinConfig(**cfg), runtime=RuntimeOptions(
+            backend=backend, speculation=True, tracer=t_spec)).solve(b)
     finally:
         for name, value in saved.items():
             if value is None:
@@ -244,7 +246,7 @@ def run_bitflip_smoke(*, k: int = 4, seed: int = 0,
     from repro.obs.smoke import SMOKE_MATRIX, SMOKE_SCALE
     from repro.parallel.exec import ENV_TRANSPORT_CHECKSUM
     from repro.resilience import abft
-    from repro.solver import PDSLin, PDSLinConfig
+    from repro.solver import PDSLin, PDSLinConfig, RuntimeOptions
 
     gm = generate(SMOKE_MATRIX, SMOKE_SCALE)
     A = gm.A.tocsr()
@@ -267,8 +269,9 @@ def run_bitflip_smoke(*, k: int = 4, seed: int = 0,
         os.environ.update(env)
         abft.reset_bitflip_state()
         tracer = Tracer()
-        solver = PDSLin(A, PDSLinConfig(abft=mode, **cfg), tracer=tracer,
-                        backend=backend)
+        solver = PDSLin(A, PDSLinConfig(abft=mode, **cfg),
+                        runtime=RuntimeOptions(tracer=tracer,
+                                               backend=backend))
         try:
             result = solver.solve(b)
         finally:

@@ -51,6 +51,7 @@ from typing import Callable, Dict, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro import envcfg
 from repro.obs.tracer import NULL_TRACER
 from repro.resilience.errors import CheckpointError
 
@@ -72,17 +73,7 @@ _DIGEST_SIZE = 16
 
 
 def _env_kill_after() -> Optional[int]:
-    raw = os.environ.get(ENV_KILL_AFTER)
-    if raw is None:
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(f"{ENV_KILL_AFTER} must be an integer subdomain "
-                         f"index, got {raw!r}") from None
-    if value < 0:
-        raise ValueError(f"{ENV_KILL_AFTER} must be >= 0, got {raw!r}")
-    return value
+    return envcfg.get(ENV_KILL_AFTER)
 
 
 # -- fingerprints ----------------------------------------------------------

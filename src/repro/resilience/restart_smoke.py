@@ -67,14 +67,15 @@ def _solve(matrix: str, scale: str, k: int, seed: int, backend: str, *,
            checkpoint: str | None = None, resume: str | None = None,
            tracer=None):
     from repro.matrices.suite import generate
-    from repro.solver import PDSLin, PDSLinConfig
+    from repro.solver import PDSLin, PDSLinConfig, RuntimeOptions
 
     gm = generate(matrix, scale)
     rng = np.random.default_rng(seed)
     b = rng.standard_normal(gm.A.shape[0])
     solver = PDSLin(gm.A, PDSLinConfig(k=k, seed=seed), M=gm.M,
-                    backend=backend, checkpoint=checkpoint, resume=resume,
-                    tracer=tracer)
+                    runtime=RuntimeOptions(backend=backend,
+                                           checkpoint=checkpoint,
+                                           resume=resume, tracer=tracer))
     return solver.solve(b)
 
 

@@ -1,0 +1,80 @@
+"""Structured rejections of the serving layer.
+
+Every way :class:`repro.service.SolverService` can refuse a request is
+a :class:`ServiceError` subclass carrying the context a client needs to
+react programmatically (queue depth at rejection, the deadline that was
+missed, the fingerprint that was unknown) — the serving-layer analogue
+of the pipeline's :class:`repro.resilience.SolverError` hierarchy, and
+a subclass of it, so one ``except SolverError`` guard covers both the
+solver and the service in front of it. Like every ``SolverError``,
+instances survive pickling with their structured attributes intact.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.errors import SolverError
+
+__all__ = [
+    "ServiceError",
+    "ServiceClosedError",
+    "ServiceOverloadedError",
+    "ServiceDeadlineError",
+    "UnknownSessionError",
+]
+
+
+class ServiceError(SolverError):
+    """Base class for serving-layer rejections and failures."""
+
+    def __init__(self, message: str, *, request_id: int | None = None,
+                 stage: str = "Service"):
+        super().__init__(message, stage=stage)
+        self.request_id = request_id
+
+
+class ServiceClosedError(ServiceError):
+    """The service is shut down (or shutting down): the request was
+    not accepted, or was pending when :meth:`SolverService.close`
+    drained the queue."""
+
+
+class ServiceOverloadedError(ServiceError):
+    """Backpressure rejection: the request queue is at its depth limit,
+    or too many *distinct* cold matrices are already awaiting setup.
+
+    ``queue_depth`` / ``limit`` describe the constraint that fired:
+    for the cold-matrix limit they count pending distinct sessions.
+    """
+
+    def __init__(self, message: str, *, queue_depth: int = 0,
+                 limit: int = 0, request_id: int | None = None):
+        super().__init__(message, request_id=request_id)
+        self.queue_depth = queue_depth
+        self.limit = limit
+
+
+class ServiceDeadlineError(ServiceError):
+    """The request's deadline expired before its batch was dispatched.
+
+    ``deadline_s`` is the budget the request carried; ``waited_s`` how
+    long it actually sat in the queue. Requests still live at dispatch
+    have their remaining budget mapped onto the solver's per-task
+    deadline machinery instead of raising this.
+    """
+
+    def __init__(self, message: str, *, deadline_s: float = 0.0,
+                 waited_s: float = 0.0, request_id: int | None = None):
+        super().__init__(message, request_id=request_id)
+        self.deadline_s = float(deadline_s)
+        self.waited_s = float(waited_s)
+
+
+class UnknownSessionError(ServiceError):
+    """A request addressed a session by fingerprint, but no session
+    with that fingerprint is cached (never created, or evicted).
+    Resubmit with the full matrix to re-establish it."""
+
+    def __init__(self, message: str, *, fingerprint: str = "",
+                 request_id: int | None = None):
+        super().__init__(message, request_id=request_id)
+        self.fingerprint = fingerprint

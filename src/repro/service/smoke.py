@@ -1,0 +1,172 @@
+"""Traffic-replay smoke for the serving layer.
+
+Drives one :class:`repro.service.SolverService` through the traffic
+shapes a long-lived deployment sees — a hot matrix hammered in bursts
+(micro-batching + cache hits), cold matrices arriving mid-stream
+(admission + setup + possible eviction), fingerprint-addressed
+requests, an ``update_matrix`` revalidation (same pattern, new values),
+and requests with unmeetable deadlines (structured rejections) — then
+checks the invariants that make the service safe to put in front of
+the solver:
+
+- every served request converged, and a cache-hit request is
+  bit-identical to a fresh single-shot ``PDSLin(...).solve(b)``;
+- deadline-doomed requests were rejected with
+  :class:`ServiceDeadlineError`, not silently served or dropped;
+- the revalidated session serves answers bit-identical to a fresh
+  solver built on the new values;
+- after ``close()``, no worker process the service started survives.
+
+Run it::
+
+    python -m repro.service.smoke                  # serial + process
+    python -m repro.service.smoke --backend serial --requests 48
+
+Exit status 0 only if every check passed on every backend.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import multiprocessing
+import sys
+import time
+
+import numpy as np
+
+from repro.matrices import generate
+from repro.obs.tracer import Tracer
+from repro.service import ServiceDeadlineError, SolverService
+from repro.solver import PDSLin, PDSLinConfig
+
+__all__ = ["run_service_smoke", "main"]
+
+HOT_MATRIX = "tdr190k"
+COLD_MATRICES = ("tdr455k", "dds.quad", "matrix211")
+
+
+def run_service_smoke(backend: str = "serial", *, scale: str = "tiny",
+                      n_requests: int = 32, k: int = 4,
+                      seed: int = 0) -> dict:
+    """Replay the mixed workload against one backend; returns
+    ``{"backend", "ok", "checks", "report"}``."""
+    rng = np.random.default_rng(seed)
+    cfg = PDSLinConfig(k=k, seed=seed)
+    hot = generate(HOT_MATRIX, scale).A
+    colds = [generate(name, scale).A for name in COLD_MATRICES]
+    tracer = Tracer()
+
+    checks: dict[str, bool] = {}
+    svc = SolverService(config=cfg, backend=backend, tracer=tracer,
+                        batch_window_s=0.01)
+    try:
+        # -- phase 1: hot bursts with cold matrices interleaved
+        futures, parity_pairs = [], []
+        n_cold = len(colds)
+        for i in range(n_requests):
+            if i % 8 == 3 and i // 8 < n_cold:
+                A = colds[i // 8]
+            else:
+                A = hot
+            b = rng.standard_normal(A.shape[0])
+            fut = svc.submit(A, b)
+            futures.append(fut)
+            if i in (0, 9):           # one cold, one likely-hot probe
+                parity_pairs.append((A, b, fut))
+        results = [f.result(timeout=600) for f in futures]
+        checks["all_converged"] = all(r.converged for r in results)
+
+        # cache-hit answers must be bit-identical to one-shot solves
+        checks["bit_identical"] = all(
+            fut.result().x.tobytes() == PDSLin(A, cfg).solve(b).x.tobytes()
+            for A, b, fut in parity_pairs)
+
+        # -- phase 2: fingerprint-addressed hot traffic
+        fp = svc.fingerprint(hot, cfg)
+        b = rng.standard_normal(hot.shape[0])
+        checks["fingerprint_path"] = svc.solve(fp, b).converged
+
+        # -- phase 3: revalidation — same pattern, scaled values
+        hot2 = hot.copy()
+        hot2.data = hot2.data * 1.25
+        key2 = svc.update_matrix(hot2)
+        b2 = rng.standard_normal(hot2.shape[0])
+        served = svc.solve(key2, b2)
+        fresh = PDSLin(hot2, cfg).solve(b2)
+        checks["revalidated_bit_identical"] = \
+            served.x.tobytes() == fresh.x.tobytes()
+
+        # -- phase 4: unmeetable deadlines → structured rejections.
+        # Stall dispatch with a queued batch so the doomed requests
+        # provably expire while waiting.
+        doomed = [svc.submit(key2, rng.standard_normal(hot2.shape[0]),
+                             deadline_s=1e-4) for _ in range(3)]
+        time.sleep(0.002)
+        missed = 0
+        for fut in doomed:
+            try:
+                fut.result(timeout=600)
+            except ServiceDeadlineError:
+                missed += 1
+        checks["deadline_rejections"] = missed >= 1
+
+        report = svc.service_report()
+        checks["cache_hits"] = report["cache"]["hits"] > 0
+        checks["batching"] = report["requests"]["max_batch_nrhs"] >= 2
+        checks["revalidation_counted"] = \
+            report["requests"]["revalidations"] == 1
+    finally:
+        svc.close()
+
+    checks["no_orphan_workers"] = not multiprocessing.active_children()
+    return {
+        "backend": backend,
+        "ok": all(checks.values()),
+        "checks": checks,
+        "report": report,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="serving-layer traffic-replay smoke")
+    parser.add_argument("--backend", default="both",
+                        choices=("serial", "process", "both"),
+                        help="execution backend(s) to drive")
+    parser.add_argument("--scale", default="tiny",
+                        help="matrix scale (default tiny)")
+    parser.add_argument("--requests", type=int, default=32,
+                        help="phase-1 request count (default 32)")
+    parser.add_argument("--json", default=None,
+                        help="write the full outcome dicts to this file")
+    args = parser.parse_args(argv)
+
+    backends = ("serial", "process:2") if args.backend == "both" \
+        else (args.backend if ":" in args.backend
+              or args.backend == "serial" else f"{args.backend}:2",)
+    outcomes = []
+    for backend in backends:
+        out = run_service_smoke(backend, scale=args.scale,
+                                n_requests=args.requests)
+        outcomes.append(out)
+        status = "ok" if out["ok"] else "FAIL"
+        req = out["report"]["requests"]
+        thr = out["report"]["throughput"]
+        print(f"[{status}] backend={backend} served={req['served']} "
+              f"batches={req['batches']} "
+              f"max_batch={req['max_batch_nrhs']} "
+              f"cache_hits={out['report']['cache']['hits']} "
+              f"deadline_missed={req['deadline_missed']} "
+              f"rhs/s={thr['rhs_per_s']:.1f}")
+        for name, passed in out["checks"].items():
+            if not passed:
+                print(f"    check failed: {name}")
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(outcomes, fh, indent=2, default=str)
+    return 0 if all(o["ok"] for o in outcomes) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

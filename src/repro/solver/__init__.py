@@ -4,12 +4,14 @@ from repro.solver.bicgstab import BiCGSTABResult, bicgstab
 from repro.solver.gmres import GMRESResult, gmres
 from repro.solver.interfaces import SubdomainInterfaces, extract_interfaces
 from repro.solver.pdslin import (
+    BlockResult,
     PDSLin,
     PDSLinConfig,
     PDSLinResult,
     SubdomainComputation,
 )
 from repro.solver.report import format_report, run_report, save_report
+from repro.solver.runtime import RuntimeOptions
 from repro.solver.schur import (
     assemble_approximate_schur,
     drop_small_entries,
@@ -21,6 +23,7 @@ __all__ = [
     "BiCGSTABResult", "bicgstab",
     "SubdomainInterfaces", "extract_interfaces",
     "assemble_approximate_schur", "drop_small_entries", "implicit_schur_matvec",
-    "PDSLinConfig", "PDSLin", "PDSLinResult", "SubdomainComputation",
+    "PDSLinConfig", "PDSLin", "PDSLinResult", "BlockResult",
+    "RuntimeOptions", "SubdomainComputation",
     "run_report", "format_report", "save_report",
 ]

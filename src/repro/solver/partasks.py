@@ -47,6 +47,7 @@ from typing import List, Optional
 import numpy as np
 import scipy.sparse as sp
 
+from repro import envcfg
 from repro.core.rhs_reorder import (
     hypergraph_column_order,
     natural_column_order,
@@ -96,32 +97,13 @@ ENV_STRAGGLE_S = "REPRO_CHAOS_STRAGGLE_S"
 
 
 def _env_subdomain(name: str) -> Optional[int]:
-    """A chaos env var holding a subdomain index, validated."""
-    raw = os.environ.get(name)
-    if raw is None or raw == "":
-        return None
-    try:
-        value = int(raw)
-    except ValueError:
-        raise ValueError(f"{name} must be an integer subdomain index, "
-                         f"got {raw!r}") from None
-    if value < 0:
-        raise ValueError(f"{name} must be >= 0, got {raw!r}")
-    return value
+    """A chaos env var holding a subdomain index, validated through the
+    :mod:`repro.envcfg` registry."""
+    return envcfg.get(name)
 
 
 def _env_straggle_s() -> float:
-    raw = os.environ.get(ENV_STRAGGLE_S)
-    if raw is None or raw == "":
-        return 0.25
-    try:
-        value = float(raw)
-    except ValueError:
-        raise ValueError(f"{ENV_STRAGGLE_S} must be a number of seconds, "
-                         f"got {raw!r}") from None
-    if value < 0.0:
-        raise ValueError(f"{ENV_STRAGGLE_S} must be >= 0, got {raw!r}")
-    return value
+    return envcfg.get(ENV_STRAGGLE_S)
 
 
 def validate_chaos_env() -> None:

@@ -21,7 +21,10 @@ yields the per-stage makespans and balance ratios the paper reports.
 
 from __future__ import annotations
 
+import dataclasses
 import time
+import warnings
+from collections.abc import Sequence
 from dataclasses import dataclass, field
 from typing import Callable, Optional
 
@@ -80,6 +83,7 @@ from repro.resilience.checkpoint import (
     unpack_sparse,
 )
 from repro.solver.gmres import GMRESResult, gmres, gmres_block
+from repro.solver.runtime import RuntimeOptions
 from repro.solver.interfaces import SubdomainInterfaces, extract_interfaces
 from repro.solver.partasks import (
     BlockSolveTask,
@@ -111,9 +115,14 @@ from repro.utils import (
     positive_int,
 )
 
-__all__ = ["PDSLinConfig", "SubdomainComputation", "PDSLinResult", "PDSLin"]
+__all__ = ["PDSLinConfig", "RuntimeOptions", "SubdomainComputation",
+           "PDSLinResult", "BlockResult", "PDSLin"]
 
 RHS_ORDERINGS = ("natural", "postorder", "hypergraph")
+
+# sentinel distinguishing "keyword not passed" from an explicit None for
+# the deprecated per-knob runtime keywords of PDSLin.__init__
+_UNSET = object()
 
 
 @dataclass
@@ -273,6 +282,103 @@ class PDSLinResult:
         return self.machine.breakdown()
 
 
+class BlockResult(Sequence):
+    """Result of one batched multi-RHS solve.
+
+    Behaves exactly like the ``list[PDSLinResult]`` that
+    :meth:`PDSLin.solve_block` historically returned — iteration,
+    indexing, ``len()``, equality against a plain list — so existing
+    callers keep working unchanged, while exposing the block-level view:
+
+    - ``X`` — the ``(n, nrhs)`` solution block (column ``j`` equals
+      ``results[j].x``);
+    - ``results`` — the per-column :class:`PDSLinResult` objects;
+    - ``accuracy`` — the aggregate certificate: worst-column backward
+      errors and refinement depth, ``certified`` only when *every*
+      column certified (``None`` when the numerics layer was off);
+    - ``converged`` / ``certified`` / ``degraded`` — all-columns
+      aggregates;
+    - ``residual_norms`` — per-column true relative residuals.
+    """
+
+    def __init__(self, X: np.ndarray, results: list[PDSLinResult],
+                 accuracy: Optional[CertifiedAccuracy] = None):
+        self.X = X
+        self.results = list(results)
+        self.accuracy = accuracy
+
+    # -- list compatibility ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.results)
+
+    def __iter__(self):
+        return iter(self.results)
+
+    def __getitem__(self, index):
+        return self.results[index]
+
+    def __eq__(self, other) -> bool:
+        if isinstance(other, BlockResult):
+            return self.results == other.results
+        if isinstance(other, list):
+            return self.results == other
+        return NotImplemented
+
+    def __repr__(self) -> str:
+        n, nrhs = self.X.shape
+        return (f"BlockResult(nrhs={nrhs}, n={n}, "
+                f"converged={self.converged}, certified={self.certified})")
+
+    # -- block-level aggregates --------------------------------------------
+
+    @property
+    def nrhs(self) -> int:
+        return len(self.results)
+
+    @property
+    def converged(self) -> bool:
+        """True when every column converged."""
+        return all(r.converged for r in self.results)
+
+    @property
+    def certified(self) -> bool:
+        """True when every column's refinement certified its backward
+        error (False when numerics is off)."""
+        return bool(self.results) and all(r.certified for r in self.results)
+
+    @property
+    def degraded(self) -> bool:
+        """True when the solve survived only in degraded mode."""
+        return any(r.degraded for r in self.results)
+
+    @property
+    def residual_norms(self) -> list[float]:
+        return [r.residual_norm for r in self.results]
+
+    @staticmethod
+    def aggregate_accuracy(
+            accs: "list[CertifiedAccuracy] | None",
+    ) -> Optional[CertifiedAccuracy]:
+        """Fold per-column certificates into one block certificate:
+        worst-column (max) backward errors and bounds, deepest
+        refinement, certified only if all columns are."""
+        if not accs:
+            return None
+        return CertifiedAccuracy(
+            berr=max(a.berr for a in accs),
+            nberr=max(a.nberr for a in accs),
+            cond_est=max(a.cond_est for a in accs),
+            ferr_bound=max(a.ferr_bound for a in accs),
+            refine_steps=max(a.refine_steps for a in accs),
+            certified=all(a.certified for a in accs),
+            certify_tol=accs[0].certify_tol,
+            stagnated=any(a.stagnated for a in accs),
+            escalations=sum(a.escalations for a in accs),
+            berr_history=list(max(accs, key=lambda a: a.berr).berr_history),
+        )
+
+
 @dataclass
 class _BlockSolve:
     """Working-system result of one batched hybrid pass: the solution
@@ -292,6 +398,18 @@ class PDSLin:
         solver = PDSLin(A, PDSLinConfig(k=8, partitioner="rhb"))
         solver.setup()
         result = solver.solve(b)
+
+    Execution/resilience knobs (everything below that does not change
+    the numeric answer) are carried by one
+    :class:`~repro.solver.runtime.RuntimeOptions` value::
+
+        rt = RuntimeOptions(tracer=tracer, backend="process:4",
+                            task_deadline_s=30.0)
+        solver = PDSLin(A, config, runtime=rt)
+
+    The historical per-knob keywords (``tracer=``, ``backend=``, ...)
+    still work but emit :class:`DeprecationWarning`; when both are
+    given, an explicit keyword overrides the same field of ``runtime``.
 
     Pass a :class:`repro.obs.Tracer` to record real wall-clock spans and
     counters for every pipeline stage (partition, per-subdomain
@@ -343,16 +461,56 @@ class PDSLin:
 
     def __init__(self, A: sp.spmatrix, config: PDSLinConfig | None = None, *,
                  M: sp.spmatrix | None = None,
-                 tracer: Tracer | None = None,
-                 fault_plan: FaultPlan | None = None,
-                 retry_policy: RetryPolicy | None = None,
-                 verify: bool | Verifier = False,
-                 backend: Executor | str | None = None,
-                 checkpoint: "CheckpointManager | str | None" = None,
-                 checkpoint_policy: CheckpointPolicy | None = None,
-                 resume: str | None = None,
-                 task_deadline_s: float | None = None,
-                 speculation: "SpeculationPolicy | bool | None" = None):
+                 runtime: RuntimeOptions | None = None,
+                 tracer: "Tracer | None" = _UNSET,
+                 fault_plan: "FaultPlan | None" = _UNSET,
+                 retry_policy: "RetryPolicy | None" = _UNSET,
+                 verify: "bool | Verifier" = _UNSET,
+                 backend: "Executor | str | None" = _UNSET,
+                 checkpoint: "CheckpointManager | str | None" = _UNSET,
+                 checkpoint_policy: "CheckpointPolicy | None" = _UNSET,
+                 resume: "str | None" = _UNSET,
+                 task_deadline_s: "float | None" = _UNSET,
+                 speculation: "SpeculationPolicy | bool | None" = _UNSET):
+        # -- runtime options: one RuntimeOptions value, with the legacy
+        # per-knob keywords still accepted as deprecated shims
+        legacy = {
+            name: value
+            for name, value in (("tracer", tracer),
+                                ("fault_plan", fault_plan),
+                                ("retry_policy", retry_policy),
+                                ("verify", verify),
+                                ("backend", backend),
+                                ("checkpoint", checkpoint),
+                                ("checkpoint_policy", checkpoint_policy),
+                                ("resume", resume),
+                                ("task_deadline_s", task_deadline_s),
+                                ("speculation", speculation))
+            if value is not _UNSET
+        }
+        if legacy:
+            names = ", ".join(sorted(legacy))
+            warnings.warn(
+                f"PDSLin keyword(s) {names} are deprecated; pass "
+                f"runtime=RuntimeOptions({names}=...) instead",
+                DeprecationWarning, stacklevel=2)
+        rt = runtime if runtime is not None else RuntimeOptions()
+        if legacy:
+            # explicit per-knob keywords win over the same field on a
+            # RuntimeOptions passed alongside them
+            rt = dataclasses.replace(rt, **legacy)
+        self.runtime = rt
+        tracer = rt.tracer
+        fault_plan = rt.fault_plan
+        retry_policy = rt.retry_policy
+        verify = rt.verify
+        backend = rt.backend
+        checkpoint = rt.checkpoint
+        checkpoint_policy = rt.checkpoint_policy
+        resume = rt.resume
+        task_deadline_s = rt.task_deadline_s
+        speculation = rt.speculation
+
         self.A_input = check_csr(A)
         check_square(self.A_input, "A")
         check_finite(self.A_input, "A")
@@ -2155,10 +2313,14 @@ class PDSLin:
                      for j in range(B.shape[1])]
         return X, accs, res_norms
 
-    def solve_block(self, B: np.ndarray) -> list[PDSLinResult]:
+    def solve_block(self, B: np.ndarray) -> BlockResult:
         """Solve ``A X = B`` for a block of right-hand sides in one
         batched pass (setup() is run on demand). Rejects ``B``
-        containing NaN/Inf.
+        containing NaN/Inf. Returns a :class:`BlockResult` — a drop-in
+        sequence of per-column :class:`PDSLinResult` (iteration,
+        indexing, ``len()``, list equality all preserved) that also
+        exposes the ``(n, nrhs)`` solution block ``.X`` and the
+        aggregate accuracy certificate ``.accuracy``.
 
         Where :meth:`solve` dispatches, substitutes, and refines one
         column at a time, this path amortizes every stage over the
@@ -2186,7 +2348,8 @@ class PDSLin:
             raise ValueError(f"B must be ({self.A_input.shape[0]}, nrhs)")
         nrhs = B.shape[1]
         if nrhs == 0:
-            return []
+            return BlockResult(X=np.empty((self.A_input.shape[0], 0)),
+                               results=[])
         t0 = time.perf_counter()
         with self.tracer.span("solve_block", nrhs=nrhs):
             blk = self._solve_block(self._to_working_rhs(B))
@@ -2208,9 +2371,10 @@ class PDSLin:
         wall = time.perf_counter() - t0
         if wall > 0.0:
             self.tracer.count("noise:rhs_per_s", nrhs / wall)
-        return out
+        return BlockResult(X=X, results=out,
+                           accuracy=BlockResult.aggregate_accuracy(accs))
 
-    def solve_multiple(self, B: np.ndarray) -> list[PDSLinResult]:
+    def solve_multiple(self, B: np.ndarray) -> BlockResult:
         """Solve ``A x_j = B[:, j]`` for every column, reusing the setup
         (the factorizations amortize across right-hand sides). Rejects
         ``B`` containing NaN/Inf.

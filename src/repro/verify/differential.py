@@ -77,6 +77,7 @@ def differential_solve(A: sp.spmatrix, b: np.ndarray, *, k: int = 4,
     case is accepted as vacuous (reported in the result).
     """
     from repro.solver.pdslin import PDSLin
+    from repro.solver.runtime import RuntimeOptions
 
     verifier = verifier or Verifier()
     cfg = _default_config(k, seed, **config_overrides)
@@ -85,7 +86,7 @@ def differential_solve(A: sp.spmatrix, b: np.ndarray, *, k: int = 4,
     x_ref = splu_solve_oracle(A, b)
     oracle_berr = normwise_backward_error(A, x_ref, b)
 
-    solver = PDSLin(A, cfg, verify=verifier)
+    solver = PDSLin(A, cfg, runtime=RuntimeOptions(verify=verifier))
     res = solver.solve(b)
     berr = normwise_backward_error(A, res.x, b)
 
@@ -125,12 +126,13 @@ def check_stage_oracles(A: sp.spmatrix, *, k: int = 4, seed=0,
     ``max|S|``).
     """
     from repro.solver.pdslin import PDSLin
+    from repro.solver.runtime import RuntimeOptions
     from repro.solver.schur import implicit_schur_matvec
 
     verifier = verifier or Verifier()
     cfg = _default_config(k, seed, drop_interface=0.0, drop_schur=0.0,
                           numerics=False)
-    solver = PDSLin(A, cfg, verify=verifier)
+    solver = PDSLin(A, cfg, runtime=RuntimeOptions(verify=verifier))
     solver.setup()
     assert solver.partition is not None
     ns = solver.partition.separator_size

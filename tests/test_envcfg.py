@@ -1,0 +1,111 @@
+"""Tests for the typed REPRO_* environment registry."""
+
+from pathlib import Path
+
+import pytest
+
+from repro import envcfg
+
+README = Path(__file__).resolve().parent.parent / "README.md"
+
+
+class TestParsing:
+    def test_unset_returns_default(self):
+        assert envcfg.get("REPRO_CHAOS_STRAGGLE_S", env={}) == 0.25
+        assert envcfg.get("REPRO_SERVICE_CACHE_BYTES",
+                          env={}) == 256 * 1024 * 1024
+        assert envcfg.get("REPRO_TRANSPORT_CHECKSUM", env={}) is True
+
+    def test_empty_string_counts_as_unset(self):
+        assert envcfg.get("REPRO_WORKERS", env={"REPRO_WORKERS": ""}) is None
+
+    def test_int_round_trip(self):
+        env = {"REPRO_WORKERS": "3"}
+        assert envcfg.get("REPRO_WORKERS", env=env) == 3
+
+    def test_float_round_trip(self):
+        env = {"REPRO_SERVICE_BATCH_WINDOW_S": "0.25"}
+        assert envcfg.get("REPRO_SERVICE_BATCH_WINDOW_S", env=env) == 0.25
+
+    def test_flag01_round_trip(self):
+        get = lambda raw: envcfg.get(
+            "REPRO_TRANSPORT_CHECKSUM",
+            env={"REPRO_TRANSPORT_CHECKSUM": raw})
+        assert get("1") is True
+        assert get("0") is False
+
+    def test_choice_round_trip(self):
+        env = {"REPRO_CHAOS_BITFLIP_TARGET": "schur"}
+        assert envcfg.get("REPRO_CHAOS_BITFLIP_TARGET", env=env) == "schur"
+
+    def test_truthy(self):
+        assert envcfg.get("REPRO_RUN_BENCH", env={}) is False
+        assert envcfg.get("REPRO_RUN_BENCH",
+                          env={"REPRO_RUN_BENCH": "yes"}) is True
+
+
+class TestValidationErrors:
+    """Malformed values die with a ValueError naming the variable —
+    the contract the scattered per-module parsers used to implement."""
+
+    @pytest.mark.parametrize("name,raw", [
+        ("REPRO_WORKERS", "banana"),
+        ("REPRO_WORKERS", "0"),
+        ("REPRO_WORKERS", "-2"),
+        ("REPRO_SERVICE_MAX_PENDING", "0"),
+        ("REPRO_SERVICE_BATCH_WINDOW_S", "-1"),
+        ("REPRO_SERVICE_CACHE_BYTES", "lots"),
+        ("REPRO_CHAOS_STRAGGLE_S", "soon"),
+        ("REPRO_CHAOS_BITFLIP_TARGET", "cache"),
+        ("REPRO_CHAOS_CRASH_SUBDOMAIN", "first"),
+        ("REPRO_TRANSPORT_CHECKSUM", "maybe"),
+        ("REPRO_MP_START", "teleport"),
+    ])
+    def test_malformed_value_names_variable(self, name, raw):
+        with pytest.raises(ValueError, match=name):
+            envcfg.get(name, env={name: raw})
+
+    def test_historical_messages_preserved(self):
+        with pytest.raises(ValueError,
+                           match="must be a positive integer"):
+            envcfg.get("REPRO_WORKERS", env={"REPRO_WORKERS": "0"})
+        with pytest.raises(ValueError,
+                           match="an integer subdomain index"):
+            envcfg.get("REPRO_CHAOS_CRASH_SUBDOMAIN",
+                       env={"REPRO_CHAOS_CRASH_SUBDOMAIN": "x"})
+        with pytest.raises(ValueError, match="'0' or '1'"):
+            envcfg.get("REPRO_TRANSPORT_CHECKSUM",
+                       env={"REPRO_TRANSPORT_CHECKSUM": "2"})
+
+    def test_validate_all_sweeps(self):
+        envcfg.validate_all(env={})  # all-unset always passes
+        with pytest.raises(ValueError, match="REPRO_CHAOS_BITFLIP_COUNT"):
+            envcfg.validate_all(env={"REPRO_CHAOS_BITFLIP_COUNT": "0"})
+
+    def test_unregistered_name_rejected(self):
+        with pytest.raises(KeyError, match="REPRO_NOT_A_KNOB"):
+            envcfg.get("REPRO_NOT_A_KNOB")
+        with pytest.raises(KeyError, match="REPRO_NOT_A_KNOB"):
+            envcfg.get_raw("REPRO_NOT_A_KNOB")
+
+
+class TestRegistryIsAuthoritative:
+    def test_consumers_use_registry(self):
+        """The refactored parse sites agree with the registry."""
+        from repro.parallel import exec as pexec
+
+        assert pexec._default_workers() >= 1
+        assert isinstance(pexec.transport_checksum_enabled(), bool)
+
+    def test_markdown_table_lists_every_variable(self):
+        table = envcfg.markdown_table()
+        for name, _ in envcfg.env_table():
+            assert f"`{name}`" in table
+
+    def test_readme_table_in_sync(self):
+        """The README environment table is generated from the registry
+        (regenerate with ``python -m repro.envcfg``)."""
+        readme = README.read_text()
+        assert envcfg.markdown_table() in readme, (
+            "README environment table drifted from repro.envcfg; paste "
+            "the output of `python -m repro.envcfg` into README.md")
