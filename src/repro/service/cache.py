@@ -106,6 +106,9 @@ class Session:
     #: revalidation matches on (same structure, new values)
     pattern_fp: str
     config_fp: str
+    #: problem size — lets the service validate fingerprint-addressed
+    #: right-hand sides at submit time without touching the solver
+    n: int = 0
     hits: int = 0
     solves: int = 0
     rhs_served: int = 0
@@ -144,6 +147,12 @@ class SessionCache:
     @property
     def used_bytes(self) -> int:
         return sum(s.nbytes for s in self._entries.values())
+
+    def peek(self, key: str) -> Optional[Session]:
+        """The session for ``key`` without touching recency or hit
+        counts — for admission checks that must not perturb LRU
+        order."""
+        return self._entries.get(key)
 
     def get(self, key: str) -> Optional[Session]:
         """The session for ``key`` (refreshing its recency), or None —
@@ -228,4 +237,5 @@ def make_session(key: str, solver: PDSLin, A: sp.spmatrix,
     here, after setup, so the factors are included)."""
     return Session(key=key, solver=solver, nbytes=session_nbytes(solver),
                    pattern_fp=pattern_fingerprint(A),
-                   config_fp=config_fingerprint(config))
+                   config_fp=config_fingerprint(config),
+                   n=int(A.shape[0]))

@@ -45,6 +45,7 @@ from __future__ import annotations
 import dataclasses
 import threading
 import time
+import warnings
 from concurrent.futures import Future
 from typing import Optional, Union
 
@@ -169,6 +170,11 @@ class SolverService:
         self._lock = threading.Lock()
         self._work = threading.Condition(self._lock)
         self._queue: list[_Request] = []
+        # sessions the in-flight batch can establish (key -> n): after
+        # the dispatcher pops a carrier off the queue and before its
+        # session lands in the cache, fingerprint-addressed submits are
+        # admitted (and length-checked) against this, not bounced
+        self._building: dict[str, int] = {}
         self._closing = False
         self._closed = False
         self._next_id = 0
@@ -234,13 +240,20 @@ class SolverService:
                 raise ServiceOverloadedError(
                     f"request queue full ({len(self._queue)} pending)",
                     queue_depth=len(self._queue), limit=self.max_pending)
-            if A is None and key not in self.cache \
-                    and not any(r.key == key and r.A is not None
-                                for r in self._queue):
-                self._stats["rejected_unknown"] += 1
-                raise UnknownSessionError(
-                    f"no cached session for fingerprint {key[:16]}...; "
-                    f"resubmit with the full matrix", fingerprint=key)
+            if A is None:
+                n = self._session_n(key)
+                if n is None:
+                    self._stats["rejected_unknown"] += 1
+                    raise UnknownSessionError(
+                        f"no cached session for fingerprint {key[:16]}...; "
+                        f"resubmit with the full matrix", fingerprint=key)
+                # length-check here, not at dispatch: a mismatched b in
+                # a coalesced batch must fail its own submit, never the
+                # group it would have been stacked with
+                if b.shape[0] != n:
+                    raise ValueError(
+                        f"b must have length {n} to match session "
+                        f"{key[:16]}...")
             if A is not None and key not in self.cache:
                 cold = {r.key for r in self._queue
                         if r.key not in self.cache}
@@ -301,6 +314,22 @@ class SolverService:
                     self.tracer.count("service_revalidations")
         return new_key
 
+    def _session_n(self, key: str) -> Optional[int]:
+        """Problem size of the session ``key`` resolves to — cached,
+        being set up by the in-flight batch, or carried by a queued
+        request — or None if nothing can establish it. Caller holds
+        ``_lock``."""
+        session = self.cache.peek(key)
+        if session is not None:
+            return session.n
+        n = self._building.get(key)
+        if n is not None:
+            return n
+        for r in self._queue:
+            if r.key == key and r.A is not None:
+                return int(r.A.shape[0])
+        return None
+
     # -- dispatcher -------------------------------------------------------
 
     def _dispatch_loop(self) -> None:
@@ -320,10 +349,15 @@ class SolverService:
                         break
                     self._work.wait(timeout=remaining)
                 batch, self._queue = self._queue, []
+                for req in batch:
+                    if req.A is not None:
+                        self._building.setdefault(
+                            req.key, int(req.A.shape[0]))
             if self._closing:
                 self._reject_batch(batch, ServiceClosedError(
                     "service closed while the request was queued"))
                 with self._lock:
+                    self._building.clear()
                     if not self._queue:
                         return
                 continue
@@ -332,48 +366,112 @@ class SolverService:
             for req in batch:
                 groups.setdefault(req.key, []).append(req)
             for key, reqs in groups.items():
-                with self._exec_lock:
-                    self._serve_group(key, reqs)
+                if self._closing:
+                    # close() is waiting: reject instead of solving so
+                    # shutdown is bounded by one group, not the batch
+                    self._reject_batch(reqs, ServiceClosedError(
+                        "service closed while the request was queued"))
+                    with self._lock:
+                        self._building.pop(key, None)
+                    continue
+                try:
+                    with self._exec_lock:
+                        self._serve_group(key, reqs)
+                except Exception as exc:
+                    # backstop: _serve_group guards its own failure
+                    # modes, but an escape here must fail the group's
+                    # futures, never kill the dispatcher (every queued
+                    # future would then hang forever)
+                    self._fail_unfinished(reqs, exc)
+                finally:
+                    with self._lock:
+                        self._building.pop(key, None)
 
     def _reject_batch(self, reqs: list[_Request],
                       error: ServiceError) -> None:
+        rejected = 0
         for req in reqs:
             if req.future.set_running_or_notify_cancel():
                 req.future.set_exception(error)
-                self._stats["rejected_closed"] += 1
+                rejected += 1
+        if rejected:
+            with self._lock:
+                self._stats["rejected_closed"] += rejected
 
-    def _serve_group(self, key: str, reqs: list[_Request]) -> None:
-        """Serve all queued requests of one session as a single
-        batched solve. Runs on the dispatcher thread only (tracer
-        spans are safe here)."""
-        now = time.monotonic()
+    def _fail_unfinished(self, reqs: list[_Request],
+                         exc: BaseException) -> None:
+        """Fail every future of ``reqs`` that has not resolved yet —
+        the dispatcher's backstop against a group error leaving callers
+        hung on futures nobody will ever set."""
+        failed = 0
+        for req in reqs:
+            fut = req.future
+            if fut.done():
+                continue
+            try:
+                if not fut.set_running_or_notify_cancel():
+                    continue  # cancelled
+            except Exception:
+                pass  # already running: set_exception below still works
+            if not fut.done():
+                fut.set_exception(exc)
+                failed += 1
+        if failed:
+            with self._lock:
+                self._stats["failed"] += failed
+            self.tracer.count("service_failed", failed)
+
+    def _fail_group(self, live: list[_Request], exc: Exception) -> None:
+        for req in live:
+            req.future.set_exception(exc)
+        with self._lock:
+            self._stats["failed"] += len(live)
+        self.tracer.count("service_failed", len(live))
+
+    def _expire(self, reqs: list[_Request],
+                now: float) -> list[_Request]:
+        """Reject the (already running) requests whose deadline has
+        passed; returns the survivors."""
         live: list[_Request] = []
         for req in reqs:
-            if not req.future.set_running_or_notify_cancel():
-                continue  # cancelled while queued
             if req.expires_at is not None and now > req.expires_at:
-                self._stats["deadline_missed"] += 1
+                with self._lock:
+                    self._stats["deadline_missed"] += 1
                 self.tracer.count("service_deadline_missed")
                 req.future.set_exception(ServiceDeadlineError(
                     f"deadline {req.deadline_s:.3f}s expired before "
                     f"dispatch", deadline_s=req.deadline_s,
                     waited_s=now - req.submitted_at, request_id=req.id))
-                continue
-            live.append(req)
+            else:
+                live.append(req)
+        return live
+
+    def _serve_group(self, key: str, reqs: list[_Request]) -> None:
+        """Serve all queued requests of one session as a single
+        batched solve. Runs on the dispatcher thread only (tracer
+        spans are safe here)."""
+        started = [req for req in reqs
+                   if req.future.set_running_or_notify_cancel()]
+        live = self._expire(started, time.monotonic())
         if not live:
             return
 
         try:
             session, hit = self._session_for(key, live)
         except Exception as exc:  # setup failure rejects the group
-            for req in live:
-                req.future.set_exception(exc)
-            self._stats["failed"] += len(live)
-            self.tracer.count("service_failed", len(live))
+            self._fail_group(live, exc)
             return
         for req in live:
             self.tracer.count(
                 "service_cache_hit" if hit else "service_cache_miss")
+
+        # cold setup can be long: re-read the clock so deadlines that
+        # lapsed during setup are rejected and the budgets below
+        # reflect the time actually left, not the pre-setup snapshot
+        now = time.monotonic()
+        live = self._expire(live, now)
+        if not live:
+            return
 
         solver = session.solver
         # tightest live deadline bounds the batch's parallel fan-outs
@@ -381,38 +479,41 @@ class SolverService:
         budgets = [req.expires_at - now for req in live
                    if req.expires_at is not None]
         saved_deadline = solver.task_deadline_s
-        if budgets:
-            solver.task_deadline_s = max(min(budgets), 1e-3)
-        B = np.stack([req.b for req in live], axis=1)
         t0 = time.monotonic()
         try:
+            if budgets:
+                solver.task_deadline_s = max(min(budgets), 1e-3)
+            # stack inside the guard: anything malformed that slipped
+            # past submit-time validation fails this group's futures,
+            # not the dispatcher thread
+            B = np.stack([req.b for req in live], axis=1)
             with self.tracer.span("service_batch", key=key[:16],
                                   nrhs=len(live), cache_hit=hit):
                 block = solver.solve_block(B)
         except Exception as exc:
-            for req in live:
-                req.future.set_exception(exc)
-            self._stats["failed"] += len(live)
-            self.tracer.count("service_failed", len(live))
+            self._fail_group(live, exc)
             return
         finally:
             solver.task_deadline_s = saved_deadline
         wall = time.monotonic() - t0
 
         done = time.monotonic()
+        late = 0
         for req, result in zip(live, block):
             if req.expires_at is not None and done > req.expires_at:
-                self._stats["deadline_late"] += 1
+                late += 1
                 self.tracer.count("service_deadline_late")
             req.future.set_result(result)
-        session.solves += 1
-        session.rhs_served += len(live)
-        self._stats["served"] += len(live)
-        self._stats["batches"] += 1
-        self._stats["batched_rhs"] += len(live)
-        self._stats["max_batch_nrhs"] = max(
-            self._stats["max_batch_nrhs"], len(live))
-        self._stats["solve_wall_s"] += wall
+        with self._lock:
+            session.solves += 1
+            session.rhs_served += len(live)
+            self._stats["served"] += len(live)
+            self._stats["deadline_late"] += late
+            self._stats["batches"] += 1
+            self._stats["batched_rhs"] += len(live)
+            self._stats["max_batch_nrhs"] = max(
+                self._stats["max_batch_nrhs"], len(live))
+            self._stats["solve_wall_s"] += wall
         if wall > 0.0:
             self.tracer.count("noise:service_rhs_per_s", len(live) / wall)
 
@@ -427,9 +528,11 @@ class SolverService:
         carrier = next((r for r in reqs if r.A is not None), None)
         if carrier is None:
             raise UnknownSessionError(
-                f"session {key[:16]}... was evicted while the request "
-                f"was queued; resubmit with the full matrix",
-                fingerprint=key)
+                f"session {key[:16]}... is not cached and no live "
+                f"request in this batch carries its matrix (the carrier "
+                f"was cancelled or failed, or the session was evicted "
+                f"while the request was queued); resubmit with the full "
+                f"matrix", fingerprint=key)
         # sessions solve with krylov_seed off: batched columns are then
         # bit-identical to fresh scalar solves (the solve_block parity
         # contract) — a cache/batching layer must never change answers.
@@ -485,7 +588,13 @@ class SolverService:
         """Drain and shut down: pending requests are rejected with
         :class:`ServiceClosedError`, cached sessions are released
         (SuperLU handles freed), and any service-owned worker pool is
-        terminated. Idempotent."""
+        terminated. Idempotent.
+
+        ``timeout`` bounds the wait for an in-flight batch (``None``
+        waits indefinitely). If the batch outlives it, teardown is NOT
+        forced — releasing factors or killing workers under a live
+        solve would corrupt it — a :class:`RuntimeWarning` is emitted,
+        :attr:`closed` stays False, and a later ``close()`` retries."""
         with self._lock:
             if self._closed:
                 return
@@ -496,10 +605,29 @@ class SolverService:
             leftovers, self._queue = self._queue, []
         self._reject_batch(leftovers, ServiceClosedError(
             "service closed while the request was queued"))
-        self.tracer.count("service_evicted_bytes", self.cache.clear())
-        if self._owns_backend:
-            self._backend.close()
-        self._closed = True
+        # serialize teardown with any batch still solving: clearing the
+        # cache releases SuperLU handles and closing the backend kills
+        # workers — neither may happen under a live solve_block. Once
+        # _closing is set the dispatcher rejects instead of serving, so
+        # this waits for at most the one in-flight group.
+        if not self._exec_lock.acquire(
+                timeout=-1 if timeout is None else timeout):
+            self.tracer.count("service_close_incomplete")
+            warnings.warn(
+                f"SolverService.close(): a batch was still solving "
+                f"after the {timeout}s grace period; cached sessions "
+                f"and workers were left alive — call close() again to "
+                f"finish teardown", RuntimeWarning, stacklevel=2)
+            return
+        try:
+            with self._lock:
+                freed = self.cache.clear()
+            self.tracer.count("service_evicted_bytes", freed)
+            if self._owns_backend:
+                self._backend.close()
+            self._closed = True
+        finally:
+            self._exec_lock.release()
 
     @property
     def closed(self) -> bool:

@@ -3,6 +3,7 @@ structured rejections, deadlines, revalidation, and shutdown hygiene."""
 
 import multiprocessing
 import pickle
+import time
 
 import numpy as np
 import pytest
@@ -251,6 +252,89 @@ class TestLifecycle:
             assert backend.map(len, [[1, 2]]) is not None
         finally:
             backend.close()
+
+
+class TestDispatcherHardening:
+    """One malformed or unlucky request must never kill the dispatcher
+    thread or tear resources out from under a live batch."""
+
+    def test_fingerprint_wrong_length_rejected_at_submit(self, svc, hot):
+        svc.solve(hot, _rhs(hot))                     # session cached
+        fp = svc.fingerprint(hot)
+        with pytest.raises(ValueError, match="length"):
+            svc.submit(fp, np.ones(hot.shape[0] - 1))
+        # the dispatcher survived: the same session still serves
+        assert svc.solve(fp, _rhs(hot, 3)).converged
+
+    def test_fingerprint_validated_against_queued_carrier(self, hot):
+        svc = SolverService(config=_cfg(), batch_window_s=5.0)
+        try:
+            fp = svc.fingerprint(hot)
+            svc.submit(hot, _rhs(hot))                # carrier queued
+            with pytest.raises(ValueError, match="length"):
+                svc.submit(fp, np.ones(hot.shape[0] + 1))
+        finally:
+            svc.close(timeout=1.0)
+
+    def test_fingerprint_admitted_while_session_in_flight(self, svc,
+                                                          hot):
+        # simulate the dispatcher mid-setup: the carrier popped off the
+        # queue, its session not yet in the cache
+        fp = svc.fingerprint(hot)
+        with svc._lock:
+            svc._building[fp] = int(hot.shape[0])
+        with pytest.raises(ValueError, match="length"):
+            svc.submit(fp, np.ones(2))
+        fut = svc.submit(fp, _rhs(hot))               # admitted
+        # no carrier ever establishes the session here, so the request
+        # fails with the honest message — and the dispatcher lives on
+        with pytest.raises(UnknownSessionError, match="carrier"):
+            fut.result(timeout=300)
+        assert svc.solve(hot, _rhs(hot)).converged
+
+    def test_dispatcher_survives_serve_group_error(self, svc, hot):
+        orig = svc._serve_group
+
+        def boom(key, reqs):
+            raise RuntimeError("injected dispatch failure")
+
+        svc._serve_group = boom
+        fut = svc.submit(hot, _rhs(hot))
+        with pytest.raises(RuntimeError, match="injected"):
+            fut.result(timeout=300)
+        svc._serve_group = orig
+        assert svc.solve(hot, _rhs(hot)).converged
+        assert svc.service_report()["requests"]["failed"] == 1
+
+    def test_deadline_expiring_during_setup_is_rejected(self, svc, hot):
+        orig = svc._session_for
+
+        def slow(key, reqs):
+            out = orig(key, reqs)
+            time.sleep(0.5)                           # cold setup drags
+            return out
+
+        svc._session_for = slow
+        fut = svc.submit(hot, _rhs(hot), deadline_s=0.2)
+        with pytest.raises(ServiceDeadlineError):
+            fut.result(timeout=300)
+        svc._session_for = orig
+
+    def test_close_timeout_leaves_live_solve_untouched(self, hot):
+        svc = SolverService(config=_cfg(), batch_window_s=0.01)
+        svc.solve(hot, _rhs(hot))                     # session cached
+        svc._exec_lock.acquire()                      # batch "solving"
+        try:
+            with pytest.warns(RuntimeWarning, match="still solving"):
+                svc.close(timeout=0.2)
+            assert not svc.closed
+            # nothing torn down under the live solve
+            assert svc.cache.snapshot()["sessions"] == 1
+        finally:
+            svc._exec_lock.release()
+        svc.close()                                   # retry finishes
+        assert svc.closed
+        assert svc.cache.snapshot()["sessions"] == 0
 
 
 class TestObservability:
